@@ -1,0 +1,140 @@
+//! Ablations of the design choices DESIGN.md calls out, beyond the
+//! paper's own Table-2 ablation:
+//!
+//! 1. **Processor-tile interchange** (Section 7.1.1): nested parallel
+//!    loops with the tile loops outermost vs in place.
+//! 2. **Loop skewing** (Section 7.1): with skewing, `A(i + c*k)` becomes
+//!    tileable; without it the reference stays on the raw path.
+//! 3. **OS page migration** (extension): a no-directive program under the
+//!    migration daemon vs plain first-touch.
+
+use dsm_bench::{run_built, scale};
+use dsm_core::workloads::{lu_source, Policy};
+use dsm_core::{ExecOptions, Machine, OptConfig, Session};
+
+fn main() {
+    let scale = scale();
+
+    // --- 1. Serial-nest interchange on/off: only the inner loop of this
+    // serial nest walks the distributed dimension, so without interchange
+    // the tiler rebuilds the processor tile once per outer iteration.
+    let nest_src = "      program main
+      integer i, j
+      real*8 b(512, 64)
+c$distribute_reshape b(block, *)
+      do j = 1, 64
+        do i = 1, 512
+          b(i, j) = i + j
+        enddo
+      enddo
+      end
+";
+    let cfg = Policy::Reshaped.machine(4, scale);
+    let with = run_built(nest_src, &OptConfig::default(), &cfg, 4);
+    let without = run_built(
+        nest_src,
+        &OptConfig {
+            interchange: false,
+            ..OptConfig::default()
+        },
+        &cfg,
+        4,
+    );
+    println!("=== ablation: serial-nest interchange (Section 7.1.1) ===");
+    println!("  interchange on : {:>12} cycles", with.total_cycles);
+    println!("  interchange off: {:>12} cycles", without.total_cycles);
+    assert!(
+        with.total_cycles < without.total_cycles,
+        "interchange must pay on serial nests ({} vs {})",
+        with.total_cycles,
+        without.total_cycles
+    );
+
+    // Parallel nests interchange unconditionally (always legal for
+    // doacross-nest), so LU is unaffected by the flag:
+    let lu = lu_source(20, 20, 10, 1, Policy::Reshaped);
+    let lu_with = run_built(&lu, &OptConfig::default(), &cfg, 4);
+    let lu_without = run_built(
+        &lu,
+        &OptConfig {
+            interchange: false,
+            ..OptConfig::default()
+        },
+        &cfg,
+        4,
+    );
+    assert_eq!(lu_with.total_cycles, lu_without.total_cycles);
+
+    // --- 2. Skewing on/off for an invariant-offset reference.
+    let skew_src = "      program main
+      integer i, k, rep
+      real*8 a(4096)
+c$distribute_reshape a(block)
+      k = 512
+      do rep = 1, 4
+      do i = 1, 2048
+        a(i + 2*k) = i + rep
+      enddo
+      enddo
+      end
+";
+    let cfg1 = Policy::Reshaped.machine(4, scale);
+    let with_skew = run_built(skew_src, &OptConfig::default(), &cfg1, 4);
+    let no_skew = run_built(
+        skew_src,
+        &OptConfig {
+            skew: false,
+            ..OptConfig::default()
+        },
+        &cfg1,
+        4,
+    );
+    println!("=== ablation: loop skewing (invariant-offset sweep) ===");
+    println!("  skew on : {:>12} cycles", with_skew.total_cycles);
+    println!("  skew off: {:>12} cycles", no_skew.total_cycles);
+    assert!(
+        with_skew.total_cycles < no_skew.total_cycles,
+        "skewing must enable tiling and win ({} vs {})",
+        with_skew.total_cycles,
+        no_skew.total_cycles
+    );
+
+    // --- 3. Page migration vs plain first-touch (extension).
+    let mig_src = "      program main
+      integer i, rep
+      real*8 a(16384)
+      do i = 1, 16384
+        a(i) = 1.0
+      enddo
+      do rep = 1, 8
+c$doacross local(i) shared(a)
+      do i = 1, 16384
+        a(i) = a(i) + 1.0
+      enddo
+      enddo
+      end
+";
+    let prog = Session::new()
+        .source("m.f", mig_src)
+        .compile()
+        .expect("compiles");
+    let mut cfg2 = Policy::FirstTouch.machine(8, scale);
+    let mut plain = Machine::new(cfg2.clone());
+    let r_plain = dsm_exec::run_program(&mut plain, prog.program(), &ExecOptions::new(8)).unwrap();
+    cfg2.migration_threshold = Some(4);
+    let mut mig = Machine::new(cfg2);
+    let r_mig = dsm_exec::run_program(&mut mig, prog.program(), &ExecOptions::new(8)).unwrap();
+    println!("=== ablation: OS page migration (no directives, serial init) ===");
+    println!(
+        "  first-touch      : {:>12} cycles, {} remote misses",
+        r_plain.total_cycles, r_plain.total.remote_misses
+    );
+    println!(
+        "  + migration      : {:>12} cycles, {} remote misses, {} pages migrated",
+        r_mig.total_cycles,
+        r_mig.total.remote_misses,
+        mig.migrations()
+    );
+    assert!(r_mig.total.remote_misses <= r_plain.total.remote_misses);
+    println!("ABLATION OK");
+}

@@ -1,0 +1,58 @@
+//! **Figure 7** — 2-D convolution, 5000×5000 (Section 8.3).
+//!
+//! The large-input counterpart of Figure 6.
+//!
+//! Paper shape: with `(*, block)` the per-processor portions are large,
+//! so plain regular distribution performs as well as reshaped — the
+//! page-granularity edge effects that hurt the small input vanish
+//! ("regular distribution is perfectly adequate when the individual
+//! portions of a distributed array are large"). With `(block, block)`
+//! the portions have small contiguous runs regardless of input size, so
+//! reshaping remains clearly best. At very high P the working set fits
+//! the aggregate caches and speedups go superlinear.
+
+use dsm_bench::{final_speedup, print_figure, proc_counts, scale, sweep};
+use dsm_core::workloads::{conv2d_source, Policy};
+
+fn main() {
+    let scale = scale();
+    let procs = proc_counts();
+    let (n, reps) = (320, 1);
+
+    let one = sweep(&|p| conv2d_source(n, reps, p, false), &procs, scale);
+    print_figure("Figure 7 (left): conv 5000x5000 scaled, (*,block)", &one);
+    let rg1 = final_speedup(&one, Policy::Regular);
+    let rs1 = final_speedup(&one, Policy::Reshaped);
+    let ft1 = final_speedup(&one, Policy::FirstTouch);
+    println!("\nshape checks (*,block): regular {rg1:.2} ~ reshaped {rs1:.2}, both > ft {ft1:.2}");
+    assert!(
+        rg1 > rs1 * 0.8,
+        "(*,block) large input: regular must be competitive with reshaped ({rg1:.2} vs {rs1:.2})"
+    );
+    assert!(
+        rg1 > ft1,
+        "(*,block): regular must beat hot-node first-touch"
+    );
+
+    let two = sweep(&|p| conv2d_source(n, reps, p, true), &procs, scale);
+    print_figure(
+        "Figure 7 (right): conv 5000x5000 scaled, (block,block)",
+        &two,
+    );
+    let rs2 = final_speedup(&two, Policy::Reshaped);
+    let rr2 = final_speedup(&two, Policy::RoundRobin);
+    let ft2 = final_speedup(&two, Policy::FirstTouch);
+    let rg2 = final_speedup(&two, Policy::Regular);
+    println!("shape checks (block,block): rs {rs2:.2} > rr {rr2:.2} / ft {ft2:.2} / reg {rg2:.2}");
+    assert!(
+        rs2 > rr2 && rs2 > ft2 && rs2 > rg2,
+        "(block,block): reshaped clearly best"
+    );
+
+    // Two-level vs one-level at the top processor count (communication /
+    // computation ratio favours 2-D blocks at high P).
+    let top1 = final_speedup(&one, Policy::Reshaped);
+    let top2 = final_speedup(&two, Policy::Reshaped);
+    println!("two-level {top2:.2} vs one-level {top1:.2} at top P (paper: 2-level wins at high P)");
+    println!("FIG7 OK");
+}

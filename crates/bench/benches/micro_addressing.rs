@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks: reshaped-array addressing cost.
+//!
+//! Measures the *simulator host* cost of executing a reshaped sweep under
+//! each addressing mode the compiler can produce — and, more importantly,
+//! reports the simulated-cycle ratios between the modes, which are the
+//! quantities Table 2 aggregates (integer div/mod per access vs
+//! FP-emulated vs tiled vs hoisted).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_core::workloads::Policy;
+use dsm_core::{ExecOptions, Machine, OptConfig, Session};
+
+const N: usize = 2048;
+
+fn source() -> String {
+    format!(
+        "      program main
+      integer i, rep
+      real*8 a({N})
+c$distribute_reshape a(block)
+      do rep = 1, 2
+      do i = 1, {N}
+        a(i) = a(i) + 1.0
+      enddo
+      enddo
+      end
+"
+    )
+}
+
+fn run_once(opt: &OptConfig) -> u64 {
+    let prog = Session::new()
+        .source("m.f", &source())
+        .optimize(*opt)
+        .compile()
+        .unwrap();
+    let cfg = Policy::Reshaped.machine(4, 64);
+    let mut m = Machine::new(cfg);
+    dsm_exec::run_program(&mut m, prog.program(), &ExecOptions::new(4))
+        .unwrap()
+        .total_cycles
+}
+
+fn bench_addressing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("addressing");
+    group.sample_size(10);
+    for (name, opt) in [
+        ("raw_int_divmod", OptConfig::none()),
+        (
+            "raw_fp_divmod",
+            OptConfig {
+                fp_divmod: true,
+                ..OptConfig::none()
+            },
+        ),
+        ("tiled", OptConfig::tile_peel_only()),
+        ("hoisted", OptConfig::tile_peel_hoist()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(run_once(&opt))));
+    }
+    group.finish();
+
+    // Simulated-cycle ratios (the actual reproduction quantity).
+    let raw = run_once(&OptConfig::none());
+    let fp = run_once(&OptConfig {
+        fp_divmod: true,
+        ..OptConfig::none()
+    });
+    let tiled = run_once(&OptConfig::tile_peel_only());
+    let hoisted = run_once(&OptConfig::tile_peel_hoist());
+    println!("\nsimulated cycles: raw(int)={raw} raw(fp)={fp} tiled={tiled} hoisted={hoisted}");
+    println!(
+        "ratios vs hoisted: int={:.2} fp={:.2} tiled={:.2}",
+        raw as f64 / hoisted as f64,
+        fp as f64 / hoisted as f64,
+        tiled as f64 / hoisted as f64
+    );
+    assert!(
+        raw > fp,
+        "35-cycle int div must cost more than 11-cycle fp emulation"
+    );
+    assert!(
+        fp > tiled,
+        "per-access div/mod must cost more than tiled addressing"
+    );
+    assert!(
+        tiled > hoisted,
+        "per-access pointer loads must cost more than hoisted"
+    );
+}
+
+criterion_group!(benches, bench_addressing);
+criterion_main!(benches);

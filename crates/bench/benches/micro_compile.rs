@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the compiler itself.
+//!
+//! The paper notes that the first compilation "can potentially result in
+//! several recompilations as the distribute_reshape directives are
+//! propagated all the way down the call graph".  This bench measures the
+//! host-side cost of each stage — frontend, full pipeline without
+//! propagation, and full pipeline with a deep clone chain — so the cost
+//! of the shadow-file mechanism is visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsm_core::{OptConfig, Session};
+
+/// A call chain of `depth` subroutines, each passing the reshaped array
+/// one level down (every level gets cloned by the pre-linker).
+fn chain_source(depth: usize) -> String {
+    let mut src = String::from(
+        "      program main\n      real*8 a(512)\nc$distribute_reshape a(block)\n      call s1(a)\n      end\n",
+    );
+    for d in 1..=depth {
+        let next = if d < depth {
+            format!("      call s{}(x)\n", d + 1)
+        } else {
+            String::new()
+        };
+        src.push_str(&format!(
+            "      subroutine s{d}(x)\n      integer i\n      real*8 x(512)\n      do i = 1, 512\n        x(i) = i\n      enddo\n{next}      end\n"
+        ));
+    }
+    src
+}
+
+fn flat_source() -> String {
+    dsm_core::workloads::lu_source(16, 16, 8, 1, dsm_core::workloads::Policy::Reshaped)
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+
+    let flat = flat_source();
+    group.bench_function("frontend_only", |b| {
+        b.iter(|| {
+            std::hint::black_box(dsm_frontend_compile(&flat));
+        })
+    });
+    group.bench_function("full_pipeline_lu", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Session::new()
+                    .source("lu.f", &flat)
+                    .optimize(OptConfig::default())
+                    .compile()
+                    .unwrap(),
+            );
+        })
+    });
+    let chain = chain_source(8);
+    group.bench_function("propagation_chain_depth8", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Session::new()
+                    .source("chain.f", &chain)
+                    .optimize(OptConfig::default())
+                    .compile()
+                    .unwrap(),
+            );
+        })
+    });
+    group.finish();
+
+    // Report the clone counts so the propagation work is visible.
+    let compiled = Session::new().source("chain.f", &chain).compile().unwrap();
+    println!(
+        "\npropagation chain depth 8: {} clones, {} recompilations",
+        compiled.prelink_report().clones_created,
+        compiled.prelink_report().recompilations
+    );
+    assert_eq!(compiled.prelink_report().clones_created, 8);
+}
+
+fn dsm_frontend_compile(src: &str) -> usize {
+    dsm_frontend::compile_sources(&[("lu.f", src)])
+        .map(|a| a.units.len())
+        .unwrap_or(0)
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Each bench target (`cargo bench -p dsm-bench`) regenerates one table
+//! or figure of the paper's Section 8: it sweeps processor counts and
+//! placement policies over the corresponding workload, prints the series
+//! the figure plots (speedup over the serial run), and prints the
+//! hardware-counter evidence the paper cites (remote-miss fractions, TLB
+//! misses, cache misses).
+//!
+//! Scale: experiments run on a machine scaled down from the Origin-2000
+//! by [`SCALE`] (overridable with the `DSM_BENCH_SCALE` environment
+//! variable) with array sizes scaled to preserve the paper's
+//! working-set : cache and portion : page ratios.
+
+use dsm_core::workloads::Policy;
+use dsm_core::{ExecOptions, Machine, MachineConfig, OptConfig, RunReport, Session};
+
+/// Default linear scale divisor relative to the real Origin-2000.
+pub const SCALE: usize = 64;
+
+/// Linear scale divisor (`DSM_BENCH_SCALE` overrides the default).
+pub fn scale() -> usize {
+    std::env::var("DSM_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SCALE)
+}
+
+/// Processor counts swept by the figures (paper: up to 64/96 procs).
+pub fn proc_counts() -> Vec<usize> {
+    match std::env::var("DSM_BENCH_PROCS").ok().as_deref() {
+        Some("full") => vec![1, 2, 4, 8, 16, 32, 64],
+        _ => vec![1, 4, 16, 64],
+    }
+}
+
+/// One policy's sweep results.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// The placement policy of this curve.
+    pub policy: Policy,
+    /// Processor counts.
+    pub procs: Vec<usize>,
+    /// Total cycles per processor count.
+    pub cycles: Vec<u64>,
+    /// Speedups over the shared serial baseline.
+    pub speedup: Vec<f64>,
+    /// Remote fraction of L2 misses per run.
+    pub remote_frac: Vec<f64>,
+    /// Total L2 misses per run.
+    pub l2_misses: Vec<u64>,
+    /// Total TLB misses per run.
+    pub tlb_misses: Vec<u64>,
+}
+
+/// Compile `source` and run it under `policy` on `nprocs` processors.
+///
+/// # Panics
+///
+/// Panics on compile or runtime errors — experiment programs are trusted.
+pub fn run_policy(source: &str, policy: Policy, nprocs: usize, scale: usize) -> RunReport {
+    let prog = Session::new()
+        .source("bench.f", source)
+        .optimize(OptConfig::default())
+        .compile()
+        .unwrap_or_else(|e| panic!("bench workload failed to compile: {e:?}"));
+    let cfg = policy.machine(nprocs, scale);
+    prog.run(&cfg, nprocs)
+        .unwrap_or_else(|e| panic!("bench workload failed to run: {e}"))
+}
+
+/// Run the full four-policy sweep for one figure.
+///
+/// `make_source` receives the policy (sources differ only in directives).
+/// The speedup baseline is the first-touch serial run, like the paper's
+/// "speedup over the serial version".
+pub fn sweep(make_source: &dyn Fn(Policy) -> String, procs: &[usize], scale: usize) -> Vec<Series> {
+    let baseline = run_policy(
+        &make_source(Policy::FirstTouch),
+        Policy::FirstTouch,
+        1,
+        scale,
+    );
+    let baseline_kernel = baseline.kernel_cycles();
+    Policy::ALL
+        .iter()
+        .map(|&policy| {
+            let src = make_source(policy);
+            let mut s = Series {
+                policy,
+                procs: procs.to_vec(),
+                cycles: Vec::new(),
+                speedup: Vec::new(),
+                remote_frac: Vec::new(),
+                l2_misses: Vec::new(),
+                tlb_misses: Vec::new(),
+            };
+            for &p in procs {
+                let r = run_policy(&src, policy, p, scale);
+                s.cycles.push(r.kernel_cycles());
+                s.speedup
+                    .push(baseline_kernel as f64 / r.kernel_cycles().max(1) as f64);
+                s.remote_frac.push(r.total.remote_fraction());
+                s.l2_misses.push(r.total.l2_misses);
+                s.tlb_misses.push(r.total.tlb_misses);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Print a figure's speedup table plus the counter evidence.
+pub fn print_figure(title: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    let procs = &series[0].procs;
+    print!("{:<12}", "policy");
+    for p in procs {
+        print!("  P={p:<5}");
+    }
+    println!("   (kernel speedup over serial)");
+    for s in series {
+        print!("{:<12}", s.policy.label());
+        for v in &s.speedup {
+            print!("  {v:<7.2}");
+        }
+        println!();
+    }
+    print!("{:<12}", "rem-frac");
+    println!("  (remote fraction of L2 misses at each P, per policy)");
+    for s in series {
+        print!("{:<12}", s.policy.label());
+        for v in &s.remote_frac {
+            print!("  {v:<7.2}");
+        }
+        println!();
+    }
+    print!("{:<12}", "tlb-misses");
+    println!("  (TLB misses at each P, per policy)");
+    for s in series {
+        print!("{:<12}", s.policy.label());
+        for v in &s.tlb_misses {
+            print!("  {v:<7}");
+        }
+        println!();
+    }
+    print_chart(series);
+}
+
+/// Render an ASCII bar chart of the final-P speedups (one glance at who
+/// wins, mirroring the paper's figures).
+pub fn print_chart(series: &[Series]) {
+    let top = series
+        .iter()
+        .filter_map(|s| s.speedup.last().copied())
+        .fold(1.0_f64, f64::max);
+    println!("final-P speedups:");
+    for s in series {
+        let v = s.speedup.last().copied().unwrap_or(0.0);
+        let width = ((v / top) * 50.0).round() as usize;
+        println!(
+            "  {:<12} {:>8.2} |{}",
+            s.policy.label(),
+            v,
+            "#".repeat(width)
+        );
+    }
+}
+
+/// Convenience: highest-P speedup of a policy in a sweep.
+pub fn final_speedup(series: &[Series], policy: Policy) -> f64 {
+    series
+        .iter()
+        .find(|s| s.policy == policy)
+        .and_then(|s| s.speedup.last().copied())
+        .unwrap_or(0.0)
+}
+
+/// Run a compiled program fresh on an explicitly built machine (used by
+/// Table 2, which needs single-processor runs of differently-optimized
+/// builds).
+pub fn run_built(source: &str, opt: &OptConfig, cfg: &MachineConfig, nprocs: usize) -> RunReport {
+    let prog = Session::new()
+        .source("bench.f", source)
+        .optimize(*opt)
+        .compile()
+        .unwrap_or_else(|e| panic!("bench workload failed to compile: {e:?}"));
+    let mut m = Machine::new(cfg.clone());
+    dsm_exec::run_program(&mut m, prog.program(), &ExecOptions::new(nprocs))
+        .unwrap_or_else(|e| panic!("bench workload failed to run: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_core::workloads::transpose_source;
+
+    #[test]
+    fn sweep_produces_all_series() {
+        let series = sweep(&|p| transpose_source(32, 1, p), &[1, 4], 1024);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert_eq!(s.speedup.len(), 2);
+            assert!(s.cycles.iter().all(|&c| c > 0));
+        }
+        print_figure("smoke", &series);
+    }
+}

@@ -1,0 +1,230 @@
+//! Subroutine specialization (cloning).
+//!
+//! The pre-linker clones one copy of a subroutine per distinct combination
+//! of `distribute_reshape` directives on its parameters (Section 5):
+//! "although this results in code expansion, the generated code is more
+//! efficient, since each cloned copy can be optimized at compile time for
+//! the particular combination of incoming distributions."
+
+use std::collections::HashSet;
+
+use dsm_ir::{AddrMode, ArrayId, DistKind, Expr, Param, Stmt, Storage, Subroutine};
+
+use crate::shadow::CloneSig;
+
+/// Specialize `sub` for the incoming distribution combination `sig`,
+/// renaming it to `name`.
+///
+/// # Errors
+///
+/// Returns a description when the signature cannot apply: argument-count
+/// mismatch, a distribution aimed at a scalar formal, or a rank mismatch
+/// between the propagated distribution and the formal's declared rank.
+pub fn specialize(sub: &Subroutine, sig: &CloneSig, name: String) -> Result<Subroutine, String> {
+    if sig.len() != sub.params.len() {
+        return Err(format!(
+            "`{}` takes {} arguments but the call passes {}",
+            sub.name,
+            sub.params.len(),
+            sig.len()
+        ));
+    }
+    let mut out = sub.clone();
+    out.name = name;
+    let mut reshaped: HashSet<ArrayId> = HashSet::new();
+    for (pos, d) in sig.iter().enumerate() {
+        let Some(dist) = d else { continue };
+        match sub.params[pos] {
+            Param::Scalar(_) => {
+                return Err(format!(
+                    "argument {} of `{}` is a scalar formal but receives a reshaped array",
+                    pos + 1,
+                    sub.name
+                ));
+            }
+            Param::Array(aid) => {
+                let decl = &mut out.arrays[aid.0];
+                if dist.dims.len() != decl.dims.len() {
+                    return Err(format!(
+                        "reshaped actual for `{}` argument {} has rank {}, formal `{}` has rank {}",
+                        sub.name,
+                        pos + 1,
+                        dist.dims.len(),
+                        decl.name,
+                        decl.dims.len()
+                    ));
+                }
+                debug_assert!(matches!(decl.storage, Storage::Formal { .. }));
+                decl.dist_kind = DistKind::Reshaped;
+                decl.dist = Some(dist.clone());
+                reshaped.insert(aid);
+            }
+        }
+    }
+    if !reshaped.is_empty() {
+        for st in &mut out.body {
+            set_reshaped_modes(st, &reshaped);
+        }
+    }
+    Ok(out)
+}
+
+/// Clone-instance name for a base subroutine and instance counter; the
+/// all-`None` signature keeps the original name.
+pub fn clone_name(base: &str, sig: &CloneSig, counter: usize) -> String {
+    if sig.iter().all(Option::is_none) {
+        base.to_string()
+    } else {
+        format!("{base}__r{counter}")
+    }
+}
+
+/// Rewrite every reference to the given arrays to
+/// [`AddrMode::ReshapedRaw`] (they are reshaped in this clone).
+fn set_reshaped_modes(st: &mut Stmt, arrays: &HashSet<ArrayId>) {
+    match st {
+        Stmt::Assign {
+            array,
+            indices,
+            value,
+            mode,
+        } => {
+            if arrays.contains(array) {
+                *mode = AddrMode::ReshapedRaw;
+            }
+            for e in indices.iter_mut() {
+                set_modes_expr(e, arrays);
+            }
+            set_modes_expr(value, arrays);
+        }
+        Stmt::SAssign { value, .. } => set_modes_expr(value, arrays),
+        Stmt::Loop(l) => {
+            set_modes_expr(&mut l.lb, arrays);
+            set_modes_expr(&mut l.ub, arrays);
+            set_modes_expr(&mut l.step, arrays);
+            for s in &mut l.body {
+                set_reshaped_modes(s, arrays);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            set_modes_expr(cond, arrays);
+            for s in then_body.iter_mut().chain(else_body) {
+                set_reshaped_modes(s, arrays);
+            }
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                match a {
+                    dsm_ir::ActualArg::Scalar(e) => set_modes_expr(e, arrays),
+                    dsm_ir::ActualArg::ArrayElem(_, idx) => {
+                        for e in idx {
+                            set_modes_expr(e, arrays);
+                        }
+                    }
+                    dsm_ir::ActualArg::Array(_) => {}
+                }
+            }
+        }
+        Stmt::Redistribute { .. } | Stmt::Barrier | Stmt::Overhead { .. } => {}
+    }
+}
+
+fn set_modes_expr(e: &mut Expr, arrays: &HashSet<ArrayId>) {
+    match e {
+        Expr::Load {
+            array,
+            indices,
+            mode,
+        } => {
+            if arrays.contains(array) {
+                *mode = AddrMode::ReshapedRaw;
+            }
+            for i in indices {
+                set_modes_expr(i, arrays);
+            }
+        }
+        Expr::Unary(_, x) => set_modes_expr(x, arrays),
+        Expr::Binary(_, a, b) => {
+            set_modes_expr(a, arrays);
+            set_modes_expr(b, arrays);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                set_modes_expr(a, arrays);
+            }
+        }
+        Expr::Var(_) | Expr::IConst(_) | Expr::FConst(_) | Expr::Rt(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dsm_frontend::compile_sources;
+    use dsm_ir::{Dist, Distribution};
+
+    fn sub_named(src: &str, name: &str) -> Subroutine {
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let p = lower_program(&a).unwrap();
+        p.subs.iter().find(|s| s.name == name).unwrap().clone()
+    }
+
+    const SRC: &str = "      program main\n      end\n      subroutine s(x, n)\n      integer n, i\n      real*8 x(100)\n      do i = 1, n\n        x(i) = i\n      enddo\n      end\n";
+
+    #[test]
+    fn specialize_marks_formal_reshaped() {
+        let s = sub_named(SRC, "s");
+        let sig = vec![Some(Distribution::new(vec![Dist::Block])), None];
+        let c = specialize(&s, &sig, "s__r1".into()).unwrap();
+        assert_eq!(c.name, "s__r1");
+        assert_eq!(c.arrays[0].dist_kind, DistKind::Reshaped);
+        // Refs to x now carry the raw reshaped mode.
+        let Stmt::Loop(l) = &c.body[0] else { panic!() };
+        let Stmt::Assign { mode, .. } = &l.body[0] else {
+            panic!()
+        };
+        assert_eq!(*mode, AddrMode::ReshapedRaw);
+        // Original untouched.
+        let Stmt::Loop(l0) = &s.body[0] else { panic!() };
+        let Stmt::Assign { mode: m0, .. } = &l0.body[0] else {
+            panic!()
+        };
+        assert_eq!(*m0, AddrMode::Direct);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = sub_named(SRC, "s");
+        let err = specialize(&s, &vec![None], "s__r1".into()).unwrap_err();
+        assert!(err.contains("arguments"));
+    }
+
+    #[test]
+    fn scalar_formal_receiving_array_rejected() {
+        let s = sub_named(SRC, "s");
+        let sig = vec![None, Some(Distribution::new(vec![Dist::Block]))];
+        let err = specialize(&s, &sig, "x".into()).unwrap_err();
+        assert!(err.contains("scalar formal"));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let s = sub_named(SRC, "s");
+        let sig = vec![Some(Distribution::new(vec![Dist::Block, Dist::Star])), None];
+        let err = specialize(&s, &sig, "s__r1".into()).unwrap_err();
+        assert!(err.contains("rank"));
+    }
+
+    #[test]
+    fn clone_names() {
+        let sig_none: CloneSig = vec![None];
+        assert_eq!(clone_name("s", &sig_none, 3), "s");
+        let sig = vec![Some(Distribution::new(vec![Dist::Block]))];
+        assert_eq!(clone_name("s", &sig, 3), "s__r3");
+    }
+}

@@ -1,0 +1,132 @@
+//! Integer div/mod through the floating-point unit (Section 7.3).
+//!
+//! A 32-bit integer divide takes ~35 cycles on the R10000 and is not
+//! pipelined; the corresponding FP operation takes 11 cycles.  MIPSpro
+//! therefore emulates the integer divide in software on the FP unit for
+//! reshaped-array addressing; besides being cheaper, the emulation lets
+//! the reciprocal of invariant operands be hoisted.
+//!
+//! In this model the pass rewrites the remaining raw reshaped references
+//! ([`AddrMode::ReshapedRaw`] — anything tiling could not reach) to
+//! [`AddrMode::ReshapedRawFp`], switching their per-access addressing
+//! charge from `int_div` to `fp_emulated_div` cycles.
+
+use dsm_ir::{AddrMode, Expr, Stmt, Subroutine};
+
+/// Rewrite raw reshaped references to use FP-emulated div/mod. Returns the
+/// number of references rewritten.
+pub fn run(sub: &mut Subroutine) -> usize {
+    let mut n = 0;
+    for st in &mut sub.body {
+        rewrite_stmt(st, &mut n);
+    }
+    n
+}
+
+fn upgrade(mode: &mut AddrMode, n: &mut usize) {
+    if *mode == AddrMode::ReshapedRaw {
+        *mode = AddrMode::ReshapedRawFp;
+        *n += 1;
+    }
+}
+
+fn rewrite_stmt(st: &mut Stmt, n: &mut usize) {
+    match st {
+        Stmt::Assign {
+            indices,
+            value,
+            mode,
+            ..
+        } => {
+            upgrade(mode, n);
+            for e in indices.iter_mut() {
+                rewrite_expr(e, n);
+            }
+            rewrite_expr(value, n);
+        }
+        Stmt::SAssign { value, .. } => rewrite_expr(value, n),
+        Stmt::Loop(l) => {
+            rewrite_expr(&mut l.lb, n);
+            rewrite_expr(&mut l.ub, n);
+            rewrite_expr(&mut l.step, n);
+            for s in &mut l.body {
+                rewrite_stmt(s, n);
+            }
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            rewrite_expr(cond, n);
+            for s in then_body.iter_mut().chain(else_body) {
+                rewrite_stmt(s, n);
+            }
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                match a {
+                    dsm_ir::ActualArg::Scalar(e) => rewrite_expr(e, n),
+                    dsm_ir::ActualArg::ArrayElem(_, idx) => {
+                        for e in idx {
+                            rewrite_expr(e, n);
+                        }
+                    }
+                    dsm_ir::ActualArg::Array(_) => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, n: &mut usize) {
+    match e {
+        Expr::Load { indices, mode, .. } => {
+            upgrade(mode, n);
+            for i in indices {
+                rewrite_expr(i, n);
+            }
+        }
+        Expr::Unary(_, x) => rewrite_expr(x, n),
+        Expr::Binary(_, a, b) => {
+            rewrite_expr(a, n);
+            rewrite_expr(b, n);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                rewrite_expr(a, n);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dsm_frontend::compile_sources;
+
+    #[test]
+    fn raw_refs_become_fp_emulated() {
+        let src = "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(cyclic)\n      do i = 1, 100\n        a(i) = a(i) + 1\n      enddo\n      end\n";
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let mut p = lower_program(&a).unwrap();
+        let n = run(&mut p.subs[0]);
+        assert_eq!(n, 2, "store and load rewritten");
+        let mut ms = Vec::new();
+        for st in &p.subs[0].body {
+            st.for_each_ref(&mut |_, _, m, _| ms.push(m));
+        }
+        assert!(ms.iter().all(|m| *m == AddrMode::ReshapedRawFp));
+    }
+
+    #[test]
+    fn direct_refs_untouched() {
+        let src = "      program main\n      integer i\n      real*8 a(100)\n      do i = 1, 100\n        a(i) = 0.0\n      enddo\n      end\n";
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let mut p = lower_program(&a).unwrap();
+        assert_eq!(run(&mut p.subs[0]), 0);
+    }
+}

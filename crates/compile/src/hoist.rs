@@ -1,0 +1,265 @@
+//! Hoisting and CSE of reshaped index expressions (Section 7.2).
+//!
+//! After tiling, a reshaped reference still re-loads the portion pointer
+//! (an indirect load from the Figure-3 processor array) on every access:
+//! indirect loads and div/mod are unsafe operations the scalar optimizer
+//! cannot speculate, so it will not move them out of loops or
+//! conditionals.  The paper fixes this by hoisting them explicitly during
+//! the transformation of reshaped references, and by marking
+//! runtime-constant quantities (like the block size) as constant so CSE
+//! survives subroutine calls.
+//!
+//! This pass upgrades [`AddrMode::ReshapedTiled`] references to
+//! [`AddrMode::ReshapedHoisted`] and charges the hoisted work — one
+//! pointer load plus a couple of address-setup ALU ops per distinct array
+//! — once per loop entry via a [`Stmt::Overhead`] preheader, instead of
+//! per iteration.
+//!
+//! Processor-tile loops (whose variable selects the portion) are hoisting
+//! *barriers*: the pointer varies with the tile variable, so nothing is
+//! moved across them.  Tile loops are recognized by the `p$`-prefixed
+//! variables the tiler introduces.
+
+use std::collections::BTreeSet;
+
+use dsm_ir::{AddrMode, ArrayId, Expr, Stmt, Subroutine};
+
+/// Run the pass over a subroutine. Returns the number of loops that
+/// received a hoist preheader.
+pub fn run(sub: &mut Subroutine) -> usize {
+    let mut body = std::mem::take(&mut sub.body);
+    let n = process_block(sub, &mut body);
+    sub.body = body;
+    n
+}
+
+fn is_tile_var(sub: &Subroutine, var: dsm_ir::VarId) -> bool {
+    sub.scalars
+        .get(var.0)
+        .is_some_and(|s| s.name.starts_with("p$"))
+}
+
+fn process_block(sub: &Subroutine, body: &mut Vec<Stmt>) -> usize {
+    let mut hoisted = 0;
+    let mut i = 0;
+    while i < body.len() {
+        match &mut body[i] {
+            Stmt::Loop(l) => {
+                if is_tile_var(sub, l.var) {
+                    // Barrier: recurse inside only.
+                    hoisted += process_block(sub, &mut l.body);
+                } else {
+                    // Hoist everything tiled in this subtree (stopping at
+                    // nested tile loops) out to this loop's preheader.
+                    let mut arrays = BTreeSet::new();
+                    collect_and_upgrade(sub, &mut l.body, &mut arrays);
+                    if !arrays.is_empty() {
+                        hoisted += 1;
+                        let n = arrays.len() as u32;
+                        body.insert(
+                            i,
+                            Stmt::Overhead {
+                                int_divs: 0,
+                                indirect_loads: n,
+                                int_alu: 2 * n,
+                            },
+                        );
+                        i += 1;
+                    }
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                hoisted += process_block(sub, then_body);
+                hoisted += process_block(sub, else_body);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    hoisted
+}
+
+/// Upgrade Tiled → Hoisted in a subtree, collecting the distinct arrays;
+/// nested tile loops are barriers handled recursively with their own
+/// preheaders.
+#[allow(clippy::ptr_arg)] // insertion of preheaders needs the Vec itself
+fn collect_and_upgrade(sub: &Subroutine, body: &mut Vec<Stmt>, arrays: &mut BTreeSet<ArrayId>) {
+    let mut i = 0;
+    while i < body.len() {
+        match &mut body[i] {
+            Stmt::Loop(l) if is_tile_var(sub, l.var) => {
+                let mut inner = BTreeSet::new();
+                collect_and_upgrade(sub, &mut l.body, &mut inner);
+                if !inner.is_empty() {
+                    let n = inner.len() as u32;
+                    l.body.insert(
+                        0,
+                        Stmt::Overhead {
+                            int_divs: 0,
+                            indirect_loads: n,
+                            int_alu: 2 * n,
+                        },
+                    );
+                }
+            }
+            Stmt::Loop(l) => collect_and_upgrade(sub, &mut l.body, arrays),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                upgrade_expr(cond, arrays);
+                collect_and_upgrade(sub, then_body, arrays);
+                collect_and_upgrade(sub, else_body, arrays);
+            }
+            Stmt::Assign {
+                array,
+                indices,
+                value,
+                mode,
+            } => {
+                if *mode == AddrMode::ReshapedTiled {
+                    *mode = AddrMode::ReshapedHoisted;
+                    arrays.insert(*array);
+                }
+                for e in indices.iter_mut() {
+                    upgrade_expr(e, arrays);
+                }
+                upgrade_expr(value, arrays);
+            }
+            Stmt::SAssign { value, .. } => upgrade_expr(value, arrays),
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        dsm_ir::ActualArg::Scalar(e) => upgrade_expr(e, arrays),
+                        dsm_ir::ActualArg::ArrayElem(_, idx) => {
+                            for e in idx {
+                                upgrade_expr(e, arrays);
+                            }
+                        }
+                        dsm_ir::ActualArg::Array(_) => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn upgrade_expr(e: &mut Expr, arrays: &mut BTreeSet<ArrayId>) {
+    match e {
+        Expr::Load {
+            array,
+            indices,
+            mode,
+        } => {
+            if *mode == AddrMode::ReshapedTiled {
+                *mode = AddrMode::ReshapedHoisted;
+                arrays.insert(*array);
+            }
+            for i in indices {
+                upgrade_expr(i, arrays);
+            }
+        }
+        Expr::Unary(_, x) => upgrade_expr(x, arrays),
+        Expr::Binary(_, a, b) => {
+            upgrade_expr(a, arrays);
+            upgrade_expr(b, arrays);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                upgrade_expr(a, arrays);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use crate::tile::{self, TileConfig};
+    use dsm_frontend::compile_sources;
+
+    fn compiled(src: &str) -> dsm_ir::Program {
+        let a = compile_sources(&[("t.f", src)]).expect("frontend");
+        let mut p = lower_program(&a).expect("lower");
+        for s in &mut p.subs {
+            tile::run(s, &TileConfig::default());
+            run(s);
+        }
+        dsm_ir::validate_program(&p).expect("valid");
+        p
+    }
+
+    fn modes(sub: &Subroutine) -> Vec<AddrMode> {
+        let mut v = Vec::new();
+        for st in &sub.body {
+            st.for_each_ref(&mut |_, _, m, _| v.push(m));
+        }
+        v
+    }
+
+    fn overhead_loads(sub: &Subroutine) -> u32 {
+        let mut n = 0;
+        for st in &sub.body {
+            st.walk(&mut |s| {
+                if let Stmt::Overhead { indirect_loads, .. } = s {
+                    n += indirect_loads;
+                }
+            });
+        }
+        n
+    }
+
+    #[test]
+    fn tiled_refs_become_hoisted_with_preheader() {
+        let p = compiled(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 100\n        a(i) = 1.0\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        let ms = modes(main);
+        assert!(ms.contains(&AddrMode::ReshapedHoisted));
+        assert!(
+            !ms.contains(&AddrMode::ReshapedTiled),
+            "all tiled refs upgraded"
+        );
+        assert_eq!(overhead_loads(main), 1, "one hoisted pointer load");
+    }
+
+    #[test]
+    fn boundary_raw_refs_untouched() {
+        let p = compiled(
+            "      program main\n      integer i\n      real*8 a(100), b(100)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 2, 99\n        a(i) = (b(i-1) + b(i) + b(i+1)) / 3\n      enddo\n      end\n",
+        );
+        let ms = modes(p.main_sub());
+        assert!(ms.contains(&AddrMode::ReshapedHoisted));
+        assert!(
+            ms.contains(&AddrMode::ReshapedRaw),
+            "peeled copies keep raw mode"
+        );
+    }
+
+    #[test]
+    fn two_arrays_charge_two_pointer_loads() {
+        let p = compiled(
+            "      program main\n      integer i\n      real*8 a(64), b(64)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 64\n        a(i) = b(i)\n      enddo\n      end\n",
+        );
+        assert_eq!(overhead_loads(p.main_sub()), 2);
+    }
+
+    #[test]
+    fn untouched_without_tiled_refs() {
+        let p = compiled(
+            "      program main\n      integer i\n      real*8 a(100)\n      do i = 1, 100\n        a(i) = 1.0\n      enddo\n      end\n",
+        );
+        assert_eq!(overhead_loads(p.main_sub()), 0);
+        assert!(modes(p.main_sub()).iter().all(|m| *m == AddrMode::Direct));
+    }
+}

@@ -1,0 +1,36 @@
+//! # dsm-compile
+//!
+//! The directive compiler of this PLDI'97 reproduction: everything the
+//! paper's Sections 4–7 describe happening inside MIPSpro.
+//!
+//! * [`lower`] — checked AST → `dsm-ir`, with reshaped references marked
+//!   [`dsm_ir::AddrMode::ReshapedRaw`] (the untransformed Table-1 form);
+//! * [`shadow`] / [`mod@prelink`] / [`clone`] — the shadow-file mechanism:
+//!   propagation of `distribute_reshape` directives down the call graph
+//!   across separately compiled files, cloning one subroutine instance per
+//!   distinct incoming distribution combination, and the link-time
+//!   common-block consistency checks (Sections 5 and 6);
+//! * [`tile`] — affinity scheduling (Figure 2) and tiling + peeling of
+//!   loops over reshaped arrays, with processor-tile loops hoisted
+//!   outermost for parallel nests (Section 7.1);
+//! * [`skew`] — loop skewing of `A(i + c*k)` references (Section 7.1);
+//! * [`hoist`] — hoisting of indirect portion-pointer loads and div/mod
+//!   out of inner loops plus CSE accounting (Section 7.2);
+//! * [`divmod`] — div/mod through the FP unit (Section 7.3);
+//! * [`pipeline`] — the ordered pass manager with [`OptConfig`] toggles
+//!   used by the Table-2 ablation.
+
+pub mod clone;
+pub mod divmod;
+pub mod hoist;
+pub mod lower;
+pub mod pipeline;
+pub mod prelink;
+pub mod shadow;
+pub mod skew;
+pub mod stmtcse;
+pub mod tile;
+
+pub use lower::lower_program;
+pub use pipeline::{compile_analysis, compile_strings, OptConfig};
+pub use prelink::{prelink, PrelinkReport};

@@ -1,0 +1,615 @@
+//! Lowering of the checked AST to `dsm-ir`.
+//!
+//! Name resolution uses the frontend's per-unit tables; reshaped array
+//! references are marked [`AddrMode::ReshapedRaw`] so the optimizer can
+//! account for (and later remove) the Table-1 addressing overhead.
+//! `doacross` loops with an `affinity` clause lower to
+//! [`SchedType::RuntimeAffinity`] — the Figure-2 compile-time schedule is
+//! produced later by the [`crate::tile`] pass.
+
+use dsm_frontend::ast::*;
+use dsm_frontend::error::{CompileError, ErrorKind, Span};
+use dsm_frontend::sema::{Analysis, REExtent, UnitInfo, INTRINSICS};
+use dsm_ir::{
+    ActualArg, AddrMode, AffIdx, Affinity, ArrayDecl, ArrayId, BinOp, CommonBlockDecl, DistKind,
+    Distribution, Doacross, Expr, Extent, Intrinsic, LoopStmt, Param, Program, ScalarDecl,
+    ScalarTy, SchedType, Stmt, Storage, Subroutine, UnOp, VarId,
+};
+
+/// Lower a whole analysis to an IR program.
+///
+/// # Errors
+///
+/// Returns diagnostics for constructs that passed parsing but cannot be
+/// lowered (malformed affinity expressions, whole-array actuals in
+/// expression position, …).
+pub fn lower_program(analysis: &Analysis) -> Result<Program, Vec<CompileError>> {
+    let mut errors = Vec::new();
+    let mut subs = Vec::new();
+    for info in &analysis.units {
+        let file_name = analysis
+            .files
+            .get(info.unit.file)
+            .cloned()
+            .unwrap_or_default();
+        subs.push(lower_unit(info, &file_name, &mut errors));
+    }
+    // Canonical common blocks: first declaration wins (the pre-linker
+    // verifies consistency separately).
+    let mut commons: Vec<CommonBlockDecl> = Vec::new();
+    for info in &analysis.units {
+        for (block, members) in &info.unit.commons {
+            if commons.iter().any(|c| c.name == *block) {
+                continue;
+            }
+            let mut decls = Vec::new();
+            for (mi, m) in members.iter().enumerate() {
+                if let Some(ai) = info.array_index(m) {
+                    let mut d = lower_array_decl(&info.arrays[ai], info);
+                    d.storage = Storage::Common {
+                        block: block.clone(),
+                        member: mi,
+                    };
+                    decls.push(d);
+                }
+            }
+            commons.push(CommonBlockDecl {
+                name: block.clone(),
+                members: decls,
+            });
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    let program = Program {
+        subs,
+        main: analysis.main,
+        commons,
+        files: analysis.files.clone(),
+    };
+    if let Err(e) = dsm_ir::validate_program(&program) {
+        return Err(vec![CompileError::new(
+            Span::default(),
+            ErrorKind::Sema,
+            "<lowering>",
+            format!("internal: lowered IR invalid: {e}"),
+        )]);
+    }
+    Ok(program)
+}
+
+fn lower_array_decl(a: &dsm_frontend::sema::RArray, info: &UnitInfo) -> ArrayDecl {
+    let dims = a
+        .dims
+        .iter()
+        .map(|d| match d {
+            REExtent::Const(v) => Extent::Const(*v),
+            REExtent::Scalar(n) => Extent::Var(VarId(
+                info.scalar_index(n).expect("sema checked extent scalar"),
+            )),
+        })
+        .collect();
+    let storage = if let Some((block, member)) = &a.common {
+        Storage::Common {
+            block: block.clone(),
+            member: *member,
+        }
+    } else if let Some(pos) = a.formal_pos {
+        Storage::Formal { position: pos }
+    } else {
+        Storage::Local
+    };
+    ArrayDecl {
+        name: a.name.clone(),
+        ty: match a.ty {
+            ATy::Int => ScalarTy::Int,
+            ATy::Real => ScalarTy::Real,
+        },
+        dims,
+        storage,
+        dist_kind: a.dist_kind,
+        dist: a.dist.clone(),
+        equivalenced_with: a
+            .equiv
+            .iter()
+            .filter_map(|n| info.array_index(n).map(ArrayId))
+            .collect(),
+    }
+}
+
+struct LowerCtx<'a> {
+    info: &'a UnitInfo,
+    file: &'a str,
+    errors: &'a mut Vec<CompileError>,
+}
+
+impl LowerCtx<'_> {
+    fn err(&mut self, span: Span, msg: impl Into<String>) {
+        self.errors
+            .push(CompileError::new(span, ErrorKind::Sema, self.file, msg));
+    }
+
+    fn scalar(&self, name: &str) -> Option<VarId> {
+        self.info.scalar_index(name).map(VarId)
+    }
+
+    fn array(&self, name: &str) -> Option<ArrayId> {
+        self.info.array_index(name).map(ArrayId)
+    }
+
+    /// Address mode of a fresh reference to `array`.
+    fn mode_of(&self, array: ArrayId) -> AddrMode {
+        if self.info.arrays[array.0].dist_kind == DistKind::Reshaped {
+            AddrMode::ReshapedRaw
+        } else {
+            AddrMode::Direct
+        }
+    }
+
+    fn expr(&mut self, span: Span, e: &AExpr) -> Expr {
+        match e {
+            AExpr::Int(v) => Expr::IConst(*v),
+            AExpr::Real(v) => Expr::FConst(*v),
+            AExpr::Name(n) => {
+                if let Some(c) = self.info.params_const.get(n) {
+                    Expr::IConst(*c)
+                } else if let Some(v) = self.scalar(n) {
+                    Expr::Var(v)
+                } else {
+                    self.err(span, format!("cannot use array `{n}` as a scalar value"));
+                    Expr::IConst(0)
+                }
+            }
+            AExpr::Index(n, args) => {
+                if n == "blocksize" || n == "distnprocs" {
+                    // Handled before argument lowering: the first argument
+                    // is an array *name*, not a value.
+                    return self.dist_intrinsic(span, n, args);
+                }
+                let largs: Vec<Expr> = args.iter().map(|a| self.expr(span, a)).collect();
+                if n == "numthreads" {
+                    // SGI runtime intrinsic: the executing team size.
+                    Expr::Rt(dsm_ir::RtExpr::NumThreads)
+                } else if INTRINSICS.contains(&n.as_str()) {
+                    let i = Intrinsic::from_name(n).expect("known intrinsic");
+                    Expr::Call(i, largs)
+                } else if let Some(a) = self.array(n) {
+                    Expr::Load {
+                        array: a,
+                        indices: largs,
+                        mode: self.mode_of(a),
+                    }
+                } else {
+                    self.err(span, format!("unknown array or intrinsic `{n}`"));
+                    Expr::IConst(0)
+                }
+            }
+            AExpr::Un(AUnOp::Neg, x) => Expr::Unary(UnOp::Neg, Box::new(self.expr(span, x))),
+            AExpr::Un(AUnOp::Not, x) => Expr::Unary(UnOp::Not, Box::new(self.expr(span, x))),
+            AExpr::Bin(op, a, b) => {
+                let op = match op {
+                    ABinOp::Add => BinOp::Add,
+                    ABinOp::Sub => BinOp::Sub,
+                    ABinOp::Mul => BinOp::Mul,
+                    ABinOp::Div => BinOp::Div,
+                    ABinOp::Pow => BinOp::Pow,
+                    ABinOp::Lt => BinOp::Lt,
+                    ABinOp::Le => BinOp::Le,
+                    ABinOp::Gt => BinOp::Gt,
+                    ABinOp::Ge => BinOp::Ge,
+                    ABinOp::Eq => BinOp::Eq,
+                    ABinOp::Ne => BinOp::Ne,
+                    ABinOp::And => BinOp::And,
+                    ABinOp::Or => BinOp::Or,
+                };
+                Expr::Binary(
+                    op,
+                    Box::new(self.expr(span, a)),
+                    Box::new(self.expr(span, b)),
+                )
+            }
+        }
+    }
+
+    /// Lower `blocksize(a, d)` / `distnprocs(a, d)` — the first argument
+    /// is an array name, the second a literal 1-based dimension.
+    fn dist_intrinsic(&mut self, span: Span, n: &str, args: &[AExpr]) -> Expr {
+        let AExpr::Name(aname) = &args[0] else {
+            self.err(span, format!("`{n}` needs an array name"));
+            return Expr::IConst(0);
+        };
+        let Some(array) = self.array(aname) else {
+            self.err(span, format!("`{n}`: `{aname}` is not an array"));
+            return Expr::IConst(0);
+        };
+        let dim = (dsm_frontend::sema::fold_const(&args[1], &self.info.params_const).unwrap_or(1)
+            - 1)
+        .max(0) as usize;
+        if n == "blocksize" {
+            Expr::Rt(dsm_ir::RtExpr::BlockSize { array, dim })
+        } else {
+            Expr::Rt(dsm_ir::RtExpr::NProcs { array, dim })
+        }
+    }
+
+    fn stmts(&mut self, body: &[AStmt]) -> Vec<Stmt> {
+        body.iter().filter_map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, st: &AStmt) -> Option<Stmt> {
+        match st {
+            AStmt::Assign {
+                span,
+                lhs,
+                lhs_indices,
+                rhs,
+            } => {
+                let value = self.expr(*span, rhs);
+                if lhs_indices.is_empty() {
+                    let var = self.scalar(lhs)?;
+                    Some(Stmt::SAssign { var, value })
+                } else {
+                    let array = self.array(lhs)?;
+                    let indices = lhs_indices.iter().map(|e| self.expr(*span, e)).collect();
+                    Some(Stmt::Assign {
+                        array,
+                        indices,
+                        value,
+                        mode: self.mode_of(array),
+                    })
+                }
+            }
+            AStmt::Do {
+                span,
+                var,
+                lb,
+                ub,
+                step,
+                body,
+                doacross,
+            } => {
+                let var = self.scalar(var)?;
+                let lb = self.expr(*span, lb);
+                let ub = self.expr(*span, ub);
+                let step = step
+                    .as_ref()
+                    .map_or(Expr::IConst(1), |s| self.expr(*span, s));
+                let body = self.stmts(body);
+                let par = doacross.as_ref().map(|d| self.doacross(*span, var, d));
+                Some(Stmt::Loop(Box::new(LoopStmt {
+                    var,
+                    lb,
+                    ub,
+                    step,
+                    body,
+                    par,
+                })))
+            }
+            AStmt::If {
+                span,
+                cond,
+                then_body,
+                else_body,
+            } => Some(Stmt::If {
+                cond: self.expr(*span, cond),
+                then_body: self.stmts(then_body),
+                else_body: self.stmts(else_body),
+            }),
+            AStmt::Call { span, name, args } => {
+                let args = args
+                    .iter()
+                    .map(|a| match a {
+                        AExpr::Name(n) if self.array(n).is_some() => {
+                            ActualArg::Array(self.array(n).expect("checked"))
+                        }
+                        AExpr::Index(n, idx)
+                            if self.array(n).is_some() && !INTRINSICS.contains(&n.as_str()) =>
+                        {
+                            let a = self.array(n).expect("checked");
+                            let idx = idx.iter().map(|e| self.expr(*span, e)).collect();
+                            ActualArg::ArrayElem(a, idx)
+                        }
+                        e => ActualArg::Scalar(self.expr(*span, e)),
+                    })
+                    .collect();
+                Some(Stmt::Call {
+                    name: name.clone(),
+                    args,
+                })
+            }
+            AStmt::Barrier { .. } => Some(Stmt::Barrier),
+            AStmt::Redistribute { span, array, dists } => {
+                let a = self.array(array)?;
+                let mut dims = Vec::new();
+                for item in dists {
+                    dims.push(match item {
+                        DistItem::Star => dsm_ir::Dist::Star,
+                        DistItem::Block => dsm_ir::Dist::Block,
+                        DistItem::Cyclic(None) => dsm_ir::Dist::Cyclic(1),
+                        DistItem::Cyclic(Some(e)) => {
+                            match dsm_frontend::sema::fold_const(e, &self.info.params_const) {
+                                Some(k) if k > 0 => dsm_ir::Dist::Cyclic(k as u64),
+                                _ => {
+                                    self.err(*span, "cyclic chunk must be a positive constant");
+                                    dsm_ir::Dist::Cyclic(1)
+                                }
+                            }
+                        }
+                    });
+                }
+                Some(Stmt::Redistribute {
+                    array: a,
+                    dist: Distribution::new(dims),
+                })
+            }
+        }
+    }
+
+    fn doacross(&mut self, span: Span, loop_var: VarId, d: &DoacrossDir) -> Doacross {
+        let mut nest_vars: Vec<VarId> = d.nest.iter().filter_map(|n| self.scalar(n)).collect();
+        if nest_vars.is_empty() {
+            nest_vars.push(loop_var);
+        } else if nest_vars[0] != loop_var {
+            self.err(
+                span,
+                "first nest(...) variable must be the annotated loop's variable",
+            );
+        }
+        let locals = d.locals.iter().filter_map(|n| self.scalar(n)).collect();
+        let shared = d.shareds.iter().filter_map(|n| self.scalar(n)).collect();
+        let affinity = d.affinity.as_ref().and_then(|aff| {
+            let array = self.array(&aff.array)?;
+            let decl = &self.info.arrays[array.0];
+            // A formal may legitimately have no distribution yet — the
+            // pre-linker propagates reshaped distributions into clones
+            // (Section 5); the clause only errs on non-formal arrays.
+            if decl.dist_kind == DistKind::None && decl.formal_pos.is_none() {
+                self.err(
+                    span,
+                    format!("affinity names `{}` which has no distribution", aff.array),
+                );
+                return None;
+            }
+            let loop_var_ids: Vec<VarId> = aff
+                .loop_vars
+                .iter()
+                .filter_map(|n| self.scalar(n))
+                .collect();
+            let indices = aff
+                .indices
+                .iter()
+                .map(|e| {
+                    let le = self.expr(span, e);
+                    match le.as_affine() {
+                        Some((Some(v), s, c)) if loop_var_ids.contains(&v) => {
+                            if s < 0 {
+                                // The paper requires a non-negative literal p
+                                // in affinity(i) = data(A(p*i + q)).
+                                self.err(span, "affinity index multiplier must be non-negative");
+                                AffIdx::Other(le)
+                            } else {
+                                AffIdx::Loop {
+                                    var: v,
+                                    scale: s,
+                                    offset: c,
+                                }
+                            }
+                        }
+                        _ => AffIdx::Other(le),
+                    }
+                })
+                .collect();
+            Some(Affinity { array, indices })
+        });
+        let sched = match (&affinity, &d.sched) {
+            (Some(_), _) => SchedType::RuntimeAffinity,
+            (None, Some(SchedSpec::Simple)) | (None, None) => SchedType::Simple,
+            (None, Some(SchedSpec::Interleave(k))) => SchedType::Interleave((*k).max(1) as u64),
+            (None, Some(SchedSpec::Dynamic(k))) => SchedType::Dynamic((*k).max(1) as u64),
+        };
+        Doacross {
+            nest_vars,
+            locals,
+            shared,
+            sched,
+            affinity,
+        }
+    }
+}
+
+fn lower_unit(info: &UnitInfo, file: &str, errors: &mut Vec<CompileError>) -> Subroutine {
+    let scalars = info
+        .scalars
+        .iter()
+        .map(|(n, t)| ScalarDecl {
+            name: n.clone(),
+            ty: match t {
+                ATy::Int => ScalarTy::Int,
+                ATy::Real => ScalarTy::Real,
+            },
+        })
+        .collect();
+    let arrays: Vec<ArrayDecl> = info
+        .arrays
+        .iter()
+        .map(|a| lower_array_decl(a, info))
+        .collect();
+    let params = info
+        .unit
+        .params
+        .iter()
+        .map(|p| {
+            if let Some(ai) = info.array_index(p) {
+                Param::Array(ArrayId(ai))
+            } else {
+                Param::Scalar(VarId(info.scalar_index(p).expect("sema checked formals")))
+            }
+        })
+        .collect();
+    let mut sub = Subroutine {
+        name: info.unit.name.clone(),
+        params,
+        scalars,
+        arrays,
+        body: Vec::new(),
+        source_file: info.unit.file,
+    };
+    let mut ctx = LowerCtx { info, file, errors };
+    sub.body = ctx.stmts(&info.unit.body);
+    sub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_frontend::compile_sources;
+
+    fn lower(src: &str) -> Program {
+        let a = compile_sources(&[("t.f", src)]).expect("frontend ok");
+        lower_program(&a).expect("lowering ok")
+    }
+
+    #[test]
+    fn simple_loop_lowers() {
+        let p = lower(
+            "      program main\n      integer i\n      real*8 a(10)\n      do i = 1, 10\n        a(i) = 2*i\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        let Stmt::Loop(l) = &main.body[0] else {
+            panic!()
+        };
+        assert_eq!(l.step, Expr::IConst(1));
+        let Stmt::Assign { mode, .. } = &l.body[0] else {
+            panic!()
+        };
+        assert_eq!(*mode, AddrMode::Direct);
+    }
+
+    #[test]
+    fn reshaped_refs_marked_raw() {
+        let p = lower(
+            "      program main\n      integer i\n      real*8 a(10)\nc$distribute_reshape a(block)\n      do i = 1, 10\n        a(i) = a(i) + 1\n      enddo\n      end\n",
+        );
+        let Stmt::Loop(l) = &p.main_sub().body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { mode, value, .. } = &l.body[0] else {
+            panic!()
+        };
+        assert_eq!(*mode, AddrMode::ReshapedRaw);
+        let mut saw = false;
+        value.for_each_load(&mut |_, _, m| {
+            assert_eq!(m, AddrMode::ReshapedRaw);
+            saw = true;
+        });
+        assert!(saw);
+    }
+
+    #[test]
+    fn parameter_constants_inline() {
+        let p = lower(
+            "      program main\n      integer n, i\n      parameter (n = 8)\n      real*8 a(n)\n      do i = 1, n\n        a(i) = 0.0\n      enddo\n      end\n",
+        );
+        let Stmt::Loop(l) = &p.main_sub().body[0] else {
+            panic!()
+        };
+        assert_eq!(l.ub, Expr::IConst(8));
+    }
+
+    #[test]
+    fn affinity_lowered_to_runtime_affinity() {
+        let p = lower(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 100\n        a(i) = 1.0\n      enddo\n      end\n",
+        );
+        let Stmt::Loop(l) = &p.main_sub().body[0] else {
+            panic!()
+        };
+        let d = l.par.as_ref().unwrap();
+        assert_eq!(d.sched, SchedType::RuntimeAffinity);
+        let aff = d.affinity.as_ref().unwrap();
+        assert_eq!(
+            aff.indices[0],
+            AffIdx::Loop {
+                var: VarId(0),
+                scale: 1,
+                offset: 0
+            }
+        );
+    }
+
+    #[test]
+    fn affinity_scaled_offset() {
+        let p = lower(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute a(block)\nc$doacross local(i) affinity(i) = data(a(5*i+2))\n      do i = 1, 19\n        a(5*i+2) = 1.0\n      enddo\n      end\n",
+        );
+        let Stmt::Loop(l) = &p.main_sub().body[0] else {
+            panic!()
+        };
+        let aff = l.par.as_ref().unwrap().affinity.as_ref().unwrap();
+        assert_eq!(
+            aff.indices[0],
+            AffIdx::Loop {
+                var: VarId(0),
+                scale: 5,
+                offset: 2
+            }
+        );
+    }
+
+    #[test]
+    fn negative_affinity_scale_rejected() {
+        let a = compile_sources(&[(
+            "t.f",
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute a(block)\nc$doacross local(i) affinity(i) = data(a(10-i))\n      do i = 1, 9\n        a(10-i) = 1.0\n      enddo\n      end\n",
+        )])
+        .unwrap();
+        let e = lower_program(&a).unwrap_err();
+        assert!(e.iter().any(|d| d.msg.contains("non-negative")));
+    }
+
+    #[test]
+    fn call_args_classified() {
+        let p = lower(
+            "      program main\n      real*8 a(10)\n      integer i\n      i = 2\n      call s(a, a(i), i+1)\n      end\n      subroutine s(x, y, n)\n      integer n\n      real*8 x(10), y(5)\n      end\n",
+        );
+        let Stmt::Call { args, .. } = &p.main_sub().body[1] else {
+            panic!()
+        };
+        assert!(matches!(args[0], ActualArg::Array(_)));
+        assert!(matches!(args[1], ActualArg::ArrayElem(_, _)));
+        assert!(matches!(args[2], ActualArg::Scalar(_)));
+    }
+
+    #[test]
+    fn nest_clause_resolves_vars() {
+        let p = lower(
+            "      program main\n      integer i, j\n      real*8 b(8, 8)\nc$distribute b(block, block)\nc$doacross nest(i, j) local(i, j)\n      do i = 1, 8\n        do j = 1, 8\n          b(j, i) = i + j\n        enddo\n      enddo\n      end\n",
+        );
+        let Stmt::Loop(l) = &p.main_sub().body[0] else {
+            panic!()
+        };
+        let d = l.par.as_ref().unwrap();
+        assert_eq!(d.nest_vars.len(), 2);
+    }
+
+    #[test]
+    fn commons_collected() {
+        let p = lower(
+            "      program main\n      real*8 a(10)\n      common /blk/ a\nc$distribute_reshape a(block)\n      end\n",
+        );
+        assert_eq!(p.commons.len(), 1);
+        assert_eq!(p.commons[0].members[0].dist_kind, DistKind::Reshaped);
+    }
+
+    #[test]
+    fn redistribute_lowered() {
+        let p = lower(
+            "      program main\n      real*8 a(64)\nc$distribute a(block)\nc$redistribute a(cyclic(4))\n      end\n",
+        );
+        let Stmt::Redistribute { dist, .. } = &p.main_sub().body[0] else {
+            panic!()
+        };
+        assert_eq!(dist.dims, vec![dsm_ir::Dist::Cyclic(4)]);
+    }
+}

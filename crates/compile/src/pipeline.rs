@@ -1,0 +1,251 @@
+//! The pass pipeline (Section 7.4).
+//!
+//! MIPSpro orders the work as: (1) skewing/tiling/interchange/peeling for
+//! reshaped arrays, (2) the regular loop-nest optimizer, (3) transformation
+//! of reshaped references with hoisting, (4) CSE across index expressions.
+//! Our pipeline mirrors that order — lower, pre-link (propagation +
+//! cloning + link checks), skew, tile+peel (with interchange), hoist/CSE,
+//! FP div/mod — with [`OptConfig`] toggles for the Table-2 ablation.
+
+use dsm_frontend::error::CompileError;
+use dsm_frontend::sema::Analysis;
+use dsm_ir::Program;
+
+use crate::prelink::{prelink, PrelinkReport};
+use crate::tile::TileConfig;
+use crate::{divmod, hoist, lower, skew, stmtcse, tile};
+
+/// Optimization toggles.
+///
+/// `OptConfig::default()` enables everything (the shipping compiler);
+/// [`OptConfig::none`] disables all reshaped-array optimizations — the
+/// "Reshape, no optimizations" row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Loop skewing of invariant-offset references (Section 7.1).
+    pub skew: bool,
+    /// Tiling + peeling (and affinity scheduling lowering, Figure 2).
+    pub tile_peel: bool,
+    /// Hoisting + CSE of index expressions (Section 7.2).
+    pub hoist_cse: bool,
+    /// Integer div/mod through the FP unit (Section 7.3).
+    pub fp_divmod: bool,
+    /// Processor-tile loops outermost in parallel nests (Section 7.1.1).
+    pub interchange: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            skew: true,
+            tile_peel: true,
+            hoist_cse: true,
+            fp_divmod: true,
+            interchange: true,
+        }
+    }
+}
+
+impl OptConfig {
+    /// All reshaped-array optimizations off (Table 2, first row).
+    pub fn none() -> Self {
+        OptConfig {
+            skew: false,
+            tile_peel: false,
+            hoist_cse: false,
+            fp_divmod: false,
+            interchange: false,
+        }
+    }
+
+    /// Tiling and peeling only (Table 2, second row).
+    pub fn tile_peel_only() -> Self {
+        OptConfig {
+            skew: true,
+            tile_peel: true,
+            ..Self::none()
+        }
+    }
+
+    /// Tiling, peeling and hoisting/CSE (Table 2, third row).
+    pub fn tile_peel_hoist() -> Self {
+        OptConfig {
+            hoist_cse: true,
+            ..Self::tile_peel_only()
+        }
+    }
+}
+
+/// Outcome of a full compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Compiled {
+    /// The optimized program.
+    pub program: Program,
+    /// Pre-linker statistics (clones, recompilations).
+    pub prelink: PrelinkReport,
+}
+
+/// Compile a checked analysis into an optimized IR program.
+///
+/// # Errors
+///
+/// Returns lowering and link-time diagnostics.
+pub fn compile_analysis(
+    analysis: &Analysis,
+    opt: &OptConfig,
+) -> Result<Compiled, Vec<CompileError>> {
+    let mut program = lower::lower_program(analysis)?;
+    let report = prelink(&mut program)?;
+    for sub in &mut program.subs {
+        // Statement-level CSE models the baseline -O3 scalar optimizer and
+        // is always on (the paper's "no optimizations" build had it too).
+        stmtcse::run(sub);
+        if opt.skew {
+            skew::run(sub);
+        }
+        if opt.tile_peel {
+            tile::run(
+                sub,
+                &TileConfig {
+                    interchange: opt.interchange,
+                },
+            );
+        }
+        if opt.hoist_cse {
+            hoist::run(sub);
+        }
+        if opt.fp_divmod {
+            divmod::run(sub);
+        }
+    }
+    if let Err(e) = dsm_ir::validate_program(&program) {
+        return Err(vec![CompileError::new(
+            dsm_frontend::error::Span::default(),
+            dsm_frontend::error::ErrorKind::Sema,
+            "<pipeline>",
+            format!("internal: optimized IR invalid: {e}"),
+        )]);
+    }
+    Ok(Compiled {
+        program,
+        prelink: report,
+    })
+}
+
+/// Convenience: frontend + pipeline over in-memory sources.
+///
+/// # Errors
+///
+/// Returns every frontend, lowering and link diagnostic.
+pub fn compile_strings(
+    sources: &[(&str, &str)],
+    opt: &OptConfig,
+) -> Result<Compiled, Vec<CompileError>> {
+    let analysis = dsm_frontend::compile_sources(sources)?;
+    compile_analysis(&analysis, opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_ir::{AddrMode, Stmt};
+
+    const STENCIL: &str = "      program main\n      integer i\n      real*8 a(100), b(100)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 2, 99\n        a(i) = (b(i-1) + b(i) + b(i+1)) / 3\n      enddo\n      end\n";
+
+    fn modes_of(src: &str, opt: &OptConfig) -> Vec<AddrMode> {
+        let c = compile_strings(&[("t.f", src)], opt).expect("compiles");
+        let mut v = Vec::new();
+        for st in &c.program.main_sub().body {
+            st.for_each_ref(&mut |_, _, m, _| v.push(m));
+        }
+        v
+    }
+
+    #[test]
+    fn opt_none_keeps_raw_but_fp_off() {
+        let ms = modes_of(STENCIL, &OptConfig::none());
+        // Loads b(i-1), b(i), b(i+1) are distinct classes (raw); the store
+        // a(i) shares b(i)'s divide through matching geometry (baseline
+        // statement-level CSE is always on).
+        assert_eq!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedRaw).count(),
+            3,
+            "{ms:?}"
+        );
+        assert_eq!(
+            ms.iter()
+                .filter(|m| **m == AddrMode::ReshapedSharedDiv)
+                .count(),
+            1
+        );
+        assert!(!ms.contains(&AddrMode::ReshapedRawFp));
+    }
+
+    #[test]
+    fn tile_peel_only_leaves_tiled_modes() {
+        let ms = modes_of(STENCIL, &OptConfig::tile_peel_only());
+        assert!(ms.contains(&AddrMode::ReshapedTiled));
+        assert!(!ms.contains(&AddrMode::ReshapedHoisted));
+    }
+
+    #[test]
+    fn full_pipeline_reaches_hoisted() {
+        let ms = modes_of(STENCIL, &OptConfig::default());
+        assert!(ms.contains(&AddrMode::ReshapedHoisted));
+        // Boundary peels remain, now FP-emulated.
+        assert!(ms.contains(&AddrMode::ReshapedRawFp));
+        assert!(!ms.contains(&AddrMode::ReshapedRaw));
+    }
+
+    #[test]
+    fn ablation_configs_are_ordered() {
+        // Each step strictly extends the previous one's flags.
+        let n = OptConfig::none();
+        let t = OptConfig::tile_peel_only();
+        let h = OptConfig::tile_peel_hoist();
+        let f = OptConfig::default();
+        assert!(!n.tile_peel && t.tile_peel);
+        assert!(!t.hoist_cse && h.hoist_cse);
+        assert!(!h.fp_divmod && f.fp_divmod);
+    }
+
+    #[test]
+    fn propagation_and_optimization_compose() {
+        // A reshaped array passed to a subroutine: the clone's loop must
+        // end up tiled and hoisted.
+        let src = "      program main\n      real*8 a(100)\nc$distribute_reshape a(block)\n      call init(a)\n      end\n      subroutine init(x)\n      integer i\n      real*8 x(100)\n      do i = 1, 100\n        x(i) = i\n      enddo\n      end\n";
+        let c = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
+        assert_eq!(c.prelink.clones_created, 1);
+        let clone = c
+            .program
+            .subs
+            .iter()
+            .find(|s| s.name.starts_with("init__r"))
+            .unwrap();
+        let mut ms = Vec::new();
+        for st in &clone.body {
+            st.for_each_ref(&mut |_, _, m, _| ms.push(m));
+        }
+        assert!(ms.contains(&AddrMode::ReshapedHoisted), "{ms:?}");
+    }
+
+    #[test]
+    fn serial_tiling_changes_loop_count() {
+        let src = "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(block)\n      do i = 1, 100\n        a(i) = i\n      enddo\n      end\n";
+        let none = compile_strings(&[("t.f", src)], &OptConfig::none()).unwrap();
+        let full = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
+        let count = |p: &dsm_ir::Program| {
+            let mut n = 0;
+            for st in &p.main_sub().body {
+                st.walk(&mut |s| {
+                    if matches!(s, Stmt::Loop(_)) {
+                        n += 1;
+                    }
+                });
+            }
+            n
+        };
+        assert_eq!(count(&none.program), 1);
+        assert!(count(&full.program) >= 2, "tiling adds the processor loop");
+    }
+}

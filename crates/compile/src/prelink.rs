@@ -1,0 +1,448 @@
+//! The pre-linker.
+//!
+//! Invoked "at link time" with a global view of every compilation unit's
+//! shadow file (Section 5), the pre-linker:
+//!
+//! 1. verifies that common blocks containing reshaped arrays are declared
+//!    consistently across all files — same member offsets, shapes and
+//!    distributions (the Section 6 link-time check);
+//! 2. propagates `distribute_reshape` directives down the call graph,
+//!    requesting a clone of each callee per distinct incoming distribution
+//!    combination and transparently "re-invoking the compiler" (here:
+//!    [`crate::clone::specialize`]) to create it;
+//! 3. rewrites call sites to name the clones, and reports how many clones
+//!    and recompilations were needed.
+//!
+//! Requests whose definitions never materialize (callee unknown) or whose
+//! argument lists cannot match are link errors.
+
+use std::collections::HashMap;
+
+use dsm_frontend::error::{CompileError, ErrorKind, Span};
+use dsm_ir::{Program, Stmt, Subroutine};
+
+use crate::clone::{clone_name, specialize};
+use crate::shadow::{build_shadow_files, call_signature, CloneSig, CommonEntry};
+
+/// Summary of the pre-link phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrelinkReport {
+    /// Clones created (beyond originals).
+    pub clones_created: usize,
+    /// Subroutine instances processed ("recompilations").
+    pub recompilations: usize,
+    /// Common blocks verified.
+    pub commons_checked: usize,
+}
+
+/// Run the pre-linker over a lowered program, in place.
+///
+/// # Errors
+///
+/// Returns link-time diagnostics: inconsistent common blocks with reshaped
+/// members, calls to unknown subroutines, and signature mismatches.
+pub fn prelink(program: &mut Program) -> Result<PrelinkReport, Vec<CompileError>> {
+    let mut errors = Vec::new();
+    let mut report = PrelinkReport::default();
+
+    check_commons(program, &mut errors, &mut report);
+
+    // Instance map: (base name, signature) -> clone name.
+    let mut instances: HashMap<(String, CloneSig), String> = HashMap::new();
+    let mut counter = 0usize;
+    // Names of processed instances (bodies already rewritten).
+    let mut processed: Vec<String> = Vec::new();
+    let main_name = program.subs[program.main].name.clone();
+    let main_params = program.subs[program.main].params.len();
+    let mut worklist: Vec<String> = vec![main_name.clone()];
+    instances.insert(
+        (main_name, vec![None; main_params]),
+        program.subs[program.main].name.clone(),
+    );
+
+    while let Some(name) = worklist.pop() {
+        if processed.contains(&name) {
+            continue;
+        }
+        processed.push(name.clone());
+        report.recompilations += 1;
+        let Some(idx) = program.sub_named(&name).map(|s| s.0) else {
+            continue;
+        };
+        // Collect call rewrites first (immutable pass), then apply.
+        let mut new_clones: Vec<Subroutine> = Vec::new();
+        {
+            let caller = program.subs[idx].clone();
+            let mut rewrites: Vec<(String, CloneSig, String)> = Vec::new();
+            for st in &caller.body {
+                st.walk(&mut |s| {
+                    if let Stmt::Call { name: callee, args } = s {
+                        let sig = call_signature(&caller, args);
+                        let key = (callee.clone(), sig.clone());
+                        if let Some(existing) = instances.get(&key) {
+                            if existing != callee {
+                                rewrites.push((callee.clone(), sig.clone(), existing.clone()));
+                            } else {
+                                // default instance; still needs processing
+                                rewrites.push((callee.clone(), sig.clone(), existing.clone()));
+                            }
+                            return;
+                        }
+                        // Need a (possibly trivial) new instance.
+                        let Some(base_idx) = program.sub_named(callee).map(|s| s.0) else {
+                            errors.push(link_err(format!(
+                                "call to `{callee}` from `{}` has no definition",
+                                caller.name
+                            )));
+                            return;
+                        };
+                        let base = &program.subs[base_idx];
+                        counter += 1;
+                        let cname = clone_name(callee, &sig, counter);
+                        if cname == *callee {
+                            // Default signature: reuse the original body.
+                            if sig.len() != base.params.len() {
+                                errors.push(link_err(format!(
+                                    "`{}` takes {} arguments but `{}` passes {}",
+                                    callee,
+                                    base.params.len(),
+                                    caller.name,
+                                    sig.len()
+                                )));
+                                return;
+                            }
+                            instances.insert(key, cname.clone());
+                            rewrites.push((callee.clone(), sig.clone(), cname));
+                        } else {
+                            match specialize(base, &sig, cname.clone()) {
+                                Ok(cl) => {
+                                    instances.insert(key, cname.clone());
+                                    new_clones.push(cl);
+                                    rewrites.push((callee.clone(), sig.clone(), cname));
+                                }
+                                Err(m) => errors.push(link_err(m)),
+                            }
+                        }
+                    }
+                });
+            }
+            // Apply rewrites to the real body.
+            let caller_arrays = program.subs[idx].arrays.clone();
+            for st in &mut program.subs[idx].body {
+                rewrite_calls(st, &|callee, args| {
+                    // Recompute signature against the caller's decls.
+                    let fake = Subroutine {
+                        arrays: caller_arrays.clone(),
+                        ..caller.clone()
+                    };
+                    let sig = call_signature(&fake, args);
+                    instances.get(&(callee.to_string(), sig)).cloned()
+                });
+            }
+            for (_, _, target) in rewrites {
+                if !worklist.contains(&target) && !processed.contains(&target) {
+                    worklist.push(target);
+                }
+            }
+        }
+        report.clones_created += new_clones.len();
+        program.subs.extend(new_clones);
+    }
+
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+fn link_err(msg: String) -> CompileError {
+    CompileError::new(Span::default(), ErrorKind::Link, "<prelink>", msg)
+}
+
+fn rewrite_calls(st: &mut Stmt, resolve: &impl Fn(&str, &[dsm_ir::ActualArg]) -> Option<String>) {
+    match st {
+        Stmt::Call { name, args } => {
+            if let Some(n) = resolve(name, args) {
+                *name = n;
+            }
+        }
+        Stmt::Loop(l) => {
+            for s in &mut l.body {
+                rewrite_calls(s, resolve);
+            }
+        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            for s in then_body.iter_mut().chain(else_body) {
+                rewrite_calls(s, resolve);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Section 6 link-time check: all declarations of a common block that has
+/// reshaped members must agree on member count, shapes, and distributions.
+fn check_commons(program: &Program, errors: &mut Vec<CompileError>, report: &mut PrelinkReport) {
+    let shadow = build_shadow_files(program);
+    let mut by_block: HashMap<String, Vec<&CommonEntry>> = HashMap::new();
+    for sf in &shadow {
+        for c in &sf.commons {
+            by_block.entry(c.block.clone()).or_default().push(c);
+        }
+    }
+    for (block, decls) in by_block {
+        report.commons_checked += 1;
+        let any_reshaped = decls.iter().any(|d| {
+            d.members
+                .iter()
+                .any(|m| m.dist_kind == dsm_ir::DistKind::Reshaped)
+        });
+        if !any_reshaped {
+            // "Common blocks without reshaped arrays are not affected."
+            continue;
+        }
+        let canon = decls[0];
+        for d in &decls[1..] {
+            if d.members.len() != canon.members.len() {
+                errors.push(link_err(format!(
+                    "common /{block}/ declared with {} members in `{}` but {} in `{}`",
+                    canon.members.len(),
+                    canon.unit,
+                    d.members.len(),
+                    d.unit
+                )));
+                continue;
+            }
+            for (i, (a, b)) in canon.members.iter().zip(&d.members).enumerate() {
+                if a.dims != b.dims {
+                    errors.push(link_err(format!(
+                        "common /{block}/ member {} has shape {:?} in `{}` but {:?} in `{}`",
+                        i + 1,
+                        a.dims,
+                        canon.unit,
+                        b.dims,
+                        d.unit
+                    )));
+                }
+                if a.dist_kind != b.dist_kind || a.dist != b.dist {
+                    errors.push(link_err(format!(
+                        "common /{block}/ member `{}` distributed {} {} in `{}` but {} {} in `{}`",
+                        a.name,
+                        a.dist_kind,
+                        a.dist.as_ref().map_or(String::from("-"), |d| d.to_string()),
+                        canon.unit,
+                        b.dist_kind,
+                        b.dist.as_ref().map_or(String::from("-"), |d| d.to_string()),
+                        d.unit
+                    )));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dsm_frontend::compile_sources;
+    use dsm_ir::{AddrMode, DistKind};
+
+    fn prelinked(files: &[(&str, &str)]) -> (Program, PrelinkReport) {
+        let a = compile_sources(files).expect("frontend ok");
+        let mut p = lower_program(&a).expect("lowering ok");
+        let r = prelink(&mut p).expect("prelink ok");
+        (p, r)
+    }
+
+    fn prelink_errs(files: &[(&str, &str)]) -> Vec<CompileError> {
+        let a = compile_sources(files).expect("frontend ok");
+        let mut p = lower_program(&a).expect("lowering ok");
+        prelink(&mut p).expect_err("expected link errors")
+    }
+
+    #[test]
+    fn reshape_propagates_across_files_with_clone() {
+        let (p, r) = prelinked(&[
+            (
+                "main.f",
+                "      program main\n      real*8 a(100)\nc$distribute_reshape a(block)\n      call s(a)\n      end\n",
+            ),
+            (
+                "sub.f",
+                "      subroutine s(x)\n      integer i\n      real*8 x(100)\n      do i = 1, 100\n        x(i) = i\n      enddo\n      end\n",
+            ),
+        ]);
+        assert_eq!(r.clones_created, 1);
+        let clone = p
+            .subs
+            .iter()
+            .find(|s| s.name.starts_with("s__r"))
+            .expect("clone exists");
+        assert_eq!(clone.arrays[0].dist_kind, DistKind::Reshaped);
+        // Call site rewritten.
+        let Stmt::Call { name, .. } = &p.main_sub().body[0] else {
+            panic!()
+        };
+        assert_eq!(name, &clone.name);
+        // Clone's refs are reshaped-raw.
+        let Stmt::Loop(l) = &clone.body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { mode, .. } = &l.body[0] else {
+            panic!()
+        };
+        assert_eq!(*mode, AddrMode::ReshapedRaw);
+    }
+
+    #[test]
+    fn propagation_goes_down_call_chains() {
+        let (p, r) = prelinked(&[(
+            "t.f",
+            "      program main\n      real*8 a(64)\nc$distribute_reshape a(block)\n      call s1(a)\n      end\n      subroutine s1(x)\n      real*8 x(64)\n      call s2(x)\n      end\n      subroutine s2(y)\n      real*8 y(64)\n      y(1) = 0.0\n      end\n",
+        )]);
+        assert_eq!(r.clones_created, 2, "both levels cloned");
+        assert!(p.subs.iter().any(|s| s.name.starts_with("s2__r")));
+        // The s1 clone calls the s2 clone.
+        let s1c = p.subs.iter().find(|s| s.name.starts_with("s1__r")).unwrap();
+        let Stmt::Call { name, .. } = &s1c.body[0] else {
+            panic!()
+        };
+        assert!(name.starts_with("s2__r"));
+    }
+
+    #[test]
+    fn same_signature_shares_one_clone() {
+        let (p, r) = prelinked(&[(
+            "t.f",
+            "      program main\n      real*8 a(64), b(64)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\n      call s(a)\n      call s(b)\n      end\n      subroutine s(x)\n      real*8 x(64)\n      x(1) = 1.0\n      end\n",
+        )]);
+        assert_eq!(
+            r.clones_created, 1,
+            "same distribution combination reuses the clone"
+        );
+        assert_eq!(
+            p.subs.iter().filter(|s| s.name.starts_with("s__r")).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn different_signatures_get_distinct_clones() {
+        let (p, r) = prelinked(&[(
+            "t.f",
+            "      program main\n      real*8 a(64), b(64)\nc$distribute_reshape a(block)\nc$distribute_reshape b(cyclic(4))\n      call s(a)\n      call s(b)\n      end\n      subroutine s(x)\n      real*8 x(64)\n      x(1) = 1.0\n      end\n",
+        )]);
+        assert_eq!(r.clones_created, 2);
+        let _ = p;
+    }
+
+    #[test]
+    fn mixed_call_keeps_original_for_plain_args() {
+        let (p, _r) = prelinked(&[(
+            "t.f",
+            "      program main\n      real*8 a(64), c(64)\nc$distribute_reshape a(block)\n      call s(a)\n      call s(c)\n      end\n      subroutine s(x)\n      real*8 x(64)\n      x(1) = 1.0\n      end\n",
+        )]);
+        // Second call keeps the original name `s`.
+        let Stmt::Call { name, .. } = &p.main_sub().body[1] else {
+            panic!()
+        };
+        assert_eq!(name, "s");
+        // Original body unchanged (Direct refs).
+        let orig = p.subs.iter().find(|s| s.name == "s").unwrap();
+        let Stmt::Assign { mode, .. } = &orig.body[0] else {
+            panic!()
+        };
+        assert_eq!(*mode, AddrMode::Direct);
+    }
+
+    #[test]
+    fn unknown_callee_is_link_error() {
+        let e = prelink_errs(&[(
+            "t.f",
+            "      program main\n      real*8 a(64)\nc$distribute_reshape a(block)\n      call ghost(a)\n      end\n",
+        )]);
+        assert!(e
+            .iter()
+            .any(|d| d.kind == ErrorKind::Link && d.msg.contains("ghost")));
+    }
+
+    #[test]
+    fn inconsistent_common_with_reshape_is_link_error() {
+        let e = prelink_errs(&[
+            (
+                "a.f",
+                "      program main\n      real*8 a(100)\n      common /blk/ a\nc$distribute_reshape a(block)\n      call s\n      end\n",
+            ),
+            (
+                "b.f",
+                "      subroutine s\n      real*8 a(100)\n      common /blk/ a\nc$distribute_reshape a(cyclic)\n      a(1) = 0.0\n      end\n",
+            ),
+        ]);
+        assert!(
+            e.iter()
+                .any(|d| d.kind == ErrorKind::Link && d.msg.contains("/blk/")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_common_with_reshape_links() {
+        let (_, r) = prelinked(&[
+            (
+                "a.f",
+                "      program main\n      real*8 a(100)\n      common /blk/ a\nc$distribute_reshape a(block)\n      call s\n      end\n",
+            ),
+            (
+                "b.f",
+                "      subroutine s\n      real*8 a(100)\n      common /blk/ a\nc$distribute_reshape a(block)\n      a(1) = 0.0\n      end\n",
+            ),
+        ]);
+        assert_eq!(r.commons_checked, 1);
+    }
+
+    #[test]
+    fn inconsistent_common_without_reshape_tolerated() {
+        // The paper: "common blocks without reshaped arrays are not
+        // affected" by the link-time rule.
+        let (_, r) = prelinked(&[
+            (
+                "a.f",
+                "      program main\n      real*8 a(100)\n      common /blk/ a\n      call s\n      end\n",
+            ),
+            (
+                "b.f",
+                "      subroutine s\n      real*8 a(50)\n      common /blk/ a\n      a(1) = 0.0\n      end\n",
+            ),
+        ]);
+        assert_eq!(r.commons_checked, 1);
+    }
+
+    #[test]
+    fn no_clones_for_unreachable_or_plain_calls() {
+        // The paper removes redundant clone requests; our on-demand
+        // worklist never creates them in the first place: a subroutine
+        // that is never called with a reshaped actual gets no clone, and
+        // unreachable subroutines are left alone entirely.
+        let (p, r) = prelinked(&[(
+            "t.f",
+            "      program main\n      real*8 c(64)\n      call s(c)\n      end\n      subroutine s(x)\n      real*8 x(64)\n      x(1) = 1.0\n      end\n      subroutine unused(y)\n      real*8 y(64)\n      y(1) = 2.0\n      end\n",
+        )]);
+        assert_eq!(r.clones_created, 0);
+        assert_eq!(p.subs.iter().filter(|s| s.name.contains("__r")).count(), 0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_link_error() {
+        let e = prelink_errs(&[(
+            "t.f",
+            "      program main\n      real*8 a(64)\nc$distribute_reshape a(block)\n      call s(a, a)\n      end\n      subroutine s(x)\n      real*8 x(64)\n      end\n",
+        )]);
+        assert!(e.iter().any(|d| d.msg.contains("arguments")));
+    }
+}

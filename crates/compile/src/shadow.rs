@@ -1,0 +1,232 @@
+//! Shadow files.
+//!
+//! For each user source file the compiler maintains a *shadow file*
+//! (Section 5 of the paper) recording:
+//!
+//! * every subroutine defined in the file (with any reshaped-distribution
+//!   directives propagated into it),
+//! * every call in the file that passes a reshaped array as an actual
+//!   argument (with the distribution combination),
+//! * every declaration of a common block, with shape/size/distribution of
+//!   each member (Section 6's link-time checks read these).
+//!
+//! The pre-linker ([`crate::prelink::prelink`]) examines all shadow files with a
+//! global view of the program, verifies common-block consistency, and
+//! matches call entries against definition entries to request clones.
+
+use dsm_ir::{ActualArg, ArrayId, DistKind, Distribution, Extent, Program, Stmt, Subroutine};
+
+/// The distribution combination of a call's actual arguments: one entry
+/// per argument, `Some(dist)` when the argument is a *whole* reshaped
+/// array (the only case the paper propagates — an element of a reshaped
+/// array is received as an ordinary Fortran array).
+pub type CloneSig = Vec<Option<Distribution>>;
+
+/// A subroutine definition record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefEntry {
+    /// Subroutine name.
+    pub name: String,
+    /// Number of formal parameters.
+    pub nparams: usize,
+}
+
+/// A call-site record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallEntry {
+    /// Calling subroutine.
+    pub caller: String,
+    /// Callee name as written.
+    pub callee: String,
+    /// Argument distribution combination.
+    pub sig: CloneSig,
+}
+
+/// Shape/distribution info of one common-block member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberInfo {
+    /// Member array name.
+    pub name: String,
+    /// Declared extents.
+    pub dims: Vec<Extent>,
+    /// Directive kind.
+    pub dist_kind: DistKind,
+    /// Distribution if any.
+    pub dist: Option<Distribution>,
+}
+
+/// One declaration of a common block (each declaring unit contributes one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonEntry {
+    /// Declaring unit.
+    pub unit: String,
+    /// Block name.
+    pub block: String,
+    /// Members in declaration order.
+    pub members: Vec<MemberInfo>,
+}
+
+/// The shadow file of one source file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShadowFile {
+    /// Source-file index.
+    pub file: usize,
+    /// Definitions in the file.
+    pub defs: Vec<DefEntry>,
+    /// Calls passing reshaped arrays.
+    pub calls: Vec<CallEntry>,
+    /// Common-block declarations.
+    pub commons: Vec<CommonEntry>,
+}
+
+/// Compute the clone signature of a call's argument list as seen from
+/// `caller` (whose formals may already carry propagated distributions).
+pub fn call_signature(caller: &Subroutine, args: &[ActualArg]) -> CloneSig {
+    args.iter()
+        .map(|a| match a {
+            ActualArg::Array(id) => {
+                let decl = &caller.arrays[id.0];
+                if decl.dist_kind == DistKind::Reshaped {
+                    decl.dist.clone()
+                } else {
+                    None
+                }
+            }
+            // An element of a reshaped array passes a portion, received as
+            // a standard Fortran array (Section 3.2.1).
+            ActualArg::ArrayElem(..) | ActualArg::Scalar(_) => None,
+        })
+        .collect()
+}
+
+/// Build the shadow files of a lowered program (one per source file).
+pub fn build_shadow_files(p: &Program) -> Vec<ShadowFile> {
+    let mut files: Vec<ShadowFile> = (0..p.files.len().max(1))
+        .map(|file| ShadowFile {
+            file,
+            ..Default::default()
+        })
+        .collect();
+    for sub in &p.subs {
+        let f = &mut files[sub.source_file.min(p.files.len().saturating_sub(1))];
+        f.defs.push(DefEntry {
+            name: sub.name.clone(),
+            nparams: sub.params.len(),
+        });
+        // Common declarations made by this unit.
+        let mut blocks: Vec<String> = Vec::new();
+        for a in &sub.arrays {
+            if let dsm_ir::Storage::Common { block, .. } = &a.storage {
+                if !blocks.contains(block) {
+                    blocks.push(block.clone());
+                }
+            }
+        }
+        for block in blocks {
+            let mut members: Vec<(usize, MemberInfo)> = sub
+                .arrays
+                .iter()
+                .filter_map(|a| match &a.storage {
+                    dsm_ir::Storage::Common { block: b, member } if *b == block => Some((
+                        *member,
+                        MemberInfo {
+                            name: a.name.clone(),
+                            dims: a.dims.clone(),
+                            dist_kind: a.dist_kind,
+                            dist: a.dist.clone(),
+                        },
+                    )),
+                    _ => None,
+                })
+                .collect();
+            members.sort_by_key(|(m, _)| *m);
+            f.commons.push(CommonEntry {
+                unit: sub.name.clone(),
+                block,
+                members: members.into_iter().map(|(_, m)| m).collect(),
+            });
+        }
+        // Calls passing reshaped arrays.
+        for st in &sub.body {
+            st.walk(&mut |s| {
+                if let Stmt::Call { name, args } = s {
+                    let sig = call_signature(sub, args);
+                    if sig.iter().any(Option::is_some) {
+                        f.calls.push(CallEntry {
+                            caller: sub.name.clone(),
+                            callee: name.clone(),
+                            sig,
+                        });
+                    }
+                }
+            });
+        }
+    }
+    files
+}
+
+/// Arrays of `sub` that are whole reshaped actuals anywhere in `args`.
+pub fn reshaped_actuals(sub: &Subroutine, args: &[ActualArg]) -> Vec<ArrayId> {
+    args.iter()
+        .filter_map(|a| match a {
+            ActualArg::Array(id) if sub.arrays[id.0].dist_kind == DistKind::Reshaped => Some(*id),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dsm_frontend::compile_sources;
+
+    fn program(files: &[(&str, &str)]) -> Program {
+        let a = compile_sources(files).expect("frontend ok");
+        lower_program(&a).expect("lowering ok")
+    }
+
+    #[test]
+    fn shadow_records_defs_calls_and_commons() {
+        let p = program(&[
+            (
+                "main.f",
+                "      program main\n      real*8 a(100)\n      common /blk/ a\nc$distribute_reshape a(block)\n      call s(a)\n      end\n",
+            ),
+            ("sub.f", "      subroutine s(x)\n      real*8 x(100)\n      end\n"),
+        ]);
+        let sf = build_shadow_files(&p);
+        assert_eq!(sf.len(), 2);
+        assert_eq!(sf[0].defs[0].name, "main");
+        assert_eq!(sf[1].defs[0].name, "s");
+        assert_eq!(sf[0].calls.len(), 1);
+        assert_eq!(sf[0].calls[0].callee, "s");
+        assert!(sf[0].calls[0].sig[0].is_some());
+        assert_eq!(sf[0].commons.len(), 1);
+        assert_eq!(sf[0].commons[0].members[0].dist_kind, DistKind::Reshaped);
+    }
+
+    #[test]
+    fn non_reshaped_calls_not_recorded() {
+        let p = program(&[(
+            "t.f",
+            "      program main\n      real*8 a(10)\nc$distribute a(block)\n      call s(a)\n      end\n      subroutine s(x)\n      real*8 x(10)\n      end\n",
+        )]);
+        let sf = build_shadow_files(&p);
+        assert!(
+            sf[0].calls.is_empty(),
+            "regular arrays do not generate shadow entries"
+        );
+    }
+
+    #[test]
+    fn element_of_reshaped_is_not_whole_array_sig() {
+        let p = program(&[(
+            "t.f",
+            "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      i = 1\n      call mysub(a(i))\n      end\n      subroutine mysub(x)\n      real*8 x(5)\n      end\n",
+        )]);
+        let sf = build_shadow_files(&p);
+        // Element actual ⇒ signature all-None ⇒ no propagation entry.
+        assert!(sf[0].calls.is_empty());
+    }
+}

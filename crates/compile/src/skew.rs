@@ -1,0 +1,408 @@
+//! Loop skewing (Section 7.1, second extension) and the symbolic
+//! simplifier it relies on.
+//!
+//! For loops like
+//!
+//! ```fortran
+//!       do i = 1, n
+//!         a(i + c*k) = ...
+//! ```
+//!
+//! (`c` a literal, `k` loop-invariant) the paper skews the loop by `c*k`,
+//! converting references `A(i + c*k)` into `A(i)`, which enables
+//! subsequent tiling and peeling.  We implement the general form: if every
+//! reshaped reference indexed by the loop variable shares a common
+//! loop-invariant offset term `g`, the loop becomes
+//! `do i = lb+g, ub+g` with `i := i - g` substituted in the body, and the
+//! simplifier cancels `(i - g) + g` back to `i`.
+
+use dsm_ir::{BinOp, DistKind, Expr, Intrinsic, LoopStmt, Stmt, Subroutine, UnOp, VarId};
+
+/// Simplify an expression: constant folding plus cancellation of
+/// syntactically identical additive terms (`(x + g) - g` → `x`).
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::Binary(op @ (BinOp::Add | BinOp::Sub), _, _) => {
+            let mut terms: Vec<(Expr, i64)> = Vec::new();
+            let mut konst = 0i64;
+            collect_terms(e, 1, &mut terms, &mut konst);
+            let _ = op;
+            rebuild_terms(terms, konst)
+        }
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            if let (Expr::IConst(x), Expr::IConst(y)) = (&a, &b) {
+                if let Some(v) = fold_int(*op, *x, *y) {
+                    return Expr::IConst(v);
+                }
+            }
+            Expr::Binary(*op, Box::new(a), Box::new(b))
+        }
+        Expr::Unary(UnOp::Neg, x) => {
+            let x = simplify(x);
+            if let Expr::IConst(v) = x {
+                Expr::IConst(-v)
+            } else {
+                Expr::Unary(UnOp::Neg, Box::new(x))
+            }
+        }
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(simplify(x))),
+        Expr::Load {
+            array,
+            indices,
+            mode,
+        } => Expr::Load {
+            array: *array,
+            indices: indices.iter().map(simplify).collect(),
+            mode: *mode,
+        },
+        Expr::Call(i, args) => {
+            let args: Vec<Expr> = args.iter().map(simplify).collect();
+            if let (Intrinsic::Max | Intrinsic::Min, [Expr::IConst(a), Expr::IConst(b)]) =
+                (i, args.as_slice())
+            {
+                return Expr::IConst(if *i == Intrinsic::Max {
+                    *a.max(b)
+                } else {
+                    *a.min(b)
+                });
+            }
+            Expr::Call(*i, args)
+        }
+        other => other.clone(),
+    }
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+        _ => return None,
+    })
+}
+
+/// Flatten an Add/Sub tree into signed terms plus a constant.
+fn collect_terms(e: &Expr, sign: i64, terms: &mut Vec<(Expr, i64)>, konst: &mut i64) {
+    match e {
+        Expr::Binary(BinOp::Add, a, b) => {
+            collect_terms(a, sign, terms, konst);
+            collect_terms(b, sign, terms, konst);
+        }
+        Expr::Binary(BinOp::Sub, a, b) => {
+            collect_terms(a, sign, terms, konst);
+            collect_terms(b, -sign, terms, konst);
+        }
+        Expr::Unary(UnOp::Neg, x) => collect_terms(x, -sign, terms, konst),
+        Expr::IConst(v) => *konst += sign * v,
+        other => {
+            let s = simplify(other);
+            match s {
+                Expr::IConst(v) => *konst += sign * v,
+                s => {
+                    // Cancel against an identical opposite-signed term.
+                    if let Some(pos) = terms.iter().position(|(t, sg)| *t == s && *sg == -sign) {
+                        terms.remove(pos);
+                    } else {
+                        terms.push((s, sign));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn rebuild_terms(terms: Vec<(Expr, i64)>, konst: i64) -> Expr {
+    let mut acc: Option<Expr> = None;
+    for (t, sign) in terms {
+        acc = Some(match (acc, sign) {
+            (None, 1) => t,
+            (None, _) => Expr::Unary(UnOp::Neg, Box::new(t)),
+            (Some(a), 1) => Expr::add(a, t),
+            (Some(a), _) => Expr::sub(a, t),
+        });
+    }
+    match acc {
+        None => Expr::IConst(konst),
+        Some(a) if konst == 0 => a,
+        Some(a) if konst > 0 => Expr::add(a, Expr::IConst(konst)),
+        Some(a) => Expr::sub(a, Expr::IConst(-konst)),
+    }
+}
+
+/// Decompose an index expression as `var + g` where `g` is loop-invariant
+/// w.r.t. `var` (and not a plain literal — literals are peeling's job).
+/// Returns `g`.
+fn invariant_offset(e: &Expr, var: VarId) -> Option<Expr> {
+    let mut terms = Vec::new();
+    let mut konst = 0;
+    collect_terms(e, 1, &mut terms, &mut konst);
+    // Exactly one `+var` term; the rest must not use var and at least one
+    // non-constant invariant term must exist.
+    let var_terms: Vec<usize> = terms
+        .iter()
+        .enumerate()
+        .filter(|(_, (t, _))| matches!(t, Expr::Var(v) if *v == var))
+        .map(|(i, _)| i)
+        .collect();
+    if var_terms.len() != 1 || terms[var_terms[0]].1 != 1 {
+        return None;
+    }
+    let rest: Vec<(Expr, i64)> = terms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != var_terms[0])
+        .map(|(_, t)| t.clone())
+        .collect();
+    if rest.is_empty() || rest.iter().any(|(t, _)| t.uses_var(var)) {
+        return None;
+    }
+    Some(rebuild_terms(rest, konst))
+}
+
+/// Try to skew every skewable loop in the subroutine, in place. Returns
+/// the number of loops skewed.
+pub fn run(sub: &mut Subroutine) -> usize {
+    let mut body = std::mem::take(&mut sub.body);
+    let n = skew_block(sub, &mut body);
+    sub.body = body;
+    n
+}
+
+fn skew_block(sub: &Subroutine, body: &mut [Stmt]) -> usize {
+    let mut n = 0;
+    for st in body {
+        if let Stmt::Loop(l) = st {
+            n += skew_block(sub, &mut l.body);
+            if let Some(g) = skew_candidate(sub, l) {
+                skew_loop(l, &g);
+                n += 1;
+            }
+        } else if let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = st
+        {
+            n += skew_block(sub, then_body);
+            n += skew_block(sub, else_body);
+        }
+    }
+    n
+}
+
+/// A loop is skewable when some reshaped reference indexes a distributed
+/// dimension with `var + g` (g invariant, non-literal) and *every*
+/// reshaped reference through `var` in that dimension shares the same `g`
+/// up to a literal delta (so peeling can finish the job after skewing).
+fn skew_candidate(sub: &Subroutine, l: &LoopStmt) -> Option<Expr> {
+    if l.step != Expr::IConst(1) || l.par.is_some() {
+        // Parallel loops carry affinity clauses whose meaning would shift;
+        // the paper applies skewing to the loop bounds before scheduling —
+        // we restrict to serial loops for safety.
+        return None;
+    }
+    let mut offset: Option<Expr> = None;
+    let mut consistent = true;
+    let probe = Stmt::Loop(Box::new(l.clone()));
+    probe.for_each_ref(&mut |a, indices, _, _| {
+        if sub.arrays[a.0].dist_kind != DistKind::Reshaped || !consistent {
+            return;
+        }
+        let Some(dist) = &sub.arrays[a.0].dist else {
+            return;
+        };
+        for (dim, idx) in indices.iter().enumerate() {
+            if !dist.dims[dim].is_distributed() || !idx.uses_var(l.var) {
+                continue;
+            }
+            if idx.as_affine().is_some() {
+                continue; // already simple; skewing must not break it
+            }
+            match invariant_offset(idx, l.var) {
+                Some(g) => {
+                    // Strip literal component for comparison.
+                    let canon = simplify(&Expr::sub(g.clone(), g_const(&g)));
+                    match &offset {
+                        None => offset = Some(canon),
+                        Some(o) if *o == canon => {}
+                        _ => consistent = false,
+                    }
+                }
+                None => consistent = false,
+            }
+        }
+    });
+    if consistent {
+        offset
+    } else {
+        None
+    }
+}
+
+fn g_const(g: &Expr) -> Expr {
+    let mut terms = Vec::new();
+    let mut konst = 0;
+    collect_terms(g, 1, &mut terms, &mut konst);
+    Expr::IConst(konst)
+}
+
+/// Skew `l` by `g`: bounds shift up by `g`, body occurrences of the loop
+/// variable become `var - g`, then everything is re-simplified.
+fn skew_loop(l: &mut LoopStmt, g: &Expr) {
+    l.lb = simplify(&Expr::add(l.lb.clone(), g.clone()));
+    l.ub = simplify(&Expr::add(l.ub.clone(), g.clone()));
+    let replacement = Expr::sub(Expr::var(l.var), g.clone());
+    for st in &mut l.body {
+        subst_stmt(st, l.var, &replacement);
+    }
+}
+
+fn subst_stmt(st: &mut Stmt, var: VarId, with: &Expr) {
+    match st {
+        Stmt::Assign { indices, value, .. } => {
+            for e in indices.iter_mut() {
+                *e = simplify(&e.subst_var(var, with));
+            }
+            *value = simplify(&value.subst_var(var, with));
+        }
+        Stmt::SAssign { value, .. } => *value = simplify(&value.subst_var(var, with)),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            *cond = simplify(&cond.subst_var(var, with));
+            for s in then_body.iter_mut().chain(else_body) {
+                subst_stmt(s, var, with);
+            }
+        }
+        Stmt::Loop(l) => {
+            l.lb = simplify(&l.lb.subst_var(var, with));
+            l.ub = simplify(&l.ub.subst_var(var, with));
+            l.step = simplify(&l.step.subst_var(var, with));
+            for s in &mut l.body {
+                subst_stmt(s, var, with);
+            }
+        }
+        Stmt::Call { args, .. } => {
+            for a in args {
+                match a {
+                    dsm_ir::ActualArg::Scalar(e) => *e = simplify(&e.subst_var(var, with)),
+                    dsm_ir::ActualArg::ArrayElem(_, idx) => {
+                        for e in idx {
+                            *e = simplify(&e.subst_var(var, with));
+                        }
+                    }
+                    dsm_ir::ActualArg::Array(_) => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dsm_frontend::compile_sources;
+    use dsm_ir::AddrMode;
+
+    #[test]
+    fn simplify_cancels_identical_terms() {
+        let i = VarId(0);
+        let k = VarId(1);
+        // (i - 2*k) + 2*k  =>  i
+        let g = Expr::mul(Expr::int(2), Expr::var(k));
+        let e = Expr::add(Expr::sub(Expr::var(i), g.clone()), g);
+        assert_eq!(simplify(&e), Expr::var(i));
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let e = Expr::add(Expr::int(3), Expr::mul(Expr::int(4), Expr::int(5)));
+        assert_eq!(simplify(&e), Expr::IConst(23));
+        let e = Expr::max(Expr::int(3), Expr::int(9));
+        assert_eq!(simplify(&e), Expr::IConst(9));
+    }
+
+    #[test]
+    fn invariant_offset_detection() {
+        let i = VarId(0);
+        let k = VarId(1);
+        let g = Expr::mul(Expr::int(3), Expr::var(k));
+        let e = Expr::add(Expr::var(i), g.clone());
+        let got = invariant_offset(&e, i).unwrap();
+        assert_eq!(simplify(&got), simplify(&g));
+        // i*2 + k: var coefficient != 1 => not this transformation's job.
+        let e2 = Expr::add(Expr::mul(Expr::int(2), Expr::var(i)), Expr::var(k));
+        assert!(invariant_offset(&e2, i).is_none());
+    }
+
+    #[test]
+    fn skew_enables_affine_reference() {
+        // do i = 1, n: a(i + 2*k) = i  — after skewing the ref is a(i).
+        let src = "      program main\n      integer i, k, n\n      real*8 a(200)\nc$distribute_reshape a(block)\n      n = 50\n      k = 10\n      do i = 1, n\n        a(i + 2*k) = i\n      enddo\n      end\n";
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let mut p = lower_program(&a).unwrap();
+        let n = run(&mut p.subs[0]);
+        assert_eq!(n, 1);
+        let Stmt::Loop(l) = &p.subs[0].body[2] else {
+            panic!()
+        };
+        let Stmt::Assign { indices, value, .. } = &l.body[0] else {
+            panic!()
+        };
+        assert_eq!(indices[0], Expr::var(l.var), "index skewed to plain i");
+        // The RHS value compensates: i - 2*k.
+        assert!(value.uses_var(VarId(1)), "rhs now mentions k");
+        dsm_ir::validate_program(&p).unwrap();
+    }
+
+    #[test]
+    fn skewed_loop_tiles_afterwards() {
+        let src = "      program main\n      integer i, k, n\n      real*8 a(200)\nc$distribute_reshape a(block)\n      n = 50\n      k = 10\n      do i = 1, n\n        a(i + 2*k) = i\n      enddo\n      end\n";
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let mut p = lower_program(&a).unwrap();
+        run(&mut p.subs[0]);
+        crate::tile::run(&mut p.subs[0], &crate::tile::TileConfig::default());
+        let mut upgraded = false;
+        for st in &p.subs[0].body {
+            st.for_each_ref(&mut |_, _, m, _| {
+                if m == AddrMode::ReshapedTiled {
+                    upgraded = true;
+                }
+            });
+        }
+        assert!(upgraded, "skew + tile should remove raw addressing");
+    }
+
+    #[test]
+    fn affine_loops_not_skewed() {
+        let src = "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(block)\n      do i = 1, 99\n        a(i + 1) = i\n      enddo\n      end\n";
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let mut p = lower_program(&a).unwrap();
+        assert_eq!(run(&mut p.subs[0]), 0, "literal offsets are peeling's job");
+    }
+
+    #[test]
+    fn inconsistent_offsets_not_skewed() {
+        let src = "      program main\n      integer i, k, m\n      real*8 a(300), b(300)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\n      k = 1\n      m = 2\n      do i = 1, 50\n        a(i + 2*k) = b(i + 3*m)\n      enddo\n      end\n";
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let mut p = lower_program(&a).unwrap();
+        assert_eq!(run(&mut p.subs[0]), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Statement-level CSE of reshaped address computations.
+//!
+//! The paper's Section 7.2 problem is that div/mod and indirect loads are
+//! *unsafe* operations the scalar optimizer will not move **across control
+//! flow** (out of loops or `if`s).  Within a single statement, however,
+//! any `-O3` compiler eliminates syntactically identical subexpressions —
+//! a 7-point stencil recomputes the owner of `(i, j)` once, not three
+//! times, even in the unoptimized reshaped build.
+//!
+//! This pass models that baseline: within each assignment, references
+//! whose distributed-dimension index expressions duplicate an earlier
+//! reference are downgraded:
+//!
+//! * same index class via an array of the *same geometry* → the divide is
+//!   shared but the portion pointer differs:
+//!   [`AddrMode::ReshapedSharedDiv`];
+//! * same index class *and* same array → everything is shared:
+//!   [`AddrMode::ReshapedSharedAll`].
+//!
+//! It runs before tiling in every configuration, including
+//! `OptConfig::none()` — the paper's "no optimizations" row still had the
+//! regular `-O3` optimizer.
+
+use dsm_ir::{AddrMode, ArrayId, Dist, DistKind, Expr, Extent, Stmt, Subroutine};
+
+/// Run the pass; returns the number of references downgraded.
+pub fn run(sub: &mut Subroutine) -> usize {
+    let arrays: Vec<ArrayInfo> = sub
+        .arrays
+        .iter()
+        .map(|a| {
+            let reshaped = a.dist_kind == DistKind::Reshaped;
+            let dist = a.dist.as_ref().map(|d| d.dims.clone()).unwrap_or_default();
+            let dist_dims: Vec<usize> = dist
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_distributed())
+                .map(|(i, _)| i)
+                .collect();
+            (reshaped, a.dims.clone(), dist, dist_dims)
+        })
+        .collect();
+    let mut n = 0;
+    for st in &mut sub.body {
+        cse_stmt(st, &arrays, &mut n);
+    }
+    n
+}
+
+type ArrayInfo = (bool, Vec<Extent>, Vec<Dist>, Vec<usize>);
+
+fn cse_stmt(st: &mut Stmt, arrays: &[ArrayInfo], n: &mut usize) {
+    match st {
+        Stmt::Assign {
+            array,
+            indices,
+            value,
+            mode,
+        } => {
+            // Seen classes within this statement, in evaluation order:
+            // the RHS value is evaluated before the store address.
+            let mut seen: Vec<(Option<ArrayId>, GeoKey, Vec<Expr>)> = Vec::new();
+            cse_expr(value, arrays, &mut seen, n);
+            cse_ref(*array, indices, mode, arrays, &mut seen, n);
+            for e in indices.iter_mut() {
+                cse_expr(e, arrays, &mut seen, n);
+            }
+        }
+        Stmt::SAssign { value, .. } => {
+            let mut seen = Vec::new();
+            cse_expr(value, arrays, &mut seen, n);
+        }
+        Stmt::Loop(l) => {
+            for s in &mut l.body {
+                cse_stmt(s, arrays, n);
+            }
+        }
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => {
+            for s in then_body.iter_mut().chain(else_body) {
+                cse_stmt(s, arrays, n);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Geometry key: extents + distribution formats (arrays matching in both
+/// share divide results, Section 7.1's matching rule).
+type GeoKey = (Vec<Extent>, Vec<Dist>);
+
+fn cse_ref(
+    array: ArrayId,
+    indices: &[Expr],
+    mode: &mut AddrMode,
+    arrays: &[ArrayInfo],
+    seen: &mut Vec<(Option<ArrayId>, GeoKey, Vec<Expr>)>,
+    n: &mut usize,
+) {
+    let (reshaped, dims, dist, dist_dims) = &arrays[array.0];
+    if !*reshaped || !matches!(mode, AddrMode::ReshapedRaw | AddrMode::ReshapedRawFp) {
+        return;
+    }
+    let key_exprs: Vec<Expr> = dist_dims.iter().map(|&d| indices[d].clone()).collect();
+    let geo: GeoKey = (dims.clone(), dist.clone());
+    let div_shared = seen.iter().any(|(_, g, k)| *g == geo && *k == key_exprs);
+    let ptr_shared = seen
+        .iter()
+        .any(|(a, g, k)| *a == Some(array) && *g == geo && *k == key_exprs);
+    if ptr_shared {
+        *mode = AddrMode::ReshapedSharedAll;
+        *n += 1;
+    } else if div_shared {
+        *mode = AddrMode::ReshapedSharedDiv;
+        *n += 1;
+    }
+    seen.push((Some(array), geo, key_exprs));
+}
+
+fn cse_expr(
+    e: &mut Expr,
+    arrays: &[ArrayInfo],
+    seen: &mut Vec<(Option<ArrayId>, GeoKey, Vec<Expr>)>,
+    n: &mut usize,
+) {
+    match e {
+        Expr::Load {
+            array,
+            indices,
+            mode,
+        } => {
+            // Index subexpressions are evaluated before the load itself.
+            for i in indices.iter_mut() {
+                cse_expr(i, arrays, seen, n);
+            }
+            cse_ref(*array, indices, mode, arrays, seen, n);
+        }
+        Expr::Unary(_, x) => cse_expr(x, arrays, seen, n),
+        Expr::Binary(_, a, b) => {
+            cse_expr(a, arrays, seen, n);
+            cse_expr(b, arrays, seen, n);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                cse_expr(a, arrays, seen, n);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dsm_frontend::compile_sources;
+
+    fn modes_of(src: &str) -> Vec<AddrMode> {
+        let a = compile_sources(&[("t.f", src)]).unwrap();
+        let mut p = lower_program(&a).unwrap();
+        run(&mut p.subs[0]);
+        let mut v = Vec::new();
+        for st in &p.subs[0].body {
+            st.for_each_ref(&mut |_, _, m, _| v.push(m));
+        }
+        v
+    }
+
+    #[test]
+    fn same_array_same_index_shares_everything() {
+        // a(i) appears three times: first is raw, later ones fully shared.
+        let ms = modes_of(
+            "      program main\n      integer i\n      real*8 a(64)\nc$distribute_reshape a(block)\n      do i = 1, 64\n        a(i) = a(i) * a(i) + 1.0\n      enddo\n      end\n",
+        );
+        assert_eq!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedRaw).count(),
+            1
+        );
+        assert_eq!(
+            ms.iter()
+                .filter(|m| **m == AddrMode::ReshapedSharedAll)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn matching_geometry_shares_divide_only() {
+        let ms = modes_of(
+            "      program main\n      integer i\n      real*8 a(64), b(64)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\n      do i = 1, 64\n        a(i) = b(i)\n      enddo\n      end\n",
+        );
+        // b(i) evaluated first (raw), store a(i) shares the divide class
+        // but needs its own pointer.
+        assert_eq!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedRaw).count(),
+            1
+        );
+        assert_eq!(
+            ms.iter()
+                .filter(|m| **m == AddrMode::ReshapedSharedDiv)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn distinct_indices_stay_raw() {
+        let ms = modes_of(
+            "      program main\n      integer i\n      real*8 a(64)\nc$distribute_reshape a(block)\n      do i = 2, 63\n        a(i) = a(i-1) + a(i+1)\n      enddo\n      end\n",
+        );
+        assert_eq!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedRaw).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn sharing_does_not_cross_statements() {
+        let ms = modes_of(
+            "      program main\n      integer i\n      real*8 a(64), c(64)\nc$distribute_reshape a(block)\n      do i = 1, 64\n        c(i) = a(i)\n        a(i) = a(i) + 1.0\n      enddo\n      end\n",
+        );
+        // Each statement's first a(i) is raw (no hoisting across
+        // statements would be wrong to model here? It would actually be
+        // legal — but the paper's scalar optimizer refuses because the
+        // ops are unsafe; we keep them statement-local).
+        assert_eq!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedRaw).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn star_dims_do_not_affect_the_class() {
+        // u(m,i,j,k) with m varying participates in the same (i, j) class.
+        let ms = modes_of(
+            "      program main\n      integer i, j, m\n      real*8 u(5, 16, 16), r(5, 16, 16)\nc$distribute_reshape u(*, block, block)\nc$distribute_reshape r(*, block, block)\n      do j = 1, 16\n        do i = 1, 16\n          do m = 1, 5\n            r(m, i, j) = u(m, i, j) * 2.0\n          enddo\n        enddo\n      enddo\n      end\n",
+        );
+        assert_eq!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedRaw).count(),
+            1
+        );
+        assert_eq!(
+            ms.iter()
+                .filter(|m| **m == AddrMode::ReshapedSharedDiv)
+                .count(),
+            1
+        );
+    }
+}

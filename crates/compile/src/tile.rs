@@ -1,0 +1,1178 @@
+//! Affinity scheduling, tiling and peeling (Figure 2 / Section 7.1).
+//!
+//! The pass rewrites three kinds of loops:
+//!
+//! 1. **doacross with `affinity`** — lowered into processor-tile loops
+//!    ([`SchedType::ProcTile`]) whose data loops iterate over exactly one
+//!    processor's portion, using the paper's Figure-2 bounds for `block`,
+//!    `cyclic` and `cyclic(k)` distributions;
+//! 2. **doacross without affinity** over reshaped arrays — tiled the same
+//!    way using a reference array chosen by the paper's "fewest div/mod"
+//!    heuristic;
+//! 3. **serial loops** over reshaped arrays — tiled with a *serial*
+//!    processor loop; legal for `block` distributions (iteration order is
+//!    preserved), as the paper notes.
+//!
+//! For parallel nests (`nest(i,j)`), the processor-tile loops are placed
+//! outermost (the Section 7.1.1 interchange, always legal for
+//! doacross-nest).
+//!
+//! After restructuring, references whose distributed dimensions are
+//! confined to a single portion are upgraded from
+//! [`AddrMode::ReshapedRaw`] to [`AddrMode::ReshapedTiled`]; stencil
+//! offsets are handled by **peeling** boundary iterations into separate
+//! loops whose references keep the raw mode (the paper's
+//! `A(i-1)+A(i)+A(i+1)` example).
+
+use dsm_ir::{
+    AddrMode, AffIdx, Affinity, ArrayId, Dist, DistKind, Doacross, Expr, Extent, LoopStmt,
+    SchedType, Stmt, Subroutine, VarId,
+};
+
+/// Maximum boundary iterations peeled per side; stencils reaching further
+/// keep raw addressing (heuristic).
+const MAX_PEEL: i64 = 4;
+
+/// Ceiling division of non-negative `a` by positive `b`.
+fn ceil_div_i64(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// Which portion boundary a peeled copy sits on: in the `Lo` copy the
+/// loop variable is at the portion's low edge, so negative index offsets
+/// escape the portion (and vice versa for `Hi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Lo,
+    Hi,
+}
+
+/// Tiling-pass configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Hoist processor-tile loops outermost in parallel nests
+    /// (Section 7.1.1). Disable only for ablation.
+    pub interchange: bool,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig { interchange: true }
+    }
+}
+
+/// Processor-grid signature: two arrays whose distributed dimensions have
+/// the same ordered formats and the same `onto` ratios factor the
+/// processor count into the *same* grid, so their per-axis coordinates
+/// are interchangeable at runtime.  This is the compile-time form of the
+/// paper's "matches the first array in size and distribution" rule
+/// (Section 7.1, third extension) — per dimension, not per whole array,
+/// so `A(*, block)` and `B(block, *)` match on their single axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GridSig {
+    dists: Vec<Dist>,
+    onto: Vec<u64>,
+}
+
+fn grid_sig(sub: &Subroutine, a: ArrayId) -> Option<GridSig> {
+    let d = &sub.arrays[a.0];
+    let dist = d.dist.as_ref()?;
+    Some(GridSig {
+        dists: dist
+            .dims
+            .iter()
+            .copied()
+            .filter(|x| x.is_distributed())
+            .collect(),
+        onto: dist
+            .onto
+            .as_ref()
+            .map(|o| o.ratios.clone())
+            .unwrap_or_default(),
+    })
+}
+
+/// Grid-axis index of dimension `dim` of array `a` (its rank among the
+/// distributed dimensions), if that dimension is distributed.
+fn axis_of(sub: &Subroutine, a: ArrayId, dim: usize) -> Option<usize> {
+    let dist = sub.arrays[a.0].dist.as_ref()?;
+    if !dist.dims.get(dim)?.is_distributed() {
+        return None;
+    }
+    Some(
+        dist.dims
+            .iter()
+            .take(dim)
+            .filter(|x| x.is_distributed())
+            .count(),
+    )
+}
+
+/// One tiled loop level: data loop `var` walks grid axis `axis` (of any
+/// array with grid signature `sig`, extent `extent` and format `kind` on
+/// that dimension) via the affine index `scale*var + offset`. `array` and
+/// `dim` name the scheduling array for the runtime-query expressions.
+#[derive(Debug, Clone)]
+struct TileLevel {
+    sig: GridSig,
+    axis: usize,
+    extent: Extent,
+    array: ArrayId,
+    dim: usize,
+    var: VarId,
+    scale: i64,
+    offset: i64,
+    kind: Dist,
+    peel_lo: i64,
+    peel_hi: i64,
+}
+
+/// Run the pass over a subroutine.
+pub fn run(sub: &mut Subroutine, cfg: &TileConfig) {
+    let mut body = std::mem::take(&mut sub.body);
+    body = tile_stmts(sub, body, cfg);
+    sub.body = body;
+}
+
+fn tile_stmts(sub: &mut Subroutine, body: Vec<Stmt>, cfg: &TileConfig) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for st in body {
+        match st {
+            Stmt::Loop(l) => out.extend(tile_loop(sub, *l, cfg)),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => out.push(Stmt::If {
+                cond,
+                then_body: tile_stmts(sub, then_body, cfg),
+                else_body: tile_stmts(sub, else_body, cfg),
+            }),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn tile_loop(sub: &mut Subroutine, l: LoopStmt, cfg: &TileConfig) -> Vec<Stmt> {
+    // Only unit-step loops are tiled.
+    if l.step != Expr::IConst(1) {
+        return vec![recurse(sub, l, cfg)];
+    }
+    match &l.par {
+        Some(d) if matches!(d.sched, SchedType::ProcTile { .. }) => {
+            vec![recurse(sub, l, cfg)]
+        }
+        Some(d) if d.affinity.is_some() => match plan_affinity_nest(sub, &l) {
+            Some(plan) => emit_nest(sub, l, plan, cfg, true),
+            None => vec![recurse(sub, l, cfg)],
+        },
+        _ => {
+            // Serial loop or doacross without affinity: tile if the body
+            // references a reshaped array through this loop variable.
+            match plan_ref_based(sub, &l) {
+                Some(level) => {
+                    let parallel = l.par.is_some();
+                    emit_nest(sub, l, vec![level], cfg, parallel)
+                }
+                None => {
+                    // Loop interchange (Section 7.1.1): when only the
+                    // *inner* loop of a serial nest walks a distributed
+                    // dimension, tiling it in place would rebuild the
+                    // processor tile once per outer iteration. When legal,
+                    // hoist the processor-tile loop (and its bounds)
+                    // outside the outer loop — the *data* loops keep their
+                    // original order, exactly as the paper describes.
+                    if cfg.interchange && l.par.is_none() {
+                        if let Some(stmts) = hoist_inner_tile(sub, &l, cfg) {
+                            return stmts;
+                        }
+                    }
+                    vec![recurse(sub, l, cfg)]
+                }
+            }
+        }
+    }
+}
+
+fn recurse(sub: &mut Subroutine, mut l: LoopStmt, cfg: &TileConfig) -> Stmt {
+    l.body = tile_stmts(sub, std::mem::take(&mut l.body), cfg);
+    Stmt::Loop(Box::new(l))
+}
+
+/// Hoist the processor tile of a tileable *inner* loop outside an
+/// untileable serial outer loop (Section 7.1.1: "so that the processor
+/// tile loops are outermost and the actual data loops are innermost").
+///
+/// Legality is evident when: the nest is perfect, the bounds of each loop
+/// are independent of the other's variable, the body consists of
+/// assignments (and nested loops) only, and no array is both loaded and
+/// stored in the nest — then no cross-iteration data flow exists and the
+/// portion-major iteration order is valid.
+fn hoist_inner_tile(sub: &mut Subroutine, outer: &LoopStmt, cfg: &TileConfig) -> Option<Vec<Stmt>> {
+    let [Stmt::Loop(inner)] = outer.body.as_slice() else {
+        return None;
+    };
+    if inner.par.is_some() || inner.step != Expr::IConst(1) {
+        return None;
+    }
+    let level = plan_ref_based(sub, inner)?;
+    // Bounds independence.
+    for e in [&inner.lb, &inner.ub] {
+        if e.uses_var(outer.var) {
+            return None;
+        }
+    }
+    for e in [&outer.lb, &outer.ub, &outer.step] {
+        if e.uses_var(inner.var) {
+            return None;
+        }
+    }
+    // Body shape: assignments and nested loops only, with the read set
+    // and write set of arrays disjoint.
+    let mut ok_shape = true;
+    let mut stored = std::collections::BTreeSet::new();
+    let mut loaded = std::collections::BTreeSet::new();
+    for st in &inner.body {
+        st.walk(&mut |s| match s {
+            Stmt::Assign { .. } | Stmt::Loop(_) => {}
+            _ => ok_shape = false,
+        });
+        st.for_each_ref(&mut |a, _, _, is_store| {
+            if is_store {
+                stored.insert(a);
+            } else {
+                loaded.insert(a);
+            }
+        });
+    }
+    if !ok_shape || stored.intersection(&loaded).next().is_some() {
+        return None;
+    }
+    // Tile the inner loop on its own; the emitted structure is
+    //   ploop p { bounds…; data loops }
+    // then re-insert the outer loop between the bounds and the data loops.
+    let emitted = emit_nest(sub, (**inner).clone(), vec![level], cfg, false);
+    let mut out = Vec::with_capacity(emitted.len());
+    for st in emitted {
+        match st {
+            Stmt::Loop(mut ploop) => {
+                let split = ploop
+                    .body
+                    .iter()
+                    .position(|s| matches!(s, Stmt::Loop(_)))
+                    .unwrap_or(ploop.body.len());
+                let data = ploop.body.split_off(split);
+                ploop.body.push(Stmt::Loop(Box::new(LoopStmt {
+                    var: outer.var,
+                    lb: outer.lb.clone(),
+                    ub: outer.ub.clone(),
+                    step: outer.step.clone(),
+                    body: data,
+                    par: None,
+                })));
+                out.push(Stmt::Loop(ploop));
+            }
+            other => out.push(other),
+        }
+    }
+    Some(out)
+}
+
+/// Plan tile levels for a doacross with an affinity clause (possibly a
+/// nest). Returns one [`TileLevel`] per transformable nest level,
+/// outermost first. `None` when even the first level cannot be tiled
+/// (falls back to runtime affinity scheduling).
+fn plan_affinity_nest(sub: &Subroutine, l: &LoopStmt) -> Option<Vec<TileLevel>> {
+    let d = l.par.as_ref()?;
+    let aff = d.affinity.as_ref()?;
+    let sig = grid_sig(sub, aff.array)?;
+    let dist = sub.arrays[aff.array.0].dist.clone()?;
+    let mut levels = Vec::new();
+    // Walk the perfect nest collecting candidate levels.
+    let mut nest_loops: Vec<&LoopStmt> = vec![l];
+    let mut cur = l;
+    for _ in 1..d.nest_vars.len() {
+        match cur.body.as_slice() {
+            [Stmt::Loop(inner)] => {
+                nest_loops.push(inner);
+                cur = inner;
+            }
+            _ => break,
+        }
+    }
+    for (li, lp) in nest_loops.iter().enumerate() {
+        let var = d.nest_vars.get(li).copied().unwrap_or(lp.var);
+        if lp.var != var || lp.step != Expr::IConst(1) {
+            break;
+        }
+        // Find the affinity index position driven by this variable.
+        let hit = aff
+            .indices
+            .iter()
+            .enumerate()
+            .find_map(|(dim, idx)| match idx {
+                AffIdx::Loop {
+                    var: v,
+                    scale,
+                    offset,
+                } if *v == var => Some((dim, *scale, *offset)),
+                _ => None,
+            });
+        let Some((dim, scale, offset)) = hit else {
+            break;
+        };
+        let kind = dist.dims[dim];
+        if !kind.is_distributed() || scale < 1 {
+            break;
+        }
+        if matches!(kind, Dist::Cyclic(_)) && (scale != 1) {
+            break; // the paper omits s>1 cyclic too
+        }
+        levels.push(TileLevel {
+            sig: sig.clone(),
+            axis: axis_of(sub, aff.array, dim).expect("distributed dim has an axis"),
+            extent: sub.arrays[aff.array.0].dims[dim],
+            array: aff.array,
+            dim,
+            var,
+            scale,
+            offset,
+            kind,
+            peel_lo: 0,
+            peel_hi: 0,
+        });
+    }
+    if levels.is_empty() {
+        None
+    } else {
+        Some(levels)
+    }
+}
+
+/// Plan a tile level for a loop without affinity, from its reshaped
+/// references (the "fewest div/mod" heuristic: the array/dim indexed by
+/// this loop variable in the most references wins).
+fn plan_ref_based(sub: &Subroutine, l: &LoopStmt) -> Option<TileLevel> {
+    let mut candidates: Vec<(ArrayId, usize, i64, i64, u32)> = Vec::new();
+    let probe = Stmt::Loop(Box::new(l.clone()));
+    probe.for_each_ref(&mut |a, indices, _mode, _| {
+        if sub.arrays[a.0].dist_kind != DistKind::Reshaped {
+            return;
+        }
+        let Some(dist) = sub.arrays[a.0].dist.clone() else {
+            return;
+        };
+        for (dim, idx) in indices.iter().enumerate() {
+            if !dist.dims[dim].is_distributed() {
+                continue;
+            }
+            if let Some((Some(v), s, c)) = idx.as_affine() {
+                if v == l.var && s == 1 {
+                    if let Some(e) = candidates
+                        .iter_mut()
+                        .find(|(ca, cd, cs, cc, _)| *ca == a && *cd == dim && *cs == s && *cc == c)
+                    {
+                        e.4 += 1;
+                    } else {
+                        candidates.push((a, dim, s, c, 1));
+                    }
+                }
+            }
+        }
+    });
+    let (array, dim, scale, offset, _) = candidates.into_iter().max_by_key(|c| c.4)?;
+    let sig = grid_sig(sub, array)?;
+    let kind = sub.arrays[array.0].dist.as_ref()?.dims[dim];
+    // Serial legality: tiling reorders iterations across processors for
+    // cyclic distributions; only block keeps the original order.
+    if l.par.is_none() && !matches!(kind, Dist::Block) {
+        return None;
+    }
+    if matches!(kind, Dist::Cyclic(_)) && scale != 1 {
+        return None;
+    }
+    Some(TileLevel {
+        sig,
+        axis: axis_of(sub, array, dim)?,
+        extent: sub.arrays[array.0].dims[dim],
+        array,
+        dim,
+        var: l.var,
+        scale,
+        offset,
+        kind,
+        peel_lo: 0,
+        peel_hi: 0,
+    })
+}
+
+/// Compute the peel amounts of each level from the references in `body`
+/// (block levels only). A reference contributes when it matches a level's
+/// geometry/dim/variable with the same scale; offsets that differ by more
+/// than [`MAX_PEEL`] leave the reference raw instead of widening the peel.
+fn compute_peels(sub: &Subroutine, body: &[Stmt], levels: &mut [TileLevel]) {
+    for st in body {
+        st.for_each_ref(&mut |a, indices, _mode, _| {
+            if sub.arrays[a.0].dist_kind != DistKind::Reshaped {
+                return;
+            }
+            let Some(sig) = grid_sig(sub, a) else { return };
+            for lv in levels.iter_mut() {
+                if lv.kind != Dist::Block || sig != lv.sig {
+                    continue;
+                }
+                // Any dimension of `a` riding this level's grid axis.
+                for (dim, idx) in indices.iter().enumerate() {
+                    if axis_of(sub, a, dim) != Some(lv.axis)
+                        || sub.arrays[a.0].dims[dim] != lv.extent
+                        || sub.arrays[a.0].dist.as_ref().map(|d| d.dims[dim]) != Some(lv.kind)
+                    {
+                        continue;
+                    }
+                    if let Some((Some(v), s, c)) = idx.as_affine() {
+                        if v == lv.var && s == lv.scale {
+                            let delta = c - lv.offset;
+                            let iters = ceil_div_i64(delta.abs(), lv.scale);
+                            if iters <= MAX_PEEL {
+                                if delta > 0 {
+                                    lv.peel_hi = lv.peel_hi.max(iters);
+                                } else if delta < 0 {
+                                    lv.peel_lo = lv.peel_lo.max(iters);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Emit the transformed nest. `levels` are outermost-first; `parallel`
+/// chooses processor-tile loops vs serial processor loops.
+fn emit_nest(
+    sub: &mut Subroutine,
+    l: LoopStmt,
+    mut levels: Vec<TileLevel>,
+    cfg: &TileConfig,
+    parallel: bool,
+) -> Vec<Stmt> {
+    // Collect the data loops of the nest and the innermost body.
+    let nlevels = levels.len();
+    let mut data_loops: Vec<LoopStmt> = Vec::new();
+    let mut cur = l;
+    for _ in 0..nlevels {
+        let mut template = cur.clone();
+        let inner_body = std::mem::take(&mut template.body);
+        data_loops.push(template);
+        if data_loops.len() == nlevels {
+            // innermost: recursively tile the remaining body (inner
+            // untiled loops may still be tiled on their own).
+            let inner = tile_stmts(sub, inner_body, cfg);
+            data_loops.last_mut().expect("just pushed").body = inner;
+            break;
+        }
+        match inner_body.into_iter().next() {
+            Some(Stmt::Loop(next)) => cur = *next,
+            _ => unreachable!("plan guaranteed a perfect nest"),
+        }
+    }
+    let innermost_body = data_loops.last().expect("nonempty").body.clone();
+    compute_peels(sub, &innermost_body, &mut levels);
+
+    // Fresh processor/round variables and bound temporaries per level.
+    let mut pvars = Vec::new();
+    for _ in 0..nlevels {
+        pvars.push(sub.fresh_scalar("p"));
+    }
+    let tlbs: Vec<VarId> = (0..nlevels).map(|_| sub.fresh_scalar("tlb")).collect();
+    let tubs: Vec<VarId> = (0..nlevels).map(|_| sub.fresh_scalar("tub")).collect();
+    let rounds: Vec<VarId> = (0..nlevels).map(|_| sub.fresh_scalar("t")).collect();
+
+    // Build from the inside out: the innermost content is the (possibly
+    // peeled) data-loop pyramid.
+    let body = build_data_loops(sub, &levels, &data_loops, &tlbs, &tubs, 0, &[]);
+
+    // Wrap with bound computations + round loops, innermost level first.
+    let mut content = body;
+    for li in (0..nlevels).rev() {
+        let lv = &levels[li];
+        let dl = &data_loops[li];
+        let mut stmts = Vec::new();
+        match lv.kind {
+            Dist::Block => {
+                stmts.extend(block_bounds(lv, dl, pvars[li], tlbs[li], tubs[li]));
+                stmts.extend(content);
+                content = stmts;
+            }
+            Dist::Cyclic(k) => {
+                // Round loop around the bound computation + data loop.
+                let mut inner = cyclic_bounds(lv, dl, pvars[li], rounds[li], tlbs[li], tubs[li], k);
+                inner.extend(content);
+                let n = extent_expr(sub, lv.array, lv.dim);
+                let kp = Expr::mul(
+                    Expr::int(k as i64),
+                    Expr::Rt(dsm_ir::RtExpr::NProcs {
+                        array: lv.array,
+                        dim: lv.dim,
+                    }),
+                );
+                let nrounds = Expr::ceil_div(n, kp);
+                content = vec![Stmt::Loop(Box::new(LoopStmt {
+                    var: rounds[li],
+                    lb: Expr::int(0),
+                    ub: Expr::sub(nrounds, Expr::int(1)),
+                    step: Expr::int(1),
+                    body: inner,
+                    par: None,
+                }))];
+            }
+            Dist::Star => unreachable!("plan only produces distributed levels"),
+        }
+    }
+
+    // Processor loops. With interchange (default) they all go outermost,
+    // outermost level first; otherwise each wraps its own level — for a
+    // single level the two are identical.
+    let make_ploop = |li: usize, inner: Vec<Stmt>| -> Stmt {
+        let lv = &levels[li];
+        let grid_dim = lv.axis;
+        let rank = sub.arrays[lv.array.0].dims.len();
+        let par = parallel.then(|| Doacross {
+            nest_vars: vec![pvars[li]],
+            locals: vec![],
+            shared: vec![],
+            sched: SchedType::ProcTile { grid_dim },
+            affinity: Some(Affinity {
+                array: lv.array,
+                indices: (0..rank).map(|_| AffIdx::Other(Expr::int(1))).collect(),
+            }),
+        });
+        Stmt::Loop(Box::new(LoopStmt {
+            var: pvars[li],
+            lb: Expr::int(0),
+            ub: Expr::sub(
+                Expr::Rt(dsm_ir::RtExpr::NProcs {
+                    array: lv.array,
+                    dim: lv.dim,
+                }),
+                Expr::int(1),
+            ),
+            step: Expr::int(1),
+            body: inner,
+            par,
+        }))
+    };
+    // The bounds computations were already separated from the data loops
+    // above, so the processor loops always wrap the whole pyramid,
+    // outermost level last (the interchanged Section 7.1.1 form; for a
+    // single level the non-interchanged form is identical).
+    for li in (0..nlevels).rev() {
+        content = vec![make_ploop(li, content)];
+    }
+    content
+}
+
+/// `tlb/tub = Figure-2 block bounds`, with edge processors clamped to the
+/// original loop bounds so out-of-range affinity elements stay covered.
+fn block_bounds(lv: &TileLevel, dl: &LoopStmt, pvar: VarId, tlb: VarId, tub: VarId) -> Vec<Stmt> {
+    let b = Expr::Rt(dsm_ir::RtExpr::BlockSize {
+        array: lv.array,
+        dim: lv.dim,
+    });
+    let p = Expr::Rt(dsm_ir::RtExpr::NProcs {
+        array: lv.array,
+        dim: lv.dim,
+    });
+    let lo_elem = Expr::add(Expr::mul(Expr::var(pvar), b.clone()), Expr::int(1));
+    let hi_elem = Expr::mul(Expr::add(Expr::var(pvar), Expr::int(1)), b);
+    // tlb = max(LB, ceildiv(lo - c, s)); tub = min(UB, (hi - c) / s)
+    let s = Expr::int(lv.scale);
+    let c = Expr::int(lv.offset);
+    let mut out = vec![
+        Stmt::SAssign {
+            var: tlb,
+            value: Expr::max(
+                dl.lb.clone(),
+                Expr::ceil_div(Expr::sub(lo_elem, c.clone()), s.clone()),
+            ),
+        },
+        Stmt::SAssign {
+            var: tub,
+            value: Expr::min(dl.ub.clone(), Expr::div(Expr::sub(hi_elem, c), s)),
+        },
+        // Edge clamps: processor 0 and P-1 absorb out-of-range elements.
+        Stmt::If {
+            cond: Expr::Binary(
+                dsm_ir::BinOp::Eq,
+                Box::new(Expr::var(pvar)),
+                Box::new(Expr::int(0)),
+            ),
+            then_body: vec![Stmt::SAssign {
+                var: tlb,
+                value: dl.lb.clone(),
+            }],
+            else_body: vec![],
+        },
+        Stmt::If {
+            cond: Expr::Binary(
+                dsm_ir::BinOp::Eq,
+                Box::new(Expr::var(pvar)),
+                Box::new(Expr::sub(p, Expr::int(1))),
+            ),
+            then_body: vec![Stmt::SAssign {
+                var: tub,
+                value: dl.ub.clone(),
+            }],
+            else_body: vec![],
+        },
+    ];
+    // Tiling leaves one mod per processor tile (the running local index
+    // seed, `local_index = lb % b` in the paper's example).
+    out.push(Stmt::Overhead {
+        int_divs: 1,
+        indirect_loads: 0,
+        int_alu: 2,
+    });
+    out
+}
+
+/// Bounds of one cyclic(k) round (Figure 2's triply-nested form):
+/// elements `[(t*P + p)*k + 1, … + k]` intersected with the loop range.
+fn cyclic_bounds(
+    lv: &TileLevel,
+    dl: &LoopStmt,
+    pvar: VarId,
+    round: VarId,
+    tlb: VarId,
+    tub: VarId,
+    k: u64,
+) -> Vec<Stmt> {
+    let p = Expr::Rt(dsm_ir::RtExpr::NProcs {
+        array: lv.array,
+        dim: lv.dim,
+    });
+    let base = Expr::add(
+        Expr::mul(
+            Expr::add(Expr::mul(Expr::var(round), p), Expr::var(pvar)),
+            Expr::int(k as i64),
+        ),
+        Expr::int(1),
+    );
+    let c = Expr::int(lv.offset);
+    vec![
+        Stmt::SAssign {
+            var: tlb,
+            value: Expr::max(dl.lb.clone(), Expr::sub(base.clone(), c.clone())),
+        },
+        Stmt::SAssign {
+            var: tub,
+            value: Expr::min(
+                dl.ub.clone(),
+                Expr::sub(Expr::add(base, Expr::int(k as i64 - 1)), c),
+            ),
+        },
+        Stmt::Overhead {
+            int_divs: 0,
+            indirect_loads: 0,
+            int_alu: 4,
+        },
+    ]
+}
+
+/// Build the (peeled) data-loop pyramid for levels `li..`.
+///
+/// `violations` records which levels' boundary copies we are inside:
+/// `(level, Side::Lo)` means the loop variable of that level sits at the
+/// portion's low edge, so references with negative offsets at that level
+/// escape the portion and must keep raw addressing — but everything else
+/// in the boundary copy is still confined and is upgraded (the paper's
+/// peeled code likewise uses portion addressing for the in-portion
+/// operands of a boundary iteration).
+fn build_data_loops(
+    sub: &Subroutine,
+    levels: &[TileLevel],
+    data_loops: &[LoopStmt],
+    tlbs: &[VarId],
+    tubs: &[VarId],
+    li: usize,
+    violations: &[(usize, Side)],
+) -> Vec<Stmt> {
+    let lv = &levels[li];
+    let dl = &data_loops[li];
+    let innermost = li + 1 == levels.len();
+    let body_for = |sub: &Subroutine, viols: &[(usize, Side)]| -> Vec<Stmt> {
+        if innermost {
+            let mut b = dl.body.clone();
+            for st in &mut b {
+                upgrade_modes(sub, st, levels, viols);
+            }
+            b
+        } else {
+            build_data_loops(sub, levels, data_loops, tlbs, tubs, li + 1, viols)
+        }
+    };
+    let interior_body = body_for(sub, violations);
+    let mk = |lb: Expr, ub: Expr, body: Vec<Stmt>| {
+        Stmt::Loop(Box::new(LoopStmt {
+            var: dl.var,
+            lb,
+            ub,
+            step: Expr::int(1),
+            body,
+            par: None,
+        }))
+    };
+    let lb = Expr::var(tlbs[li]);
+    let ub = Expr::var(tubs[li]);
+    if lv.peel_lo == 0 && lv.peel_hi == 0 {
+        return vec![mk(lb, ub, interior_body)];
+    }
+    let mut out = Vec::new();
+    if lv.peel_lo > 0 {
+        let mut viols = violations.to_vec();
+        viols.push((li, Side::Lo));
+        out.push(mk(
+            lb.clone(),
+            Expr::min(ub.clone(), Expr::add(lb.clone(), Expr::int(lv.peel_lo - 1))),
+            body_for(sub, &viols),
+        ));
+    }
+    out.push(mk(
+        Expr::add(lb.clone(), Expr::int(lv.peel_lo)),
+        Expr::sub(ub.clone(), Expr::int(lv.peel_hi)),
+        interior_body,
+    ));
+    if lv.peel_hi > 0 {
+        let mut viols = violations.to_vec();
+        viols.push((li, Side::Hi));
+        // The epilogue must not re-run iterations the prologue already
+        // covered when the portion is narrower than the combined peels.
+        out.push(mk(
+            Expr::max(
+                Expr::add(lb, Expr::int(lv.peel_lo)),
+                Expr::sub(ub.clone(), Expr::int(lv.peel_hi - 1)),
+            ),
+            ub,
+            body_for(sub, &viols),
+        ));
+    }
+    out
+}
+
+/// Upgrade reshaped references that are confined to one portion in every
+/// distributed dimension (only raw references change; statement-CSE'd
+/// modes already cost no more than the tiled form).
+fn upgrade_modes(
+    sub: &Subroutine,
+    st: &mut Stmt,
+    levels: &[TileLevel],
+    violations: &[(usize, Side)],
+) {
+    match st {
+        Stmt::Assign {
+            array,
+            indices,
+            value,
+            mode,
+        } => {
+            if matches!(mode, AddrMode::ReshapedRaw | AddrMode::ReshapedRawFp)
+                && ref_confined(sub, *array, indices, levels, violations)
+            {
+                *mode = AddrMode::ReshapedTiled;
+            }
+            for e in indices.iter_mut() {
+                upgrade_expr(sub, e, levels, violations);
+            }
+            upgrade_expr(sub, value, levels, violations);
+        }
+        Stmt::SAssign { value, .. } => upgrade_expr(sub, value, levels, violations),
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            upgrade_expr(sub, cond, levels, violations);
+            for s in then_body.iter_mut().chain(else_body) {
+                upgrade_modes(sub, s, levels, violations);
+            }
+        }
+        Stmt::Loop(l) => {
+            for s in &mut l.body {
+                upgrade_modes(sub, s, levels, violations);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn upgrade_expr(
+    sub: &Subroutine,
+    e: &mut Expr,
+    levels: &[TileLevel],
+    violations: &[(usize, Side)],
+) {
+    match e {
+        Expr::Load {
+            array,
+            indices,
+            mode,
+        } => {
+            if matches!(mode, AddrMode::ReshapedRaw | AddrMode::ReshapedRawFp)
+                && ref_confined(sub, *array, indices, levels, violations)
+            {
+                *mode = AddrMode::ReshapedTiled;
+            }
+            for i in indices {
+                upgrade_expr(sub, i, levels, violations);
+            }
+        }
+        Expr::Unary(_, x) => upgrade_expr(sub, x, levels, violations),
+        Expr::Binary(_, a, b) => {
+            upgrade_expr(sub, a, levels, violations);
+            upgrade_expr(sub, b, levels, violations);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                upgrade_expr(sub, a, levels, violations);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// A reference is confined when every distributed dimension is covered by
+/// a tile level of matching geometry, same scale, and an offset within the
+/// level's peel — and, in a boundary (peeled) copy, the offset does not
+/// point past the violated edge.
+fn ref_confined(
+    sub: &Subroutine,
+    a: ArrayId,
+    indices: &[Expr],
+    levels: &[TileLevel],
+    violations: &[(usize, Side)],
+) -> bool {
+    if sub.arrays[a.0].dist_kind != DistKind::Reshaped {
+        return false;
+    }
+    let Some(sig) = grid_sig(sub, a) else {
+        return false;
+    };
+    let Some(dist) = sub.arrays[a.0].dist.clone() else {
+        return false;
+    };
+    for (dim, d) in dist.dims.iter().enumerate() {
+        if !d.is_distributed() {
+            continue;
+        }
+        let Some(idx) = indices.get(dim) else {
+            return false;
+        };
+        let Some((Some(v), s, c)) = idx.as_affine() else {
+            return false;
+        };
+        let axis = axis_of(sub, a, dim);
+        let extent = sub.arrays[a.0].dims[dim];
+        let ok = levels.iter().enumerate().any(|(lidx, lv)| {
+            if lv.sig != sig
+                || Some(lv.axis) != axis
+                || lv.extent != extent
+                || lv.kind != *d
+                || lv.var != v
+                || lv.scale != s
+            {
+                return false;
+            }
+            let delta = c - lv.offset;
+            for &(vl, side) in violations {
+                if vl == lidx {
+                    match side {
+                        Side::Lo if delta < 0 => return false,
+                        Side::Hi if delta > 0 => return false,
+                        _ => {}
+                    }
+                }
+            }
+            match lv.kind {
+                Dist::Block => {
+                    let iters = ceil_div_i64(delta.abs(), lv.scale);
+                    (delta >= 0 && iters <= lv.peel_hi) || (delta <= 0 && iters <= lv.peel_lo)
+                }
+                _ => delta == 0,
+            }
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Expression for the extent of `array` dimension `dim`.
+fn extent_expr(sub: &Subroutine, array: ArrayId, dim: usize) -> Expr {
+    match sub.arrays[array.0].dims[dim] {
+        Extent::Const(v) => Expr::int(v),
+        Extent::Var(v) => Expr::var(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use dsm_frontend::compile_sources;
+    use dsm_ir::validate_program;
+
+    fn tiled(src: &str) -> dsm_ir::Program {
+        let a = compile_sources(&[("t.f", src)]).expect("frontend");
+        let mut p = lower_program(&a).expect("lower");
+        for s in &mut p.subs {
+            run(s, &TileConfig::default());
+        }
+        validate_program(&p).expect("tiled IR valid");
+        p
+    }
+
+    /// Count loops by predicate in a whole subroutine.
+    fn count_loops(sub: &Subroutine, f: &impl Fn(&LoopStmt) -> bool) -> usize {
+        let mut n = 0;
+        for st in &sub.body {
+            st.walk(&mut |s| {
+                if let Stmt::Loop(l) = s {
+                    if f(l) {
+                        n += 1;
+                    }
+                }
+            });
+        }
+        n
+    }
+
+    fn modes(sub: &Subroutine) -> Vec<AddrMode> {
+        let mut v = Vec::new();
+        for st in &sub.body {
+            st.for_each_ref(&mut |_, _, m, _| v.push(m));
+        }
+        v
+    }
+
+    #[test]
+    fn affinity_block_becomes_proctile() {
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 100\n        a(i) = 1.0\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        assert_eq!(
+            count_loops(main, &|l| matches!(
+                l.par.as_ref().map(|d| d.sched),
+                Some(SchedType::ProcTile { .. })
+            )),
+            1,
+            "one processor-tile loop"
+        );
+        // The store is upgraded.
+        assert!(modes(main).contains(&AddrMode::ReshapedTiled));
+        assert!(!modes(main).contains(&AddrMode::ReshapedRaw));
+    }
+
+    #[test]
+    fn stencil_gets_peeled_boundary_loops() {
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(100), b(100)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 2, 99\n        a(i) = (b(i-1) + b(i) + b(i+1)) / 3\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        // Interior + 2 boundary data loops.
+        let data_loops = count_loops(main, &|l| l.par.is_none());
+        assert_eq!(data_loops, 3, "prologue, interior, epilogue");
+        let ms = modes(main);
+        assert!(ms.contains(&AddrMode::ReshapedTiled), "interior upgraded");
+        assert!(
+            ms.contains(&AddrMode::ReshapedRaw),
+            "boundary copies stay raw"
+        );
+    }
+
+    #[test]
+    fn matching_second_array_upgraded_too() {
+        // b matches a's geometry => its refs upgrade even though the
+        // affinity names a (Section 7.1 third extension).
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(64), b(64)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 64\n        a(i) = b(i)\n      enddo\n      end\n",
+        );
+        let ms = modes(p.main_sub());
+        assert_eq!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedTiled).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn mismatched_geometry_stays_raw() {
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(64), b(32)\nc$distribute_reshape a(block)\nc$distribute_reshape b(cyclic)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 32\n        a(i) = b(i)\n      enddo\n      end\n",
+        );
+        let ms = modes(p.main_sub());
+        assert!(ms.contains(&AddrMode::ReshapedTiled), "a upgraded");
+        assert!(ms.contains(&AddrMode::ReshapedRaw), "b stays raw");
+    }
+
+    #[test]
+    fn serial_block_loop_tiled() {
+        // The paper's Section 7.1 example: serial loop over a reshaped
+        // block array is tiled (P mods instead of n).
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(block)\n      do i = 1, 100\n        a(i) = i\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        // Serial proc loop (no par) + data loop; refs upgraded.
+        assert!(modes(main).contains(&AddrMode::ReshapedTiled));
+        assert_eq!(
+            count_loops(main, &|_| true),
+            2,
+            "processor loop + data loop"
+        );
+    }
+
+    #[test]
+    fn cross_geometry_axis_match_upgrades_both() {
+        // The transpose pattern: a(*,block) and b(block,*) share one grid
+        // axis; refs to both through the same tiled variable upgrade.
+        let p = tiled(
+            "      program main\n      integer i, j\n      real*8 a(32, 32), b(32, 32)\nc$distribute_reshape a(*, block)\nc$distribute_reshape b(block, *)\nc$doacross local(i, j) affinity(i) = data(a(1, i))\n      do i = 1, 32\n        do j = 1, 32\n          a(j, i) = b(i, j)\n        enddo\n      enddo\n      end\n",
+        );
+        let ms = modes(p.main_sub());
+        assert!(
+            ms.iter().filter(|m| **m == AddrMode::ReshapedTiled).count() >= 2,
+            "both sides of the transpose must be portion-confined: {ms:?}"
+        );
+        assert!(!ms.contains(&AddrMode::ReshapedRaw));
+    }
+
+    #[test]
+    fn serial_nest_hoists_tile_loop_preserving_data_order() {
+        // Outer j (star dim), inner i (block dim): the tile loop must be
+        // hoisted outside j while j stays outside the i data loop.
+        let p = tiled(
+            "      program main\n      integer i, j\n      real*8 b(64, 8)\nc$distribute_reshape b(block, *)\n      do j = 1, 8\n        do i = 1, 64\n          b(i, j) = i + j\n        enddo\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        // Structure: ploop { bounds…, do j { do i } }.
+        let Stmt::Loop(ploop) = &main.body[0] else {
+            panic!()
+        };
+        assert!(
+            main.scalars[ploop.var.0].name.starts_with("p$"),
+            "tile loop outermost"
+        );
+        let inner_loops: Vec<&LoopStmt> = ploop
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Loop(l) => Some(l.as_ref()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(inner_loops.len(), 1, "one j loop inside the tile loop");
+        assert_eq!(main.scalars[inner_loops[0].var.0].name, "j");
+        assert!(modes(main).contains(&AddrMode::ReshapedTiled));
+    }
+
+    #[test]
+    fn serial_cyclic_loop_not_tiled() {
+        // Changing iteration order is illegal for serial cyclic loops.
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(cyclic)\n      do i = 1, 100\n        a(i) = i\n      enddo\n      end\n",
+        );
+        let ms = modes(p.main_sub());
+        assert!(ms.contains(&AddrMode::ReshapedRaw));
+        assert!(!ms.contains(&AddrMode::ReshapedTiled));
+    }
+
+    #[test]
+    fn parallel_cyclic_loop_tiled_with_rounds() {
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 1000\n        a(i) = i\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        // proc tile + round loop + data loop = 3 loops.
+        assert_eq!(count_loops(main, &|_| true), 3);
+        assert!(modes(main).contains(&AddrMode::ReshapedTiled));
+    }
+
+    #[test]
+    fn nest_affinity_puts_proctiles_outermost() {
+        let p = tiled(
+            "      program main\n      integer i, j\n      real*8 a(64, 64)\nc$distribute_reshape a(block, block)\nc$doacross nest(j, i) local(i, j) affinity(j, i) = data(a(i, j))\n      do j = 1, 64\n        do i = 1, 64\n          a(i, j) = i + j\n        enddo\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        // Outermost statement is a ProcTile loop whose single nested loop
+        // chain contains another ProcTile before any data loop.
+        let Stmt::Loop(outer) = &main.body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            outer.par.as_ref().map(|d| d.sched),
+            Some(SchedType::ProcTile { .. })
+        ));
+        let mut saw_inner_proctile = false;
+        for st in &outer.body {
+            if let Stmt::Loop(l) = st {
+                if matches!(
+                    l.par.as_ref().map(|d| d.sched),
+                    Some(SchedType::ProcTile { .. })
+                ) {
+                    saw_inner_proctile = true;
+                }
+            }
+        }
+        assert!(
+            saw_inner_proctile,
+            "second proc-tile loop immediately inside the first"
+        );
+        assert!(modes(main).contains(&AddrMode::ReshapedTiled));
+    }
+
+    #[test]
+    fn regular_affinity_also_proctiled_without_upgrades() {
+        // Affinity scheduling applies to regular distributions too; no
+        // reshaped refs exist so no mode changes.
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 100\n        a(i) = 1.0\n      enddo\n      end\n",
+        );
+        let main = p.main_sub();
+        assert_eq!(
+            count_loops(main, &|l| matches!(
+                l.par.as_ref().map(|d| d.sched),
+                Some(SchedType::ProcTile { .. })
+            )),
+            1
+        );
+        assert!(modes(main).iter().all(|m| *m == AddrMode::Direct));
+    }
+
+    #[test]
+    fn non_unit_step_left_alone() {
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(block)\n      do i = 1, 100, 2\n        a(i) = i\n      enddo\n      end\n",
+        );
+        let ms = modes(p.main_sub());
+        assert!(ms.contains(&AddrMode::ReshapedRaw));
+    }
+
+    #[test]
+    fn overhead_statements_emitted_per_tile() {
+        let p = tiled(
+            "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 100\n        a(i) = 1.0\n      enddo\n      end\n",
+        );
+        let mut overheads = 0;
+        for st in &p.main_sub().body {
+            st.walk(&mut |s| {
+                if matches!(s, Stmt::Overhead { .. }) {
+                    overheads += 1;
+                }
+            });
+        }
+        assert_eq!(overheads, 1, "one per-tile mod charge");
+    }
+}

@@ -1,0 +1,157 @@
+//! `dsmfc` — the mini-Fortran directive compiler driver.
+//!
+//! Compiles one or more source files through the full pipeline (frontend,
+//! pre-linker with directive propagation and cloning, reshaped-array
+//! optimizations) and runs the program on a simulated CC-NUMA machine.
+//!
+//! ```text
+//! dsmfc [options] file.f [file2.f ...]
+//!   -p, --procs N       simulated processors (default 4)
+//!       --scale N       machine scale divisor vs a real Origin-2000 (default 64)
+//!   -O LEVEL            none | tile | hoist | full   (default full)
+//!       --dump-ir       print the transformed IR and exit
+//!       --check         enable the Section-6 runtime argument checks
+//!       --round-robin   round-robin page placement instead of first-touch
+//!       --counters      print per-processor hardware counters
+//! ```
+
+use dsm_core::{ExecOptions, Machine, MachineConfig, OptConfig, PagePolicy, Session};
+
+struct Options {
+    files: Vec<String>,
+    procs: usize,
+    scale: usize,
+    opt: OptConfig,
+    dump_ir: bool,
+    checks: bool,
+    round_robin: bool,
+    counters: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dsmfc [-p N] [--scale N] [-O none|tile|hoist|full] [--dump-ir] \
+         [--check] [--round-robin] [--counters] file.f [file2.f ...]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        files: vec![],
+        procs: 4,
+        scale: 64,
+        opt: OptConfig::default(),
+        dump_ir: false,
+        checks: false,
+        round_robin: false,
+        counters: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-p" | "--procs" => {
+                o.procs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                o.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "-O" => {
+                o.opt = match args.next().as_deref() {
+                    Some("none") => OptConfig::none(),
+                    Some("tile") => OptConfig::tile_peel_only(),
+                    Some("hoist") => OptConfig::tile_peel_hoist(),
+                    Some("full") => OptConfig::default(),
+                    _ => usage(),
+                }
+            }
+            "--dump-ir" => o.dump_ir = true,
+            "--check" => o.checks = true,
+            "--round-robin" => o.round_robin = true,
+            "--counters" => o.counters = true,
+            "-h" | "--help" => usage(),
+            f if !f.starts_with('-') => o.files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if o.files.is_empty() {
+        usage();
+    }
+    o
+}
+
+fn main() {
+    let o = parse_args();
+    let mut session = Session::new().optimize(o.opt);
+    for f in &o.files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => session = session.source(f, &text),
+            Err(e) => {
+                eprintln!("dsmfc: cannot read `{f}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let program = match session.compile() {
+        Ok(p) => p,
+        Err(errs) => {
+            let texts: Vec<(String, String)> = o
+                .files
+                .iter()
+                .filter_map(|f| std::fs::read_to_string(f).ok().map(|t| (f.clone(), t)))
+                .collect();
+            let refs: Vec<(&str, &str)> = texts
+                .iter()
+                .map(|(n, t)| (n.as_str(), t.as_str()))
+                .collect();
+            eprint!("{}", dsm_frontend::render_diagnostics(&refs, &errs));
+            std::process::exit(1);
+        }
+    };
+    let pr = program.prelink_report();
+    eprintln!(
+        "dsmfc: compiled {} file(s); pre-linker: {} clone(s), {} recompilation(s)",
+        o.files.len(),
+        pr.clones_created,
+        pr.recompilations
+    );
+    if o.dump_ir {
+        println!("{}", program.ir_dump());
+        return;
+    }
+    let mut cfg = MachineConfig::scaled_origin2000(o.procs, o.scale);
+    if o.round_robin {
+        cfg.policy = PagePolicy::RoundRobin;
+    }
+    let mut machine = Machine::new(cfg);
+    let mut exec = ExecOptions::new(o.procs);
+    if o.checks {
+        exec = exec.with_checks();
+    }
+    match dsm_exec::run_program(&mut machine, program.program(), &exec) {
+        Ok(report) => {
+            println!(
+                "cycles: {} total ({} in parallel regions, {} regions)",
+                report.total_cycles, report.parallel_cycles, report.parallel_regions
+            );
+            println!("simulated seconds at 195 MHz: {:.6}", report.seconds(195e6));
+            println!("aggregate: {}", report.total);
+            println!("pages/node: {:?}", report.pages_per_node);
+            if o.counters {
+                for (p, c) in report.per_proc.iter().enumerate() {
+                    println!("P{p:<3} {c}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

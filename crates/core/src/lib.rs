@@ -1,0 +1,204 @@
+//! # dsm-core
+//!
+//! The end-to-end API of this reproduction of Chandra et al., *Data
+//! Distribution Support on Distributed Shared Memory Multiprocessors*
+//! (PLDI 1997): compile mini-Fortran programs carrying `c$distribute`,
+//! `c$distribute_reshape` and `c$doacross` directives, and run them on a
+//! simulated Origin-2000-class CC-NUMA machine.
+//!
+//! ```
+//! use dsm_core::{MachineConfig, OptConfig, Session};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "\
+//!       program main
+//!       integer i
+//!       real*8 a(1024)
+//! c$distribute_reshape a(block)
+//! c$doacross local(i) affinity(i) = data(a(i))
+//!       do i = 1, 1024
+//!         a(i) = 2*i
+//!       enddo
+//!       end
+//! ";
+//! let program = Session::new()
+//!     .source("demo.f", src)
+//!     .optimize(OptConfig::default())
+//!     .compile()
+//!     .map_err(|e| e[0].clone())?;
+//! let report = program.run(&MachineConfig::small_test(4), 4)?;
+//! assert!(report.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The [`workloads`] module generates the paper's three evaluation
+//! programs (NAS-LU-style SSOR, matrix transpose, 2-D convolution)
+//! parameterized by size and placement policy; the `dsm-bench` crate uses
+//! them to regenerate every table and figure.
+
+pub mod workloads;
+
+pub use dsm_compile::{OptConfig, PrelinkReport};
+pub use dsm_exec::{ExecError, ExecOptions, RunReport};
+pub use dsm_frontend::{CompileError, ErrorKind};
+pub use dsm_ir::Program;
+pub use dsm_machine::{CounterSet, Machine, MachineConfig, PagePolicy};
+
+/// A compilation session: sources plus optimization settings.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    sources: Vec<(String, String)>,
+    opt: OptConfig,
+}
+
+impl Session {
+    /// Empty session with default (full) optimization.
+    pub fn new() -> Self {
+        Session {
+            sources: Vec::new(),
+            opt: OptConfig::default(),
+        }
+    }
+
+    /// Add a source file.
+    pub fn source(mut self, name: &str, text: &str) -> Self {
+        self.sources.push((name.to_string(), text.to_string()));
+        self
+    }
+
+    /// Select optimization settings (see [`OptConfig`]).
+    pub fn optimize(mut self, opt: OptConfig) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Compile all sources: frontend, lowering, pre-link (directive
+    /// propagation, cloning, common-block consistency) and the reshaped
+    /// -array optimization pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns every compile-time and link-time diagnostic.
+    pub fn compile(self) -> Result<CompiledProgram, Vec<CompileError>> {
+        let refs: Vec<(&str, &str)> = self
+            .sources
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
+        let compiled = dsm_compile::compile_strings(&refs, &self.opt)?;
+        Ok(CompiledProgram { compiled })
+    }
+}
+
+/// A compiled, linked, optimized program ready to run.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    compiled: dsm_compile::pipeline::Compiled,
+}
+
+impl CompiledProgram {
+    /// The optimized IR.
+    pub fn program(&self) -> &Program {
+        &self.compiled.program
+    }
+
+    /// Pre-linker statistics (clones created, recompilations).
+    pub fn prelink_report(&self) -> &PrelinkReport {
+        &self.compiled.prelink
+    }
+
+    /// Human-readable IR dump (transformed loops, address modes).
+    pub fn ir_dump(&self) -> String {
+        dsm_ir::printer::print_program(&self.compiled.program)
+    }
+
+    /// Run on a fresh machine built from `cfg` with `nprocs` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns runtime failures (out-of-bounds, failed argument checks,
+    /// illegal redistribution).
+    pub fn run(&self, cfg: &MachineConfig, nprocs: usize) -> Result<RunReport, ExecError> {
+        let mut m = Machine::new(cfg.clone());
+        dsm_exec::run_program(&mut m, &self.compiled.program, &ExecOptions::new(nprocs))
+    }
+
+    /// Run with explicit [`ExecOptions`] (runtime checks, step limits).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledProgram::run`].
+    pub fn run_with(
+        &self,
+        cfg: &MachineConfig,
+        opts: &ExecOptions,
+    ) -> Result<RunReport, ExecError> {
+        let mut m = Machine::new(cfg.clone());
+        dsm_exec::run_program(&mut m, &self.compiled.program, opts)
+    }
+
+    /// Run and capture the final contents of named main-program arrays.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledProgram::run`].
+    pub fn run_capture(
+        &self,
+        cfg: &MachineConfig,
+        nprocs: usize,
+        captures: &[&str],
+    ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
+        let mut m = Machine::new(cfg.clone());
+        dsm_exec::interp::run_program_capture(
+            &mut m,
+            &self.compiled.program,
+            &ExecOptions::new(nprocs),
+            captures,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_end_to_end() {
+        let p = Session::new()
+            .source(
+                "t.f",
+                "      program main\n      integer i\n      real*8 a(64)\nc$distribute_reshape a(block)\n      do i = 1, 64\n        a(i) = i\n      enddo\n      end\n",
+            )
+            .compile()
+            .expect("compiles");
+        let (r, cap) = p
+            .run_capture(&MachineConfig::small_test(2), 2, &["a"])
+            .expect("runs");
+        assert!(r.total_cycles > 0);
+        assert_eq!(cap[0][63], 64.0);
+        assert!(p.ir_dump().contains("do"));
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        let e = Session::new()
+            .source("t.f", "      program main\n      x = 1\n      end\n")
+            .compile()
+            .expect_err("undeclared x");
+        assert!(e.iter().any(|d| d.msg.contains('x')));
+    }
+
+    #[test]
+    fn opt_config_affects_ir() {
+        let src = "      program main\n      integer i\n      real*8 a(64)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 64\n        a(i) = i\n      enddo\n      end\n";
+        let raw = Session::new()
+            .source("t.f", src)
+            .optimize(OptConfig::none())
+            .compile()
+            .unwrap();
+        let full = Session::new().source("t.f", src).compile().unwrap();
+        assert!(raw.ir_dump().contains("[raw]"));
+        assert!(full.ir_dump().contains("[hoisted]"));
+    }
+}

@@ -1,0 +1,1058 @@
+//! The interpreter.
+//!
+//! Serial sections execute on processor 0; a `doacross` forks a simulated
+//! team, runs each member's chunks against its own caches/clock, and
+//! joins at the implicit barrier (everyone advances to the slowest
+//! member plus barrier cost).  Processor-tile loops produced by the
+//! compiler bind each member to its own grid coordinate — the executable
+//! form of the paper's Figure-2 schedules.
+
+use dsm_ir::{
+    ActualArg, AddrMode, AffIdx, BinOp, DistKind, Doacross, Expr, Intrinsic, LoopStmt, Program,
+    RtExpr, ScalarTy, SchedType, Stmt, Subroutine, UnOp,
+};
+use dsm_machine::{AccessKind, Machine, ProcId};
+use dsm_runtime::{argcheck::ArgInfo, partition, sched, ArgChecker, RuntimeError};
+
+use crate::bind::Binder;
+use crate::report::RunReport;
+use crate::value::{Frame, Value};
+
+/// Execution options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Number of processors the program runs on (≤ the machine's).
+    pub nprocs: usize,
+    /// Enable the Section-6 runtime argument checks.
+    pub runtime_checks: bool,
+    /// Safety valve: abort after this many executed statements.
+    pub max_steps: u64,
+}
+
+impl ExecOptions {
+    /// Run on `nprocs` processors with checks off.
+    pub fn new(nprocs: usize) -> Self {
+        ExecOptions {
+            nprocs,
+            runtime_checks: false,
+            max_steps: u64::MAX,
+        }
+    }
+
+    /// Enable runtime argument checking.
+    pub fn with_checks(mut self) -> Self {
+        self.runtime_checks = true;
+        self
+    }
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Array index outside its declared extent.
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// 1-based index values.
+        indices: Vec<i64>,
+        /// Extents.
+        extents: Vec<u64>,
+    },
+    /// Call of an unknown subroutine (escaped the pre-linker).
+    UnknownSubroutine(String),
+    /// Wrong argument count or kind at a call.
+    BadCall(String),
+    /// A runtime check or redistribution failed.
+    Runtime(RuntimeError),
+    /// Step budget exhausted (runaway loop).
+    StepLimit,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OutOfBounds {
+                array,
+                indices,
+                extents,
+            } => write!(
+                f,
+                "index {indices:?} out of bounds for `{array}` with extents {extents:?}"
+            ),
+            ExecError::UnknownSubroutine(n) => write!(f, "call to unknown subroutine `{n}`"),
+            ExecError::BadCall(m) => write!(f, "bad call: {m}"),
+            ExecError::Runtime(e) => write!(f, "{e}"),
+            ExecError::StepLimit => write!(f, "execution step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<RuntimeError> for ExecError {
+    fn from(e: RuntimeError) -> Self {
+        ExecError::Runtime(e)
+    }
+}
+
+/// Run `program` on `machine` and return the measurements.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] for out-of-bounds accesses, failed runtime
+/// argument checks (when enabled), illegal redistributions, or unresolved
+/// calls.
+///
+/// # Panics
+///
+/// Panics if `opts.nprocs` exceeds the machine's processor count.
+pub fn run_program(
+    machine: &mut Machine,
+    program: &Program,
+    opts: &ExecOptions,
+) -> Result<RunReport, ExecError> {
+    run_program_capture(machine, program, opts, &[]).map(|(r, _)| r)
+}
+
+/// Like [`run_program`], but additionally returns the final contents of
+/// the named arrays of the main program (row-major over the column-major
+/// linearization, i.e. Fortran element order), for verification.
+///
+/// # Errors
+///
+/// As [`run_program`]; unknown capture names are returned as empty
+/// vectors.
+///
+/// # Panics
+///
+/// Panics if `opts.nprocs` exceeds the machine's processor count.
+pub fn run_program_capture(
+    machine: &mut Machine,
+    program: &Program,
+    opts: &ExecOptions,
+    captures: &[&str],
+) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
+    assert!(
+        opts.nprocs >= 1 && opts.nprocs <= machine.nprocs(),
+        "nprocs {} out of range for machine with {} processors",
+        opts.nprocs,
+        machine.nprocs()
+    );
+    let binder = Binder::new(machine, program, opts.nprocs);
+    let mut interp = Interp {
+        machine,
+        program,
+        opts: opts.clone(),
+        binder,
+        checker: ArgChecker::new(),
+        regions: 0,
+        region_cycles: 0,
+        steps: 0,
+    };
+    let main = program.main_sub();
+    let mut frame = Frame::new(main);
+    interp
+        .binder
+        .bind_declarations(interp.machine, main, &mut frame);
+    let mut ctx = Ctx {
+        proc: ProcId(0),
+        in_region: false,
+    };
+    interp.exec_block(&main.body, main, &mut frame, &mut ctx)?;
+
+    let per_proc: Vec<_> = (0..interp.machine.nprocs())
+        .map(|p| *interp.machine.counters(ProcId(p)))
+        .collect();
+    let total = interp.machine.total_counters();
+    let total_cycles = per_proc.iter().map(|c| c.cycles).max().unwrap_or(0);
+    let report = RunReport {
+        total_cycles,
+        per_proc,
+        total,
+        parallel_regions: interp.regions,
+        parallel_cycles: interp.region_cycles,
+        pages_per_node: interp.machine.pages_per_node(),
+        argcheck_ops: interp.checker.stats(),
+    };
+    let mut captured = Vec::with_capacity(captures.len());
+    for name in captures {
+        let mut data = Vec::new();
+        if let Some(aid) = main.array_named(name) {
+            let inst = frame.arrays[aid.0];
+            if inst != usize::MAX {
+                let arr = interp.binder.get(inst);
+                let total_len = arr.desc.total_len();
+                let rank = arr.desc.dims.len();
+                for linear in 0..total_len {
+                    // Delinearize the column-major index.
+                    let mut rest = linear;
+                    let mut idx = Vec::with_capacity(rank);
+                    for d in &arr.desc.dims {
+                        idx.push(rest % d.extent);
+                        rest /= d.extent;
+                    }
+                    data.push(interp.machine.peek_f64(arr.addr_of(&idx)));
+                }
+            }
+        }
+        captured.push(data);
+    }
+    Ok((report, captured))
+}
+
+/// Execution context: which simulated processor runs the current code and
+/// whether we are inside a parallel region.
+#[derive(Debug, Clone, Copy)]
+struct Ctx {
+    proc: ProcId,
+    in_region: bool,
+}
+
+struct Interp<'a> {
+    machine: &'a mut Machine,
+    program: &'a Program,
+    opts: ExecOptions,
+    binder: Binder,
+    checker: ArgChecker,
+    regions: usize,
+    region_cycles: u64,
+    steps: u64,
+}
+
+impl Interp<'_> {
+    fn ops(&self) -> dsm_machine::OpCosts {
+        self.machine.config().ops.clone()
+    }
+
+    fn exec_block(
+        &mut self,
+        body: &[Stmt],
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<(), ExecError> {
+        for st in body {
+            self.exec_stmt(st, sub, frame, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(
+        &mut self,
+        st: &Stmt,
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return Err(ExecError::StepLimit);
+        }
+        match st {
+            Stmt::SAssign { var, value } => {
+                let v = self.eval(value, sub, frame, ctx)?;
+                frame.scalars[var.0] = match sub.scalars[var.0].ty {
+                    ScalarTy::Int => Value::I(v.as_i()),
+                    ScalarTy::Real => Value::F(v.as_f()),
+                };
+                Ok(())
+            }
+            Stmt::Assign {
+                array,
+                indices,
+                value,
+                mode,
+            } => {
+                let v = self.eval(value, sub, frame, ctx)?;
+                let addr = self.element_addr(*array, indices, *mode, sub, frame, ctx)?;
+                let inst = frame.arrays[array.0];
+                match sub.arrays[array.0].ty {
+                    ScalarTy::Real => {
+                        self.machine.write_f64(ctx.proc, addr, v.as_f());
+                    }
+                    ScalarTy::Int => {
+                        self.machine.write_i64(ctx.proc, addr, v.as_i());
+                    }
+                }
+                let _ = inst;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval(cond, sub, frame, ctx)?;
+                self.machine.charge(ctx.proc, self.ops().int_alu);
+                if c.is_true() {
+                    self.exec_block(then_body, sub, frame, ctx)
+                } else {
+                    self.exec_block(else_body, sub, frame, ctx)
+                }
+            }
+            Stmt::Loop(l) => self.exec_loop(l, sub, frame, ctx),
+            Stmt::Call { name, args } => self.exec_call(name, args, sub, frame, ctx),
+            Stmt::Redistribute { array, dist } => {
+                let inst = frame.arrays[array.0];
+                let nprocs = self.opts.nprocs;
+                // Split borrow: take the array out, operate, put it back.
+                let mut arr = self.binder.get(inst).clone();
+                let res = arr.redistribute(self.machine, ctx.proc, dist, nprocs);
+                *self.binder.get_mut(inst) = arr;
+                res.map(|_| ()).map_err(ExecError::from)
+            }
+            Stmt::Barrier => {
+                // Explicit barriers only make sense between regions; in
+                // this serialized interpreter they only cost time.
+                self.machine.charge(ctx.proc, self.ops().barrier);
+                Ok(())
+            }
+            Stmt::Overhead {
+                int_divs,
+                indirect_loads,
+                int_alu,
+            } => {
+                let ops = self.ops();
+                let lat = self.machine.config().lat.clone();
+                let cost = u64::from(*int_divs) * ops.int_div
+                    + u64::from(*indirect_loads) * (lat.l1_hit + ops.int_alu)
+                    + u64::from(*int_alu) * ops.int_alu;
+                self.machine.charge(ctx.proc, cost);
+                Ok(())
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Loops.
+    // -----------------------------------------------------------------
+
+    fn exec_loop(
+        &mut self,
+        l: &LoopStmt,
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<(), ExecError> {
+        match &l.par {
+            Some(d) if !ctx.in_region => self.fork_region(l, d, sub, frame, ctx),
+            Some(d) if matches!(d.sched, SchedType::ProcTile { .. }) => {
+                // Inside a region: bind this member's own coordinate.
+                let SchedType::ProcTile { grid_dim } = d.sched else {
+                    unreachable!()
+                };
+                let aff = d.affinity.as_ref().expect("proc-tile loops carry affinity");
+                let inst = frame.arrays[aff.array.0];
+                let desc = &self.binder.get(inst).desc;
+                let gs = desc.grid_size();
+                if ctx.proc.0 >= gs {
+                    return Ok(()); // idle member
+                }
+                let coord = desc.delinearize_proc(ctx.proc.0)[grid_dim] as i64;
+                frame.scalars[l.var.0] = Value::I(coord);
+                self.exec_block(&l.body, sub, frame, ctx)
+            }
+            _ => self.serial_loop(l, sub, frame, ctx),
+        }
+    }
+
+    fn serial_loop(
+        &mut self,
+        l: &LoopStmt,
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<(), ExecError> {
+        let lb = self.eval(&l.lb, sub, frame, ctx)?.as_i();
+        let ub = self.eval(&l.ub, sub, frame, ctx)?.as_i();
+        let step = self.eval(&l.step, sub, frame, ctx)?.as_i();
+        if step == 0 {
+            return Err(ExecError::BadCall("zero loop step".into()));
+        }
+        self.run_chunk(l, sub, frame, ctx, lb, ub, step)
+    }
+
+    /// Execute iterations `lb..=ub:step` of `l` on the current processor.
+    #[allow(clippy::too_many_arguments)] // loop + frame + chunk bounds
+    fn run_chunk(
+        &mut self,
+        l: &LoopStmt,
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+        lb: i64,
+        ub: i64,
+        step: i64,
+    ) -> Result<(), ExecError> {
+        let loop_overhead = self.ops().loop_overhead;
+        let mut i = lb;
+        while (step > 0 && i <= ub) || (step < 0 && i >= ub) {
+            frame.scalars[l.var.0] = Value::I(i);
+            self.machine.charge(ctx.proc, loop_overhead);
+            self.exec_block(&l.body, sub, frame, ctx)?;
+            i += step;
+        }
+        Ok(())
+    }
+
+    /// Fork a parallel region for a doacross encountered in serial code.
+    fn fork_region(
+        &mut self,
+        l: &LoopStmt,
+        d: &Doacross,
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<(), ExecError> {
+        self.regions += 1;
+        let ops = self.ops();
+        let nprocs = self.opts.nprocs;
+        let start = self.machine.cycles(ctx.proc) + ops.parallel_fork;
+        // Per-node memory-service demand before the region: deltas bound
+        // region time by the bottleneck node's throughput (the hot-node
+        // effect of the paper's Figure 5).
+        let served_before: Vec<u64> = self.machine.node_served().to_vec();
+
+        // Per-member work lists: (proc, chunks or proc-tile marker).
+        enum Work {
+            Chunks(Vec<sched::Chunk>),
+            ProcTile,
+        }
+        let mut team: Vec<(ProcId, Work)> = Vec::new();
+        match d.sched {
+            SchedType::ProcTile { .. } => {
+                let aff = d.affinity.as_ref().expect("proc-tile loops carry affinity");
+                let inst = frame.arrays[aff.array.0];
+                let gs = self.binder.get(inst).desc.grid_size().min(nprocs);
+                for p in 0..gs {
+                    team.push((ProcId(p), Work::ProcTile));
+                }
+            }
+            SchedType::RuntimeAffinity => {
+                let lb = self.eval(&l.lb, sub, frame, ctx)?.as_i();
+                let ub = self.eval(&l.ub, sub, frame, ctx)?.as_i();
+                let step = self.eval(&l.step, sub, frame, ctx)?.as_i();
+                let aff = d.affinity.as_ref().expect("runtime affinity has a clause");
+                let inst = frame.arrays[aff.array.0];
+                let desc = self.binder.get(inst).desc.clone();
+                // The axis driven by this loop's variable.
+                let axis = aff
+                    .indices
+                    .iter()
+                    .position(|ix| matches!(ix, AffIdx::Loop { var, .. } if *var == l.var));
+                match axis {
+                    Some(dim) if desc.dims[dim].dist.is_distributed() => {
+                        let AffIdx::Loop { scale, offset, .. } = &aff.indices[dim] else {
+                            unreachable!()
+                        };
+                        let parts = dsm_runtime::sched::partition_affinity(
+                            lb,
+                            ub,
+                            step,
+                            &desc.dims[dim],
+                            *scale,
+                            *offset,
+                        );
+                        let grid_dim = desc
+                            .distributed
+                            .iter()
+                            .position(|&dd| dd == dim)
+                            .unwrap_or(0);
+                        for (coord, chunks) in parts.into_iter().enumerate() {
+                            // Representative member for this coordinate:
+                            // zero on every other grid axis.
+                            let mut coords = vec![0u64; desc.grid.len()];
+                            coords[grid_dim] = coord as u64;
+                            let p = desc.linearize_coords(&coords).min(nprocs - 1);
+                            team.push((ProcId(p), Work::Chunks(chunks)));
+                        }
+                    }
+                    _ => {
+                        // Affinity unusable: fall back to simple.
+                        for (p, chunks) in partition(SchedType::Simple, lb, ub, step, nprocs)
+                            .into_iter()
+                            .enumerate()
+                        {
+                            team.push((ProcId(p), Work::Chunks(chunks)));
+                        }
+                    }
+                }
+            }
+            sched_kind => {
+                let lb = self.eval(&l.lb, sub, frame, ctx)?.as_i();
+                let ub = self.eval(&l.ub, sub, frame, ctx)?.as_i();
+                let step = self.eval(&l.step, sub, frame, ctx)?.as_i();
+                for (p, chunks) in partition(sched_kind, lb, ub, step, nprocs)
+                    .into_iter()
+                    .enumerate()
+                {
+                    team.push((ProcId(p), Work::Chunks(chunks)));
+                }
+            }
+        }
+
+        // Level every member to the fork point and run its share.
+        for (p, work) in &team {
+            if self.machine.cycles(*p) < start {
+                self.machine.set_cycles(*p, start);
+            }
+            let mut member_ctx = Ctx {
+                proc: *p,
+                in_region: true,
+            };
+            // Private copy of all scalars (covers the `local` clause; the
+            // model discards in-region writes to shared scalars at join).
+            let mut member_frame = frame.clone();
+            match work {
+                Work::ProcTile => {
+                    // Re-dispatch: exec_loop binds the coordinate.
+                    self.exec_loop(l, sub, &mut member_frame, &mut member_ctx)?;
+                }
+                Work::Chunks(chunks) => {
+                    let dispatch = matches!(d.sched, SchedType::Dynamic(_));
+                    for c in chunks {
+                        if dispatch {
+                            // Work-queue grab per chunk.
+                            self.machine.charge(*p, 6 * ops.int_alu);
+                        }
+                        self.run_chunk(
+                            l,
+                            sub,
+                            &mut member_frame,
+                            &mut member_ctx,
+                            c.lb,
+                            c.ub,
+                            c.step,
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // Implicit barrier: everyone (team and idle processors alike)
+        // advances to the slowest member — or, if some node's memory had
+        // to service more line fills than fit in that window, to the end
+        // of the bottleneck node's service demand (throughput bound).
+        let occupancy = self.machine.config().lat.mem_occupancy;
+        let node_demand = self
+            .machine
+            .node_served()
+            .iter()
+            .zip(&served_before)
+            .map(|(after, before)| (after - before) * occupancy)
+            .max()
+            .unwrap_or(0);
+        let t_end = (0..self.machine.nprocs())
+            .map(|p| self.machine.cycles(ProcId(p)))
+            .max()
+            .unwrap_or(start)
+            .max(start + node_demand)
+            + ops.barrier;
+        for p in 0..self.opts.nprocs.max(1) {
+            self.machine.set_cycles(ProcId(p), t_end);
+        }
+        if self.machine.cycles(ctx.proc) < t_end {
+            self.machine.set_cycles(ctx.proc, t_end);
+        }
+        self.region_cycles += t_end - (start - ops.parallel_fork);
+        // Sequential semantics for the loop variable after the region
+        // (what `lastlocal` guarantees on the real system): the value it
+        // would hold after a serial execution of the loop.
+        if !matches!(d.sched, SchedType::ProcTile { .. }) {
+            let lb = self.eval(&l.lb, sub, frame, ctx)?.as_i();
+            let ub = self.eval(&l.ub, sub, frame, ctx)?.as_i();
+            let step = self.eval(&l.step, sub, frame, ctx)?.as_i();
+            if step != 0 {
+                let niters = if step > 0 {
+                    (ub - lb + step).max(0) / step
+                } else {
+                    (lb - ub - step).max(0) / -step
+                };
+                frame.scalars[l.var.0] = Value::I(lb + niters * step);
+            }
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Calls.
+    // -----------------------------------------------------------------
+
+    fn exec_call(
+        &mut self,
+        name: &str,
+        args: &[ActualArg],
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<(), ExecError> {
+        let Some(callee_id) = self.program.sub_named(name) else {
+            return Err(ExecError::UnknownSubroutine(name.to_string()));
+        };
+        let callee: &Subroutine = &self.program.subs[callee_id.0];
+        if callee.params.len() != args.len() {
+            return Err(ExecError::BadCall(format!(
+                "`{name}` expects {} arguments, got {}",
+                callee.params.len(),
+                args.len()
+            )));
+        }
+        let mut callee_frame = Frame::new(callee);
+        // Registered (address, was-checked) actuals to pop on return.
+        let mut registered: Vec<u64> = Vec::new();
+        // First bind scalars and compute array bindings.
+        let mut array_binds: Vec<(usize, usize)> = Vec::new(); // (callee ArrayId idx, arena idx)
+        for (pos, (param, actual)) in callee.params.iter().zip(args).enumerate() {
+            match (param, actual) {
+                (dsm_ir::Param::Scalar(v), ActualArg::Scalar(e)) => {
+                    let val = self.eval(e, sub, frame, ctx)?;
+                    callee_frame.scalars[v.0] = match callee.scalars[v.0].ty {
+                        ScalarTy::Int => Value::I(val.as_i()),
+                        ScalarTy::Real => Value::F(val.as_f()),
+                    };
+                }
+                (dsm_ir::Param::Array(a), ActualArg::Array(actual_id)) => {
+                    let inst = frame.arrays[actual_id.0];
+                    let arr = self.binder.get(inst);
+                    let base = match &arr.layout {
+                        dsm_runtime::ArrayLayout::Contiguous { base } => *base,
+                        dsm_runtime::ArrayLayout::Reshaped { ptr_table, .. } => *ptr_table,
+                    };
+                    if self.opts.runtime_checks
+                        && sub.arrays[actual_id.0].dist_kind == DistKind::Reshaped
+                    {
+                        let shape: Vec<u64> = arr.desc.dims.iter().map(|d| d.extent).collect();
+                        self.checker.register(
+                            base,
+                            ArgInfo::WholeArray {
+                                name: arr.name.clone(),
+                                shape,
+                            },
+                        );
+                        registered.push(base);
+                        self.machine.charge(ctx.proc, 40);
+                    }
+                    // Whole-array pass: the callee sees the same instance
+                    // (its declared shape must match; the clone carries
+                    // the same distribution).
+                    array_binds.push((a.0, inst));
+                    if self.opts.runtime_checks {
+                        // Entry-side lookup happens below once extents
+                        // are evaluable.
+                    }
+                }
+                (dsm_ir::Param::Array(a), ActualArg::ArrayElem(actual_id, idx)) => {
+                    let addr =
+                        self.element_addr(*actual_id, idx, AddrMode::Direct, sub, frame, ctx)?;
+                    if self.opts.runtime_checks
+                        && sub.arrays[actual_id.0].dist_kind == DistKind::Reshaped
+                    {
+                        // Elements from the passed address to the end of
+                        // the containing portion.
+                        let idx0 = self.index_values(*actual_id, idx, sub, frame, ctx)?;
+                        let inst = frame.arrays[actual_id.0];
+                        let arr = self.binder.get(inst);
+                        // The paper's rule: the passed "portion" runs from
+                        // the element to the end of its contiguous run in
+                        // the fastest dimension, times the remaining
+                        // portion rectangle in the outer dimensions.
+                        let owner_coords = arr.desc.owner_coords(&idx0);
+                        let mut gi = 0usize;
+                        let mut remaining = 0u64;
+                        for (d0, dim) in arr.desc.dims.iter().enumerate() {
+                            let coord = if dim.dist.is_distributed() {
+                                let c = owner_coords[gi];
+                                gi += 1;
+                                c
+                            } else {
+                                0
+                            };
+                            remaining = if d0 == 0 {
+                                dim.run_remaining(idx0[0])
+                            } else {
+                                remaining * (dim.portion_extent(coord) - dim.local_offset(idx0[d0]))
+                            };
+                        }
+                        self.checker.register(
+                            addr,
+                            ArgInfo::Portion {
+                                name: arr.name.clone(),
+                                portion_len: remaining,
+                            },
+                        );
+                        registered.push(addr);
+                        self.machine.charge(ctx.proc, 40);
+                    }
+                    // The view's extents may depend on scalar params bound
+                    // above; create it after scalars are in place.
+                    let view = self
+                        .binder
+                        .bind_view(&callee.arrays[a.0], addr, &callee_frame);
+                    array_binds.push((a.0, view));
+                }
+                (dsm_ir::Param::Scalar(_), _) => {
+                    return Err(ExecError::BadCall(format!(
+                        "argument {} of `{name}` must be a scalar",
+                        pos + 1
+                    )));
+                }
+                (dsm_ir::Param::Array(_), ActualArg::Scalar(_)) => {
+                    return Err(ExecError::BadCall(format!(
+                        "argument {} of `{name}` must be an array",
+                        pos + 1
+                    )));
+                }
+            }
+        }
+        for (aid, inst) in array_binds {
+            callee_frame.arrays[aid] = inst;
+        }
+        // Entry-side runtime checks: each array formal looks up its
+        // incoming base address.
+        if self.opts.runtime_checks {
+            for (pos, param) in callee.params.iter().enumerate() {
+                if let dsm_ir::Param::Array(a) = param {
+                    let inst = callee_frame.arrays[a.0];
+                    let arr = self.binder.get(inst);
+                    let base = match &arr.layout {
+                        dsm_runtime::ArrayLayout::Contiguous { base } => *base,
+                        dsm_runtime::ArrayLayout::Reshaped { ptr_table, .. } => *ptr_table,
+                    };
+                    let declared: Vec<u64> = callee.arrays[a.0]
+                        .dims
+                        .iter()
+                        .map(|e| match e {
+                            dsm_ir::Extent::Const(v) => (*v).max(0) as u64,
+                            dsm_ir::Extent::Var(v) => {
+                                callee_frame.scalars[v.0].as_i().max(0) as u64
+                            }
+                        })
+                        .collect();
+                    self.machine.charge(ctx.proc, 40);
+                    self.checker
+                        .check_formal(&callee.name, pos, base, &declared)
+                        .map_err(|e| ExecError::Runtime(RuntimeError::ArgCheck(e)))?;
+                }
+            }
+        }
+        // Instantiate callee locals / attach commons.
+        self.binder
+            .bind_declarations(self.machine, callee, &mut callee_frame);
+        // Call overhead.
+        self.machine.charge(ctx.proc, 10 * self.ops().int_alu);
+        let mut callee_ctx = Ctx {
+            proc: ctx.proc,
+            in_region: ctx.in_region,
+        };
+        self.exec_block(&callee.body, callee, &mut callee_frame, &mut callee_ctx)?;
+        for addr in registered {
+            self.checker.unregister(addr);
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions.
+    // -----------------------------------------------------------------
+
+    fn eval(
+        &mut self,
+        e: &Expr,
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<Value, ExecError> {
+        let ops = self.ops();
+        match e {
+            Expr::IConst(v) => Ok(Value::I(*v)),
+            Expr::FConst(v) => Ok(Value::F(*v)),
+            Expr::Var(v) => Ok(frame.scalars[v.0]),
+            Expr::Rt(rt) => self.eval_rt(*rt, frame),
+            Expr::Unary(op, x) => {
+                let v = self.eval(x, sub, frame, ctx)?;
+                self.machine.charge(ctx.proc, ops.int_alu);
+                Ok(match op {
+                    UnOp::Neg => match v {
+                        Value::I(i) => Value::I(-i),
+                        Value::F(f) => Value::F(-f),
+                    },
+                    UnOp::Not => Value::I(i64::from(!v.is_true())),
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, sub, frame, ctx)?;
+                let vb = self.eval(b, sub, frame, ctx)?;
+                self.eval_binop(*op, va, vb, ctx)
+            }
+            Expr::Call(intr, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, sub, frame, ctx)?);
+                }
+                self.eval_intrinsic(*intr, &vals, ctx)
+            }
+            Expr::Load {
+                array,
+                indices,
+                mode,
+            } => {
+                let addr = self.element_addr(*array, indices, *mode, sub, frame, ctx)?;
+                match sub.arrays[array.0].ty {
+                    ScalarTy::Real => Ok(Value::F(self.machine.read_f64(ctx.proc, addr).0)),
+                    ScalarTy::Int => Ok(Value::I(self.machine.read_i64(ctx.proc, addr).0)),
+                }
+            }
+        }
+    }
+
+    fn eval_rt(&mut self, rt: RtExpr, frame: &Frame) -> Result<Value, ExecError> {
+        Ok(match rt {
+            RtExpr::NumThreads => Value::I(self.opts.nprocs as i64),
+            RtExpr::NProcs { array, dim } => {
+                let desc = &self.binder.get(frame.arrays[array.0]).desc;
+                Value::I(desc.dims[dim].nprocs as i64)
+            }
+            RtExpr::BlockSize { array, dim } => {
+                let desc = &self.binder.get(frame.arrays[array.0]).desc;
+                Value::I(desc.dims[dim].chunk as i64)
+            }
+        })
+    }
+
+    fn eval_binop(
+        &mut self,
+        op: BinOp,
+        a: Value,
+        b: Value,
+        ctx: &mut Ctx,
+    ) -> Result<Value, ExecError> {
+        let ops = self.ops();
+        let promote = a.promotes(b);
+        let cost = match op {
+            BinOp::Add | BinOp::Sub => {
+                if promote {
+                    ops.fp_alu
+                } else {
+                    ops.int_alu
+                }
+            }
+            BinOp::Mul => {
+                if promote {
+                    ops.fp_alu
+                } else {
+                    ops.int_mul
+                }
+            }
+            BinOp::Div => {
+                if promote {
+                    ops.fp_div
+                } else {
+                    ops.int_div
+                }
+            }
+            BinOp::Rem => ops.int_div,
+            BinOp::Pow => ops.fp_div + ops.fp_alu,
+            _ => ops.int_alu,
+        };
+        self.machine.charge(ctx.proc, cost);
+        Ok(match op {
+            BinOp::Add => {
+                if promote {
+                    Value::F(a.as_f() + b.as_f())
+                } else {
+                    Value::I(a.as_i() + b.as_i())
+                }
+            }
+            BinOp::Sub => {
+                if promote {
+                    Value::F(a.as_f() - b.as_f())
+                } else {
+                    Value::I(a.as_i() - b.as_i())
+                }
+            }
+            BinOp::Mul => {
+                if promote {
+                    Value::F(a.as_f() * b.as_f())
+                } else {
+                    Value::I(a.as_i() * b.as_i())
+                }
+            }
+            BinOp::Div => {
+                if promote {
+                    Value::F(a.as_f() / b.as_f())
+                } else if b.as_i() == 0 {
+                    return Err(ExecError::BadCall("integer division by zero".into()));
+                } else {
+                    Value::I(a.as_i() / b.as_i())
+                }
+            }
+            BinOp::Rem => {
+                if b.as_i() == 0 {
+                    return Err(ExecError::BadCall("mod by zero".into()));
+                } else {
+                    Value::I(a.as_i().rem_euclid(b.as_i()))
+                }
+            }
+            BinOp::Pow => {
+                if promote || b.as_i() < 0 {
+                    Value::F(a.as_f().powf(b.as_f()))
+                } else {
+                    Value::I(a.as_i().pow(b.as_i().min(63) as u32))
+                }
+            }
+            BinOp::Lt => Value::I(i64::from(a.as_f() < b.as_f())),
+            BinOp::Le => Value::I(i64::from(a.as_f() <= b.as_f())),
+            BinOp::Gt => Value::I(i64::from(a.as_f() > b.as_f())),
+            BinOp::Ge => Value::I(i64::from(a.as_f() >= b.as_f())),
+            BinOp::Eq => Value::I(i64::from(a.as_f() == b.as_f())),
+            BinOp::Ne => Value::I(i64::from(a.as_f() != b.as_f())),
+            BinOp::And => Value::I(i64::from(a.is_true() && b.is_true())),
+            BinOp::Or => Value::I(i64::from(a.is_true() || b.is_true())),
+        })
+    }
+
+    fn eval_intrinsic(
+        &mut self,
+        intr: Intrinsic,
+        vals: &[Value],
+        ctx: &mut Ctx,
+    ) -> Result<Value, ExecError> {
+        let ops = self.ops();
+        let cost = match intr {
+            Intrinsic::Sqrt => ops.fp_div,
+            Intrinsic::Mod | Intrinsic::CeilDiv => ops.int_div,
+            _ => ops.int_alu,
+        };
+        self.machine.charge(ctx.proc, cost);
+        Ok(match intr {
+            Intrinsic::Max => {
+                if vals.iter().any(|v| matches!(v, Value::F(_))) {
+                    Value::F(vals.iter().map(|v| v.as_f()).fold(f64::MIN, f64::max))
+                } else {
+                    Value::I(vals.iter().map(|v| v.as_i()).max().unwrap_or(0))
+                }
+            }
+            Intrinsic::Min => {
+                if vals.iter().any(|v| matches!(v, Value::F(_))) {
+                    Value::F(vals.iter().map(|v| v.as_f()).fold(f64::MAX, f64::min))
+                } else {
+                    Value::I(vals.iter().map(|v| v.as_i()).min().unwrap_or(0))
+                }
+            }
+            Intrinsic::Mod => {
+                let b = vals[1].as_i();
+                if b == 0 {
+                    return Err(ExecError::BadCall("mod by zero".into()));
+                }
+                Value::I(vals[0].as_i().rem_euclid(b))
+            }
+            Intrinsic::CeilDiv => {
+                let (a, b) = (vals[0].as_i(), vals[1].as_i());
+                if b == 0 {
+                    return Err(ExecError::BadCall("ceildiv by zero".into()));
+                }
+                Value::I((a + b - 1).div_euclid(b))
+            }
+            Intrinsic::Abs => match vals[0] {
+                Value::I(v) => Value::I(v.abs()),
+                Value::F(v) => Value::F(v.abs()),
+            },
+            Intrinsic::Sqrt => Value::F(vals[0].as_f().sqrt()),
+            Intrinsic::Dble => Value::F(vals[0].as_f()),
+            Intrinsic::Int => Value::I(vals[0].as_i()),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Addressing.
+    // -----------------------------------------------------------------
+
+    /// Evaluate indices to 0-based values with bounds checking.
+    fn index_values(
+        &mut self,
+        array: dsm_ir::ArrayId,
+        indices: &[Expr],
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<Vec<u64>, ExecError> {
+        let mut vals = Vec::with_capacity(indices.len());
+        for ix in indices {
+            vals.push(self.eval(ix, sub, frame, ctx)?.as_i());
+        }
+        let inst = frame.arrays[array.0];
+        let desc = &self.binder.get(inst).desc;
+        let mut out = Vec::with_capacity(vals.len());
+        for (d, &v) in desc.dims.iter().zip(&vals) {
+            if v < 1 || v as u64 > d.extent {
+                let extents = desc.dims.iter().map(|d| d.extent).collect();
+                return Err(ExecError::OutOfBounds {
+                    array: sub.arrays[array.0].name.clone(),
+                    indices: vals.clone(),
+                    extents,
+                });
+            }
+            out.push((v - 1) as u64);
+        }
+        Ok(out)
+    }
+
+    /// Compute an element's address, charging the addressing overhead of
+    /// the reference's [`AddrMode`].
+    fn element_addr(
+        &mut self,
+        array: dsm_ir::ArrayId,
+        indices: &[Expr],
+        mode: AddrMode,
+        sub: &Subroutine,
+        frame: &mut Frame,
+        ctx: &mut Ctx,
+    ) -> Result<u64, ExecError> {
+        let idx0 = self.index_values(array, indices, sub, frame, ctx)?;
+        let inst = frame.arrays[array.0];
+        let ops = self.ops();
+        let arr = self.binder.get(inst);
+        let addr = arr.addr_of(&idx0);
+        let n_dist = arr.desc.distributed.len().max(1) as u64;
+        let owner = match mode {
+            AddrMode::ReshapedRaw
+            | AddrMode::ReshapedRawFp
+            | AddrMode::ReshapedTiled
+            | AddrMode::ReshapedSharedDiv => arr.desc.owner_proc(&idx0),
+            _ => 0,
+        };
+        let slot = arr.ptr_slot_addr(owner);
+        match mode {
+            AddrMode::Direct | AddrMode::ReshapedHoisted | AddrMode::ReshapedSharedAll => {
+                // Strength-reduced column-major walk: one address add.
+                self.machine.charge(ctx.proc, ops.int_alu);
+            }
+            AddrMode::ReshapedRaw | AddrMode::ReshapedRawFp => {
+                // One divide per distributed dimension — a MIPS `div`
+                // leaves quotient *and* remainder in LO/HI, so the
+                // Table-1 div+mod pair is a single unpipelined divide plus
+                // register moves — and the indirect portion-pointer load.
+                let div = if mode == AddrMode::ReshapedRaw {
+                    ops.int_div
+                } else {
+                    ops.fp_emulated_div
+                };
+                self.machine
+                    .charge(ctx.proc, n_dist * (div + ops.int_alu) + 2 * ops.int_alu);
+                if let Some(slot) = slot {
+                    self.machine.access(ctx.proc, slot, AccessKind::Read);
+                }
+            }
+            AddrMode::ReshapedTiled | AddrMode::ReshapedSharedDiv => {
+                // No div/mod, but the pointer is re-loaded every access
+                // (indirect loads cannot be speculated / were CSE-shared
+                // only for the divide).
+                self.machine.charge(ctx.proc, 2 * ops.int_alu);
+                if let Some(slot) = slot {
+                    self.machine.access(ctx.proc, slot, AccessKind::Read);
+                }
+            }
+        }
+        Ok(addr)
+    }
+}

@@ -1,0 +1,89 @@
+//! Run reports.
+
+use dsm_machine::CounterSet;
+
+/// Measurements of one program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Wall-clock cycles: the maximum processor clock at program end.
+    pub total_cycles: u64,
+    /// Per-processor hardware counters.
+    pub per_proc: Vec<CounterSet>,
+    /// Aggregate counters.
+    pub total: CounterSet,
+    /// Parallel regions executed (fork/join pairs).
+    pub parallel_regions: usize,
+    /// Cycles spent inside parallel regions (fork to join, wall-clock) —
+    /// the "kernel time" the paper's figures plot, excluding serial
+    /// initialization.
+    pub parallel_cycles: u64,
+    /// Pages resident on each node at program end.
+    pub pages_per_node: Vec<usize>,
+    /// Runtime argument-checker traffic: (inserts, lookups).
+    pub argcheck_ops: (u64, u64),
+}
+
+impl RunReport {
+    /// Simulated seconds at the given clock rate (the paper's machine ran
+    /// at 195 MHz).
+    pub fn seconds(&self, hz: f64) -> f64 {
+        self.total_cycles as f64 / hz
+    }
+
+    /// Kernel cycles: time inside parallel regions when any exist (what
+    /// the paper's speedup figures measure), the whole run otherwise.
+    pub fn kernel_cycles(&self) -> u64 {
+        if self.parallel_cycles > 0 {
+            self.parallel_cycles
+        } else {
+            self.total_cycles
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` (same work).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.total_cycles as f64 / self.total_cycles.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cycles={} regions={} argcheck={:?}",
+            self.total_cycles, self.parallel_regions, self.argcheck_ops
+        )?;
+        writeln!(f, "totals: {}", self.total)?;
+        write!(f, "pages/node: {:?}", self.pages_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> RunReport {
+        RunReport {
+            total_cycles: cycles,
+            per_proc: vec![],
+            total: CounterSet::new(),
+            parallel_regions: 0,
+            parallel_cycles: 0,
+            pages_per_node: vec![],
+            argcheck_ops: (0, 0),
+        }
+    }
+
+    #[test]
+    fn seconds_and_speedup() {
+        let fast = report(1_950_000);
+        let slow = report(3_900_000);
+        assert!((fast.seconds(195e6) - 0.01).abs() < 1e-12);
+        assert_eq!(fast.speedup_over(&slow), 2.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!report(1).to_string().is_empty());
+    }
+}

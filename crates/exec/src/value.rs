@@ -1,0 +1,86 @@
+//! Runtime scalar values and frames.
+
+use dsm_ir::{ScalarTy, Subroutine};
+
+/// A scalar value (Fortran `integer` or `real*8`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer.
+    I(i64),
+    /// Double-precision real.
+    F(f64),
+}
+
+impl Value {
+    /// Integer view (truncates reals, Fortran `int()` semantics).
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => v as i64,
+        }
+    }
+
+    /// Real view.
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::F(v) => v,
+        }
+    }
+
+    /// Truthiness (non-zero).
+    pub fn is_true(self) -> bool {
+        match self {
+            Value::I(v) => v != 0,
+            Value::F(v) => v != 0.0,
+        }
+    }
+
+    /// True when either operand is real (result promotes).
+    pub fn promotes(self, other: Value) -> bool {
+        matches!(self, Value::F(_)) || matches!(other, Value::F(_))
+    }
+}
+
+/// A subroutine activation's scalar storage plus array bindings
+/// (indices into the binder's arena).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// One value per [`dsm_ir::VarId`].
+    pub scalars: Vec<Value>,
+    /// One arena index per [`dsm_ir::ArrayId`] (`usize::MAX` = unbound).
+    pub arrays: Vec<usize>,
+}
+
+impl Frame {
+    /// Fresh frame for a subroutine: scalars zeroed, arrays unbound.
+    pub fn new(sub: &Subroutine) -> Self {
+        let scalars = sub
+            .scalars
+            .iter()
+            .map(|s| match s.ty {
+                ScalarTy::Int => Value::I(0),
+                ScalarTy::Real => Value::F(0.0),
+            })
+            .collect();
+        Frame {
+            scalars,
+            arrays: vec![usize::MAX; sub.arrays.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::F(2.9).as_i(), 2);
+        assert_eq!(Value::I(3).as_f(), 3.0);
+        assert!(Value::I(1).is_true());
+        assert!(!Value::F(0.0).is_true());
+        assert!(Value::I(1).promotes(Value::F(0.0)));
+        assert!(!Value::I(1).promotes(Value::I(2)));
+    }
+}

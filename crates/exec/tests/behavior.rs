@@ -1,0 +1,374 @@
+//! End-to-end behaviour tests: mini-Fortran source → frontend → directive
+//! compiler → executor → verified results and machine effects.
+
+use dsm_compile::{compile_strings, OptConfig};
+use dsm_exec::interp::run_program_capture;
+use dsm_exec::{run_program, ExecError, ExecOptions};
+use dsm_machine::{Machine, MachineConfig};
+
+fn run_with(
+    src: &str,
+    opt: &OptConfig,
+    nprocs: usize,
+    captures: &[&str],
+) -> (dsm_exec::RunReport, Vec<Vec<f64>>) {
+    let c = compile_strings(&[("t.f", src)], opt).expect("compiles");
+    let mut m = Machine::new(MachineConfig::small_test(nprocs));
+    run_program_capture(&mut m, &c.program, &ExecOptions::new(nprocs), captures).expect("runs")
+}
+
+fn run_ok(src: &str, nprocs: usize, captures: &[&str]) -> (dsm_exec::RunReport, Vec<Vec<f64>>) {
+    run_with(src, &OptConfig::default(), nprocs, captures)
+}
+
+#[test]
+fn serial_loop_computes_values() {
+    let (_, cap) = run_ok(
+        "      program main\n      integer i\n      real*8 a(8)\n      do i = 1, 8\n        a(i) = 3*i + 1\n      enddo\n      end\n",
+        1,
+        &["a"],
+    );
+    let expect: Vec<f64> = (1..=8).map(|i| (3 * i + 1) as f64).collect();
+    assert_eq!(cap[0], expect);
+}
+
+#[test]
+fn doacross_simple_covers_all_iterations() {
+    let (r, cap) = run_ok(
+        "      program main\n      integer i\n      real*8 a(100)\nc$doacross local(i) shared(a)\n      do i = 1, 100\n        a(i) = i*i\n      enddo\n      end\n",
+        4,
+        &["a"],
+    );
+    assert_eq!(r.parallel_regions, 1);
+    for (i, v) in cap[0].iter().enumerate() {
+        assert_eq!(*v, ((i + 1) * (i + 1)) as f64, "element {i}");
+    }
+}
+
+#[test]
+fn reshaped_block_affinity_correct_all_optimization_levels() {
+    let src = "      program main\n      integer i\n      real*8 a(64)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 64\n        a(i) = 2*i\n      enddo\n      end\n";
+    let expect: Vec<f64> = (1..=64).map(|i| (2 * i) as f64).collect();
+    for opt in [
+        OptConfig::none(),
+        OptConfig::tile_peel_only(),
+        OptConfig::tile_peel_hoist(),
+        OptConfig::default(),
+    ] {
+        let (_, cap) = run_with(src, &opt, 4, &["a"]);
+        assert_eq!(cap[0], expect, "wrong results under {opt:?}");
+    }
+}
+
+#[test]
+fn reshaped_stencil_peeling_preserves_semantics() {
+    // Stencil across portion boundaries: peeled vs unpeeled must agree.
+    let src = "      program main\n      integer i\n      real*8 a(64), b(64)\nc$distribute_reshape a(block)\nc$distribute_reshape b(block)\n      do i = 1, 64\n        b(i) = i\n      enddo\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 2, 63\n        a(i) = (b(i-1) + b(i) + b(i+1)) / 3.0\n      enddo\n      end\n";
+    let (_, unopt) = run_with(src, &OptConfig::none(), 4, &["a"]);
+    let (_, opt) = run_with(src, &OptConfig::default(), 4, &["a"]);
+    assert_eq!(unopt[0], opt[0]);
+    // Interior element sanity: a(10) = (9+10+11)/3 = 10.
+    assert_eq!(opt[0][9], 10.0);
+    // Untouched boundary stays zero.
+    assert_eq!(opt[0][0], 0.0);
+}
+
+#[test]
+fn cyclic_k_distribution_correct() {
+    let src = "      program main\n      integer i\n      real*8 a(100)\nc$distribute_reshape a(cyclic(5))\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 100\n        a(i) = i + 0.5\n      enddo\n      end\n";
+    let (_, cap) = run_with(src, &OptConfig::default(), 4, &["a"]);
+    for (i, v) in cap[0].iter().enumerate() {
+        assert_eq!(*v, (i + 1) as f64 + 0.5, "element {i}");
+    }
+}
+
+#[test]
+fn two_dim_nest_block_block() {
+    // Paper's nest example: all (i,j) iterations concurrent.
+    let src = "      program main\n      integer i, j\n      real*8 b(16, 16)\nc$distribute_reshape b(block, block)\nc$doacross nest(i, j) local(i, j) affinity(i, j) = data(b(i, j))\n      do i = 1, 16\n        do j = 1, 16\n          b(i, j) = i + 10*j\n        enddo\n      enddo\n      end\n";
+    let (_, cap) = run_with(src, &OptConfig::default(), 4, &["b"]);
+    // Column-major: element (i,j) at (i-1) + 16*(j-1).
+    for j in 1..=16usize {
+        for i in 1..=16usize {
+            assert_eq!(
+                cap[0][(i - 1) + 16 * (j - 1)],
+                (i + 10 * j) as f64,
+                "({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn transpose_with_mixed_distributions() {
+    let src = "      program main\n      integer i, j\n      real*8 a(32, 32), b(32, 32)\nc$distribute_reshape a(*, block)\nc$distribute_reshape b(block, *)\n      do j = 1, 32\n        do i = 1, 32\n          b(i, j) = 100*i + j\n        enddo\n      enddo\nc$doacross local(i, j) affinity(j) = data(a(i, j))\n      do j = 1, 32\n        do i = 1, 32\n          a(j, i) = b(i, j)\n        enddo\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 4, &["a"]);
+    // a(j,i) == b(i,j) = 100 i + j.
+    for i in 1..=32usize {
+        for j in 1..=32usize {
+            assert_eq!(
+                cap[0][(j - 1) + 32 * (i - 1)],
+                (100 * i + j) as f64,
+                "a({j},{i})"
+            );
+        }
+    }
+}
+
+#[test]
+fn subroutine_call_binds_whole_arrays_and_scalars() {
+    let src = "      program main\n      real*8 a(20)\n      integer n\n      n = 20\n      call fill(a, n)\n      end\n      subroutine fill(x, n)\n      integer n, i\n      real*8 x(n)\n      do i = 1, n\n        x(i) = 7*i\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 2, &["a"]);
+    let expect: Vec<f64> = (1..=20).map(|i| (7 * i) as f64).collect();
+    assert_eq!(cap[0], expect);
+}
+
+#[test]
+fn reshaped_array_through_call_chain() {
+    // Propagation + cloning must produce correct execution.
+    let src = "      program main\n      real*8 a(64)\nc$distribute_reshape a(block)\n      call init(a)\n      call scale2(a)\n      end\n      subroutine init(x)\n      integer i\n      real*8 x(64)\n      do i = 1, 64\n        x(i) = i\n      enddo\n      end\n      subroutine scale2(x)\n      integer i\n      real*8 x(64)\n      do i = 1, 64\n        x(i) = 2 * x(i)\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 4, &["a"]);
+    let expect: Vec<f64> = (1..=64).map(|i| (2 * i) as f64).collect();
+    assert_eq!(cap[0], expect);
+}
+
+#[test]
+fn portion_element_passing_paper_example() {
+    // The Section 3.2.1 example: call mysub once per 5-element portion.
+    let src = "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      do i = 1, 1000, 5\n        call mysub(a(i), i)\n      enddo\n      end\n      subroutine mysub(x, base)\n      integer j, base\n      real*8 x(5)\n      do j = 1, 5\n        x(j) = base + j\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 4, &["a"]);
+    for i in (1..=1000).step_by(5) {
+        for j in 1..=5usize {
+            assert_eq!(
+                cap[0][i - 1 + j - 1],
+                (i + j) as f64,
+                "portion {i} elem {j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn runtime_check_catches_oversized_formal() {
+    let src = "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      i = 1\n      call mysub(a(i))\n      end\n      subroutine mysub(x)\n      real*8 x(6)\n      x(1) = 0.0\n      end\n";
+    let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
+    let mut m = Machine::new(MachineConfig::small_test(4));
+    let err = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks())
+        .expect_err("formal larger than portion must fail");
+    match err {
+        ExecError::Runtime(e) => assert!(e.to_string().contains("portion"), "{e}"),
+        other => panic!("unexpected error {other}"),
+    }
+    // Without checks the (incorrect) program is not caught — the paper's
+    // point about silent corruption.
+    let mut m2 = Machine::new(MachineConfig::small_test(4));
+    let c2 = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
+    assert!(run_program(&mut m2, &c2.program, &ExecOptions::new(4)).is_ok());
+}
+
+#[test]
+fn runtime_check_passes_for_correct_program() {
+    let src = "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      do i = 1, 1000, 5\n        call mysub(a(i))\n      enddo\n      end\n      subroutine mysub(x)\n      integer j\n      real*8 x(5)\n      do j = 1, 5\n        x(j) = 1.0\n      enddo\n      end\n";
+    let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
+    let mut m = Machine::new(MachineConfig::small_test(4));
+    let r = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks()).expect("runs");
+    let (inserts, lookups) = r.argcheck_ops;
+    assert_eq!(inserts, 200, "one hash insert per call");
+    assert!(lookups >= 200, "one lookup per array formal");
+}
+
+#[test]
+fn out_of_bounds_detected() {
+    let src = "      program main\n      integer i\n      real*8 a(10)\n      do i = 1, 11\n        a(i) = i\n      enddo\n      end\n";
+    let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
+    let mut m = Machine::new(MachineConfig::small_test(1));
+    let err = run_program(&mut m, &c.program, &ExecOptions::new(1)).unwrap_err();
+    assert!(matches!(err, ExecError::OutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn redistribute_changes_page_homes() {
+    let src = "      program main\n      integer i\n      real*8 a(512)\nc$distribute a(block)\n      do i = 1, 512\n        a(i) = i\n      enddo\nc$redistribute a(cyclic(128))\n      do i = 1, 512\n        a(i) = a(i) + 1\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 4, &["a"]);
+    for (i, v) in cap[0].iter().enumerate() {
+        assert_eq!(*v, (i + 2) as f64);
+    }
+}
+
+#[test]
+fn common_block_shared_across_subroutines() {
+    let src = "      program main\n      integer i\n      real*8 a(32)\n      common /blk/ a\nc$distribute_reshape a(block)\n      call setup\n      do i = 1, 32\n        a(i) = a(i) * 10\n      enddo\n      end\n      subroutine setup\n      integer i\n      real*8 a(32)\n      common /blk/ a\nc$distribute_reshape a(block)\n      do i = 1, 32\n        a(i) = i\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 2, &["a"]);
+    let expect: Vec<f64> = (1..=32).map(|i| (10 * i) as f64).collect();
+    assert_eq!(cap[0], expect);
+}
+
+// ---------------------------------------------------------------------
+// Performance-shape tests: the machine effects the paper relies on.
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_run_is_faster_than_serial() {
+    let src = "      program main\n      integer i\n      real*8 a(4096)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 4096\n        a(i) = a(i) + 1.5\n      enddo\n      end\n";
+    let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
+    let mut m1 = Machine::new(MachineConfig::small_test(1));
+    let r1 = run_program(&mut m1, &c.program, &ExecOptions::new(1)).unwrap();
+    let c8 = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
+    let mut m8 = Machine::new(MachineConfig::small_test(8));
+    let r8 = run_program(&mut m8, &c8.program, &ExecOptions::new(8)).unwrap();
+    let speedup = r8.speedup_over(&r1);
+    assert!(speedup > 2.0, "8-way speedup only {speedup:.2}");
+}
+
+#[test]
+fn tiling_reduces_cycles_on_reshaped_access() {
+    let src = "      program main\n      integer i, rep\n      real*8 a(2048)\nc$distribute_reshape a(block)\n      do rep = 1, 4\n        do i = 1, 2048\n          a(i) = a(i) + 1.0\n        enddo\n      enddo\n      end\n";
+    let (raw, _) = run_with(src, &OptConfig::none(), 4, &[]);
+    let (tiled, _) = run_with(src, &OptConfig::tile_peel_only(), 4, &[]);
+    let (hoisted, _) = run_with(src, &OptConfig::tile_peel_hoist(), 4, &[]);
+    assert!(
+        raw.total_cycles > tiled.total_cycles,
+        "tiling must help: raw {} vs tiled {}",
+        raw.total_cycles,
+        tiled.total_cycles
+    );
+    assert!(
+        tiled.total_cycles > hoisted.total_cycles,
+        "hoisting must help: tiled {} vs hoisted {}",
+        tiled.total_cycles,
+        hoisted.total_cycles
+    );
+}
+
+#[test]
+fn fp_divmod_cheaper_than_integer() {
+    // Cyclic serial loop stays raw; FP emulation should shave cycles.
+    let src = "      program main\n      integer i\n      real*8 a(2048)\nc$distribute_reshape a(cyclic)\n      do i = 1, 2048\n        a(i) = i\n      enddo\n      end\n";
+    let (int_div, _) = run_with(src, &OptConfig::tile_peel_hoist(), 4, &[]);
+    let (fp_div, _) = run_with(src, &OptConfig::default(), 4, &[]);
+    assert!(
+        int_div.total_cycles > fp_div.total_cycles,
+        "fp emulation must help: {} vs {}",
+        int_div.total_cycles,
+        fp_div.total_cycles
+    );
+}
+
+#[test]
+fn affinity_scheduling_cuts_remote_misses() {
+    // Parallel-init block array: with affinity, each processor touches
+    // its own portion; with plain simple scheduling over a *cyclic*
+    // array, work lands away from data.
+    let good = "      program main\n      integer i, rep\n      real*8 a(8192)\nc$distribute_reshape a(block)\n      do rep = 1, 3\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 8192\n        a(i) = a(i) + 1.0\n      enddo\n      enddo\n      end\n";
+    let bad = "      program main\n      integer i, rep\n      real*8 a(8192)\nc$distribute_reshape a(cyclic(8))\n      do rep = 1, 3\nc$doacross local(i) shared(a)\n      do i = 1, 8192\n        a(i) = a(i) + 1.0\n      enddo\n      enddo\n      end\n";
+    let (rg, _) = run_ok(good, 8, &[]);
+    // The shipping compiler would tile even the no-affinity loop (and our
+    // tiler does); compile the bad case unoptimized to expose the raw
+    // simple-schedule behaviour the comparison needs.
+    let (rb, _) = run_with(bad, &OptConfig::none(), 8, &[]);
+    let good_remote = rg.total.remote_fraction();
+    let bad_remote = rb.total.remote_fraction();
+    assert!(
+        good_remote < bad_remote,
+        "affinity should be more local: {good_remote:.2} vs {bad_remote:.2}"
+    );
+}
+
+#[test]
+fn reshaped_beats_first_touch_on_serial_init() {
+    // Serial init places all pages on node 0 under first-touch; the
+    // parallel sweep then hammers node 0. Reshaping fixes placement.
+    let plain = "      program main\n      integer i, rep\n      real*8 a(16384)\n      do i = 1, 16384\n        a(i) = 1.0\n      enddo\n      do rep = 1, 3\nc$doacross local(i) shared(a)\n      do i = 1, 16384\n        a(i) = a(i) + 1.0\n      enddo\n      enddo\n      end\n";
+    let reshaped = "      program main\n      integer i, rep\n      real*8 a(16384)\nc$distribute_reshape a(block)\n      do i = 1, 16384\n        a(i) = 1.0\n      enddo\n      do rep = 1, 3\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 16384\n        a(i) = a(i) + 1.0\n      enddo\n      enddo\n      end\n";
+    let (rp, _) = run_ok(plain, 8, &[]);
+    let (rr, _) = run_ok(reshaped, 8, &[]);
+    assert!(
+        rr.total.remote_misses < rp.total.remote_misses,
+        "reshaped should localize misses: {} vs {}",
+        rr.total.remote_misses,
+        rp.total.remote_misses
+    );
+}
+
+#[test]
+fn nprocs_one_still_works_with_distributions() {
+    // Table 2 scenario: full reshaped program on a single processor.
+    let src = "      program main\n      integer i\n      real*8 a(256)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 256\n        a(i) = i\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 1, &["a"]);
+    assert_eq!(cap[0][255], 256.0);
+}
+
+#[test]
+fn os_page_migration_extension_fixes_first_touch_over_time() {
+    // Extension (not in the paper's system; its related work cites
+    // Verghese et al.): with the OS migration daemon on, a serially
+    // initialized array drifts to the processors that use it, repairing
+    // first-touch placement without any directives.
+    let src = "      program main\n      integer i, rep\n      real*8 a(8192)\n      do i = 1, 8192\n        a(i) = 1.0\n      enddo\n      do rep = 1, 8\nc$doacross local(i) shared(a)\n      do i = 1, 8192\n        a(i) = a(i) + 1.0\n      enddo\n      enddo\n      end\n";
+    let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
+    let mut cfg = MachineConfig::small_test(8);
+    // Small caches so the sweeps keep missing to memory.
+    cfg.l2 = dsm_machine::CacheConfig::new(2048, 64, 2);
+    cfg.l1 = dsm_machine::CacheConfig::new(512, 32, 2);
+    let mut plain = Machine::new(cfg.clone());
+    let r_plain = run_program(&mut plain, &c.program, &ExecOptions::new(8)).unwrap();
+    cfg.migration_threshold = Some(4);
+    let c2 = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
+    let mut migrating = Machine::new(cfg);
+    let r_mig = run_program(&mut migrating, &c2.program, &ExecOptions::new(8)).unwrap();
+    assert!(migrating.migrations() > 0, "daemon must migrate hot pages");
+    assert!(
+        r_mig.total.remote_misses < r_plain.total.remote_misses,
+        "migration should localize misses: {} vs {}",
+        r_mig.total.remote_misses,
+        r_plain.total.remote_misses
+    );
+}
+
+#[test]
+fn idle_processors_do_no_work_in_small_grids() {
+    // 8 processors, but the 1-D grid of a 6-element-per-portion array
+    // still uses all 8; with onto-restricted 2-D grids, processors beyond
+    // the grid stay idle yet the barrier still levels their clocks.
+    let src = "      program main\n      integer i, j\n      real*8 a(12, 12)\nc$distribute_reshape a(block, block) onto(3, 1)\nc$doacross nest(i, j) local(i, j) affinity(i, j) = data(a(i, j))\n      do i = 1, 12\n        do j = 1, 12\n          a(i, j) = i * j\n        enddo\n      enddo\n      end\n";
+    let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
+    let mut m = Machine::new(MachineConfig::small_test(8));
+    let (r, cap) =
+        run_program_capture(&mut m, &c.program, &ExecOptions::new(8), &["a"]).expect("runs");
+    for i in 1..=12usize {
+        for j in 1..=12usize {
+            assert_eq!(cap[0][(i - 1) + 12 * (j - 1)], (i * j) as f64);
+        }
+    }
+    // Every processor's clock reaches the end (levelled at the barrier).
+    let end = r.per_proc.iter().map(|c| c.cycles).max().unwrap();
+    for p in 0..8 {
+        assert_eq!(r.per_proc[p].cycles, end, "P{p} not levelled");
+    }
+}
+
+#[test]
+fn cyclic_nest_two_dims() {
+    let src = "      program main\n      integer i, j\n      real*8 a(18, 18)\nc$distribute_reshape a(cyclic(2), cyclic(3))\nc$doacross nest(i, j) local(i, j) affinity(i, j) = data(a(i, j))\n      do i = 1, 18\n        do j = 1, 18\n          a(i, j) = 100*i + j\n        enddo\n      enddo\n      end\n";
+    let (_, cap) = run_ok(src, 4, &["a"]);
+    for i in 1..=18usize {
+        for j in 1..=18usize {
+            assert_eq!(
+                cap[0][(i - 1) + 18 * (j - 1)],
+                (100 * i + j) as f64,
+                "({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn step_limit_catches_runaway_programs() {
+    let src = "      program main\n      integer i\n      real*8 a(4)\n      do i = 1, 100000\n        a(1) = i\n      enddo\n      end\n";
+    let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
+    let mut m = Machine::new(MachineConfig::small_test(1));
+    let mut opts = ExecOptions::new(1);
+    opts.max_steps = 1000;
+    let err = dsm_exec::run_program(&mut m, &c.program, &opts).unwrap_err();
+    assert!(matches!(err, ExecError::StepLimit));
+}

@@ -1,0 +1,259 @@
+//! Abstract syntax tree produced by the parser.
+//!
+//! Names are unresolved strings at this level; [`crate::sema`] builds the
+//! symbol tables and performs the legality checks, and `dsm-compile`
+//! lowers the checked AST to `dsm-ir`.
+
+use crate::error::Span;
+
+/// Scalar/element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ATy {
+    /// `integer`
+    Int,
+    /// `real*8`
+    Real,
+}
+
+/// Expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Bare name (scalar variable or integer parameter).
+    Name(String),
+    /// `name(args)` — array reference or intrinsic call, disambiguated
+    /// during semantic analysis.
+    Index(String, Vec<AExpr>),
+    /// Unary `-` / `.not.`.
+    Un(AUnOp, Box<AExpr>),
+    /// Binary operator.
+    Bin(ABinOp, Box<AExpr>, Box<AExpr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AUnOp {
+    /// Negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ABinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `**`
+    Pow,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `/=`
+    Ne,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+}
+
+/// One `<dist>` item of a distribution directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistItem {
+    /// `block`
+    Block,
+    /// `cyclic` / `cyclic(expr)`
+    Cyclic(Option<AExpr>),
+    /// `*`
+    Star,
+}
+
+/// A `c$distribute` / `c$distribute_reshape` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributeDir {
+    /// Location.
+    pub span: Span,
+    /// Array name.
+    pub array: String,
+    /// Per-dimension formats.
+    pub dists: Vec<DistItem>,
+    /// `onto` ratios (empty = none).
+    pub onto: Vec<i64>,
+    /// True for `c$distribute_reshape`.
+    pub reshape: bool,
+}
+
+/// `schedtype` clause value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedSpec {
+    /// `schedtype(simple)`
+    Simple,
+    /// `schedtype(interleave(k))`
+    Interleave(i64),
+    /// `schedtype(dynamic(k))`
+    Dynamic(i64),
+}
+
+/// A `c$doacross` directive (bound to the following `do`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DoacrossDir {
+    /// Location.
+    pub span: Span,
+    /// `nest(i, j, …)` loop variables (empty = single-level).
+    pub nest: Vec<String>,
+    /// `local(...)` names.
+    pub locals: Vec<String>,
+    /// `shared(...)` names.
+    pub shareds: Vec<String>,
+    /// `affinity(i, …) = data(a(expr, …))`.
+    pub affinity: Option<AffinityDir>,
+    /// `schedtype(...)`.
+    pub sched: Option<SchedSpec>,
+}
+
+/// The affinity clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffinityDir {
+    /// Loop variables listed in `affinity(...)`.
+    pub loop_vars: Vec<String>,
+    /// Array named in `data(...)`.
+    pub array: String,
+    /// Index expressions of the `data` reference.
+    pub indices: Vec<AExpr>,
+}
+
+/// Statement.
+#[allow(clippy::large_enum_variant)]
+// `Do` carries its directive inline;
+// statements are built once at parse time, so the size skew is harmless.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AStmt {
+    /// `lhs = rhs`; `lhs_indices` empty for a scalar assignment.
+    Assign {
+        /// Location.
+        span: Span,
+        /// Destination name.
+        lhs: String,
+        /// Destination indices (empty = scalar).
+        lhs_indices: Vec<AExpr>,
+        /// Right-hand side.
+        rhs: AExpr,
+    },
+    /// `do var = lb, ub [, step] … enddo`.
+    Do {
+        /// Location.
+        span: Span,
+        /// Loop variable.
+        var: String,
+        /// Lower bound.
+        lb: AExpr,
+        /// Upper bound.
+        ub: AExpr,
+        /// Step (defaults to 1).
+        step: Option<AExpr>,
+        /// Body.
+        body: Vec<AStmt>,
+        /// Attached `c$doacross`, if any.
+        doacross: Option<DoacrossDir>,
+    },
+    /// `if (cond) then … [else …] endif`.
+    If {
+        /// Location.
+        span: Span,
+        /// Condition.
+        cond: AExpr,
+        /// Then branch.
+        then_body: Vec<AStmt>,
+        /// Else branch.
+        else_body: Vec<AStmt>,
+    },
+    /// `call name(args)`.
+    Call {
+        /// Location.
+        span: Span,
+        /// Callee name.
+        name: String,
+        /// Arguments (a bare `Name` may be a whole array).
+        args: Vec<AExpr>,
+    },
+    /// `c$redistribute a(<dist>, …)`.
+    Redistribute {
+        /// Location.
+        span: Span,
+        /// Array name.
+        array: String,
+        /// New per-dimension formats.
+        dists: Vec<DistItem>,
+    },
+    /// `c$barrier` — explicit team synchronization.
+    Barrier {
+        /// Location.
+        span: Span,
+    },
+}
+
+/// A typed declaration (scalar when `dims` is empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Location.
+    pub span: Span,
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: ATy,
+    /// Dimension extents (constant-foldable expressions or integer
+    /// formal-parameter names).
+    pub dims: Vec<AExpr>,
+}
+
+/// Kind of program unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitKind {
+    /// `program`
+    Program,
+    /// `subroutine`
+    Subroutine,
+}
+
+/// One program unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceUnit {
+    /// `program` or `subroutine`.
+    pub kind: UnitKind,
+    /// Unit name.
+    pub name: String,
+    /// Formal parameter names in order.
+    pub params: Vec<String>,
+    /// Typed declarations.
+    pub decls: Vec<Decl>,
+    /// `common /name/ members` statements.
+    pub commons: Vec<(String, Vec<String>)>,
+    /// `equivalence (a, b)` pairs.
+    pub equivalences: Vec<(Span, String, String)>,
+    /// `parameter (n = expr)` constants.
+    pub parameters: Vec<(Span, String, AExpr)>,
+    /// Distribution directives.
+    pub distributes: Vec<DistributeDir>,
+    /// Executable statements.
+    pub body: Vec<AStmt>,
+    /// Location of the unit header.
+    pub span: Span,
+    /// Source file index.
+    pub file: usize,
+}

@@ -1,0 +1,85 @@
+//! Human-friendly diagnostic rendering.
+//!
+//! Turns [`CompileError`]s into annotated source snippets for CLI output:
+//!
+//! ```text
+//! error: distribution error: reshaped array `a` is equivalenced with `b`
+//!   --> prog.f:4
+//!    |
+//!  4 | c$distribute_reshape a(block)
+//!    | ^
+//! ```
+
+use crate::error::CompileError;
+
+/// Render a batch of diagnostics against their sources.
+///
+/// `sources` maps file names to contents (order irrelevant; unknown files
+/// render without a snippet).
+pub fn render_diagnostics(sources: &[(&str, &str)], errors: &[CompileError]) -> String {
+    let mut out = String::new();
+    for e in errors {
+        render_one(sources, e, &mut out);
+    }
+    out
+}
+
+fn render_one(sources: &[(&str, &str)], e: &CompileError, out: &mut String) {
+    out.push_str(&format!("error: {}: {}\n", e.kind, e.msg));
+    out.push_str(&format!("  --> {}:{}\n", e.file_name, e.span.line));
+    let text = sources
+        .iter()
+        .find(|(n, _)| *n == e.file_name)
+        .map(|(_, t)| *t);
+    if let Some(text) = text {
+        if e.span.line >= 1 {
+            if let Some(line) = text.lines().nth(e.span.line - 1) {
+                let lineno = e.span.line;
+                let width = lineno.to_string().len().max(2);
+                out.push_str(&format!("{:>width$} |\n", "", width = width));
+                out.push_str(&format!("{lineno:>width$} | {line}\n"));
+                let indent = line.len() - line.trim_start().len();
+                out.push_str(&format!(
+                    "{:>width$} | {:indent$}^\n",
+                    "",
+                    "",
+                    width = width,
+                    indent = indent
+                ));
+            }
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_sources;
+
+    #[test]
+    fn renders_snippet_with_caret() {
+        let src = "      program main\n      real*8 a(10), b(10)\n      equivalence (a, b)\nc$distribute_reshape a(block)\n      end\n";
+        let errs = compile_sources(&[("prog.f", src)]).expect_err("illegal equivalence");
+        let rendered = render_diagnostics(&[("prog.f", src)], &errs);
+        assert!(rendered.contains("error: distribution error"), "{rendered}");
+        assert!(rendered.contains("--> prog.f:"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn unknown_file_renders_without_snippet() {
+        let errs = compile_sources(&[("x.f", "      nonsense\n")]).expect_err("bad");
+        let rendered = render_diagnostics(&[], &errs);
+        assert!(rendered.contains("error:"));
+        assert!(!rendered.contains('|'));
+    }
+
+    #[test]
+    fn multiple_errors_all_rendered() {
+        let src = "      program main\n      integer i\n      i = zz + yy\n      end\n";
+        let errs = compile_sources(&[("m.f", src)]).expect_err("two undeclared");
+        let rendered = render_diagnostics(&[("m.f", src)], &errs);
+        assert!(rendered.matches("error:").count() >= 2, "{rendered}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Spanned compile errors.
+
+/// A source location: file index + 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Index into the compilation's file list.
+    pub file: usize,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(file: usize, line: usize) -> Self {
+        Span { file, line }
+    }
+}
+
+/// Category of a compile error — used by tests and by the pre-linker to
+/// distinguish the paper's compile-time vs link-time checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Lexical problem.
+    Lex,
+    /// Syntactic problem.
+    Parse,
+    /// Undeclared or redeclared name, arity error, type error.
+    Sema,
+    /// A violated distribution-legality rule (Section 3.2.1):
+    /// e.g. `EQUIVALENCE` of a reshaped array.
+    DistLegality,
+    /// Link-time inconsistency (common blocks across files).
+    Link,
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorKind::Lex => "lexical error",
+            ErrorKind::Parse => "syntax error",
+            ErrorKind::Sema => "semantic error",
+            ErrorKind::DistLegality => "distribution error",
+            ErrorKind::Link => "link error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A compile-time (or link-time) diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Where.
+    pub span: Span,
+    /// What category.
+    pub kind: ErrorKind,
+    /// Human-readable description.
+    pub msg: String,
+    /// File name for display.
+    pub file_name: String,
+}
+
+impl CompileError {
+    /// Construct an error.
+    pub fn new(span: Span, kind: ErrorKind, file_name: &str, msg: impl Into<String>) -> Self {
+        CompileError {
+            span,
+            kind,
+            msg: msg.into(),
+            file_name: file_name.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file_name, self.span.line, self.kind, self.msg
+        )
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_kind() {
+        let e = CompileError::new(Span::new(0, 12), ErrorKind::DistLegality, "lu.f", "boom");
+        assert_eq!(e.to_string(), "lu.f:12: distribution error: boom");
+    }
+}

@@ -1,0 +1,72 @@
+//! # dsm-frontend
+//!
+//! A mini-Fortran frontend for the directive language of Chandra et al.
+//! (PLDI 1997): lexer, recursive-descent parser, AST, directive parsing
+//! (`c$doacross`, `c$distribute`, `c$distribute_reshape`,
+//! `c$redistribute`) and per-unit semantic analysis.
+//!
+//! ## Accepted language
+//!
+//! A line-oriented Fortran-77 subset, case-insensitive:
+//!
+//! * program units: `program`/`subroutine` … `end`, several per file,
+//!   several files per compilation;
+//! * declarations: `integer`, `real*8` (scalars and arrays with constant
+//!   or integer-parameter extents), `common /blk/ a, b`,
+//!   `equivalence (a, b)`, `parameter (n = 100)`;
+//! * statements: assignment, `do`/`enddo` (with optional step),
+//!   `if`/`then`/`else`/`endif`, `call`;
+//! * expressions: `+ - * / **`, comparisons (both `.lt.` and `<` forms),
+//!   `.and. .or. .not.`, intrinsics `max min mod abs sqrt dble int`;
+//! * directives on `c$` lines:
+//!   `c$doacross [nest(i,j)] [local(...)] [shared(...)]
+//!   [affinity(i)=data(a(expr,...))] [schedtype(...)]`,
+//!   `c$distribute a(<dist>,...) [onto(n1,n2,...)]`,
+//!   `c$distribute_reshape a(...)`, `c$redistribute a(...)`.
+//!
+//! Comment lines start with `c␣`, `*` or `!`; `!` also starts an inline
+//! comment. Continuation lines are written with a trailing `&`.
+//!
+//! The crate's [`sema`] pass performs the paper's compile-time legality
+//! checks (no `EQUIVALENCE` of reshaped arrays, no distribution
+//! directives on formals, rank agreement) and binds directives to
+//! declarations and loops.
+
+pub mod ast;
+pub mod diag;
+pub mod directive;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+
+pub use ast::{SourceUnit, UnitKind};
+pub use diag::render_diagnostics;
+pub use error::{CompileError, ErrorKind, Span};
+pub use parser::parse_source;
+pub use sema::{analyze, Analysis, UnitInfo};
+
+/// Parse and semantically check a set of source files.
+///
+/// Each `(file name, text)` pair may contain several program units.
+///
+/// # Errors
+///
+/// Returns every lexical, syntactic and semantic error found (analysis
+/// continues past unit boundaries so that multi-file problems are all
+/// reported).
+pub fn compile_sources(sources: &[(&str, &str)]) -> Result<Analysis, Vec<CompileError>> {
+    let mut units = Vec::new();
+    let mut errors = Vec::new();
+    for (file_idx, (name, text)) in sources.iter().enumerate() {
+        match parse_source(file_idx, name, text) {
+            Ok(mut u) => units.append(&mut u),
+            Err(mut e) => errors.append(&mut e),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    let files: Vec<String> = sources.iter().map(|(n, _)| n.to_string()).collect();
+    analyze(units, files)
+}

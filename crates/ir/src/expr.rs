@@ -1,0 +1,404 @@
+//! Expressions.
+//!
+//! A small, typed-enough expression language: integer and real constants,
+//! scalar variables, array loads, unary/binary operators and a fixed set of
+//! intrinsics.  Compiler transformations additionally use [`Expr::Rt`] to
+//! query runtime distribution quantities (number of processors assigned to
+//! a distributed dimension, its block size, …) — these are the symbolic
+//! `P` and `b` of the paper's Figure 2 schedules and Table 1 address
+//! transformation, resolved by the runtime at program start-up.
+
+use crate::program::{ArrayId, VarId};
+use crate::stmt::AddrMode;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+///
+/// Comparison and logical operators yield integer 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division; integer division when both operands are integers
+    /// (Fortran semantics, truncating toward zero) — this is the expensive
+    /// `div` of the paper's Section 7.
+    Div,
+    /// Remainder (`mod`), the other expensive operation.
+    Rem,
+    /// Exponentiation (`**`).
+    Pow,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+/// Intrinsic functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `max(a, b, ...)`.
+    Max,
+    /// `min(a, b, ...)`.
+    Min,
+    /// `mod(a, b)` — like [`BinOp::Rem`] but in Fortran intrinsic form.
+    Mod,
+    /// `abs(a)`.
+    Abs,
+    /// `sqrt(a)`.
+    Sqrt,
+    /// `dble(a)` — convert to real.
+    Dble,
+    /// `int(a)` — truncate to integer.
+    Int,
+    /// `ceildiv(a, b)` — ⌈a/b⌉ on integers; emitted by the affinity
+    /// transformation (not user-visible Fortran).
+    CeilDiv,
+}
+
+impl Intrinsic {
+    /// Parse a Fortran intrinsic name (lower-case).
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "max" => Intrinsic::Max,
+            "min" => Intrinsic::Min,
+            "mod" => Intrinsic::Mod,
+            "abs" => Intrinsic::Abs,
+            "sqrt" => Intrinsic::Sqrt,
+            "dble" => Intrinsic::Dble,
+            "int" => Intrinsic::Int,
+            _ => return None,
+        })
+    }
+}
+
+/// Runtime distribution queries (resolved per execution from the array's
+/// runtime descriptor and the machine's processor count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtExpr {
+    /// Number of processors assigned to distributed dimension `dim` of
+    /// `array` (the `P` of Figure 2 / Table 1).
+    NProcs {
+        /// Array whose distribution is queried.
+        array: ArrayId,
+        /// Zero-based dimension index.
+        dim: usize,
+    },
+    /// Block size `b = ceil(N/P)` of distributed dimension `dim`.
+    BlockSize {
+        /// Array whose distribution is queried.
+        array: ArrayId,
+        /// Zero-based dimension index.
+        dim: usize,
+    },
+    /// Total processors executing the program.
+    NumThreads,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IConst(i64),
+    /// Real literal.
+    FConst(f64),
+    /// Scalar variable read.
+    Var(VarId),
+    /// Array element load; indices are 1-based (Fortran). The
+    /// [`AddrMode`] records how the generated code computes the address.
+    Load {
+        /// Array being loaded.
+        array: ArrayId,
+        /// One index expression per declared dimension.
+        indices: Vec<Expr>,
+        /// Address-computation strategy (set by the compiler).
+        mode: AddrMode,
+    },
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Intrinsic call.
+    Call(Intrinsic, Vec<Expr>),
+    /// Runtime distribution query.
+    Rt(RtExpr),
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub`/… are AST-builder
+                                         // helpers that intentionally mirror the operator names; they construct
+                                         // `Expr` trees rather than evaluate, so the std operator traits don't fit.
+impl Expr {
+    /// Integer constant helper.
+    pub fn int(v: i64) -> Expr {
+        Expr::IConst(v)
+    }
+
+    /// Variable read helper.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// `a / b` (integer division on integers).
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(a), Box::new(b))
+    }
+
+    /// `mod(a, b)`.
+    pub fn rem(a: Expr, b: Expr) -> Expr {
+        Expr::Binary(BinOp::Rem, Box::new(a), Box::new(b))
+    }
+
+    /// `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Call(Intrinsic::Max, vec![a, b])
+    }
+
+    /// `min(a, b)`.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::Call(Intrinsic::Min, vec![a, b])
+    }
+
+    /// `⌈a/b⌉`.
+    pub fn ceil_div(a: Expr, b: Expr) -> Expr {
+        Expr::Call(Intrinsic::CeilDiv, vec![a, b])
+    }
+
+    /// If this expression is the affine form `s*var + c` (or degenerate
+    /// forms `var`, `var + c`, `c`), return `(var, s, c)` with `var = None`
+    /// for pure constants.  This is the "simple form s*i+c with literal
+    /// constants" that Section 7.1 requires for optimization and that the
+    /// affinity clause requires for scheduling.
+    pub fn as_affine(&self) -> Option<(Option<VarId>, i64, i64)> {
+        match self {
+            Expr::IConst(c) => Some((None, 0, *c)),
+            Expr::Var(v) => Some((Some(*v), 1, 0)),
+            Expr::Unary(UnOp::Neg, e) => {
+                let (v, s, c) = e.as_affine()?;
+                Some((v, -s, -c))
+            }
+            Expr::Binary(op, a, b) => {
+                let (va, sa, ca) = a.as_affine()?;
+                let (vb, sb, cb) = b.as_affine()?;
+                match op {
+                    BinOp::Add | BinOp::Sub => {
+                        let sign = if *op == BinOp::Sub { -1 } else { 1 };
+                        match (va, vb) {
+                            (v, None) => Some((v, sa, ca + sign * cb)),
+                            (None, v) => Some((v, sign * sb, ca + sign * cb)),
+                            (Some(x), Some(y)) if x == y => {
+                                Some((Some(x), sa + sign * sb, ca + sign * cb))
+                            }
+                            _ => None,
+                        }
+                    }
+                    BinOp::Mul => match (va, vb) {
+                        (None, v) => Some((v, ca * sb, ca * cb)),
+                        (v, None) => Some((v, sa * cb, ca * cb)),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the expression contains a reference to `var`.
+    pub fn uses_var(&self, var: VarId) -> bool {
+        match self {
+            Expr::Var(v) => *v == var,
+            Expr::IConst(_) | Expr::FConst(_) | Expr::Rt(_) => false,
+            Expr::Load { indices, .. } => indices.iter().any(|e| e.uses_var(var)),
+            Expr::Unary(_, e) => e.uses_var(var),
+            Expr::Binary(_, a, b) => a.uses_var(var) || b.uses_var(var),
+            Expr::Call(_, args) => args.iter().any(|e| e.uses_var(var)),
+        }
+    }
+
+    /// True if the expression loads from `array`.
+    pub fn uses_array(&self, array: ArrayId) -> bool {
+        match self {
+            Expr::Load {
+                array: a, indices, ..
+            } => *a == array || indices.iter().any(|e| e.uses_array(array)),
+            Expr::Var(_) | Expr::IConst(_) | Expr::FConst(_) | Expr::Rt(_) => false,
+            Expr::Unary(_, e) => e.uses_array(array),
+            Expr::Binary(_, a, b) => a.uses_array(array) || b.uses_array(array),
+            Expr::Call(_, args) => args.iter().any(|e| e.uses_array(array)),
+        }
+    }
+
+    /// Visit every `Load` in the expression.
+    pub fn for_each_load(&self, f: &mut impl FnMut(ArrayId, &[Expr], AddrMode)) {
+        match self {
+            Expr::Load {
+                array,
+                indices,
+                mode,
+            } => {
+                f(*array, indices, *mode);
+                for i in indices {
+                    i.for_each_load(f);
+                }
+            }
+            Expr::Unary(_, e) => e.for_each_load(f),
+            Expr::Binary(_, a, b) => {
+                a.for_each_load(f);
+                b.for_each_load(f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.for_each_load(f);
+                }
+            }
+            Expr::Var(_) | Expr::IConst(_) | Expr::FConst(_) | Expr::Rt(_) => {}
+        }
+    }
+
+    /// Substitute every occurrence of `var` with `with`.
+    pub fn subst_var(&self, var: VarId, with: &Expr) -> Expr {
+        match self {
+            Expr::Var(v) if *v == var => with.clone(),
+            Expr::Var(_) | Expr::IConst(_) | Expr::FConst(_) | Expr::Rt(_) => self.clone(),
+            Expr::Load {
+                array,
+                indices,
+                mode,
+            } => Expr::Load {
+                array: *array,
+                indices: indices.iter().map(|e| e.subst_var(var, with)).collect(),
+                mode: *mode,
+            },
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.subst_var(var, with))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.subst_var(var, with)),
+                Box::new(b.subst_var(var, with)),
+            ),
+            Expr::Call(i, args) => {
+                Expr::Call(*i, args.iter().map(|e| e.subst_var(var, with)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: usize) -> VarId {
+        VarId(n)
+    }
+
+    #[test]
+    fn affine_recognizes_simple_forms() {
+        let i = v(0);
+        assert_eq!(Expr::var(i).as_affine(), Some((Some(i), 1, 0)));
+        assert_eq!(Expr::int(7).as_affine(), Some((None, 0, 7)));
+        let e = Expr::add(Expr::mul(Expr::int(3), Expr::var(i)), Expr::int(-2));
+        assert_eq!(e.as_affine(), Some((Some(i), 3, -2)));
+        let e = Expr::sub(Expr::int(10), Expr::var(i));
+        assert_eq!(e.as_affine(), Some((Some(i), -1, 10)));
+    }
+
+    #[test]
+    fn affine_rejects_nonlinear() {
+        let i = v(0);
+        let e = Expr::mul(Expr::var(i), Expr::var(i));
+        assert_eq!(e.as_affine(), None);
+        let e = Expr::div(Expr::var(i), Expr::int(2));
+        assert_eq!(e.as_affine(), None);
+    }
+
+    #[test]
+    fn affine_two_vars_rejected() {
+        let e = Expr::add(Expr::var(v(0)), Expr::var(v(1)));
+        assert_eq!(e.as_affine(), None);
+    }
+
+    #[test]
+    fn affine_same_var_combines() {
+        let i = v(3);
+        let e = Expr::add(Expr::var(i), Expr::mul(Expr::int(2), Expr::var(i)));
+        assert_eq!(e.as_affine(), Some((Some(i), 3, 0)));
+    }
+
+    #[test]
+    fn uses_var_traverses_loads() {
+        let e = Expr::Load {
+            array: ArrayId(0),
+            indices: vec![Expr::add(Expr::var(v(5)), Expr::int(1))],
+            mode: AddrMode::Direct,
+        };
+        assert!(e.uses_var(v(5)));
+        assert!(!e.uses_var(v(6)));
+        assert!(e.uses_array(ArrayId(0)));
+        assert!(!e.uses_array(ArrayId(1)));
+    }
+
+    #[test]
+    fn subst_replaces_in_depth() {
+        let e = Expr::add(Expr::var(v(0)), Expr::mul(Expr::var(v(0)), Expr::int(2)));
+        let s = e.subst_var(v(0), &Expr::int(4));
+        assert!(!s.uses_var(v(0)));
+        assert_eq!(s.as_affine(), Some((None, 0, 12)));
+    }
+
+    #[test]
+    fn intrinsic_names() {
+        assert_eq!(Intrinsic::from_name("max"), Some(Intrinsic::Max));
+        assert_eq!(Intrinsic::from_name("sqrt"), Some(Intrinsic::Sqrt));
+        assert_eq!(Intrinsic::from_name("banana"), None);
+    }
+
+    #[test]
+    fn for_each_load_counts() {
+        let load = |a: usize| Expr::Load {
+            array: ArrayId(a),
+            indices: vec![Expr::int(1)],
+            mode: AddrMode::Direct,
+        };
+        let e = Expr::add(load(0), Expr::mul(load(1), load(0)));
+        let mut n = 0;
+        e.for_each_load(&mut |_, _, _| n += 1);
+        assert_eq!(n, 3);
+    }
+}

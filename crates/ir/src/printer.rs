@@ -1,0 +1,326 @@
+//! Human-readable IR dumps.
+//!
+//! Used by compiler tests to assert on transformed loop structure and by
+//! `--dump-ir`-style debugging.  The format is Fortran-flavoured
+//! pseudo-code with address modes shown in brackets.
+
+use crate::expr::{BinOp, Expr, Intrinsic, RtExpr, UnOp};
+use crate::program::{Program, Subroutine};
+use crate::stmt::{ActualArg, AddrMode, SchedType, Stmt};
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, s) in p.subs.iter().enumerate() {
+        if i == p.main {
+            out.push_str("program ");
+        } else {
+            out.push_str("subroutine ");
+        }
+        out.push_str(&print_sub(p, s));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one subroutine.
+pub fn print_sub(_p: &Program, s: &Subroutine) -> String {
+    let mut out = format!("{}(", s.name);
+    for (i, prm) in s.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match prm {
+            crate::program::Param::Array(a) => out.push_str(&s.arrays[a.0].name),
+            crate::program::Param::Scalar(v) => out.push_str(&s.scalars[v.0].name),
+        }
+    }
+    out.push_str(")\n");
+    for a in &s.arrays {
+        out.push_str(&format!(
+            "  {} {}{:?}",
+            match a.ty {
+                crate::program::ScalarTy::Int => "integer",
+                crate::program::ScalarTy::Real => "real*8",
+            },
+            a.name,
+            a.dims
+        ));
+        if let Some(d) = &a.dist {
+            out.push_str(&format!("  !{} {}", a.dist_kind, d));
+        }
+        out.push('\n');
+    }
+    for st in &s.body {
+        print_stmt(&mut out, s, st, 1);
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn ind(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Render one statement subtree at the given indent depth.
+pub fn print_stmt(out: &mut String, s: &Subroutine, st: &Stmt, depth: usize) {
+    match st {
+        Stmt::Assign {
+            array,
+            indices,
+            value,
+            mode,
+        } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "{}({}){} = {}\n",
+                s.arrays[array.0].name,
+                indices
+                    .iter()
+                    .map(|e| print_expr(s, e))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                mode_tag(*mode),
+                print_expr(s, value)
+            ));
+        }
+        Stmt::SAssign { var, value } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "{} = {}\n",
+                s.scalars[var.0].name,
+                print_expr(s, value)
+            ));
+        }
+        Stmt::Loop(l) => {
+            ind(out, depth);
+            let tag = match &l.par {
+                None => String::new(),
+                Some(d) => match d.sched {
+                    SchedType::ProcTile { grid_dim } => format!(" !proctile(dim={grid_dim})"),
+                    _ => format!(" !doacross({:?})", d.sched),
+                },
+            };
+            out.push_str(&format!(
+                "do {} = {}, {}, {}{}\n",
+                s.scalars[l.var.0].name,
+                print_expr(s, &l.lb),
+                print_expr(s, &l.ub),
+                print_expr(s, &l.step),
+                tag
+            ));
+            for b in &l.body {
+                print_stmt(out, s, b, depth + 1);
+            }
+            ind(out, depth);
+            out.push_str("enddo\n");
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            ind(out, depth);
+            out.push_str(&format!("if ({}) then\n", print_expr(s, cond)));
+            for b in then_body {
+                print_stmt(out, s, b, depth + 1);
+            }
+            if !else_body.is_empty() {
+                ind(out, depth);
+                out.push_str("else\n");
+                for b in else_body {
+                    print_stmt(out, s, b, depth + 1);
+                }
+            }
+            ind(out, depth);
+            out.push_str("endif\n");
+        }
+        Stmt::Call { name, args } => {
+            ind(out, depth);
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    ActualArg::Array(id) => s.arrays[id.0].name.clone(),
+                    ActualArg::ArrayElem(id, idx) => format!(
+                        "{}({})",
+                        s.arrays[id.0].name,
+                        idx.iter()
+                            .map(|e| print_expr(s, e))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    ActualArg::Scalar(e) => print_expr(s, e),
+                })
+                .collect();
+            out.push_str(&format!("call {}({})\n", name, rendered.join(", ")));
+        }
+        Stmt::Redistribute { array, dist } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "redistribute {} {}\n",
+                s.arrays[array.0].name, dist
+            ));
+        }
+        Stmt::Barrier => {
+            ind(out, depth);
+            out.push_str("barrier\n");
+        }
+        Stmt::Overhead {
+            int_divs,
+            indirect_loads,
+            int_alu,
+        } => {
+            ind(out, depth);
+            out.push_str(&format!(
+                "!overhead divs={int_divs} indirect={indirect_loads} alu={int_alu}\n"
+            ));
+        }
+    }
+}
+
+fn mode_tag(m: AddrMode) -> &'static str {
+    match m {
+        AddrMode::Direct => "",
+        AddrMode::ReshapedRaw => "[raw]",
+        AddrMode::ReshapedRawFp => "[raw-fp]",
+        AddrMode::ReshapedTiled => "[tiled]",
+        AddrMode::ReshapedHoisted => "[hoisted]",
+        AddrMode::ReshapedSharedDiv => "[shared-div]",
+        AddrMode::ReshapedSharedAll => "[shared]",
+    }
+}
+
+/// Render an expression.
+pub fn print_expr(s: &Subroutine, e: &Expr) -> String {
+    match e {
+        Expr::IConst(v) => v.to_string(),
+        Expr::FConst(v) => format!("{v:?}"),
+        Expr::Var(v) => s
+            .scalars
+            .get(v.0)
+            .map_or(format!("v{}", v.0), |d| d.name.clone()),
+        Expr::Load {
+            array,
+            indices,
+            mode,
+        } => format!(
+            "{}({}){}",
+            s.arrays
+                .get(array.0)
+                .map_or(format!("a{}", array.0), |d| d.name.clone()),
+            indices
+                .iter()
+                .map(|i| print_expr(s, i))
+                .collect::<Vec<_>>()
+                .join(", "),
+            mode_tag(*mode)
+        ),
+        Expr::Unary(UnOp::Neg, x) => format!("(-{})", print_expr(s, x)),
+        Expr::Unary(UnOp::Not, x) => format!("(.not. {})", print_expr(s, x)),
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Pow => "**",
+                BinOp::Lt => ".lt.",
+                BinOp::Le => ".le.",
+                BinOp::Gt => ".gt.",
+                BinOp::Ge => ".ge.",
+                BinOp::Eq => ".eq.",
+                BinOp::Ne => ".ne.",
+                BinOp::And => ".and.",
+                BinOp::Or => ".or.",
+            };
+            format!("({} {} {})", print_expr(s, a), sym, print_expr(s, b))
+        }
+        Expr::Call(i, args) => {
+            let name = match i {
+                Intrinsic::Max => "max",
+                Intrinsic::Min => "min",
+                Intrinsic::Mod => "mod",
+                Intrinsic::Abs => "abs",
+                Intrinsic::Sqrt => "sqrt",
+                Intrinsic::Dble => "dble",
+                Intrinsic::Int => "int",
+                Intrinsic::CeilDiv => "ceildiv",
+            };
+            format!(
+                "{name}({})",
+                args.iter()
+                    .map(|a| print_expr(s, a))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+        Expr::Rt(rt) => match rt {
+            RtExpr::NProcs { array, dim } => format!("$nprocs(a{}, {dim})", array.0),
+            RtExpr::BlockSize { array, dim } => format!("$bsize(a{}, {dim})", array.0),
+            RtExpr::NumThreads => "$numthreads".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayDecl, Extent, ScalarDecl, ScalarTy, Storage, VarId};
+    use crate::{ArrayId, DistKind};
+
+    fn sub() -> Subroutine {
+        Subroutine {
+            name: "t".into(),
+            params: vec![],
+            scalars: vec![ScalarDecl {
+                name: "i".into(),
+                ty: ScalarTy::Int,
+            }],
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                ty: ScalarTy::Real,
+                dims: vec![Extent::Const(10)],
+                storage: Storage::Local,
+                dist_kind: DistKind::None,
+                dist: None,
+                equivalenced_with: vec![],
+            }],
+            body: vec![],
+            source_file: 0,
+        }
+    }
+
+    #[test]
+    fn expr_rendering() {
+        let s = sub();
+        let e = Expr::add(Expr::var(VarId(0)), Expr::int(3));
+        assert_eq!(print_expr(&s, &e), "(i + 3)");
+        let l = Expr::Load {
+            array: ArrayId(0),
+            indices: vec![Expr::var(VarId(0))],
+            mode: AddrMode::ReshapedRaw,
+        };
+        assert_eq!(print_expr(&s, &l), "a(i)[raw]");
+    }
+
+    #[test]
+    fn stmt_rendering_includes_structure() {
+        let s = sub();
+        let st = Stmt::Loop(Box::new(crate::stmt::LoopStmt {
+            var: VarId(0),
+            lb: Expr::int(1),
+            ub: Expr::int(5),
+            step: Expr::int(1),
+            body: vec![Stmt::Barrier],
+            par: None,
+        }));
+        let mut out = String::new();
+        print_stmt(&mut out, &s, &st, 0);
+        assert!(out.contains("do i = 1, 5, 1"));
+        assert!(out.contains("barrier"));
+        assert!(out.contains("enddo"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Programs, subroutines and declarations.
+//!
+//! A [`Program`] is a set of [`Subroutine`]s (one of which is the main
+//! program) plus machine-wide [`CommonBlockDecl`]s.  Array and scalar ids
+//! are *subroutine-local* indices into the subroutine's declaration
+//! tables; common-block members are linked to global storage through
+//! [`Storage::Common`], formal parameters through [`Storage::Formal`].
+
+use crate::dist::{DistKind, Distribution};
+use crate::stmt::Stmt;
+
+/// Subroutine-local scalar variable id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+/// Subroutine-local array id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub usize);
+
+/// Index of a subroutine within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubId(pub usize);
+
+/// Scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScalarTy {
+    /// `integer`.
+    #[default]
+    Int,
+    /// `real*8`.
+    Real,
+}
+
+/// A scalar declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarDecl {
+    /// Source name (lower-case).
+    pub name: String,
+    /// Type.
+    pub ty: ScalarTy,
+}
+
+/// One dimension extent: a literal or an integer scalar (formal parameter
+/// or common variable), as in `real*8 X(n, 5)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Extent {
+    /// Literal size.
+    Const(i64),
+    /// Size held in an integer scalar, evaluated at subroutine entry.
+    Var(VarId),
+}
+
+/// Where an array's storage comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// Subroutine-local array (stack/heap allocated at entry).
+    Local,
+    /// Member of a common block: `(block name, member index)`.
+    Common {
+        /// Common block name.
+        block: String,
+        /// Position within the block's member list.
+        member: usize,
+    },
+    /// Formal array parameter, bound to an actual at call time;
+    /// `position` is the argument index.
+    Formal {
+        /// Zero-based argument position.
+        position: usize,
+    },
+}
+
+/// An array declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Source name (lower-case).
+    pub name: String,
+    /// Element type.
+    pub ty: ScalarTy,
+    /// Extents, leftmost (fastest-varying, Fortran column-major) first.
+    pub dims: Vec<Extent>,
+    /// Storage class.
+    pub storage: Storage,
+    /// Distribution directive kind.
+    pub dist_kind: DistKind,
+    /// The distribution, if any.
+    pub dist: Option<Distribution>,
+    /// Arrays this one is `EQUIVALENCE`d with (by subroutine-local id).
+    /// Needed only for the compile-time legality check.
+    pub equivalenced_with: Vec<ArrayId>,
+}
+
+impl ArrayDecl {
+    /// Bytes per element (both `integer` and `real*8` are 8 bytes here).
+    pub fn elem_bytes(&self) -> usize {
+        8
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Param {
+    /// Array parameter; the id indexes the subroutine's array table.
+    Array(ArrayId),
+    /// Scalar parameter (by value in this model).
+    Scalar(VarId),
+}
+
+/// A subroutine (or the main program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subroutine {
+    /// Name (lower-case); clones get suffixed names.
+    pub name: String,
+    /// Formal parameters in order.
+    pub params: Vec<Param>,
+    /// Scalar table (indexed by [`VarId`]).
+    pub scalars: Vec<ScalarDecl>,
+    /// Array table (indexed by [`ArrayId`]).
+    pub arrays: Vec<ArrayDecl>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Which source file the subroutine came from (for shadow files /
+    /// pre-linking); index into the compilation's file list.
+    pub source_file: usize,
+}
+
+impl Subroutine {
+    /// Find a scalar by name.
+    pub fn scalar_named(&self, name: &str) -> Option<VarId> {
+        self.scalars.iter().position(|s| s.name == name).map(VarId)
+    }
+
+    /// Find an array by name.
+    pub fn array_named(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a.name == name).map(ArrayId)
+    }
+
+    /// Add a fresh compiler-generated integer scalar, returning its id.
+    pub fn fresh_scalar(&mut self, prefix: &str) -> VarId {
+        let id = VarId(self.scalars.len());
+        self.scalars.push(ScalarDecl {
+            name: format!("{prefix}${}", self.scalars.len()),
+            ty: ScalarTy::Int,
+        });
+        id
+    }
+}
+
+/// A common block: named global storage with a fixed member layout that
+/// every declaring subroutine must agree on when reshaped members are
+/// present (the paper's link-time consistency rule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonBlockDecl {
+    /// Block name.
+    pub name: String,
+    /// Canonical member array declarations (taken from the defining file
+    /// after the pre-linker has verified consistency).
+    pub members: Vec<ArrayDecl>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All subroutines; entry 0 need not be main.
+    pub subs: Vec<Subroutine>,
+    /// Index of the main program in `subs`.
+    pub main: usize,
+    /// Common blocks after link-time merging.
+    pub commons: Vec<CommonBlockDecl>,
+    /// Source file names (for diagnostics).
+    pub files: Vec<String>,
+}
+
+impl Program {
+    /// Look up a subroutine by name.
+    pub fn sub_named(&self, name: &str) -> Option<SubId> {
+        self.subs.iter().position(|s| s.name == name).map(SubId)
+    }
+
+    /// The main subroutine.
+    pub fn main_sub(&self) -> &Subroutine {
+        &self.subs[self.main]
+    }
+
+    /// Look up a common block by name.
+    pub fn common_named(&self, name: &str) -> Option<&CommonBlockDecl> {
+        self.commons.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Dist, DistKind, Distribution};
+
+    fn sub() -> Subroutine {
+        Subroutine {
+            name: "main".into(),
+            params: vec![],
+            scalars: vec![
+                ScalarDecl {
+                    name: "i".into(),
+                    ty: ScalarTy::Int,
+                },
+                ScalarDecl {
+                    name: "x".into(),
+                    ty: ScalarTy::Real,
+                },
+            ],
+            arrays: vec![ArrayDecl {
+                name: "a".into(),
+                ty: ScalarTy::Real,
+                dims: vec![Extent::Const(100)],
+                storage: Storage::Local,
+                dist_kind: DistKind::Regular,
+                dist: Some(Distribution::new(vec![Dist::Block])),
+                equivalenced_with: vec![],
+            }],
+            body: vec![],
+            source_file: 0,
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sub();
+        assert_eq!(s.scalar_named("x"), Some(VarId(1)));
+        assert_eq!(s.scalar_named("zz"), None);
+        assert_eq!(s.array_named("a"), Some(ArrayId(0)));
+    }
+
+    #[test]
+    fn fresh_scalars_are_unique() {
+        let mut s = sub();
+        let a = s.fresh_scalar("t");
+        let b = s.fresh_scalar("t");
+        assert_ne!(a, b);
+        assert_ne!(s.scalars[a.0].name, s.scalars[b.0].name);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program {
+            subs: vec![sub()],
+            main: 0,
+            commons: vec![],
+            files: vec![],
+        };
+        assert_eq!(p.sub_named("main"), Some(SubId(0)));
+        assert_eq!(p.sub_named("other"), None);
+        assert_eq!(p.main_sub().name, "main");
+    }
+}

@@ -1,0 +1,336 @@
+//! Statements, loops and parallel annotations.
+
+use crate::dist::Distribution;
+use crate::expr::Expr;
+use crate::program::{ArrayId, VarId};
+
+/// How the generated code computes the address of a distributed-array
+/// reference (Section 7 of the paper).
+///
+/// The executor computes the *correct* address from the runtime descriptor
+/// in every mode; the mode controls the **addressing overhead** charged per
+/// reference and whether the portion-pointer load (the indirect load
+/// through the Figure-3 processor array) is performed per access:
+///
+/// * [`AddrMode::Direct`] — ordinary column-major arithmetic (non-reshaped
+///   arrays, or the "original code without reshaping" row of Table 2).
+/// * [`AddrMode::ReshapedRaw`] — the untransformed Table-1 form: one
+///   integer `div` + `mod` per distributed dimension **and** an indirect
+///   load of the portion pointer, per access.
+/// * [`AddrMode::ReshapedTiled`] — after tiling/peeling: the `div`/`mod`
+///   are gone from the inner loop (the processor index is the tile-loop
+///   variable, the local index a running counter) but the portion pointer
+///   is still re-loaded per access because indirect loads cannot be
+///   speculated by the scalar optimizer.
+/// * [`AddrMode::ReshapedHoisted`] — after the Section-7.2 hoisting/CSE
+///   fixes: pointer and bounds loads hoisted out of the loop; per-access
+///   overhead identical to `Direct`.
+/// * [`AddrMode::ReshapedRawFp`] — as `ReshapedRaw` but with `div`/`mod`
+///   emulated in floating point (Section 7.3, 11 vs 35 cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddrMode {
+    /// Plain base + column-major offset.
+    #[default]
+    Direct,
+    /// Per-access integer div/mod plus indirect portion-pointer load.
+    ReshapedRaw,
+    /// Per-access FP-emulated div/mod plus indirect portion-pointer load.
+    ReshapedRawFp,
+    /// Tiled: no div/mod, but per-access indirect portion-pointer load.
+    ReshapedTiled,
+    /// Tiled + hoisted: no per-access overhead beyond `Direct`.
+    ReshapedHoisted,
+    /// The div/mod of this reference is subsumed by an earlier reference
+    /// in the same statement (ordinary `-O3` common-subexpression
+    /// elimination — safe because it does not move the unsafe ops across
+    /// control flow); the portion-pointer load remains per access.
+    ReshapedSharedDiv,
+    /// Both the div/mod and the portion pointer are subsumed by an
+    /// earlier reference in the same statement.
+    ReshapedSharedAll,
+}
+
+/// Iteration-scheduling policy of a `doacross` (the `schedtype` clause,
+/// plus the compiler-internal processor-tile form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedType {
+    /// `simple`: divide `[lb, ub]` into `P` contiguous chunks.
+    #[default]
+    Simple,
+    /// `interleave(k)`: deal chunks of `k` iterations round-robin.
+    Interleave(u64),
+    /// `dynamic(k)`: processors grab chunks of `k`; modelled
+    /// deterministically as interleaved with per-chunk dispatch cost.
+    Dynamic(u64),
+    /// Affinity scheduling that the compiler has *not* lowered: the runtime
+    /// partitions iterations so iteration `i` runs on the processor owning
+    /// the affine element of the affinity array.
+    RuntimeAffinity,
+    /// Compiler-lowered form (Figure 2): the loop variable ranges over the
+    /// processor coordinates of distributed dimension `grid_dim` of the
+    /// affinity array's processor grid; processor with coordinate `p`
+    /// executes exactly the iteration with loop-var = `p`.
+    ProcTile {
+        /// Which distributed-grid axis this tile loop walks.
+        grid_dim: usize,
+    },
+}
+
+/// One index position of an `affinity(i, j, …) = data(A(…))` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AffIdx {
+    /// The index is `scale * <loop-var> + offset` with literal constants —
+    /// the only form the paper accepts (`p` non-negative).
+    Loop {
+        /// The doacross loop variable appearing here.
+        var: VarId,
+        /// Multiplier (non-negative literal).
+        scale: i64,
+        /// Additive literal constant.
+        offset: i64,
+    },
+    /// Any other expression: the dimension does not participate in
+    /// scheduling (evaluated for bounds only).
+    Other(Expr),
+}
+
+/// An `affinity(...) = data(A(...))` clause on a doacross.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affinity {
+    /// The distributed array named in `data(...)`.
+    pub array: ArrayId,
+    /// One entry per dimension of `array`.
+    pub indices: Vec<AffIdx>,
+}
+
+/// A `c$doacross` annotation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Doacross {
+    /// Loop variables of the parallel nest (`nest(i, j)` lists more than
+    /// one); the annotated loop's own variable is first.
+    pub nest_vars: Vec<VarId>,
+    /// Variables with a private copy per iteration.
+    pub locals: Vec<VarId>,
+    /// Variables shared across iterations (informational; scalars default
+    /// to shared).
+    pub shared: Vec<VarId>,
+    /// Scheduling policy.
+    pub sched: SchedType,
+    /// Optional affinity clause.
+    pub affinity: Option<Affinity>,
+}
+
+/// A counted `do` loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopStmt {
+    /// Loop variable.
+    pub var: VarId,
+    /// Lower bound (inclusive).
+    pub lb: Expr,
+    /// Upper bound (inclusive, Fortran).
+    pub ub: Expr,
+    /// Step (non-zero literal or expression).
+    pub step: Expr,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+    /// Parallel annotation, if this is a doacross (or a compiler-produced
+    /// processor-tile loop).
+    pub par: Option<Doacross>,
+}
+
+/// An actual argument at a call site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActualArg {
+    /// Passing a whole array: `call sub(A)`.
+    Array(ArrayId),
+    /// Passing an element: `call sub(A(i))` — for a reshaped array this
+    /// passes the containing *portion* (paper Section 3.2.1).
+    ArrayElem(ArrayId, Vec<Expr>),
+    /// A scalar value.
+    Scalar(Expr),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `A(indices) = value`.
+    Assign {
+        /// Destination array.
+        array: ArrayId,
+        /// 1-based index expressions.
+        indices: Vec<Expr>,
+        /// Right-hand side.
+        value: Expr,
+        /// Address-computation strategy for the store.
+        mode: AddrMode,
+    },
+    /// `var = value` (scalar).
+    SAssign {
+        /// Destination scalar.
+        var: VarId,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// A counted loop.
+    Loop(Box<LoopStmt>),
+    /// `if (cond) then ... else ... endif`; `cond` is integer 0/1.
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch.
+        else_body: Vec<Stmt>,
+    },
+    /// `call name(args)`.
+    Call {
+        /// Callee name (resolved against the program's subroutines,
+        /// post-cloning).
+        name: String,
+        /// Actual arguments.
+        args: Vec<ActualArg>,
+    },
+    /// `c$redistribute A(<dist>, ...)` — executable, regular arrays only.
+    Redistribute {
+        /// Array being redistributed.
+        array: ArrayId,
+        /// New distribution.
+        dist: Distribution,
+    },
+    /// Explicit barrier across the executing team.
+    Barrier,
+    /// Compiler-emitted bookkeeping cost: operations hoisted out of a loop
+    /// by the Section-7.2 optimizations are charged here, once, instead of
+    /// per iteration.  Keeps the cost model visible in IR dumps.
+    Overhead {
+        /// Integer div/mod operations performed.
+        int_divs: u32,
+        /// Indirect (pointer) loads performed.
+        indirect_loads: u32,
+        /// Plain ALU operations performed.
+        int_alu: u32,
+    },
+}
+
+impl Stmt {
+    /// Visit this statement and all nested statements, pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::Loop(l) => {
+                for s in &l.body {
+                    s.walk(f);
+                }
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit every array reference (loads in expressions and stores) in
+    /// this statement subtree. The callback receives
+    /// `(array, indices, mode, is_store)`.
+    pub fn for_each_ref(&self, f: &mut impl FnMut(ArrayId, &[Expr], AddrMode, bool)) {
+        self.walk(&mut |s| match s {
+            Stmt::Assign {
+                array,
+                indices,
+                value,
+                mode,
+            } => {
+                f(*array, indices, *mode, true);
+                for i in indices {
+                    i.for_each_load(&mut |a, ix, m| f(a, ix, m, false));
+                }
+                value.for_each_load(&mut |a, ix, m| f(a, ix, m, false));
+            }
+            Stmt::SAssign { value, .. } => {
+                value.for_each_load(&mut |a, ix, m| f(a, ix, m, false));
+            }
+            Stmt::If { cond, .. } => {
+                cond.for_each_load(&mut |a, ix, m| f(a, ix, m, false));
+            }
+            Stmt::Loop(l) => {
+                for e in [&l.lb, &l.ub, &l.step] {
+                    e.for_each_load(&mut |a, ix, m| f(a, ix, m, false));
+                }
+            }
+            Stmt::Call { args, .. } => {
+                for a in args {
+                    match a {
+                        ActualArg::Scalar(e) => {
+                            e.for_each_load(&mut |a, ix, m| f(a, ix, m, false));
+                        }
+                        ActualArg::ArrayElem(_, idx) => {
+                            for e in idx {
+                                e.for_each_load(&mut |a, ix, m| f(a, ix, m, false));
+                            }
+                        }
+                        ActualArg::Array(_) => {}
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn simple_loop() -> Stmt {
+        Stmt::Loop(Box::new(LoopStmt {
+            var: VarId(0),
+            lb: Expr::int(1),
+            ub: Expr::int(10),
+            step: Expr::int(1),
+            body: vec![Stmt::Assign {
+                array: ArrayId(0),
+                indices: vec![Expr::var(VarId(0))],
+                value: Expr::Load {
+                    array: ArrayId(1),
+                    indices: vec![Expr::var(VarId(0))],
+                    mode: AddrMode::ReshapedRaw,
+                },
+                mode: AddrMode::Direct,
+            }],
+            par: None,
+        }))
+    }
+
+    #[test]
+    fn walk_visits_nested() {
+        let mut n = 0;
+        simple_loop().walk(&mut |_| n += 1);
+        assert_eq!(n, 2); // loop + assign
+    }
+
+    #[test]
+    fn for_each_ref_distinguishes_stores() {
+        let mut stores = 0;
+        let mut loads = 0;
+        simple_loop().for_each_ref(&mut |_, _, _, is_store| {
+            if is_store {
+                stores += 1;
+            } else {
+                loads += 1;
+            }
+        });
+        assert_eq!((stores, loads), (1, 1));
+    }
+
+    #[test]
+    fn addr_mode_default_is_direct() {
+        assert_eq!(AddrMode::default(), AddrMode::Direct);
+    }
+}

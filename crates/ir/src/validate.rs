@@ -1,0 +1,390 @@
+//! Structural validation of IR programs.
+//!
+//! Run after lowering and after every compiler pass in debug builds; a
+//! pass that produces out-of-range ids, rank-mismatched references or
+//! malformed distributions is caught here rather than as an interpreter
+//! panic three crates away.
+
+use crate::dist::DistKind;
+use crate::expr::Expr;
+use crate::program::{Param, Program, Storage, Subroutine};
+use crate::stmt::{ActualArg, Stmt};
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Subroutine where the problem was found.
+    pub sub: String,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ir validation failed in `{}`: {}", self.sub, self.msg)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a whole program.
+///
+/// # Errors
+///
+/// Returns the first structural problem found: dangling ids, arity
+/// mismatches on array references, distribution rank mismatches, unknown
+/// callees, or a reshaped array with no distribution.
+pub fn validate_program(p: &Program) -> Result<(), ValidateError> {
+    if p.subs.is_empty() {
+        return Err(ValidateError {
+            sub: "<program>".into(),
+            msg: "no subroutines".into(),
+        });
+    }
+    if p.main >= p.subs.len() {
+        return Err(ValidateError {
+            sub: "<program>".into(),
+            msg: format!("main index {} out of range", p.main),
+        });
+    }
+    for s in &p.subs {
+        validate_sub(p, s)?;
+    }
+    Ok(())
+}
+
+fn err(s: &Subroutine, msg: String) -> ValidateError {
+    ValidateError {
+        sub: s.name.clone(),
+        msg,
+    }
+}
+
+fn validate_sub(p: &Program, s: &Subroutine) -> Result<(), ValidateError> {
+    // Declarations.
+    for (i, a) in s.arrays.iter().enumerate() {
+        if a.dims.is_empty() {
+            return Err(err(s, format!("array `{}` has no dimensions", a.name)));
+        }
+        match (&a.dist, a.dist_kind) {
+            (None, DistKind::Regular | DistKind::Reshaped) => {
+                return Err(err(
+                    s,
+                    format!("array `{}` has dist kind but no distribution", a.name),
+                ));
+            }
+            (Some(d), _) if d.dims.len() != a.dims.len() => {
+                return Err(err(
+                    s,
+                    format!(
+                        "array `{}`: distribution rank {} != array rank {}",
+                        a.name,
+                        d.dims.len(),
+                        a.dims.len()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        if let Storage::Common { block, .. } = &a.storage {
+            if p.common_named(block).is_none() {
+                return Err(err(
+                    s,
+                    format!("array `{}` references unknown common `{block}`", a.name),
+                ));
+            }
+        }
+        for eq in &a.equivalenced_with {
+            if eq.0 >= s.arrays.len() {
+                return Err(err(
+                    s,
+                    format!("array `{}` equivalenced with bad id {}", a.name, eq.0),
+                ));
+            }
+        }
+        let _ = i;
+    }
+    for prm in &s.params {
+        match prm {
+            Param::Array(a) => {
+                if a.0 >= s.arrays.len() {
+                    return Err(err(s, format!("array param id {} out of range", a.0)));
+                }
+                if !matches!(s.arrays[a.0].storage, Storage::Formal { .. }) {
+                    return Err(err(
+                        s,
+                        format!(
+                            "param array `{}` must have Formal storage",
+                            s.arrays[a.0].name
+                        ),
+                    ));
+                }
+            }
+            Param::Scalar(v) => {
+                if v.0 >= s.scalars.len() {
+                    return Err(err(s, format!("scalar param id {} out of range", v.0)));
+                }
+            }
+        }
+    }
+    // Statements.
+    for st in &s.body {
+        validate_stmt(s, st)?;
+    }
+    Ok(())
+}
+
+fn validate_stmt(s: &Subroutine, st: &Stmt) -> Result<(), ValidateError> {
+    match st {
+        Stmt::Assign {
+            array,
+            indices,
+            value,
+            ..
+        } => {
+            check_ref(s, array.0, indices.len())?;
+            for e in indices {
+                validate_expr(s, e)?;
+            }
+            validate_expr(s, value)
+        }
+        Stmt::SAssign { var, value } => {
+            if var.0 >= s.scalars.len() {
+                return Err(err(s, format!("scalar id {} out of range", var.0)));
+            }
+            validate_expr(s, value)
+        }
+        Stmt::Loop(l) => {
+            if l.var.0 >= s.scalars.len() {
+                return Err(err(s, format!("loop var id {} out of range", l.var.0)));
+            }
+            validate_expr(s, &l.lb)?;
+            validate_expr(s, &l.ub)?;
+            validate_expr(s, &l.step)?;
+            if let Some(d) = &l.par {
+                if let Some(aff) = &d.affinity {
+                    check_ref(s, aff.array.0, aff.indices.len())?;
+                }
+            }
+            for b in &l.body {
+                validate_stmt(s, b)?;
+            }
+            Ok(())
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            validate_expr(s, cond)?;
+            for b in then_body.iter().chain(else_body) {
+                validate_stmt(s, b)?;
+            }
+            Ok(())
+        }
+        Stmt::Call { name, args } => {
+            // Callee resolution is the pre-linker's job (separate
+            // compilation): an unknown name here is a *link* error, not an
+            // IR-validity error.
+            let _ = name;
+            for a in args {
+                match a {
+                    ActualArg::Array(id) => {
+                        if id.0 >= s.arrays.len() {
+                            return Err(err(s, format!("actual array id {} out of range", id.0)));
+                        }
+                    }
+                    ActualArg::ArrayElem(id, idx) => {
+                        check_ref(s, id.0, idx.len())?;
+                        for e in idx {
+                            validate_expr(s, e)?;
+                        }
+                    }
+                    ActualArg::Scalar(e) => validate_expr(s, e)?,
+                }
+            }
+            Ok(())
+        }
+        Stmt::Redistribute { array, dist } => {
+            if array.0 >= s.arrays.len() {
+                return Err(err(s, format!("redistribute of bad array id {}", array.0)));
+            }
+            let a = &s.arrays[array.0];
+            if dist.dims.len() != a.dims.len() {
+                return Err(err(
+                    s,
+                    format!("redistribute of `{}`: rank mismatch", a.name),
+                ));
+            }
+            if a.dist_kind == DistKind::Reshaped {
+                return Err(err(
+                    s,
+                    format!("redistribute of reshaped array `{}` is not allowed", a.name),
+                ));
+            }
+            Ok(())
+        }
+        Stmt::Barrier | Stmt::Overhead { .. } => Ok(()),
+    }
+}
+
+fn check_ref(s: &Subroutine, array: usize, arity: usize) -> Result<(), ValidateError> {
+    if array >= s.arrays.len() {
+        return Err(err(s, format!("array id {array} out of range")));
+    }
+    let a = &s.arrays[array];
+    if arity != a.dims.len() {
+        return Err(err(
+            s,
+            format!(
+                "reference to `{}` has {} indices, rank is {}",
+                a.name,
+                arity,
+                a.dims.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn validate_expr(s: &Subroutine, e: &Expr) -> Result<(), ValidateError> {
+    match e {
+        Expr::IConst(_) | Expr::FConst(_) | Expr::Rt(_) => Ok(()),
+        Expr::Var(v) => {
+            if v.0 >= s.scalars.len() {
+                Err(err(s, format!("scalar id {} out of range", v.0)))
+            } else {
+                Ok(())
+            }
+        }
+        Expr::Load { array, indices, .. } => {
+            check_ref(s, array.0, indices.len())?;
+            for i in indices {
+                validate_expr(s, i)?;
+            }
+            Ok(())
+        }
+        Expr::Unary(_, x) => validate_expr(s, x),
+        Expr::Binary(_, a, b) => {
+            validate_expr(s, a)?;
+            validate_expr(s, b)
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                validate_expr(s, a)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Dist, Distribution};
+    use crate::program::{ArrayDecl, ArrayId, Extent, ScalarDecl, ScalarTy, VarId};
+    use crate::stmt::AddrMode;
+
+    fn base_program() -> Program {
+        Program {
+            subs: vec![Subroutine {
+                name: "main".into(),
+                params: vec![],
+                scalars: vec![ScalarDecl {
+                    name: "i".into(),
+                    ty: ScalarTy::Int,
+                }],
+                arrays: vec![ArrayDecl {
+                    name: "a".into(),
+                    ty: ScalarTy::Real,
+                    dims: vec![Extent::Const(10)],
+                    storage: Storage::Local,
+                    dist_kind: DistKind::None,
+                    dist: None,
+                    equivalenced_with: vec![],
+                }],
+                body: vec![],
+                source_file: 0,
+            }],
+            main: 0,
+            commons: vec![],
+            files: vec!["t.f".into()],
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(validate_program(&base_program()).is_ok());
+    }
+
+    #[test]
+    fn empty_program_fails() {
+        assert!(validate_program(&Program::default()).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut p = base_program();
+        p.subs[0].body.push(Stmt::Assign {
+            array: ArrayId(0),
+            indices: vec![Expr::int(1), Expr::int(2)], // rank is 1
+            value: Expr::int(0),
+            mode: AddrMode::Direct,
+        });
+        let e = validate_program(&p).unwrap_err();
+        assert!(e.msg.contains("indices"), "{e}");
+    }
+
+    #[test]
+    fn unknown_callee_tolerated_until_link() {
+        let mut p = base_program();
+        p.subs[0].body.push(Stmt::Call {
+            name: "nosuch".into(),
+            args: vec![],
+        });
+        assert!(
+            validate_program(&p).is_ok(),
+            "callee resolution is the pre-linker's job"
+        );
+    }
+
+    #[test]
+    fn dangling_var_detected() {
+        let mut p = base_program();
+        p.subs[0].body.push(Stmt::SAssign {
+            var: VarId(9),
+            value: Expr::int(1),
+        });
+        assert!(validate_program(&p).is_err());
+    }
+
+    #[test]
+    fn redistribute_of_reshaped_rejected() {
+        let mut p = base_program();
+        let a = &mut p.subs[0].arrays[0];
+        a.dist_kind = DistKind::Reshaped;
+        a.dist = Some(Distribution::new(vec![Dist::Block]));
+        p.subs[0].body.push(Stmt::Redistribute {
+            array: ArrayId(0),
+            dist: Distribution::new(vec![Dist::Cyclic(1)]),
+        });
+        let e = validate_program(&p).unwrap_err();
+        assert!(e.msg.contains("reshaped"), "{e}");
+    }
+
+    #[test]
+    fn dist_kind_without_distribution_rejected() {
+        let mut p = base_program();
+        p.subs[0].arrays[0].dist_kind = DistKind::Regular;
+        assert!(validate_program(&p).is_err());
+    }
+
+    #[test]
+    fn distribution_rank_mismatch_rejected() {
+        let mut p = base_program();
+        let a = &mut p.subs[0].arrays[0];
+        a.dist_kind = DistKind::Regular;
+        a.dist = Some(Distribution::new(vec![Dist::Block, Dist::Star]));
+        assert!(validate_program(&p).is_err());
+    }
+}

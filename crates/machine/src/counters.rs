@@ -1,0 +1,166 @@
+//! Hardware-counter style statistics.
+//!
+//! The paper analyses its results with the R10000 performance counters
+//! \[ZLT+96\]: secondary-cache misses, TLB misses, and the local/remote
+//! split.  [`CounterSet`] mirrors those, per processor, and aggregates
+//! across a machine.
+
+/// Event counters for one processor (or an aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSet {
+    /// Load accesses issued.
+    pub loads: u64,
+    /// Store accesses issued.
+    pub stores: u64,
+    /// Primary (L1) cache misses.
+    pub l1_misses: u64,
+    /// Secondary (L2) cache misses — the counter the paper quotes.
+    pub l2_misses: u64,
+    /// L2 misses satisfied from the local node's memory.
+    pub local_misses: u64,
+    /// L2 misses satisfied from a remote node's memory.
+    pub remote_misses: u64,
+    /// L2 misses satisfied by another processor's cache (intervention).
+    pub interventions: u64,
+    /// TLB refills taken.
+    pub tlb_misses: u64,
+    /// Invalidation messages this processor had to send as a writer.
+    pub invalidations_sent: u64,
+    /// Lines of this processor invalidated by remote writers.
+    pub invalidations_received: u64,
+    /// Page faults taken (first touches).
+    pub page_faults: u64,
+    /// Dirty write-backs performed.
+    pub writebacks: u64,
+    /// Total cycles charged to this processor.
+    pub cycles: u64,
+}
+
+impl CounterSet {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total memory accesses (loads + stores).
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// L2 miss rate over all accesses, in [0, 1]. Zero when idle.
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Fraction of L2 misses that went remote, in [0, 1]. Zero when no
+    /// misses occurred.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_misses + self.remote_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_misses as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum with another counter set.
+    pub fn merged(&self, other: &CounterSet) -> CounterSet {
+        CounterSet {
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            l1_misses: self.l1_misses + other.l1_misses,
+            l2_misses: self.l2_misses + other.l2_misses,
+            local_misses: self.local_misses + other.local_misses,
+            remote_misses: self.remote_misses + other.remote_misses,
+            interventions: self.interventions + other.interventions,
+            tlb_misses: self.tlb_misses + other.tlb_misses,
+            invalidations_sent: self.invalidations_sent + other.invalidations_sent,
+            invalidations_received: self.invalidations_received + other.invalidations_received,
+            page_faults: self.page_faults + other.page_faults,
+            writebacks: self.writebacks + other.writebacks,
+            cycles: self.cycles + other.cycles,
+        }
+    }
+}
+
+impl std::fmt::Display for CounterSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycles={} loads={} stores={} L1$miss={} L2$miss={} (local={} remote={} intv={}) \
+             tlb={} inval(tx/rx)={}/{} faults={} wb={}",
+            self.cycles,
+            self.loads,
+            self.stores,
+            self.l1_misses,
+            self.l2_misses,
+            self.local_misses,
+            self.remote_misses,
+            self.interventions,
+            self.tlb_misses,
+            self.invalidations_sent,
+            self.invalidations_received,
+            self.page_faults,
+            self.writebacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_counters_are_zero() {
+        let c = CounterSet::new();
+        assert_eq!(c.l2_miss_rate(), 0.0);
+        assert_eq!(c.remote_fraction(), 0.0);
+        assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = CounterSet {
+            loads: 1,
+            stores: 2,
+            l2_misses: 3,
+            cycles: 10,
+            ..Default::default()
+        };
+        let b = CounterSet {
+            loads: 10,
+            stores: 20,
+            l2_misses: 30,
+            cycles: 100,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.loads, 11);
+        assert_eq!(m.stores, 22);
+        assert_eq!(m.l2_misses, 33);
+        assert_eq!(m.cycles, 110);
+    }
+
+    #[test]
+    fn rates_computed() {
+        let c = CounterSet {
+            loads: 8,
+            stores: 2,
+            l2_misses: 5,
+            local_misses: 1,
+            remote_misses: 4,
+            ..Default::default()
+        };
+        assert_eq!(c.l2_miss_rate(), 0.5);
+        assert_eq!(c.remote_fraction(), 0.8);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CounterSet::new().to_string().is_empty());
+    }
+}

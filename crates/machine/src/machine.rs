@@ -1,0 +1,783 @@
+//! The machine proper: processors, memory, coherence, and the cost model.
+//!
+//! [`Machine`] ties the components together and exposes the two interfaces
+//! the rest of the system uses:
+//!
+//! * the **runtime** interface — [`Machine::alloc`], [`Machine::place_page`],
+//!   [`Machine::place_range`] (the page-placement "system call" of
+//!   Section 4.2 of the paper) and [`Machine::remap_range`] (dynamic
+//!   redistribution, Section 3.3);
+//! * the **execution** interface — [`Machine::read_f64`] /
+//!   [`Machine::write_f64`] and friends, which move real data *and* charge
+//!   the full memory-hierarchy cost of the access to the issuing processor,
+//!   plus [`Machine::charge`] for ALU/FPU op costs.
+//!
+//! All time lives in the per-processor cycle counters; a parallel-region
+//! scheduler reads them with [`Machine::cycles`] and levels them with
+//! [`Machine::set_cycles`] at barriers.
+
+use crate::cache::{Cache, Probe};
+use crate::config::MachineConfig;
+use crate::counters::CounterSet;
+use crate::directory::Directory;
+use crate::pagetable::{PageTable, Translate};
+use crate::tlb::Tlb;
+use crate::topology::{hops, NodeId};
+use crate::ProcId;
+
+/// A virtual byte address in the simulated process.
+pub type VAddr = u64;
+
+/// Kind of a data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One simulated processor: private caches, TLB and counters.
+#[derive(Debug, Clone)]
+struct Processor {
+    node: NodeId,
+    l1: Cache,
+    l2: Cache,
+    tlb: Tlb,
+    counters: CounterSet,
+}
+
+/// The simulated CC-NUMA multiprocessor.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    procs: Vec<Processor>,
+    pt: PageTable,
+    dir: Directory,
+    mem: Vec<u8>,
+    brk: u64,
+    page_bits: u32,
+    node_served: Vec<u64>,
+    /// Per-page per-node L2-miss counts, kept only when migration is on.
+    page_miss_counts: std::collections::HashMap<u64, Vec<u32>>,
+    migrations: u64,
+}
+
+impl Machine {
+    /// Build a machine from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MachineConfig::validate`].
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        let page_bits = cfg.page_size.trailing_zeros();
+        let n_colors = (cfg.l2.size / cfg.l2.assoc / cfg.page_size).max(1);
+        let procs = (0..cfg.nprocs())
+            .map(|p| Processor {
+                node: NodeId(p / cfg.procs_per_node),
+                l1: Cache::new(cfg.l1),
+                l2: Cache::new(cfg.l2),
+                tlb: Tlb::new(cfg.tlb_entries),
+                counters: CounterSet::new(),
+            })
+            .collect();
+        let pt = PageTable::new(
+            cfg.n_nodes,
+            cfg.frames_per_node,
+            n_colors,
+            cfg.page_coloring,
+            page_bits,
+        );
+        let n_nodes = cfg.n_nodes;
+        Machine {
+            cfg,
+            procs,
+            pt,
+            dir: Directory::new(),
+            mem: Vec::new(),
+            brk: 64, // keep address 0 unmapped
+            page_bits,
+            node_served: vec![0; n_nodes],
+            page_miss_counts: std::collections::HashMap::new(),
+            migrations: 0,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Total number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Node a processor lives on.
+    pub fn node_of(&self, proc: ProcId) -> NodeId {
+        self.procs[proc.0].node
+    }
+
+    /// Bump-allocate `bytes` of virtual address space with the given
+    /// alignment (rounded up to at least 8). The region is *not* mapped;
+    /// pages fault on first access, or are placed explicitly.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> VAddr {
+        let align = align.max(8) as u64;
+        let base = (self.brk + align - 1) & !(align - 1);
+        self.brk = base + bytes as u64;
+        if self.mem.len() < self.brk as usize {
+            self.mem.resize(self.brk as usize, 0);
+        }
+        base
+    }
+
+    /// Allocate a page-aligned region (arrays that will be distributed).
+    pub fn alloc_pages(&mut self, bytes: usize) -> VAddr {
+        self.alloc(bytes, self.cfg.page_size)
+    }
+
+    // ---------------------------------------------------------------
+    // Page placement (the runtime "system calls").
+    // ---------------------------------------------------------------
+
+    /// Place virtual page `vpage` on `node`, remapping if already mapped
+    /// elsewhere (with full TLB/cache shoot-down). Returns `true` if a
+    /// remap occurred.
+    pub fn place_page(&mut self, vpage: u64, node: NodeId) -> bool {
+        let old = self.pt.lookup(vpage);
+        let (_m, remapped) = self.pt.place(vpage, node);
+        if remapped {
+            let old = old.expect("remap implies prior mapping");
+            let old_frame = old.frame;
+            for p in &mut self.procs {
+                p.tlb.invalidate(vpage);
+                p.l1.invalidate_page(old_frame, self.page_bits);
+                p.l2.invalidate_page(old_frame, self.page_bits);
+            }
+        }
+        remapped
+    }
+
+    /// Place every page overlapping `[base, base+len)` on `node`.
+    /// Returns the number of pages that were *re*mapped.
+    pub fn place_range(&mut self, base: VAddr, len: usize, node: NodeId) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let first = base >> self.page_bits;
+        let last = (base + len as u64 - 1) >> self.page_bits;
+        let mut remapped = 0;
+        for vpage in first..=last {
+            if self.place_page(vpage, node) {
+                remapped += 1;
+            }
+        }
+        remapped
+    }
+
+    /// Remap a range under a caller-supplied page→node map (dynamic
+    /// redistribution). `node_for` receives the page index *within the
+    /// range* (0-based). Charges `pages × remap_cost` cycles to `proc` and
+    /// returns the page count.
+    pub fn remap_range(
+        &mut self,
+        proc: ProcId,
+        base: VAddr,
+        len: usize,
+        mut node_for: impl FnMut(u64) -> NodeId,
+    ) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let first = base >> self.page_bits;
+        let last = (base + len as u64 - 1) >> self.page_bits;
+        let mut n = 0;
+        for vpage in first..=last {
+            self.place_page(vpage, node_for(vpage - first));
+            n += 1;
+        }
+        // Remap cost: a TLB shootdown + copy per page.
+        let cost = n as u64 * (self.cfg.lat.page_fault + 2 * self.cfg.lat.tlb_miss);
+        self.charge(proc, cost);
+        n
+    }
+
+    /// Home node of the page containing `addr`, if mapped.
+    pub fn home_of(&self, addr: VAddr) -> Option<NodeId> {
+        self.pt.lookup(addr >> self.page_bits).map(|m| m.node)
+    }
+
+    /// Pages currently resident on each node (placement histogram).
+    pub fn pages_per_node(&self) -> Vec<usize> {
+        self.pt.pages_per_node()
+    }
+
+    // ---------------------------------------------------------------
+    // Timed data access.
+    // ---------------------------------------------------------------
+
+    /// Perform a timed access of the hierarchy; returns the cycle cost
+    /// (already charged to `proc`).
+    pub fn access(&mut self, proc: ProcId, addr: VAddr, kind: AccessKind) -> u64 {
+        let write = kind == AccessKind::Write;
+        let vpage = addr >> self.page_bits;
+        let offset = addr & ((1 << self.page_bits) - 1);
+        let lat = self.cfg.lat.clone();
+        let mut cost = 0;
+
+        // 1. TLB.
+        let p = &mut self.procs[proc.0];
+        match kind {
+            AccessKind::Read => p.counters.loads += 1,
+            AccessKind::Write => p.counters.stores += 1,
+        }
+        if !p.tlb.access(vpage) {
+            p.counters.tlb_misses += 1;
+            cost += lat.tlb_miss;
+        }
+        let local = p.node;
+
+        // 2. Translation / fault.
+        let policy = self.cfg.policy;
+        let tr = self.pt.translate(vpage, local, policy);
+        if let Translate::Faulted(_) = tr {
+            self.procs[proc.0].counters.page_faults += 1;
+            cost += lat.page_fault;
+        }
+        let mapping = tr.mapping();
+        let paddr = self.pt.phys_addr(mapping, offset);
+
+        // 3. L1.
+        let p = &mut self.procs[proc.0];
+        cost += lat.l1_hit;
+        let l1 = p.l1.access(paddr, write);
+        match l1 {
+            Probe::Hit { was_dirty } => {
+                if write && !was_dirty {
+                    // Upgrade: may need to invalidate other sharers.
+                    cost += self.coherence_write(proc, paddr);
+                }
+                self.charge(proc, cost);
+                return cost;
+            }
+            Probe::Miss { victim } => {
+                // L1 victims write back into L2; that transfer is part of
+                // the L2-hit path and is not charged separately. We must
+                // mark the line dirty in L2 so its eventual eviction is
+                // written back.
+                if let Some(v) = victim {
+                    if v.dirty {
+                        let byte = v.tag << p.l1.config().line_size.trailing_zeros();
+                        p.l2.access(byte, true);
+                    }
+                }
+                p.counters.l1_misses += 1;
+            }
+        }
+
+        // 4. L2.
+        cost += lat.l2_hit;
+        let p = &mut self.procs[proc.0];
+        let l2 = p.l2.access(paddr, write);
+        match l2 {
+            Probe::Hit { was_dirty } => {
+                if write && !was_dirty {
+                    cost += self.coherence_write(proc, paddr);
+                }
+                self.charge(proc, cost);
+                return cost;
+            }
+            Probe::Miss { victim } => {
+                p.counters.l2_misses += 1;
+                if let Some(v) = victim {
+                    // Inclusion: L1 lines of the evicted L2 line must go.
+                    let l2_line_bytes = p.l2.config().line_size as u64;
+                    let l1_line_bytes = p.l1.config().line_size as u64;
+                    let byte = v.tag * l2_line_bytes;
+                    let mut off = 0;
+                    while off < l2_line_bytes {
+                        let l1line = (byte + off) >> l1_line_bytes.trailing_zeros();
+                        p.l1.invalidate_line(l1line);
+                        off += l1_line_bytes;
+                    }
+                    let dir_line = self.dir_line(byte);
+                    self.dir.evict(dir_line, proc);
+                    if v.dirty {
+                        self.procs[proc.0].counters.writebacks += 1;
+                        cost += lat.writeback;
+                    }
+                }
+            }
+        }
+
+        // 5. Memory + coherence.
+        let dir_line = self.dir_line(paddr);
+        let coh = if write {
+            self.dir.write(dir_line, proc)
+        } else {
+            self.dir.read(dir_line, proc)
+        };
+        let n_inval = coh.invalidate.len() as u64;
+        if n_inval > 0 {
+            self.apply_invalidations(&coh.invalidate, dir_line);
+            self.procs[proc.0].counters.invalidations_sent += n_inval;
+            cost += n_inval * lat.invalidation;
+        }
+        let p = &mut self.procs[proc.0];
+        if coh.intervention {
+            p.counters.interventions += 1;
+        }
+        let distance = hops(local, mapping.node);
+        if distance == 0 {
+            p.counters.local_misses += 1;
+            cost += lat.local_mem;
+        } else {
+            p.counters.remote_misses += 1;
+            cost += lat.remote_base + lat.remote_per_hop * distance as u64;
+        }
+        self.node_served[mapping.node.0] += 1;
+        self.charge(proc, cost);
+        if let Some(threshold) = self.cfg.migration_threshold {
+            self.note_miss_for_migration(vpage, local, mapping.node, threshold);
+        }
+        cost
+    }
+
+    /// Verghese-style OS page migration: count per-node misses to each
+    /// page; when a remote node dominates, migrate the page there.
+    fn note_miss_for_migration(
+        &mut self,
+        vpage: u64,
+        accessor: NodeId,
+        home: NodeId,
+        threshold: u32,
+    ) {
+        let n_nodes = self.cfg.n_nodes;
+        let counts = self
+            .page_miss_counts
+            .entry(vpage)
+            .or_insert_with(|| vec![0; n_nodes]);
+        counts[accessor.0] += 1;
+        if accessor != home {
+            let mine = counts[accessor.0];
+            let theirs = counts[home.0];
+            if mine >= threshold && mine >= 2 * theirs.max(1) {
+                self.place_page(vpage, accessor);
+                self.migrations += 1;
+                self.page_miss_counts.remove(&vpage);
+            }
+        }
+    }
+
+    /// Pages migrated by the OS daemon (0 unless migration is enabled).
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Misses serviced by each node's memory since construction. A
+    /// parallel-region scheduler uses deltas of this to bound region time
+    /// by the bottleneck node's service demand
+    /// (`misses × lat.mem_occupancy`).
+    pub fn node_served(&self) -> &[u64] {
+        &self.node_served
+    }
+
+    /// Writer found its line clean: consult the directory for ownership
+    /// and invalidate other sharers. Returns the extra cycles.
+    fn coherence_write(&mut self, proc: ProcId, paddr: u64) -> u64 {
+        let dir_line = self.dir_line(paddr);
+        let coh = self.dir.write(dir_line, proc);
+        let n = coh.invalidate.len() as u64;
+        if n == 0 {
+            return 0;
+        }
+        self.apply_invalidations(&coh.invalidate, dir_line);
+        self.procs[proc.0].counters.invalidations_sent += n;
+        n * self.cfg.lat.invalidation
+    }
+
+    /// Purge `dir_line` (an L2-line-granularity address) from the caches of
+    /// every processor in `targets`.
+    fn apply_invalidations(&mut self, targets: &[ProcId], dir_line: u64) {
+        let l2_line = self.cfg.l2.line_size as u64;
+        let l1_line = self.cfg.l1.line_size as u64;
+        let byte = dir_line * l2_line;
+        for &t in targets {
+            let p = &mut self.procs[t.0];
+            p.l2.invalidate_line(dir_line);
+            let mut off = 0;
+            while off < l2_line {
+                p.l1.invalidate_line((byte + off) >> l1_line.trailing_zeros());
+                off += l1_line;
+            }
+            p.counters.invalidations_received += 1;
+        }
+    }
+
+    /// Directory granularity = L2 line.
+    #[inline]
+    fn dir_line(&self, paddr: u64) -> u64 {
+        paddr >> self.cfg.l2.line_size.trailing_zeros()
+    }
+
+    // ---------------------------------------------------------------
+    // Timed typed loads/stores over the flat backing store.
+    // ---------------------------------------------------------------
+
+    /// Timed load of an `f64`. Returns `(value, cycles)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn read_f64(&mut self, proc: ProcId, addr: VAddr) -> (f64, u64) {
+        let c = self.access(proc, addr, AccessKind::Read);
+        (self.peek_f64(addr), c)
+    }
+
+    /// Timed store of an `f64`. Returns the cycle cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn write_f64(&mut self, proc: ProcId, addr: VAddr, v: f64) -> u64 {
+        let c = self.access(proc, addr, AccessKind::Write);
+        self.poke_f64(addr, v);
+        c
+    }
+
+    /// Timed load of an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn read_i64(&mut self, proc: ProcId, addr: VAddr) -> (i64, u64) {
+        let c = self.access(proc, addr, AccessKind::Read);
+        (self.peek_i64(addr), c)
+    }
+
+    /// Timed store of an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn write_i64(&mut self, proc: ProcId, addr: VAddr, v: i64) -> u64 {
+        let c = self.access(proc, addr, AccessKind::Write);
+        self.poke_i64(addr, v);
+        c
+    }
+
+    /// Untimed read of the backing store (verification / debugging).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn peek_f64(&self, addr: VAddr) -> f64 {
+        let a = addr as usize;
+        f64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Untimed write of the backing store (test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn poke_f64(&mut self, addr: VAddr, v: f64) {
+        let a = addr as usize;
+        self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Untimed read of an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn peek_i64(&self, addr: VAddr) -> i64 {
+        let a = addr as usize;
+        i64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Untimed write of an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside any allocated region.
+    pub fn poke_i64(&mut self, addr: VAddr, v: i64) {
+        let a = addr as usize;
+        self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    // ---------------------------------------------------------------
+    // Time.
+    // ---------------------------------------------------------------
+
+    /// Charge `cycles` of computation to `proc`.
+    pub fn charge(&mut self, proc: ProcId, cycles: u64) {
+        self.procs[proc.0].counters.cycles += cycles;
+    }
+
+    /// Current cycle count of `proc`.
+    pub fn cycles(&self, proc: ProcId) -> u64 {
+        self.procs[proc.0].counters.cycles
+    }
+
+    /// Force `proc`'s clock to `cycles` (barrier levelling; must not move
+    /// time backwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is earlier than the processor's current time.
+    pub fn set_cycles(&mut self, proc: ProcId, cycles: u64) {
+        let c = &mut self.procs[proc.0].counters;
+        assert!(cycles >= c.cycles, "cannot move {proc} backwards in time");
+        c.cycles = cycles;
+    }
+
+    /// Counters of one processor.
+    pub fn counters(&self, proc: ProcId) -> &CounterSet {
+        &self.procs[proc.0].counters
+    }
+
+    /// Aggregate counters over all processors.
+    pub fn total_counters(&self) -> CounterSet {
+        self.procs
+            .iter()
+            .map(|p| p.counters)
+            .fold(CounterSet::new(), |acc, c| acc.merged(&c))
+    }
+
+    /// Total coherence invalidations machine-wide.
+    pub fn total_invalidations(&self) -> u64 {
+        self.dir.total_invalidations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn machine(nprocs: usize) -> Machine {
+        Machine::new(MachineConfig::small_test(nprocs))
+    }
+
+    #[test]
+    fn data_round_trips() {
+        let mut m = machine(2);
+        let a = m.alloc(64, 8);
+        m.write_f64(ProcId(0), a, 1.25);
+        m.write_i64(ProcId(1), a + 8, -7);
+        assert_eq!(m.read_f64(ProcId(0), a).0, 1.25);
+        assert_eq!(m.read_i64(ProcId(0), a + 8).0, -7);
+    }
+
+    #[test]
+    fn first_access_faults_then_hits() {
+        let mut m = machine(2);
+        let a = m.alloc_pages(4096);
+        let c1 = m.access(ProcId(0), a, AccessKind::Read);
+        let c2 = m.access(ProcId(0), a, AccessKind::Read);
+        assert!(
+            c1 > c2,
+            "fault+miss ({c1}) should cost more than a hit ({c2})"
+        );
+        assert_eq!(c2, m.config().lat.l1_hit);
+        assert_eq!(m.counters(ProcId(0)).page_faults, 1);
+    }
+
+    #[test]
+    fn first_touch_places_on_touching_node() {
+        let mut m = machine(4); // 2 nodes
+        let a = m.alloc_pages(8192);
+        // Proc 2 is on node 1.
+        m.access(ProcId(2), a, AccessKind::Read);
+        assert_eq!(m.home_of(a), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn explicit_placement_wins() {
+        let mut m = machine(4);
+        let a = m.alloc_pages(4096);
+        m.place_range(a, 4096, NodeId(1));
+        m.access(ProcId(0), a, AccessKind::Read); // proc 0 is node 0
+        assert_eq!(m.home_of(a), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn remote_miss_costs_more_than_local() {
+        let mut m = machine(4);
+        let a = m.alloc_pages(8192);
+        let page2 = a + 1024; // second page (page size 1024)
+        m.place_range(a, 1024, NodeId(0));
+        m.place_range(page2, 1024, NodeId(1));
+        let local = m.access(ProcId(0), a, AccessKind::Read);
+        let remote = m.access(ProcId(0), page2, AccessKind::Read);
+        assert!(remote > local, "remote {remote} <= local {local}");
+    }
+
+    #[test]
+    fn write_invalidates_remote_reader() {
+        let mut m = machine(4);
+        let a = m.alloc_pages(1024);
+        m.access(ProcId(0), a, AccessKind::Read);
+        m.access(ProcId(2), a, AccessKind::Read);
+        // Proc 2 now hits.
+        let hit = m.access(ProcId(2), a, AccessKind::Read);
+        assert_eq!(hit, m.config().lat.l1_hit);
+        // Proc 0 writes: proc 2's copy must die.
+        m.access(ProcId(0), a, AccessKind::Write);
+        assert_eq!(m.counters(ProcId(0)).invalidations_sent, 1);
+        assert_eq!(m.counters(ProcId(2)).invalidations_received, 1);
+        let after = m.access(ProcId(2), a, AccessKind::Read);
+        assert!(after > m.config().lat.l1_hit, "invalidated line must miss");
+    }
+
+    #[test]
+    fn false_sharing_ping_pong_counts_invalidations() {
+        let mut m = machine(2);
+        let a = m.alloc_pages(1024);
+        // Two procs write adjacent words in the same 64-byte L2 line.
+        for _ in 0..10 {
+            m.access(ProcId(0), a, AccessKind::Write);
+            m.access(ProcId(1), a + 8, AccessKind::Write);
+        }
+        assert!(
+            m.total_invalidations() >= 18,
+            "got {}",
+            m.total_invalidations()
+        );
+    }
+
+    #[test]
+    fn tlb_misses_counted() {
+        let mut m = machine(1);
+        // Touch more pages than the 8-entry TLB holds, twice.
+        let a = m.alloc_pages(1024 * 32);
+        for round in 0..2 {
+            for p in 0..32u64 {
+                m.access(ProcId(0), a + p * 1024, AccessKind::Read);
+            }
+            let _ = round;
+        }
+        assert!(m.counters(ProcId(0)).tlb_misses >= 40);
+    }
+
+    #[test]
+    fn charge_and_levelling() {
+        let mut m = machine(2);
+        m.charge(ProcId(0), 100);
+        m.charge(ProcId(1), 40);
+        assert_eq!(m.cycles(ProcId(0)), 100);
+        m.set_cycles(ProcId(1), 100);
+        assert_eq!(m.cycles(ProcId(1)), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn levelling_cannot_rewind() {
+        let mut m = machine(1);
+        m.charge(ProcId(0), 10);
+        m.set_cycles(ProcId(0), 5);
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = machine(1);
+        let a = m.alloc(100, 64);
+        let b = m.alloc(100, 64);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+        let c = m.alloc_pages(10);
+        assert_eq!(c % m.config().page_size as u64, 0);
+    }
+
+    #[test]
+    fn total_counters_aggregate() {
+        let mut m = machine(2);
+        let a = m.alloc_pages(1024);
+        m.access(ProcId(0), a, AccessKind::Read);
+        m.access(ProcId(1), a + 8, AccessKind::Read);
+        let t = m.total_counters();
+        assert_eq!(t.loads, 2);
+        assert_eq!(t.page_faults, 1);
+    }
+
+    #[test]
+    fn remap_shoots_down_caches_and_tlb() {
+        let mut m = machine(4);
+        let a = m.alloc_pages(1024);
+        m.place_range(a, 1024, NodeId(0));
+        m.access(ProcId(0), a, AccessKind::Read);
+        assert_eq!(
+            m.access(ProcId(0), a, AccessKind::Read),
+            m.config().lat.l1_hit
+        );
+        // Remap to node 1: cached copy must be purged.
+        let remapped = m.place_range(a, 1024, NodeId(1));
+        assert_eq!(remapped, 1);
+        let cost = m.access(ProcId(0), a, AccessKind::Read);
+        assert!(cost > m.config().lat.l1_hit + m.config().lat.l2_hit);
+        assert_eq!(m.home_of(a), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn remap_range_charges_caller() {
+        let mut m = machine(2);
+        let a = m.alloc_pages(4096);
+        m.place_range(a, 4096, NodeId(0));
+        let before = m.cycles(ProcId(0));
+        let n = m.remap_range(ProcId(0), a, 4096, |_| NodeId(0));
+        assert_eq!(n, 4);
+        assert!(m.cycles(ProcId(0)) > before);
+    }
+
+    #[test]
+    fn migration_moves_hot_pages() {
+        let mut cfg = MachineConfig::small_test(4);
+        cfg.migration_threshold = Some(8);
+        // Shrink caches so repeated accesses keep missing (migration is
+        // triggered by L2 misses).
+        cfg.l2 = crate::cache::CacheConfig::new(256, 64, 2);
+        cfg.l1 = crate::cache::CacheConfig::new(128, 32, 2);
+        let mut m = Machine::new(cfg);
+        let a = m.alloc_pages(1024);
+        m.place_range(a, 1024, NodeId(0));
+        // Proc 2 (node 1) hammers the page with a thrashing stride.
+        for rep in 0..40u64 {
+            for off in (0..1024).step_by(64) {
+                m.access(ProcId(2), a + off, AccessKind::Read);
+            }
+            let _ = rep;
+        }
+        assert!(m.migrations() >= 1, "hot page should migrate");
+        assert_eq!(m.home_of(a), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn migration_off_by_default() {
+        let mut m = machine(4);
+        let a = m.alloc_pages(1024);
+        m.place_range(a, 1024, NodeId(0));
+        for _ in 0..100 {
+            m.access(ProcId(2), a, AccessKind::Write);
+        }
+        assert_eq!(m.migrations(), 0);
+        assert_eq!(m.home_of(a), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn sequential_stream_mostly_hits() {
+        let mut m = machine(1);
+        let a = m.alloc_pages(1024);
+        let mut misses_after_first = 0;
+        for i in 0..128u64 {
+            let c = m.access(ProcId(0), a + i * 8, AccessKind::Read);
+            if i > 0 && c > m.config().lat.l1_hit {
+                misses_after_first += 1;
+            }
+        }
+        // 32-byte L1 lines -> one miss every 4 doubles.
+        assert!(misses_after_first <= 33, "got {misses_after_first}");
+    }
+}

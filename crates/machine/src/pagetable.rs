@@ -1,0 +1,328 @@
+//! OS page table and page-placement policies.
+//!
+//! The Origin-2000's IRIX allocates physical memory at 16 KB page
+//! granularity with a default **first-touch** policy (the page is placed on
+//! the node of the processor that faults it) and an optional **round-robin**
+//! policy (Section 2 of the paper).  The `c$distribute` directive's only OS
+//! requirement is a system call that places the pages of each array portion
+//! on a chosen node (Section 4.2) — modelled here by
+//! [`PageTable::place`].
+//!
+//! Frames are drawn from per-node, per-colour free lists.  When page
+//! colouring is on, the frame colour equals `vpage mod n_colors`, so
+//! contiguous virtual pages never conflict in a physically-indexed cache —
+//! the IRIX behaviour the paper credits for the reshaped transpose's cache
+//! friendliness (Section 8.2).  When a node runs out of frames the
+//! allocation spills to the nearest node with free frames (this is what
+//! makes the paper's 360 MB class-C LU exceed one node's 250 MB and go
+//! remote even on one processor).
+
+use crate::topology::{hops, NodeId};
+
+/// Page-placement policy for pages that fault without an explicit placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PagePolicy {
+    /// Allocate from the local memory of the faulting processor's node.
+    #[default]
+    FirstTouch,
+    /// Allocate pages from successive nodes in a round-robin fashion.
+    RoundRobin,
+}
+
+impl std::fmt::Display for PagePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PagePolicy::FirstTouch => write!(f, "first-touch"),
+            PagePolicy::RoundRobin => write!(f, "round-robin"),
+        }
+    }
+}
+
+/// A mapped page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mapping {
+    /// Home node of the physical frame.
+    pub node: NodeId,
+    /// Global frame number (determines physical address & cache colour).
+    pub frame: u64,
+}
+
+/// Outcome of a fault/translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Translate {
+    /// Already mapped.
+    Mapped(Mapping),
+    /// Faulted in by this call (charge a page-fault cost).
+    Faulted(Mapping),
+}
+
+impl Translate {
+    /// The mapping regardless of whether it was just created.
+    pub fn mapping(self) -> Mapping {
+        match self {
+            Translate::Mapped(m) | Translate::Faulted(m) => m,
+        }
+    }
+}
+
+/// The machine-wide page table plus the physical-frame allocator.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    /// vpage -> mapping. Dense vector indexed by vpage; the machine's bump
+    /// allocator keeps the virtual address space compact, so this stays
+    /// proportional to allocated memory.
+    map: Vec<Option<Mapping>>,
+    n_nodes: usize,
+    frames_per_node: usize,
+    n_colors: usize,
+    coloring: bool,
+    /// Per-node count of frames handed out, per colour.
+    used: Vec<Vec<usize>>,
+    rr_next: usize,
+    page_bits: u32,
+}
+
+impl PageTable {
+    /// Create a page table for `n_nodes` nodes of `frames_per_node` frames.
+    /// `n_colors` is the number of page colours of the L2 cache
+    /// (`l2_size / assoc / page_size`, at least 1). `page_bits` is
+    /// log2(page size).
+    pub fn new(
+        n_nodes: usize,
+        frames_per_node: usize,
+        n_colors: usize,
+        coloring: bool,
+        page_bits: u32,
+    ) -> Self {
+        let n_colors = n_colors.max(1);
+        PageTable {
+            map: Vec::new(),
+            n_nodes,
+            frames_per_node,
+            n_colors,
+            coloring,
+            used: vec![vec![0; n_colors]; n_nodes],
+            rr_next: 0,
+            page_bits,
+        }
+    }
+
+    /// Look up an existing mapping without faulting.
+    pub fn lookup(&self, vpage: u64) -> Option<Mapping> {
+        self.map.get(vpage as usize).copied().flatten()
+    }
+
+    /// Translate `vpage` for a processor on `local`, faulting with the
+    /// given default `policy` when unmapped.
+    pub fn translate(&mut self, vpage: u64, local: NodeId, policy: PagePolicy) -> Translate {
+        if let Some(m) = self.lookup(vpage) {
+            return Translate::Mapped(m);
+        }
+        let preferred = match policy {
+            PagePolicy::FirstTouch => local,
+            PagePolicy::RoundRobin => {
+                let n = NodeId(self.rr_next % self.n_nodes);
+                self.rr_next += 1;
+                n
+            }
+        };
+        Translate::Faulted(self.map_page(vpage, preferred))
+    }
+
+    /// Explicitly place `vpage` on `node` (the data-distribution system
+    /// call).  If the page is already mapped it is *remapped*: the old frame
+    /// is freed and a new one allocated on `node` — this is the mechanism
+    /// behind `c$redistribute`.  Returns the new mapping and whether a
+    /// remap occurred (callers must then shoot down TLBs/caches).
+    pub fn place(&mut self, vpage: u64, node: NodeId) -> (Mapping, bool) {
+        let existed = self.lookup(vpage);
+        if let Some(old) = existed {
+            if old.node == node {
+                return (old, false);
+            }
+            self.release_frame(old);
+        }
+        (self.map_page(vpage, node), existed.is_some())
+    }
+
+    fn map_page(&mut self, vpage: u64, preferred: NodeId) -> Mapping {
+        let color = (vpage as usize) % self.n_colors;
+        let node = self.pick_node(preferred);
+        let used = &mut self.used[node.0];
+        // Frame numbering: node-major, then colour-runs, so that the global
+        // frame number preserves the colour: frame % n_colors == color.
+        let frame_color = if self.coloring {
+            color
+        } else {
+            // Colour-oblivious allocation: spread by allocation order, which
+            // models the random physical placement of an uncoloured OS.
+            (used.iter().sum::<usize>() * 7 + vpage as usize * 13) % self.n_colors
+        };
+        let run = used[frame_color];
+        used[frame_color] += 1;
+        let frame = (node.0 * self.frames_per_node + run * self.n_colors + frame_color) as u64;
+        let m = Mapping { node, frame };
+        if self.map.len() <= vpage as usize {
+            self.map.resize(vpage as usize + 1, None);
+        }
+        self.map[vpage as usize] = Some(m);
+        m
+    }
+
+    /// Choose the node closest to `preferred` that still has free frames.
+    fn pick_node(&self, preferred: NodeId) -> NodeId {
+        if self.node_free(preferred) > 0 {
+            return preferred;
+        }
+        (0..self.n_nodes)
+            .map(NodeId)
+            .filter(|n| self.node_free(*n) > 0)
+            .min_by_key(|n| hops(preferred, *n))
+            .unwrap_or(preferred) // out of memory everywhere: overcommit local
+    }
+
+    fn node_free(&self, node: NodeId) -> usize {
+        self.frames_per_node
+            .saturating_sub(self.used[node.0].iter().sum())
+    }
+
+    fn release_frame(&mut self, m: Mapping) {
+        let color = (m.frame as usize) % self.n_colors;
+        let used = &mut self.used[m.node.0];
+        if used[color] > 0 {
+            used[color] -= 1;
+        }
+    }
+
+    /// Number of pages currently mapped on each node.
+    pub fn pages_per_node(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_nodes];
+        for m in self.map.iter().flatten() {
+            counts[m.node.0] += 1;
+        }
+        counts
+    }
+
+    /// Physical byte address of (`vpage`, `offset`) under mapping `m`.
+    pub fn phys_addr(&self, m: Mapping, offset: u64) -> u64 {
+        (m.frame << self.page_bits) | offset
+    }
+
+    /// Total mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.map.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt() -> PageTable {
+        PageTable::new(4, 16, 4, true, 10)
+    }
+
+    #[test]
+    fn first_touch_places_locally() {
+        let mut t = pt();
+        let tr = t.translate(5, NodeId(2), PagePolicy::FirstTouch);
+        match tr {
+            Translate::Faulted(m) => assert_eq!(m.node, NodeId(2)),
+            _ => panic!("expected fault"),
+        }
+        // Second access: mapped, same place.
+        match t.translate(5, NodeId(0), PagePolicy::FirstTouch) {
+            Translate::Mapped(m) => assert_eq!(m.node, NodeId(2)),
+            _ => panic!("expected mapped"),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_nodes() {
+        let mut t = pt();
+        let nodes: Vec<_> = (0..8)
+            .map(|v| {
+                t.translate(v, NodeId(0), PagePolicy::RoundRobin)
+                    .mapping()
+                    .node
+                    .0
+            })
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn explicit_place_overrides_policy() {
+        let mut t = pt();
+        let (m, remapped) = t.place(9, NodeId(3));
+        assert_eq!(m.node, NodeId(3));
+        assert!(!remapped);
+        // Later faults see the explicit placement.
+        assert_eq!(
+            t.translate(9, NodeId(0), PagePolicy::FirstTouch)
+                .mapping()
+                .node,
+            NodeId(3)
+        );
+    }
+
+    #[test]
+    fn replace_remaps_and_reports() {
+        let mut t = pt();
+        t.place(9, NodeId(1));
+        let (m, remapped) = t.place(9, NodeId(2));
+        assert_eq!(m.node, NodeId(2));
+        assert!(remapped);
+        let (_, same) = t.place(9, NodeId(2));
+        assert!(!same, "placing on the same node is a no-op");
+    }
+
+    #[test]
+    fn coloring_preserves_vpage_color() {
+        let mut t = pt();
+        for v in 0..12u64 {
+            let m = t.translate(v, NodeId(0), PagePolicy::FirstTouch).mapping();
+            assert_eq!(m.frame % 4, v % 4, "frame colour must equal vpage colour");
+        }
+    }
+
+    #[test]
+    fn capacity_spills_to_nearest_node() {
+        let mut t = PageTable::new(4, 4, 1, true, 10);
+        // Fill node 0 (4 frames).
+        for v in 0..4 {
+            assert_eq!(
+                t.translate(v, NodeId(0), PagePolicy::FirstTouch)
+                    .mapping()
+                    .node,
+                NodeId(0)
+            );
+        }
+        // Fifth page spills to a 1-hop neighbour (node 1 or 2).
+        let spill = t
+            .translate(4, NodeId(0), PagePolicy::FirstTouch)
+            .mapping()
+            .node;
+        assert_eq!(hops(NodeId(0), spill), 1, "spill node {spill} not adjacent");
+    }
+
+    #[test]
+    fn pages_per_node_counts() {
+        let mut t = pt();
+        t.place(0, NodeId(0));
+        t.place(1, NodeId(0));
+        t.place(2, NodeId(3));
+        assert_eq!(t.pages_per_node(), vec![2, 0, 0, 1]);
+        assert_eq!(t.mapped_pages(), 3);
+    }
+
+    #[test]
+    fn phys_addr_combines_frame_and_offset() {
+        let t = pt();
+        let m = Mapping {
+            node: NodeId(0),
+            frame: 3,
+        };
+        assert_eq!(t.phys_addr(m, 0x55), (3 << 10) | 0x55);
+    }
+}

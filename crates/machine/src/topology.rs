@@ -1,0 +1,76 @@
+//! Hypercube interconnect topology.
+//!
+//! Origin-2000 nodes are connected in a (fat) hypercube through a
+//! switch-based interconnect (Figure 1 of the paper).  Remote latency grows
+//! with the number of router hops; on the real machine a remote miss costs
+//! 110–180 cycles depending on distance, versus ~70 local.  We model the
+//! hop count between two nodes as the Hamming distance of their node ids,
+//! which is exact for a binary hypercube.
+
+/// Identifier of a NUMA node (processor pair + memory + hub).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Number of router hops between two nodes of a binary hypercube
+/// (Hamming distance of the node ids). Zero when `a == b`.
+pub fn hops(a: NodeId, b: NodeId) -> u32 {
+    ((a.0 ^ b.0) as u64).count_ones()
+}
+
+/// Maximum hop count on a hypercube of `n_nodes` nodes (its dimension).
+///
+/// # Panics
+///
+/// Panics if `n_nodes` is not a positive power of two.
+pub fn diameter(n_nodes: usize) -> u32 {
+    assert!(
+        n_nodes.is_power_of_two() && n_nodes > 0,
+        "hypercube needs a power-of-two node count"
+    );
+    n_nodes.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_is_hamming_distance() {
+        assert_eq!(hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(hops(NodeId(0b101), NodeId(0b010)), 3);
+        assert_eq!(hops(NodeId(5), NodeId(5)), 0);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(hops(NodeId(a), NodeId(b)), hops(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_hops() {
+        let d = diameter(16);
+        assert_eq!(d, 4);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert!(hops(NodeId(a), NodeId(b)) <= d);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn diameter_rejects_non_power_of_two() {
+        let _ = diameter(12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the machine substrate's invariants.
+
+use dsm_machine::{AccessKind, Cache, CacheConfig, Machine, MachineConfig, NodeId, ProcId, Tlb};
+use proptest::prelude::*;
+
+proptest! {
+    /// A cache never holds more lines than its capacity, and an access
+    /// immediately after itself always hits.
+    #[test]
+    fn cache_capacity_and_idempotence(
+        addrs in prop::collection::vec(0u64..65536, 1..200),
+    ) {
+        let mut c = Cache::new(CacheConfig::new(1024, 32, 2));
+        for &a in &addrs {
+            c.access(a, a % 3 == 0);
+            let hit = matches!(c.access(a, false), dsm_machine::cache::Probe::Hit { .. });
+            prop_assert!(hit);
+            prop_assert!(c.resident() <= 32);
+        }
+    }
+
+    /// The most-recently-used line of a set survives one conflicting fill.
+    #[test]
+    fn cache_mru_survives_one_conflict(base in 0u64..1024) {
+        let mut c = Cache::new(CacheConfig::new(256, 32, 2)); // 4 sets
+        let stride = 128; // same set
+        let a = base * 32;
+        c.access(a, false);
+        c.access(a + stride, false);
+        c.access(a, false); // a is MRU
+        c.access(a + 2 * stride, false); // evicts a+stride
+        prop_assert!(c.contains(a));
+    }
+
+    /// TLB entries never exceed capacity and repeated pages hit.
+    #[test]
+    fn tlb_bounded_and_hits(pages in prop::collection::vec(0u64..128, 1..300)) {
+        let mut t = Tlb::new(16);
+        for &p in &pages {
+            t.access(p);
+            prop_assert!(t.access(p), "immediate re-access must hit");
+            prop_assert!(t.len() <= 16);
+        }
+    }
+
+    /// Data written through the machine is read back exactly, regardless
+    /// of the processor performing the access.
+    #[test]
+    fn memory_round_trip(
+        values in prop::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 1..64),
+        readers in prop::collection::vec(0usize..4, 1..64),
+    ) {
+        let mut m = Machine::new(MachineConfig::small_test(4));
+        let base = m.alloc_pages(values.len() * 8);
+        for (i, &v) in values.iter().enumerate() {
+            m.write_f64(ProcId(i % 4), base + i as u64 * 8, v);
+        }
+        for (&r, (i, &v)) in readers.iter().zip(values.iter().enumerate().cycle()) {
+            let (got, _) = m.read_f64(ProcId(r), base + i as u64 * 8);
+            prop_assert_eq!(got, v);
+        }
+    }
+
+    /// Access cost is always positive and bounded by a sane constant.
+    #[test]
+    fn access_cost_bounded(
+        offsets in prop::collection::vec(0u64..32768, 1..200),
+        procs in prop::collection::vec(0usize..8, 1..200),
+    ) {
+        let mut m = Machine::new(MachineConfig::small_test(8));
+        let base = m.alloc_pages(32768 + 8);
+        let lat = m.config().lat.clone();
+        let bound = lat.tlb_miss + lat.page_fault + lat.l1_hit + lat.l2_hit
+            + lat.remote_base + lat.remote_per_hop * 8 + lat.writeback
+            + lat.invalidation * 8;
+        for (&off, &p) in offsets.iter().zip(&procs) {
+            let c = m.access(ProcId(p), base + off, AccessKind::Read);
+            prop_assert!(c >= lat.l1_hit);
+            prop_assert!(c <= bound, "cost {} above bound {}", c, bound);
+        }
+    }
+
+    /// Explicit placement is always respected by later faults.
+    #[test]
+    fn placement_sticks(pages in prop::collection::vec(0usize..16, 1..40)) {
+        let mut m = Machine::new(MachineConfig::small_test(8)); // 4 nodes
+        let base = m.alloc_pages(16 * 1024);
+        for (i, &pg) in pages.iter().enumerate() {
+            let node = NodeId(i % 4);
+            m.place_range(base + pg as u64 * 1024, 1024, node);
+            m.access(ProcId((i + 1) % 8), base + pg as u64 * 1024, AccessKind::Read);
+            prop_assert_eq!(m.home_of(base + pg as u64 * 1024), Some(node));
+        }
+    }
+
+    /// Counters are consistent: l2 misses = local + remote + interventions
+    /// never exceeds l1 misses, loads+stores equals issued accesses.
+    #[test]
+    fn counter_consistency(
+        ops in prop::collection::vec((0u64..8192, any::<bool>(), 0usize..4), 1..300),
+    ) {
+        let mut m = Machine::new(MachineConfig::small_test(4));
+        let base = m.alloc_pages(8192 + 8);
+        for &(off, w, p) in &ops {
+            let kind = if w { AccessKind::Write } else { AccessKind::Read };
+            m.access(ProcId(p), base + off, kind);
+        }
+        let t = m.total_counters();
+        prop_assert_eq!(t.accesses(), ops.len() as u64);
+        prop_assert_eq!(t.l2_misses, t.local_misses + t.remote_misses);
+        prop_assert!(t.l2_misses <= t.l1_misses);
+        prop_assert_eq!(t.invalidations_sent, t.invalidations_received);
+    }
+}

@@ -1,0 +1,277 @@
+//! Runtime argument-consistency checks for reshaped arrays (Section 6).
+//!
+//! At every call that passes a reshaped array (or an element of one) the
+//! generated code inserts the actual's address into a hash table together
+//! with its shape information; on subroutine entry, each array formal's
+//! incoming address is looked up, and a mismatch between the stored
+//! information and the declared formal raises a runtime error — the
+//! paper's defence against errors that are "otherwise extremely difficult
+//! to detect, since they are not easily distinguished from other
+//! algorithmic or coding errors".
+
+use std::collections::HashMap;
+
+use dsm_machine::VAddr;
+
+/// What was passed at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgInfo {
+    /// The whole reshaped array: shape and size must match the formal
+    /// exactly (Section 3.2.1, first rule).
+    WholeArray {
+        /// Array name (for diagnostics).
+        name: String,
+        /// Declared extents.
+        shape: Vec<u64>,
+    },
+    /// An element of a reshaped array, i.e. the containing portion: the
+    /// formal may declare at most `portion_len` elements.
+    Portion {
+        /// Array name (for diagnostics).
+        name: String,
+        /// Elements from the passed address to the end of the portion.
+        portion_len: u64,
+    },
+}
+
+/// A failed runtime check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgCheckError {
+    /// Callee subroutine.
+    pub callee: String,
+    /// Formal parameter position (0-based).
+    pub position: usize,
+    /// Description of the mismatch.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ArgCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runtime check failed in `{}`, argument {}: {}",
+            self.callee,
+            self.position + 1,
+            self.msg
+        )
+    }
+}
+
+impl std::error::Error for ArgCheckError {}
+
+/// The runtime hash table of live reshaped actuals.
+///
+/// Entries are pushed at calls and popped on return; recursive calls that
+/// pass the same address nest correctly because entries stack.
+#[derive(Debug, Default)]
+pub struct ArgChecker {
+    table: HashMap<VAddr, Vec<ArgInfo>>,
+    lookups: u64,
+    inserts: u64,
+}
+
+impl ArgChecker {
+    /// An empty checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `info` was passed with base address `addr`.
+    pub fn register(&mut self, addr: VAddr, info: ArgInfo) {
+        self.inserts += 1;
+        self.table.entry(addr).or_default().push(info);
+    }
+
+    /// Remove the most recent registration for `addr` (subroutine return).
+    pub fn unregister(&mut self, addr: VAddr) {
+        if let Some(v) = self.table.get_mut(&addr) {
+            v.pop();
+            if v.is_empty() {
+                self.table.remove(&addr);
+            }
+        }
+    }
+
+    /// Validate a formal array parameter of `callee` at `position` that
+    /// arrived with base address `addr` and declared extents `declared`.
+    ///
+    /// Addresses with no entry pass trivially (the actual was not a
+    /// reshaped array — an ordinary Fortran argument).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgCheckError`] describing a rank/extent mismatch for
+    /// whole arrays, or a formal larger than the passed portion.
+    pub fn check_formal(
+        &mut self,
+        callee: &str,
+        position: usize,
+        addr: VAddr,
+        declared: &[u64],
+    ) -> Result<(), ArgCheckError> {
+        self.lookups += 1;
+        let Some(info) = self.table.get(&addr).and_then(|v| v.last()) else {
+            return Ok(());
+        };
+        match info {
+            ArgInfo::WholeArray { name, shape } => {
+                if shape.len() != declared.len() {
+                    return Err(ArgCheckError {
+                        callee: callee.into(),
+                        position,
+                        msg: format!(
+                            "reshaped array `{name}` has rank {}, formal declares rank {}",
+                            shape.len(),
+                            declared.len()
+                        ),
+                    });
+                }
+                if shape != declared {
+                    return Err(ArgCheckError {
+                        callee: callee.into(),
+                        position,
+                        msg: format!(
+                            "reshaped array `{name}` has shape {shape:?}, formal declares {declared:?}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            ArgInfo::Portion { name, portion_len } => {
+                let formal_len: u64 = declared.iter().product();
+                if formal_len > *portion_len {
+                    return Err(ArgCheckError {
+                        callee: callee.into(),
+                        position,
+                        msg: format!(
+                            "formal declares {formal_len} elements but the passed portion of \
+                             reshaped array `{name}` holds only {portion_len}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// (hash-table inserts, lookups) — the overhead the paper accounts for.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.inserts, self.lookups)
+    }
+
+    /// Number of live entries (should be zero between top-level calls).
+    pub fn live(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_address_passes() {
+        let mut c = ArgChecker::new();
+        assert!(c.check_formal("sub", 0, 0x1000, &[5]).is_ok());
+    }
+
+    #[test]
+    fn whole_array_exact_match_required() {
+        let mut c = ArgChecker::new();
+        c.register(
+            0x1000,
+            ArgInfo::WholeArray {
+                name: "a".into(),
+                shape: vec![10, 20],
+            },
+        );
+        assert!(c.check_formal("sub", 0, 0x1000, &[10, 20]).is_ok());
+        let err = c.check_formal("sub", 0, 0x1000, &[20, 10]).unwrap_err();
+        assert!(err.msg.contains("shape"), "{err}");
+        let err = c.check_formal("sub", 0, 0x1000, &[200]).unwrap_err();
+        assert!(err.msg.contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn portion_bounds_formal_size() {
+        let mut c = ArgChecker::new();
+        // The paper's example: A(1000) cyclic(5); call mysub(A(i)) passes a
+        // 5-element portion; X may declare at most 5 elements.
+        c.register(
+            0x2000,
+            ArgInfo::Portion {
+                name: "a".into(),
+                portion_len: 5,
+            },
+        );
+        assert!(c.check_formal("mysub", 0, 0x2000, &[5]).is_ok());
+        assert!(c.check_formal("mysub", 0, 0x2000, &[3]).is_ok());
+        let err = c.check_formal("mysub", 0, 0x2000, &[6]).unwrap_err();
+        assert!(err.msg.contains("portion"), "{err}");
+    }
+
+    #[test]
+    fn unregister_restores_innocence() {
+        let mut c = ArgChecker::new();
+        c.register(
+            0x3000,
+            ArgInfo::Portion {
+                name: "a".into(),
+                portion_len: 1,
+            },
+        );
+        assert!(c.check_formal("s", 0, 0x3000, &[9]).is_err());
+        c.unregister(0x3000);
+        assert!(c.check_formal("s", 0, 0x3000, &[9]).is_ok());
+        assert_eq!(c.live(), 0);
+    }
+
+    #[test]
+    fn entries_stack_for_recursion() {
+        let mut c = ArgChecker::new();
+        c.register(
+            0x4000,
+            ArgInfo::Portion {
+                name: "a".into(),
+                portion_len: 10,
+            },
+        );
+        c.register(
+            0x4000,
+            ArgInfo::Portion {
+                name: "a".into(),
+                portion_len: 4,
+            },
+        );
+        // Innermost registration wins.
+        assert!(c.check_formal("s", 0, 0x4000, &[5]).is_err());
+        c.unregister(0x4000);
+        assert!(c.check_formal("s", 0, 0x4000, &[5]).is_ok());
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut c = ArgChecker::new();
+        c.register(
+            1,
+            ArgInfo::Portion {
+                name: "a".into(),
+                portion_len: 1,
+            },
+        );
+        let _ = c.check_formal("s", 0, 1, &[1]);
+        let _ = c.check_formal("s", 0, 2, &[1]);
+        assert_eq!(c.stats(), (1, 2));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ArgCheckError {
+            callee: "mysub".into(),
+            position: 1,
+            msg: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("mysub") && s.contains("argument 2") && s.contains("boom"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Portion-traversal intrinsics.
+//!
+//! The paper (Section 3.2.1) points to "a rich set of intrinsics for
+//! traversing the individual portions of a distributed array" \[SGI96\].
+//! These are the query functions programs (and our examples) use to walk
+//! their own portion of a distributed array: the MIPSpro runtime exposes
+//! them as `dsm_numthreads`, `dsm_this_startingindex`, `dsm_this_size`,
+//! `dsm_distribution_block` and friends; we expose the equivalent
+//! operations over a [`DistDescriptor`].
+
+use dsm_ir::Dist;
+
+use crate::descriptor::DistDescriptor;
+
+/// Number of processors assigned to dimension `dim` of the array
+/// (`dsm_numthreads`). 1 for undistributed dimensions.
+pub fn numthreads(desc: &DistDescriptor, dim: usize) -> u64 {
+    desc.dims[dim].nprocs
+}
+
+/// Distribution format of dimension `dim` (`dsm_distribution_*`).
+pub fn distribution(desc: &DistDescriptor, dim: usize) -> Dist {
+    desc.dims[dim].dist
+}
+
+/// 1-based starting index of the `n`-th contiguous run owned by grid
+/// coordinate `coord` along `dim` (`dsm_this_startingindex`), or `None`
+/// when no such run exists.
+pub fn this_starting_index(desc: &DistDescriptor, dim: usize, coord: u64, n: u64) -> Option<i64> {
+    desc.dims[dim].run(coord, n).map(|(s, _)| s as i64 + 1)
+}
+
+/// Length of the `n`-th contiguous run owned by `coord` along `dim`
+/// (`dsm_this_size`).
+pub fn this_size(desc: &DistDescriptor, dim: usize, coord: u64, n: u64) -> Option<u64> {
+    desc.dims[dim].run(coord, n).map(|(s, e)| e - s)
+}
+
+/// Total number of elements owned by `coord` along `dim`.
+pub fn portion_total(desc: &DistDescriptor, dim: usize, coord: u64) -> u64 {
+    desc.dims[dim].portion_extent(coord)
+}
+
+/// 1-based (inclusive) index range of `coord`'s single block for a
+/// `block` distribution (`dsm_this_blocksize` companion).
+///
+/// # Panics
+///
+/// Panics if `dim` is not block-distributed.
+pub fn block_bounds(desc: &DistDescriptor, dim: usize, coord: u64) -> (i64, i64) {
+    let d = &desc.dims[dim];
+    assert_eq!(d.dist, Dist::Block, "block_bounds on non-block dimension");
+    let (s, e) = d.run(coord, 0).unwrap_or((0, 0));
+    (s as i64 + 1, e as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_ir::Distribution;
+
+    fn desc() -> DistDescriptor {
+        DistDescriptor::new(&[100], &Distribution::new(vec![Dist::Block]), 4)
+    }
+
+    #[test]
+    fn numthreads_and_distribution() {
+        let d = desc();
+        assert_eq!(numthreads(&d, 0), 4);
+        assert_eq!(distribution(&d, 0), Dist::Block);
+    }
+
+    #[test]
+    fn block_runs_and_bounds() {
+        let d = desc();
+        assert_eq!(this_starting_index(&d, 0, 0, 0), Some(1));
+        assert_eq!(this_size(&d, 0, 0, 0), Some(25));
+        assert_eq!(this_starting_index(&d, 0, 0, 1), None, "block has one run");
+        assert_eq!(block_bounds(&d, 0, 2), (51, 75));
+        assert_eq!(portion_total(&d, 0, 3), 25);
+    }
+
+    #[test]
+    fn cyclic_runs_walk_the_portion() {
+        let d = DistDescriptor::new(&[20], &Distribution::new(vec![Dist::Cyclic(3)]), 2);
+        // coord 0 owns [0,3), [6,9), [12,15), [18,20).
+        assert_eq!(this_starting_index(&d, 0, 0, 0), Some(1));
+        assert_eq!(this_starting_index(&d, 0, 0, 1), Some(7));
+        assert_eq!(
+            this_size(&d, 0, 0, 3),
+            Some(2),
+            "tail run truncated by extent"
+        );
+        assert_eq!(this_starting_index(&d, 0, 0, 4), None);
+        let total: u64 = (0..4).filter_map(|n| this_size(&d, 0, 0, n)).sum();
+        assert_eq!(total, portion_total(&d, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-block")]
+    fn block_bounds_rejects_cyclic() {
+        let d = DistDescriptor::new(&[20], &Distribution::new(vec![Dist::Cyclic(1)]), 2);
+        let _ = block_bounds(&d, 0, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-processor memory pools for reshaped portions.
+//!
+//! Section 4.3: "each processor allocates a pool of storage from the
+//! shared heap, maps the pages for this pool of storage from within its
+//! local memory, and allocates its portion of each reshaped array from
+//! this pool of memory.  We can therefore avoid padding the ends of each
+//! portion up to a page boundary."
+
+use dsm_machine::{Machine, NodeId, VAddr};
+
+/// One processor's pool: page-aligned slabs placed on the owning node,
+/// bump-allocated.
+#[derive(Debug, Clone, Default)]
+struct Pool {
+    cursor: VAddr,
+    end: VAddr,
+}
+
+/// A pool per processor.
+#[derive(Debug, Clone)]
+pub struct PoolSet {
+    pools: Vec<Pool>,
+    slab_bytes: usize,
+}
+
+impl PoolSet {
+    /// Create pools for `nprocs` processors. `slab_bytes` is the minimum
+    /// slab grabbed from the shared heap when a pool runs dry (rounded up
+    /// to whole pages by the machine allocator).
+    pub fn new(nprocs: usize, slab_bytes: usize) -> Self {
+        PoolSet {
+            pools: vec![Pool::default(); nprocs],
+            slab_bytes: slab_bytes.max(1),
+        }
+    }
+
+    /// Allocate `bytes` for `proc` (8-byte aligned), with the backing pages
+    /// placed on `node`. Portions of different arrays share slabs — no
+    /// page-boundary padding.
+    pub fn alloc(&mut self, m: &mut Machine, proc: usize, node: NodeId, bytes: usize) -> VAddr {
+        let bytes = (bytes + 7) & !7;
+        let pool = &mut self.pools[proc];
+        if pool.cursor + bytes as u64 > pool.end {
+            let slab = self.slab_bytes.max(bytes);
+            let page = m.config().page_size;
+            let slab = slab.div_ceil(page) * page;
+            let base = m.alloc_pages(slab);
+            m.place_range(base, slab, node);
+            // Pre-map the slab's pages on the home node so first-touch
+            // cannot steal them later.
+            pool.cursor = base;
+            pool.end = base + slab as u64;
+        }
+        let addr = pool.cursor;
+        pool.cursor += bytes as u64;
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsm_machine::MachineConfig;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut m = Machine::new(MachineConfig::small_test(4));
+        let mut ps = PoolSet::new(4, 4096);
+        let a = ps.alloc(&mut m, 0, NodeId(0), 100);
+        let b = ps.alloc(&mut m, 0, NodeId(0), 100);
+        assert_eq!(a % 8, 0);
+        assert!(b >= a + 100);
+        assert!(b < a + 4096, "second allocation reuses the same slab");
+    }
+
+    #[test]
+    fn pages_land_on_requested_node() {
+        let mut m = Machine::new(MachineConfig::small_test(4));
+        let mut ps = PoolSet::new(4, 4096);
+        let a = ps.alloc(&mut m, 2, NodeId(1), 64);
+        assert_eq!(m.home_of(a), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn different_procs_use_different_slabs() {
+        let mut m = Machine::new(MachineConfig::small_test(4));
+        let mut ps = PoolSet::new(4, 4096);
+        let a = ps.alloc(&mut m, 0, NodeId(0), 64);
+        let b = ps.alloc(&mut m, 1, NodeId(0), 64);
+        assert!(
+            a.abs_diff(b) >= 1024,
+            "slabs must not interleave within a page"
+        );
+    }
+
+    #[test]
+    fn oversized_request_gets_own_slab() {
+        let mut m = Machine::new(MachineConfig::small_test(2));
+        let mut ps = PoolSet::new(2, 1024);
+        let a = ps.alloc(&mut m, 0, NodeId(0), 10 * 1024);
+        let b = ps.alloc(&mut m, 0, NodeId(0), 8);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn no_padding_between_small_portions() {
+        let mut m = Machine::new(MachineConfig::small_test(2));
+        let mut ps = PoolSet::new(2, 8192);
+        let a = ps.alloc(&mut m, 0, NodeId(0), 24);
+        let b = ps.alloc(&mut m, 0, NodeId(0), 24);
+        assert_eq!(b - a, 24, "portions must pack without page padding");
+    }
+}

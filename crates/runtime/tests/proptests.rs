@@ -1,0 +1,165 @@
+//! Property-based tests of the distribution runtime's core invariants.
+
+use dsm_ir::{Dist, Distribution};
+use dsm_runtime::sched::{partition_affinity, partition_interleave, partition_simple};
+use dsm_runtime::DistDescriptor;
+use proptest::prelude::*;
+
+fn arb_dist() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        Just(Dist::Block),
+        (1u64..8).prop_map(Dist::Cyclic),
+        Just(Dist::Star),
+    ]
+}
+
+proptest! {
+    /// Every element is owned by exactly one processor, and the portion
+    /// lengths sum to the array size.
+    #[test]
+    fn portions_partition_any_array(
+        extents in prop::collection::vec(1u64..40, 1..4),
+        dists in prop::collection::vec(arb_dist(), 1..4),
+        nprocs in 1usize..17,
+    ) {
+        let rank = extents.len().min(dists.len());
+        let extents = &extents[..rank];
+        let dists = dists[..rank].to_vec();
+        let desc = DistDescriptor::new(extents, &Distribution::new(dists), nprocs);
+        let total: u64 = (0..desc.grid_size()).map(|p| desc.portion_len(p)).sum();
+        prop_assert_eq!(total, desc.total_len());
+    }
+
+    /// `local_linear` is a bijection from a processor's elements onto
+    /// `0..portion_len` (dense packing of reshaped portions).
+    #[test]
+    fn local_linear_is_dense(
+        n0 in 1u64..30,
+        n1 in 1u64..30,
+        d0 in arb_dist(),
+        d1 in arb_dist(),
+        nprocs in 1usize..10,
+    ) {
+        let desc = DistDescriptor::new(&[n0, n1], &Distribution::new(vec![d0, d1]), nprocs);
+        let mut seen = vec![std::collections::HashSet::new(); desc.grid_size()];
+        for i in 0..n0 {
+            for j in 0..n1 {
+                let p = desc.owner_proc(&[i, j]);
+                let off = desc.local_linear(&[i, j]);
+                prop_assert!(off < desc.portion_len(p), "offset beyond portion");
+                prop_assert!(seen[p].insert(off), "duplicate local offset");
+            }
+        }
+        for (p, s) in seen.iter().enumerate() {
+            prop_assert_eq!(s.len() as u64, desc.portion_len(p));
+        }
+    }
+
+    /// Owner coordinates are always inside the processor grid.
+    #[test]
+    fn owners_within_grid(
+        n in 1u64..200,
+        d in arb_dist(),
+        nprocs in 1usize..33,
+        probe in 0u64..200,
+    ) {
+        let desc = DistDescriptor::new(&[n], &Distribution::new(vec![d]), nprocs);
+        let i = probe % n;
+        let p = desc.owner_proc(&[i]);
+        prop_assert!(p < desc.grid_size());
+    }
+
+    /// `run_remaining` never exceeds the distance to the array end and is
+    /// positive inside the array.
+    #[test]
+    fn run_remaining_bounds(
+        n in 1u64..200,
+        d in arb_dist(),
+        nprocs in 1usize..9,
+        probe in 0u64..200,
+    ) {
+        let desc = DistDescriptor::new(&[n], &Distribution::new(vec![d]), nprocs);
+        let i = probe % n;
+        let rem = desc.dims[0].run_remaining(i);
+        prop_assert!(rem >= 1);
+        prop_assert!(rem <= n - i);
+    }
+
+    /// Simple scheduling covers every iteration exactly once.
+    #[test]
+    fn simple_schedule_exact_cover(
+        lb in -50i64..50,
+        len in 0i64..100,
+        step in 1i64..7,
+        n in 1usize..9,
+    ) {
+        let ub = lb + len;
+        let parts = partition_simple(lb, ub, step, n);
+        let mut seen = std::collections::BTreeSet::new();
+        for chunks in &parts {
+            for c in chunks {
+                let mut i = c.lb;
+                while i <= c.ub {
+                    prop_assert!(seen.insert(i), "duplicate iteration {}", i);
+                    i += c.step;
+                }
+            }
+        }
+        let mut expect = std::collections::BTreeSet::new();
+        let mut i = lb;
+        while i <= ub {
+            expect.insert(i);
+            i += step;
+        }
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Interleaved scheduling covers every iteration exactly once.
+    #[test]
+    fn interleave_schedule_exact_cover(
+        len in 0i64..100,
+        n in 1usize..9,
+        k in 1u64..9,
+    ) {
+        let parts = partition_interleave(1, len, 1, n, k);
+        let total: u64 = parts.iter().flatten().map(|c| c.len()).sum();
+        prop_assert_eq!(total as i64, len.max(0));
+    }
+
+    /// Affinity scheduling covers every iteration exactly once and agrees
+    /// with element ownership for in-range elements.
+    #[test]
+    fn affinity_schedule_cover_and_ownership(
+        n in 1u64..120,
+        d in prop_oneof![Just(Dist::Block), (1u64..5).prop_map(Dist::Cyclic)],
+        nprocs in 1usize..9,
+        scale in 1i64..4,
+        offset in -3i64..4,
+    ) {
+        let desc = DistDescriptor::new(&[n], &Distribution::new(vec![d]), nprocs);
+        // Loop range chosen so most elements are in range.
+        let lb = 1i64;
+        let ub = (n as i64 - offset) / scale;
+        prop_assume!(ub >= lb);
+        let parts = partition_affinity(lb, ub, 1, &desc.dims[0], scale, offset);
+        let mut count = 0u64;
+        for (coord, chunks) in parts.iter().enumerate() {
+            for c in chunks {
+                let mut i = c.lb;
+                while i <= c.ub {
+                    count += 1;
+                    let elem = scale * i + offset;
+                    if elem >= 1 && elem <= n as i64 {
+                        prop_assert_eq!(
+                            desc.dims[0].owner((elem - 1) as u64) as usize,
+                            coord,
+                            "iteration {} scheduled off its element's owner", i
+                        );
+                    }
+                    i += 1;
+                }
+            }
+        }
+        prop_assert_eq!(count as i64, ub - lb + 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's 2-D convolution study (Section 8.3) at example scale:
+//! one-level `(*, block)` vs two-level `(block, block)` parallelism under
+//! all four placement policies.
+//!
+//! ```sh
+//! cargo run --release --example convolution [n] [nprocs]
+//! ```
+//!
+//! Expected shape: with `(block, block)` only reshaping avoids false
+//! sharing over both cache lines and pages; with `(*, block)` regular
+//! distribution is competitive when portions are large.
+
+use dsm_core::workloads::{conv2d_source, Policy};
+use dsm_core::{OptConfig, Session};
+
+fn run_variant(n: usize, nprocs: usize, two_level: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let scale = 64;
+    println!(
+        "\n2-D convolution {n}x{n}, {} parallelism, {nprocs} processors",
+        if two_level {
+            "(block,block) two-level"
+        } else {
+            "(*,block) one-level"
+        }
+    );
+    println!(
+        "{:<12} {:>14} {:>9} {:>10}",
+        "policy", "kernel-cyc", "speedup", "rem-frac"
+    );
+    let mut serial_cycles = None;
+    for policy in Policy::ALL {
+        let program = Session::new()
+            .source("conv.f", &conv2d_source(n, 1, policy, two_level))
+            .optimize(OptConfig::default())
+            .compile()
+            .map_err(|e| e[0].clone())?;
+        let serial = program.run(&policy.machine(1, scale), 1)?;
+        let base = *serial_cycles.get_or_insert(serial.kernel_cycles());
+        let r = program.run(&policy.machine(nprocs, scale), nprocs)?;
+        println!(
+            "{:<12} {:>14} {:>9.2} {:>10.2}",
+            policy.label(),
+            r.kernel_cycles(),
+            base as f64 / r.kernel_cycles() as f64,
+            r.total.remote_fraction(),
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(128);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    run_variant(n, nprocs, false)?;
+    run_variant(n, nprocs, true)?;
+    Ok(())
+}

@@ -1,0 +1,25 @@
+c 1-D heat diffusion with a reshaped block distribution.
+c Try:  dsmfc -p 8 examples/fortran/heat.f
+      program heat
+      integer i, step, nsteps
+      real*8 u(4096), unew(4096)
+c$distribute_reshape u(block)
+c$distribute_reshape unew(block)
+c parallel initialization: a hot spot in the middle
+c$doacross local(i) affinity(i) = data(u(i))
+      do i = 1, 4096
+        u(i) = 0.0
+        if (i .ge. 2000 .and. i .le. 2100) u(i) = 100.0
+      enddo
+      nsteps = 10
+      do step = 1, nsteps
+c$doacross local(i) affinity(i) = data(u(i))
+        do i = 2, 4095
+          unew(i) = u(i) + 0.25 * (u(i-1) - 2.0*u(i) + u(i+1))
+        enddo
+c$doacross local(i) affinity(i) = data(u(i))
+        do i = 2, 4095
+          u(i) = unew(i)
+        enddo
+      enddo
+      end

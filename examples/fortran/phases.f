@@ -1,0 +1,20 @@
+c Dynamic redistribution between program phases (paper Section 3.3).
+c Try:  dsmfc -p 4 examples/fortran/phases.f
+      program phases
+      integer i, j
+      real*8 a(512, 512)
+c$distribute a(*, block)
+c$doacross local(i, j) affinity(j) = data(a(1, j))
+      do j = 1, 512
+        do i = 1, 512
+          a(i, j) = i + j
+        enddo
+      enddo
+c$redistribute a(block, *)
+c$doacross local(i, j) affinity(i) = data(a(i, 1))
+      do i = 1, 512
+        do j = 1, 512
+          a(i, j) = a(i, j) * 0.5
+        enddo
+      enddo
+      end

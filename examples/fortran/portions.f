@@ -1,0 +1,19 @@
+c Portion passing and distribution-query intrinsics (paper Section 3.2.1).
+c Try:  dsmfc -p 4 --check examples/fortran/portions.f
+      program portions
+      integer i, p, b
+      real*8 a(1000)
+c$distribute_reshape a(cyclic(5))
+      p = distnprocs(a, 1)
+      b = blocksize(a, 1)
+      do i = 1, 1000, 5
+        call mysub(a(i))
+      enddo
+      end
+      subroutine mysub(x)
+      integer j
+      real*8 x(5)
+      do j = 1, 5
+        x(j) = 2 * j
+      enddo
+      end

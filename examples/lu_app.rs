@@ -1,0 +1,63 @@
+//! The paper's NAS-LU study (Section 8.1) at example scale: an SSOR-style
+//! sweep over `(*, block, block, *)`-distributed 4-D arrays with parallel
+//! initialization, plus the Table-2 optimization ablation.
+//!
+//! ```sh
+//! cargo run --release --example lu_app [n] [nprocs]
+//! ```
+
+use dsm_core::workloads::{lu_source, Policy};
+use dsm_core::{OptConfig, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let scale = 64;
+
+    println!(
+        "NAS-LU-style SSOR, grid (5,{n},{n},{}), {nprocs} processors\n",
+        n / 2
+    );
+    println!(
+        "{:<12} {:>14} {:>9} {:>10}",
+        "policy", "cycles", "speedup", "rem-frac"
+    );
+    let mut serial_cycles = None;
+    for policy in Policy::ALL {
+        let program = Session::new()
+            .source("lu.f", &lu_source(n, n, n / 2, 1, policy))
+            .optimize(OptConfig::default())
+            .compile()
+            .map_err(|e| e[0].clone())?;
+        let serial = program.run(&policy.machine(1, scale), 1)?;
+        let base = *serial_cycles.get_or_insert(serial.kernel_cycles());
+        let r = program.run(&policy.machine(nprocs, scale), nprocs)?;
+        println!(
+            "{:<12} {:>14} {:>9.2} {:>10.2}",
+            policy.label(),
+            r.kernel_cycles(),
+            base as f64 / r.kernel_cycles() as f64,
+            r.total.remote_fraction(),
+        );
+    }
+
+    // Table-2-style single-processor ablation of the reshaped build.
+    println!("\nreshape-optimization ablation (1 processor, like Table 2):");
+    let src = lu_source(n, n, n / 2, 1, Policy::Reshaped);
+    for (label, opt) in [
+        ("no optimizations", OptConfig::none()),
+        ("tile and peel", OptConfig::tile_peel_only()),
+        ("tile, peel, hoist", OptConfig::tile_peel_hoist()),
+        ("+ fp div/mod (full)", OptConfig::default()),
+    ] {
+        let program = Session::new()
+            .source("lu.f", &src)
+            .optimize(opt)
+            .compile()
+            .map_err(|e| e[0].clone())?;
+        let r = program.run(&Policy::Reshaped.machine(1, scale), 1)?;
+        println!("  {label:<22} {:>14} cycles", r.total_cycles);
+    }
+    Ok(())
+}

@@ -1,0 +1,212 @@
+//! Workspace-level integration tests: multi-file compilation through the
+//! whole stack (frontend → pre-linker → optimizer → executor → machine),
+//! exercising the paper's separate-compilation story end to end.
+
+use dsm_core::workloads::{conv2d_source, transpose_source, Policy};
+use dsm_core::{ErrorKind, ExecOptions, MachineConfig, OptConfig, Session};
+
+/// A multi-file application: main + library file, a reshaped common
+/// block, propagation into separately-"compiled" subroutines, and a
+/// portion-passing call — all features at once.
+#[test]
+fn multi_file_application() {
+    let main_f = "\
+      program main
+      integer i
+      real*8 grid(256), scratch(256)
+      common /state/ grid
+c$distribute_reshape grid(block)
+c$distribute_reshape scratch(cyclic(4))
+      call fillseq(scratch)
+      call relax(grid, scratch)
+      do i = 1, 256, 4
+        call bump(scratch(i))
+      enddo
+      end
+";
+    let lib_f = "\
+      subroutine fillseq(x)
+      integer i
+      real*8 x(256)
+      do i = 1, 256
+        x(i) = i
+      enddo
+      end
+      subroutine relax(g, s)
+      integer i
+      real*8 g(256), s(256)
+      common /state/ g2
+      real*8 g2(256)
+c$distribute_reshape g2(block)
+c$doacross local(i) affinity(i) = data(g(i))
+      do i = 2, 255
+        g(i) = (s(i-1) + s(i) + s(i+1)) / 3.0
+      enddo
+      end
+      subroutine bump(x)
+      integer j
+      real*8 x(4)
+      do j = 1, 4
+        x(j) = x(j) + 100.0
+      enddo
+      end
+";
+    let program = Session::new()
+        .source("main.f", main_f)
+        .source("lib.f", lib_f)
+        .optimize(OptConfig::default())
+        .compile()
+        .unwrap_or_else(|e| panic!("multi-file app failed: {e:?}"));
+    assert!(
+        program.prelink_report().clones_created >= 2,
+        "fillseq and relax must be cloned for their reshaped signatures"
+    );
+    let (report, caps) = program
+        .run_capture(&MachineConfig::small_test(4), 4, &["grid", "scratch"])
+        .expect("runs");
+    assert!(report.parallel_regions >= 1);
+    // scratch = i + 100 after bump; grid interior = mean of neighbours.
+    assert_eq!(caps[1][9], 10.0 + 100.0);
+    assert_eq!(caps[0][9], 10.0, "grid(10) = (9+10+11)/3");
+}
+
+/// The same workload compiled as one file vs split across files must
+/// produce the same answers (separate compilation is transparent).
+#[test]
+fn split_files_equal_single_file() {
+    let part1 = "      program main\n      real*8 a(64)\nc$distribute_reshape a(block)\n      call work(a)\n      end\n";
+    let part2 = "      subroutine work(x)\n      integer i\n      real*8 x(64)\n      do i = 1, 64\n        x(i) = 3*i\n      enddo\n      end\n";
+    let single = format!("{part1}{part2}");
+
+    let p_split = Session::new()
+        .source("a.f", part1)
+        .source("b.f", part2)
+        .compile()
+        .expect("split compiles");
+    let p_single = Session::new()
+        .source("all.f", &single)
+        .compile()
+        .expect("single compiles");
+    let (_, c1) = p_split
+        .run_capture(&MachineConfig::small_test(2), 2, &["a"])
+        .unwrap();
+    let (_, c2) = p_single
+        .run_capture(&MachineConfig::small_test(2), 2, &["a"])
+        .unwrap();
+    assert_eq!(c1[0], c2[0]);
+}
+
+/// Workload programs produce identical numerical results across every
+/// optimization level (the optimizer must never change semantics).
+#[test]
+fn optimization_levels_agree_on_workloads() {
+    let sources = [
+        transpose_source(24, 1, Policy::Reshaped),
+        conv2d_source(24, 1, Policy::Reshaped, true),
+    ];
+    for src in &sources {
+        let mut reference: Option<Vec<f64>> = None;
+        for opt in [
+            OptConfig::none(),
+            OptConfig::tile_peel_only(),
+            OptConfig::tile_peel_hoist(),
+            OptConfig::default(),
+        ] {
+            let p = Session::new()
+                .source("w.f", src)
+                .optimize(opt)
+                .compile()
+                .expect("compiles");
+            let (_, cap) = p
+                .run_capture(&Policy::Reshaped.machine(4, 1024), 4, &["a"])
+                .expect("runs");
+            match &reference {
+                None => reference = Some(cap[0].clone()),
+                Some(r) => assert_eq!(&cap[0], r, "results changed under {opt:?}"),
+            }
+        }
+    }
+}
+
+/// Results must not depend on the processor count.
+#[test]
+fn results_independent_of_nprocs() {
+    let src = conv2d_source(32, 2, Policy::Reshaped, true);
+    let p = Session::new()
+        .source("c.f", &src)
+        .compile()
+        .expect("compiles");
+    let mut reference: Option<Vec<f64>> = None;
+    for nprocs in [1, 2, 4, 8] {
+        let (_, cap) = p
+            .run_capture(&Policy::Reshaped.machine(nprocs, 1024), nprocs, &["a"])
+            .expect("runs");
+        match &reference {
+            None => reference = Some(cap[0].clone()),
+            Some(r) => assert_eq!(&cap[0], r, "results changed at P={nprocs}"),
+        }
+    }
+}
+
+/// Cross-file link checks fire with the right error category.
+#[test]
+fn link_time_common_check_across_files() {
+    let errs = Session::new()
+        .source(
+            "a.f",
+            "      program main\n      real*8 a(100)\n      common /blk/ a\nc$distribute_reshape a(block)\n      call s\n      end\n",
+        )
+        .source(
+            "b.f",
+            "      subroutine s\n      real*8 a(50)\n      common /blk/ a\nc$distribute_reshape a(block)\n      a(1) = 0.0\n      end\n",
+        )
+        .compile()
+        .expect_err("inconsistent shapes must fail at link time");
+    assert!(errs.iter().any(|e| e.kind == ErrorKind::Link), "{errs:?}");
+}
+
+/// Runtime checks validate whole-array shape matches across files.
+#[test]
+fn runtime_whole_array_shape_check() {
+    let p = Session::new()
+        .source(
+            "a.f",
+            "      program main\n      real*8 a(10, 20)\nc$distribute_reshape a(block, *)\n      call s(a)\n      end\n",
+        )
+        .source(
+            "b.f",
+            "      subroutine s(x)\n      real*8 x(20, 10)\n      x(1, 1) = 0.0\n      end\n",
+        )
+        .compile()
+        .expect("compiles (shape bug is dynamic)");
+    let err = p
+        .run_with(
+            &MachineConfig::small_test(2),
+            &ExecOptions::new(2).with_checks(),
+        )
+        .expect_err("transposed formal shape must fail the runtime check");
+    assert!(err.to_string().contains("shape"), "{err}");
+}
+
+/// The executor's counters drive the paper's analyses; sanity-check that
+/// a NUMA-hostile program reports dramatically more remote misses.
+#[test]
+fn counters_distinguish_placement_quality() {
+    let hostile = transpose_source(96, 3, Policy::FirstTouch);
+    let friendly = transpose_source(96, 3, Policy::Reshaped);
+    let run = |src: &str, pol: Policy| {
+        let p = Session::new()
+            .source("t.f", src)
+            .compile()
+            .expect("compiles");
+        p.run(&pol.machine(8, 64), 8).expect("runs")
+    };
+    let rh = run(&hostile, Policy::FirstTouch);
+    let rf = run(&friendly, Policy::Reshaped);
+    assert!(
+        rh.total.remote_fraction() > rf.total.remote_fraction(),
+        "hostile {:.2} vs friendly {:.2}",
+        rh.total.remote_fraction(),
+        rf.total.remote_fraction()
+    );
+}
