@@ -13,6 +13,7 @@
 //!       --check         enable the Section-6 runtime argument checks
 //!       --round-robin   round-robin page placement instead of first-touch
 //!       --counters      print per-processor hardware counters
+//!       --serial-team   simulate team members sequentially (reference mode)
 //! ```
 
 use dsm_core::{ExecOptions, Machine, MachineConfig, OptConfig, PagePolicy, Session};
@@ -26,12 +27,13 @@ struct Options {
     checks: bool,
     round_robin: bool,
     counters: bool,
+    serial_team: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dsmfc [-p N] [--scale N] [-O none|tile|hoist|full] [--dump-ir] \
-         [--check] [--round-robin] [--counters] file.f [file2.f ...]"
+         [--check] [--round-robin] [--counters] [--serial-team] file.f [file2.f ...]"
     );
     std::process::exit(2)
 }
@@ -46,6 +48,7 @@ fn parse_args() -> Options {
         checks: false,
         round_robin: false,
         counters: false,
+        serial_team: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -75,6 +78,7 @@ fn parse_args() -> Options {
             "--check" => o.checks = true,
             "--round-robin" => o.round_robin = true,
             "--counters" => o.counters = true,
+            "--serial-team" => o.serial_team = true,
             "-h" | "--help" => usage(),
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             _ => usage(),
@@ -134,6 +138,9 @@ fn main() {
     if o.checks {
         exec = exec.with_checks();
     }
+    if o.serial_team {
+        exec = exec.with_serial_team();
+    }
     match dsm_exec::run_program(&mut machine, program.program(), &exec) {
         Ok(report) => {
             println!(
@@ -141,6 +148,10 @@ fn main() {
                 report.total_cycles, report.parallel_cycles, report.parallel_regions
             );
             println!("simulated seconds at 195 MHz: {:.6}", report.seconds(195e6));
+            println!(
+                "host wall-clock: {:?} total, {:?} in parallel regions",
+                report.host_wall, report.host_region_wall
+            );
             println!("aggregate: {}", report.total);
             println!("pages/node: {:?}", report.pages_per_node);
             if o.counters {

@@ -149,13 +149,23 @@ impl CompiledProgram {
         nprocs: usize,
         captures: &[&str],
     ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
+        self.run_capture_with(cfg, &ExecOptions::new(nprocs), captures)
+    }
+
+    /// [`CompiledProgram::run_capture`] with explicit [`ExecOptions`]
+    /// (runtime checks, step limits, serial team simulation).
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledProgram::run`].
+    pub fn run_capture_with(
+        &self,
+        cfg: &MachineConfig,
+        opts: &ExecOptions,
+        captures: &[&str],
+    ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
         let mut m = Machine::new(cfg.clone());
-        dsm_exec::interp::run_program_capture(
-            &mut m,
-            &self.compiled.program,
-            &ExecOptions::new(nprocs),
-            captures,
-        )
+        dsm_exec::interp::run_program_capture(&mut m, &self.compiled.program, opts, captures)
     }
 }
 

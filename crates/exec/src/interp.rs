@@ -6,12 +6,21 @@
 //! member plus barrier cost).  Processor-tile loops produced by the
 //! compiler bind each member to its own grid coordinate — the executable
 //! form of the paper's Figure-2 schedules.
+//!
+//! Team members are simulated on real host threads whenever the region
+//! body is parallel-safe (no calls, no redistribution) and migration is
+//! off: each member runs against a [`MachineShard`] — its own caches,
+//! TLB and clock, plus thread-safe shared memory/page-table/directory
+//! state.  [`ExecOptions::serial_team`] forces the old one-member-at-a-
+//! time execution, which remains the fallback for unsafe bodies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dsm_ir::{
     ActualArg, AddrMode, AffIdx, BinOp, DistKind, Doacross, Expr, Intrinsic, LoopStmt, Program,
     RtExpr, ScalarTy, SchedType, Stmt, Subroutine, UnOp,
 };
-use dsm_machine::{AccessKind, Machine, ProcId};
+use dsm_machine::{AccessKind, Machine, MachineConfig, MachineShard, ProcId};
 use dsm_runtime::{argcheck::ArgInfo, partition, sched, ArgChecker, RuntimeError};
 
 use crate::bind::Binder;
@@ -27,6 +36,10 @@ pub struct ExecOptions {
     pub runtime_checks: bool,
     /// Safety valve: abort after this many executed statements.
     pub max_steps: u64,
+    /// Simulate team members one after another on the host thread instead
+    /// of in parallel (reference mode; also the automatic fallback for
+    /// region bodies that are not parallel-safe).
+    pub serial_team: bool,
 }
 
 impl ExecOptions {
@@ -36,12 +49,19 @@ impl ExecOptions {
             nprocs,
             runtime_checks: false,
             max_steps: u64::MAX,
+            serial_team: false,
         }
     }
 
     /// Enable runtime argument checking.
     pub fn with_checks(mut self) -> Self {
         self.runtime_checks = true;
+        self
+    }
+
+    /// Force serial (one member at a time) team simulation.
+    pub fn with_serial_team(mut self) -> Self {
+        self.serial_team = true;
         self
     }
 }
@@ -138,41 +158,60 @@ pub fn run_program_capture(
         opts.nprocs,
         machine.nprocs()
     );
+    let host_t0 = std::time::Instant::now();
     let binder = Binder::new(machine, program, opts.nprocs);
+    let steps = AtomicU64::new(0);
     let mut interp = Interp {
-        machine,
+        mach: Mach::Whole(machine),
         program,
         opts: opts.clone(),
-        binder,
+        binder: BinderRef::Owned(binder),
         checker: ArgChecker::new(),
         regions: 0,
         region_cycles: 0,
-        steps: 0,
+        region_wall: std::time::Duration::ZERO,
+        steps: &steps,
     };
     let main = program.main_sub();
     let mut frame = Frame::new(main);
     interp
         .binder
-        .bind_declarations(interp.machine, main, &mut frame);
+        .owned()
+        .bind_declarations(interp.mach.whole(), main, &mut frame);
     let mut ctx = Ctx {
         proc: ProcId(0),
         in_region: false,
     };
     interp.exec_block(&main.body, main, &mut frame, &mut ctx)?;
 
-    let per_proc: Vec<_> = (0..interp.machine.nprocs())
-        .map(|p| *interp.machine.counters(ProcId(p)))
+    let Interp {
+        mach,
+        binder,
+        checker,
+        regions,
+        region_cycles,
+        region_wall,
+        ..
+    } = interp;
+    let Mach::Whole(machine) = mach else {
+        unreachable!("top-level interpreter always holds the whole machine")
+    };
+    machine.drain_mail();
+    let per_proc: Vec<_> = (0..machine.nprocs())
+        .map(|p| *machine.counters(ProcId(p)))
         .collect();
-    let total = interp.machine.total_counters();
+    let total = machine.total_counters();
     let total_cycles = per_proc.iter().map(|c| c.cycles).max().unwrap_or(0);
     let report = RunReport {
         total_cycles,
         per_proc,
         total,
-        parallel_regions: interp.regions,
-        parallel_cycles: interp.region_cycles,
-        pages_per_node: interp.machine.pages_per_node(),
-        argcheck_ops: interp.checker.stats(),
+        parallel_regions: regions,
+        parallel_cycles: region_cycles,
+        pages_per_node: machine.pages_per_node(),
+        argcheck_ops: checker.stats(),
+        host_wall: host_t0.elapsed(),
+        host_region_wall: region_wall,
     };
     let mut captured = Vec::with_capacity(captures.len());
     for name in captures {
@@ -180,7 +219,7 @@ pub fn run_program_capture(
         if let Some(aid) = main.array_named(name) {
             let inst = frame.arrays[aid.0];
             if inst != usize::MAX {
-                let arr = interp.binder.get(inst);
+                let arr = binder.get(inst);
                 let total_len = arr.desc.total_len();
                 let rank = arr.desc.dims.len();
                 for linear in 0..total_len {
@@ -191,7 +230,7 @@ pub fn run_program_capture(
                         idx.push(rest % d.extent);
                         rest /= d.extent;
                     }
-                    data.push(interp.machine.peek_f64(arr.addr_of(&idx)));
+                    data.push(machine.peek_f64(arr.addr_of(&idx)));
                 }
             }
         }
@@ -208,20 +247,173 @@ struct Ctx {
     in_region: bool,
 }
 
+/// The interpreter's handle on the machine: either the whole thing (serial
+/// sections and the team leader) or one member's shard during a parallel
+/// region.
+enum Mach<'m> {
+    Whole(&'m mut Machine),
+    Shard(MachineShard<'m>),
+}
+
+impl Mach<'_> {
+    fn config(&self) -> &MachineConfig {
+        match self {
+            Mach::Whole(m) => m.config(),
+            Mach::Shard(s) => s.config(),
+        }
+    }
+
+    /// The whole machine; only reachable outside parallel members (region
+    /// bodies containing whole-machine operations are executed serially).
+    fn whole(&mut self) -> &mut Machine {
+        match self {
+            Mach::Whole(m) => m,
+            Mach::Shard(_) => unreachable!("whole-machine operation inside a parallel member"),
+        }
+    }
+
+    fn charge(&mut self, proc: ProcId, cycles: u64) {
+        match self {
+            Mach::Whole(m) => m.charge(proc, cycles),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.charge(cycles);
+            }
+        }
+    }
+
+    fn cycles(&self, proc: ProcId) -> u64 {
+        match self {
+            Mach::Whole(m) => m.cycles(proc),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.cycles()
+            }
+        }
+    }
+
+    fn access(&mut self, proc: ProcId, addr: u64, kind: AccessKind) -> u64 {
+        match self {
+            Mach::Whole(m) => m.access(proc, addr, kind),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.access(addr, kind)
+            }
+        }
+    }
+
+    fn read_f64(&mut self, proc: ProcId, addr: u64) -> (f64, u64) {
+        match self {
+            Mach::Whole(m) => m.read_f64(proc, addr),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.read_f64(addr)
+            }
+        }
+    }
+
+    fn write_f64(&mut self, proc: ProcId, addr: u64, v: f64) -> u64 {
+        match self {
+            Mach::Whole(m) => m.write_f64(proc, addr, v),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.write_f64(addr, v)
+            }
+        }
+    }
+
+    fn read_i64(&mut self, proc: ProcId, addr: u64) -> (i64, u64) {
+        match self {
+            Mach::Whole(m) => m.read_i64(proc, addr),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.read_i64(addr)
+            }
+        }
+    }
+
+    fn write_i64(&mut self, proc: ProcId, addr: u64, v: i64) -> u64 {
+        match self {
+            Mach::Whole(m) => m.write_i64(proc, addr, v),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.write_i64(addr, v)
+            }
+        }
+    }
+}
+
+/// The interpreter's handle on the binder: the top-level interpreter owns
+/// it; parallel members share it read-only (their bodies are gated to
+/// never bind, view, or redistribute arrays).
+enum BinderRef<'a> {
+    Owned(Binder),
+    Borrowed(&'a Binder),
+}
+
+impl BinderRef<'_> {
+    fn get(&self, idx: usize) -> &dsm_runtime::RtArray {
+        match self {
+            BinderRef::Owned(b) => b.get(idx),
+            BinderRef::Borrowed(b) => b.get(idx),
+        }
+    }
+
+    /// Read-only view for sharing with team members.
+    fn shared(&self) -> &Binder {
+        match self {
+            BinderRef::Owned(b) => b,
+            BinderRef::Borrowed(b) => b,
+        }
+    }
+
+    /// Mutable access; only reachable outside parallel members.
+    fn owned(&mut self) -> &mut Binder {
+        match self {
+            BinderRef::Owned(b) => b,
+            BinderRef::Borrowed(_) => {
+                unreachable!("binder mutation inside a parallel member")
+            }
+        }
+    }
+}
+
+/// A region body is parallel-safe when it cannot touch whole-machine or
+/// binder state: no subroutine calls (they bind declarations and run
+/// argument checks) and no redistribution. Such bodies are the compiled
+/// doacross kernels; anything else falls back to serial team simulation.
+fn body_parallel_safe(body: &[Stmt]) -> bool {
+    body.iter().all(|st| match st {
+        Stmt::Call { .. } | Stmt::Redistribute { .. } => false,
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => body_parallel_safe(then_body) && body_parallel_safe(else_body),
+        Stmt::Loop(l) => body_parallel_safe(&l.body),
+        _ => true,
+    })
+}
+
 struct Interp<'a> {
-    machine: &'a mut Machine,
+    mach: Mach<'a>,
     program: &'a Program,
     opts: ExecOptions,
-    binder: Binder,
+    binder: BinderRef<'a>,
     checker: ArgChecker,
     regions: usize,
     region_cycles: u64,
-    steps: u64,
+    /// Host wall-clock accumulated across parallel regions (fork to join).
+    /// Only meaningful on the top-level interpreter; member interpreters
+    /// never fork.
+    region_wall: std::time::Duration,
+    /// Statement counter, shared across the team for the step limit.
+    steps: &'a AtomicU64,
 }
 
 impl Interp<'_> {
     fn ops(&self) -> dsm_machine::OpCosts {
-        self.machine.config().ops.clone()
+        self.mach.config().ops.clone()
     }
 
     fn exec_block(
@@ -244,8 +436,8 @@ impl Interp<'_> {
         frame: &mut Frame,
         ctx: &mut Ctx,
     ) -> Result<(), ExecError> {
-        self.steps += 1;
-        if self.steps > self.opts.max_steps {
+        let steps = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if steps > self.opts.max_steps {
             return Err(ExecError::StepLimit);
         }
         match st {
@@ -265,16 +457,14 @@ impl Interp<'_> {
             } => {
                 let v = self.eval(value, sub, frame, ctx)?;
                 let addr = self.element_addr(*array, indices, *mode, sub, frame, ctx)?;
-                let inst = frame.arrays[array.0];
                 match sub.arrays[array.0].ty {
                     ScalarTy::Real => {
-                        self.machine.write_f64(ctx.proc, addr, v.as_f());
+                        self.mach.write_f64(ctx.proc, addr, v.as_f());
                     }
                     ScalarTy::Int => {
-                        self.machine.write_i64(ctx.proc, addr, v.as_i());
+                        self.mach.write_i64(ctx.proc, addr, v.as_i());
                     }
                 }
-                let _ = inst;
                 Ok(())
             }
             Stmt::If {
@@ -283,7 +473,7 @@ impl Interp<'_> {
                 else_body,
             } => {
                 let c = self.eval(cond, sub, frame, ctx)?;
-                self.machine.charge(ctx.proc, self.ops().int_alu);
+                self.mach.charge(ctx.proc, self.ops().int_alu);
                 if c.is_true() {
                     self.exec_block(then_body, sub, frame, ctx)
                 } else {
@@ -297,14 +487,14 @@ impl Interp<'_> {
                 let nprocs = self.opts.nprocs;
                 // Split borrow: take the array out, operate, put it back.
                 let mut arr = self.binder.get(inst).clone();
-                let res = arr.redistribute(self.machine, ctx.proc, dist, nprocs);
-                *self.binder.get_mut(inst) = arr;
+                let res = arr.redistribute(self.mach.whole(), ctx.proc, dist, nprocs);
+                *self.binder.owned().get_mut(inst) = arr;
                 res.map(|_| ()).map_err(ExecError::from)
             }
             Stmt::Barrier => {
                 // Explicit barriers only make sense between regions; in
                 // this serialized interpreter they only cost time.
-                self.machine.charge(ctx.proc, self.ops().barrier);
+                self.mach.charge(ctx.proc, self.ops().barrier);
                 Ok(())
             }
             Stmt::Overhead {
@@ -313,11 +503,11 @@ impl Interp<'_> {
                 int_alu,
             } => {
                 let ops = self.ops();
-                let lat = self.machine.config().lat.clone();
+                let lat = self.mach.config().lat.clone();
                 let cost = u64::from(*int_divs) * ops.int_div
                     + u64::from(*indirect_loads) * (lat.l1_hit + ops.int_alu)
                     + u64::from(*int_alu) * ops.int_alu;
-                self.machine.charge(ctx.proc, cost);
+                self.mach.charge(ctx.proc, cost);
                 Ok(())
             }
         }
@@ -388,7 +578,7 @@ impl Interp<'_> {
         let mut i = lb;
         while (step > 0 && i <= ub) || (step < 0 && i >= ub) {
             frame.scalars[l.var.0] = Value::I(i);
-            self.machine.charge(ctx.proc, loop_overhead);
+            self.mach.charge(ctx.proc, loop_overhead);
             self.exec_block(&l.body, sub, frame, ctx)?;
             i += step;
         }
@@ -407,11 +597,11 @@ impl Interp<'_> {
         self.regions += 1;
         let ops = self.ops();
         let nprocs = self.opts.nprocs;
-        let start = self.machine.cycles(ctx.proc) + ops.parallel_fork;
+        let start = self.mach.cycles(ctx.proc) + ops.parallel_fork;
         // Per-node memory-service demand before the region: deltas bound
         // region time by the bottleneck node's throughput (the hot-node
         // effect of the paper's Figure 5).
-        let served_before: Vec<u64> = self.machine.node_served().to_vec();
+        let served_before: Vec<u64> = self.mach.whole().node_served();
 
         // Per-member work lists: (proc, chunks or proc-tile marker).
         enum Work {
@@ -491,68 +681,176 @@ impl Interp<'_> {
             }
         }
 
-        // Level every member to the fork point and run its share.
-        for (p, work) in &team {
-            if self.machine.cycles(*p) < start {
-                self.machine.set_cycles(*p, start);
-            }
-            let mut member_ctx = Ctx {
-                proc: *p,
-                in_region: true,
-            };
-            // Private copy of all scalars (covers the `local` clause; the
-            // model discards in-region writes to shared scalars at join).
-            let mut member_frame = frame.clone();
-            match work {
-                Work::ProcTile => {
-                    // Re-dispatch: exec_loop binds the coordinate.
-                    self.exec_loop(l, sub, &mut member_frame, &mut member_ctx)?;
+        // Host-parallel simulation is sound only when the body cannot
+        // mutate whole-machine/binder state (and migration, which remaps
+        // pages behind a `&mut Machine`, is off). Count distinct members:
+        // with fewer than two there is nothing to overlap.
+        let distinct = {
+            let mut ids: Vec<usize> = team.iter().map(|(p, _)| p.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        let run_parallel = !self.opts.serial_team
+            && self.mach.config().migration_threshold.is_none()
+            && distinct >= 2
+            && body_parallel_safe(&l.body);
+
+        let dispatch = matches!(d.sched, SchedType::Dynamic(_));
+        let fork_t0 = std::time::Instant::now();
+        if run_parallel {
+            // Merge duplicate members (runtime-affinity clamping can hand
+            // two grid coordinates to one processor) so each processor's
+            // state is owned by exactly one host thread.
+            let mut merged: Vec<(ProcId, Vec<&Work>)> = Vec::new();
+            for (p, w) in &team {
+                match merged.iter_mut().find(|(q, _)| q == p) {
+                    Some((_, ws)) => ws.push(w),
+                    None => merged.push((*p, vec![w])),
                 }
-                Work::Chunks(chunks) => {
-                    let dispatch = matches!(d.sched, SchedType::Dynamic(_));
-                    for c in chunks {
-                        if dispatch {
-                            // Work-queue grab per chunk.
-                            self.machine.charge(*p, 6 * ops.int_alu);
+            }
+            let program = self.program;
+            let opts = self.opts.clone();
+            let steps = self.steps;
+            let int_alu = ops.int_alu;
+            let binder: &Binder = self.binder.shared();
+            let machine = self.mach.whole();
+            for (p, _) in &merged {
+                if machine.cycles(*p) < start {
+                    machine.set_cycles(*p, start);
+                }
+            }
+            let ids: Vec<ProcId> = merged.iter().map(|(p, _)| *p).collect();
+            let shards = machine.team_shards(&ids);
+            let results: Vec<Result<(), ExecError>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (shard, (proc, works)) in shards.into_iter().zip(&merged) {
+                    let member_frame = frame.clone();
+                    let opts = opts.clone();
+                    let proc = *proc;
+                    handles.push(scope.spawn(move || -> Result<(), ExecError> {
+                        let mut member = Interp {
+                            mach: Mach::Shard(shard),
+                            program,
+                            opts,
+                            binder: BinderRef::Borrowed(binder),
+                            checker: ArgChecker::new(),
+                            regions: 0,
+                            region_cycles: 0,
+                            region_wall: std::time::Duration::ZERO,
+                            steps,
+                        };
+                        let mut member_ctx = Ctx {
+                            proc,
+                            in_region: true,
+                        };
+                        // Private copy of all scalars (covers the `local`
+                        // clause; in-region writes to shared scalars are
+                        // discarded at join, as in the serial path).
+                        let mut member_frame = member_frame;
+                        for work in works {
+                            match work {
+                                Work::ProcTile => {
+                                    member.exec_loop(l, sub, &mut member_frame, &mut member_ctx)?;
+                                }
+                                Work::Chunks(chunks) => {
+                                    for c in chunks {
+                                        if dispatch {
+                                            // Work-queue grab per chunk.
+                                            member.mach.charge(proc, 6 * int_alu);
+                                        }
+                                        member.run_chunk(
+                                            l,
+                                            sub,
+                                            &mut member_frame,
+                                            &mut member_ctx,
+                                            c.lb,
+                                            c.ub,
+                                            c.step,
+                                        )?;
+                                    }
+                                }
+                            }
                         }
-                        self.run_chunk(
-                            l,
-                            sub,
-                            &mut member_frame,
-                            &mut member_ctx,
-                            c.lb,
-                            c.ub,
-                            c.step,
-                        )?;
+                        Ok(())
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("team member thread panicked"))
+                    .collect()
+            });
+            // Deliver invalidations still in flight at the join.
+            machine.drain_mail();
+            for r in results {
+                r?;
+            }
+        } else {
+            // Serial reference path: level every member to the fork point
+            // and run its share to completion before the next member.
+            for (p, work) in &team {
+                if self.mach.cycles(*p) < start {
+                    self.mach.whole().set_cycles(*p, start);
+                }
+                let mut member_ctx = Ctx {
+                    proc: *p,
+                    in_region: true,
+                };
+                // Private copy of all scalars (covers the `local` clause;
+                // the model discards in-region writes to shared scalars at
+                // join).
+                let mut member_frame = frame.clone();
+                match work {
+                    Work::ProcTile => {
+                        // Re-dispatch: exec_loop binds the coordinate.
+                        self.exec_loop(l, sub, &mut member_frame, &mut member_ctx)?;
+                    }
+                    Work::Chunks(chunks) => {
+                        for c in chunks {
+                            if dispatch {
+                                // Work-queue grab per chunk.
+                                self.mach.charge(*p, 6 * ops.int_alu);
+                            }
+                            self.run_chunk(
+                                l,
+                                sub,
+                                &mut member_frame,
+                                &mut member_ctx,
+                                c.lb,
+                                c.ub,
+                                c.step,
+                            )?;
+                        }
                     }
                 }
             }
         }
+        self.region_wall += fork_t0.elapsed();
 
         // Implicit barrier: everyone (team and idle processors alike)
         // advances to the slowest member — or, if some node's memory had
         // to service more line fills than fit in that window, to the end
         // of the bottleneck node's service demand (throughput bound).
-        let occupancy = self.machine.config().lat.mem_occupancy;
-        let node_demand = self
-            .machine
+        let occupancy = self.mach.config().lat.mem_occupancy;
+        let machine = self.mach.whole();
+        let node_demand = machine
             .node_served()
             .iter()
             .zip(&served_before)
             .map(|(after, before)| (after - before) * occupancy)
             .max()
             .unwrap_or(0);
-        let t_end = (0..self.machine.nprocs())
-            .map(|p| self.machine.cycles(ProcId(p)))
+        let t_end = (0..machine.nprocs())
+            .map(|p| machine.cycles(ProcId(p)))
             .max()
             .unwrap_or(start)
             .max(start + node_demand)
             + ops.barrier;
         for p in 0..self.opts.nprocs.max(1) {
-            self.machine.set_cycles(ProcId(p), t_end);
+            machine.set_cycles(ProcId(p), t_end);
         }
-        if self.machine.cycles(ctx.proc) < t_end {
-            self.machine.set_cycles(ctx.proc, t_end);
+        if machine.cycles(ctx.proc) < t_end {
+            machine.set_cycles(ctx.proc, t_end);
         }
         self.region_cycles += t_end - (start - ops.parallel_fork);
         // Sequential semantics for the loop variable after the region
@@ -622,15 +920,10 @@ impl Interp<'_> {
                         && sub.arrays[actual_id.0].dist_kind == DistKind::Reshaped
                     {
                         let shape: Vec<u64> = arr.desc.dims.iter().map(|d| d.extent).collect();
-                        self.checker.register(
-                            base,
-                            ArgInfo::WholeArray {
-                                name: arr.name.clone(),
-                                shape,
-                            },
-                        );
+                        let name = arr.name.clone();
+                        self.checker.register(base, ArgInfo::WholeArray { name, shape });
                         registered.push(base);
-                        self.machine.charge(ctx.proc, 40);
+                        self.mach.charge(ctx.proc, 40);
                     }
                     // Whole-array pass: the callee sees the same instance
                     // (its declared shape must match; the clone carries
@@ -673,20 +966,22 @@ impl Interp<'_> {
                                 remaining * (dim.portion_extent(coord) - dim.local_offset(idx0[d0]))
                             };
                         }
+                        let name = arr.name.clone();
                         self.checker.register(
                             addr,
                             ArgInfo::Portion {
-                                name: arr.name.clone(),
+                                name,
                                 portion_len: remaining,
                             },
                         );
                         registered.push(addr);
-                        self.machine.charge(ctx.proc, 40);
+                        self.mach.charge(ctx.proc, 40);
                     }
                     // The view's extents may depend on scalar params bound
                     // above; create it after scalars are in place.
                     let view = self
                         .binder
+                        .owned()
                         .bind_view(&callee.arrays[a.0], addr, &callee_frame);
                     array_binds.push((a.0, view));
                 }
@@ -728,7 +1023,7 @@ impl Interp<'_> {
                             }
                         })
                         .collect();
-                    self.machine.charge(ctx.proc, 40);
+                    self.mach.charge(ctx.proc, 40);
                     self.checker
                         .check_formal(&callee.name, pos, base, &declared)
                         .map_err(|e| ExecError::Runtime(RuntimeError::ArgCheck(e)))?;
@@ -737,9 +1032,10 @@ impl Interp<'_> {
         }
         // Instantiate callee locals / attach commons.
         self.binder
-            .bind_declarations(self.machine, callee, &mut callee_frame);
+            .owned()
+            .bind_declarations(self.mach.whole(), callee, &mut callee_frame);
         // Call overhead.
-        self.machine.charge(ctx.proc, 10 * self.ops().int_alu);
+        self.mach.charge(ctx.proc, 10 * self.ops().int_alu);
         let mut callee_ctx = Ctx {
             proc: ctx.proc,
             in_region: ctx.in_region,
@@ -770,7 +1066,7 @@ impl Interp<'_> {
             Expr::Rt(rt) => self.eval_rt(*rt, frame),
             Expr::Unary(op, x) => {
                 let v = self.eval(x, sub, frame, ctx)?;
-                self.machine.charge(ctx.proc, ops.int_alu);
+                self.mach.charge(ctx.proc, ops.int_alu);
                 Ok(match op {
                     UnOp::Neg => match v {
                         Value::I(i) => Value::I(-i),
@@ -798,8 +1094,8 @@ impl Interp<'_> {
             } => {
                 let addr = self.element_addr(*array, indices, *mode, sub, frame, ctx)?;
                 match sub.arrays[array.0].ty {
-                    ScalarTy::Real => Ok(Value::F(self.machine.read_f64(ctx.proc, addr).0)),
-                    ScalarTy::Int => Ok(Value::I(self.machine.read_i64(ctx.proc, addr).0)),
+                    ScalarTy::Real => Ok(Value::F(self.mach.read_f64(ctx.proc, addr).0)),
+                    ScalarTy::Int => Ok(Value::I(self.mach.read_i64(ctx.proc, addr).0)),
                 }
             }
         }
@@ -854,7 +1150,7 @@ impl Interp<'_> {
             BinOp::Pow => ops.fp_div + ops.fp_alu,
             _ => ops.int_alu,
         };
-        self.machine.charge(ctx.proc, cost);
+        self.mach.charge(ctx.proc, cost);
         Ok(match op {
             BinOp::Add => {
                 if promote {
@@ -923,7 +1219,7 @@ impl Interp<'_> {
             Intrinsic::Mod | Intrinsic::CeilDiv => ops.int_div,
             _ => ops.int_alu,
         };
-        self.machine.charge(ctx.proc, cost);
+        self.mach.charge(ctx.proc, cost);
         Ok(match intr {
             Intrinsic::Max => {
                 if vals.iter().any(|v| matches!(v, Value::F(_))) {
@@ -1025,7 +1321,7 @@ impl Interp<'_> {
         match mode {
             AddrMode::Direct | AddrMode::ReshapedHoisted | AddrMode::ReshapedSharedAll => {
                 // Strength-reduced column-major walk: one address add.
-                self.machine.charge(ctx.proc, ops.int_alu);
+                self.mach.charge(ctx.proc, ops.int_alu);
             }
             AddrMode::ReshapedRaw | AddrMode::ReshapedRawFp => {
                 // One divide per distributed dimension — a MIPS `div`
@@ -1037,19 +1333,19 @@ impl Interp<'_> {
                 } else {
                     ops.fp_emulated_div
                 };
-                self.machine
+                self.mach
                     .charge(ctx.proc, n_dist * (div + ops.int_alu) + 2 * ops.int_alu);
                 if let Some(slot) = slot {
-                    self.machine.access(ctx.proc, slot, AccessKind::Read);
+                    self.mach.access(ctx.proc, slot, AccessKind::Read);
                 }
             }
             AddrMode::ReshapedTiled | AddrMode::ReshapedSharedDiv => {
                 // No div/mod, but the pointer is re-loaded every access
                 // (indirect loads cannot be speculated / were CSE-shared
                 // only for the divide).
-                self.machine.charge(ctx.proc, 2 * ops.int_alu);
+                self.mach.charge(ctx.proc, 2 * ops.int_alu);
                 if let Some(slot) = slot {
-                    self.machine.access(ctx.proc, slot, AccessKind::Read);
+                    self.mach.access(ctx.proc, slot, AccessKind::Read);
                 }
             }
         }

@@ -21,6 +21,13 @@ pub struct RunReport {
     pub pages_per_node: Vec<usize>,
     /// Runtime argument-checker traffic: (inserts, lookups).
     pub argcheck_ops: (u64, u64),
+    /// Host-side wall-clock time of the whole run (simulator performance,
+    /// not simulated time).
+    pub host_wall: std::time::Duration,
+    /// Host-side wall-clock time spent inside parallel regions (fork to
+    /// join, summed over regions) — the part the host-threaded team
+    /// simulation accelerates.
+    pub host_region_wall: std::time::Duration,
 }
 
 impl RunReport {
@@ -54,7 +61,12 @@ impl std::fmt::Display for RunReport {
             self.total_cycles, self.parallel_regions, self.argcheck_ops
         )?;
         writeln!(f, "totals: {}", self.total)?;
-        write!(f, "pages/node: {:?}", self.pages_per_node)
+        writeln!(f, "pages/node: {:?}", self.pages_per_node)?;
+        write!(
+            f,
+            "host wall: {:?} total, {:?} in parallel regions",
+            self.host_wall, self.host_region_wall
+        )
     }
 }
 
@@ -71,6 +83,8 @@ mod tests {
             parallel_cycles: 0,
             pages_per_node: vec![],
             argcheck_ops: (0, 0),
+            host_wall: std::time::Duration::ZERO,
+            host_region_wall: std::time::Duration::ZERO,
         }
     }
 

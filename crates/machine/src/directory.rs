@@ -95,6 +95,12 @@ impl Directory {
         }
     }
 
+    /// Forget a line entirely (its physical frame was released). Unlike
+    /// [`Directory::evict`] this drops every sharer at once.
+    pub fn clear_line(&mut self, line: u64) {
+        self.lines.remove(&line);
+    }
+
     /// Current sharer set of a line (empty if uncached).
     pub fn sharers(&self, line: u64) -> Vec<ProcId> {
         let mut out = Vec::new();

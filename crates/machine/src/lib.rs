@@ -49,6 +49,7 @@ pub mod counters;
 pub mod directory;
 pub mod machine;
 pub mod pagetable;
+pub mod shared;
 pub mod tlb;
 pub mod topology;
 
@@ -56,8 +57,9 @@ pub use cache::{Cache, CacheConfig};
 pub use config::{LatencyConfig, MachineConfig, OpCosts};
 pub use counters::CounterSet;
 pub use directory::Directory;
-pub use machine::{AccessKind, Machine, VAddr};
+pub use machine::{AccessKind, Machine, MachineShard, VAddr};
 pub use pagetable::{PagePolicy, PageTable};
+pub use shared::{ShardedDirectory, SharedState, WordMem, DIR_SHARDS};
 pub use tlb::Tlb;
 pub use topology::{hops, NodeId};
 

@@ -15,12 +15,25 @@
 //! All time lives in the per-processor cycle counters; a parallel-region
 //! scheduler reads them with [`Machine::cycles`] and levels them with
 //! [`Machine::set_cycles`] at barriers.
+//!
+//! The machine is split into per-processor state ([`Processor`]: caches,
+//! TLB, counters, clock) and thread-safe shared state
+//! ([`crate::shared::SharedState`]: page table, directory, data store).
+//! [`Machine::team_shards`] hands each member of a parallel team a
+//! [`MachineShard`] — exclusive `&mut` access to its own processor plus
+//! shared access to everything else — so team members can be simulated on
+//! real host threads. In single-threaded use, [`Machine::access`] behaves
+//! exactly as before: cross-processor invalidations are posted to
+//! mailboxes and drained before the call returns, so their effect is
+//! synchronous.
+
+use std::sync::atomic::Ordering;
 
 use crate::cache::{Cache, Probe};
 use crate::config::MachineConfig;
 use crate::counters::CounterSet;
-use crate::directory::Directory;
 use crate::pagetable::{PageTable, Translate};
+use crate::shared::SharedState;
 use crate::tlb::Tlb;
 use crate::topology::{hops, NodeId};
 use crate::ProcId;
@@ -47,17 +60,193 @@ struct Processor {
     counters: CounterSet,
 }
 
+/// What the access pipeline saw when it reached memory (step 5); feeds the
+/// serial-only migration daemon.
+struct MemFill {
+    vpage: u64,
+    accessor: NodeId,
+    home: NodeId,
+}
+
+/// Purge one directory line (L2-line granularity) from a processor's caches
+/// and count the received invalidation.
+fn apply_line_invalidation(cfg: &MachineConfig, p: &mut Processor, dir_line: u64) {
+    let l2_line = cfg.l2.line_size as u64;
+    let l1_line = cfg.l1.line_size as u64;
+    let byte = dir_line * l2_line;
+    p.l2.invalidate_line(dir_line);
+    let mut off = 0;
+    while off < l2_line {
+        p.l1.invalidate_line((byte + off) >> l1_line.trailing_zeros());
+        off += l1_line;
+    }
+    p.counters.invalidations_received += 1;
+}
+
+/// Writer found its line clean: consult the directory for ownership and
+/// post invalidations to other sharers. Returns the extra cycles.
+fn coherence_write_core(
+    cfg: &MachineConfig,
+    shared: &SharedState,
+    proc: ProcId,
+    p: &mut Processor,
+    paddr: u64,
+) -> u64 {
+    let dir_line = paddr >> cfg.l2.line_size.trailing_zeros();
+    let coh = shared.dir.write(dir_line, proc);
+    let n = coh.invalidate.len() as u64;
+    if n == 0 {
+        return 0;
+    }
+    shared.post_invalidations(&coh.invalidate, dir_line);
+    p.counters.invalidations_sent += n;
+    n * cfg.lat.invalidation
+}
+
+/// The five-step timed access pipeline (TLB → translation → L1 → L2 →
+/// memory + coherence), shared by [`Machine::access`] and
+/// [`MachineShard::access`]. Mutates only the issuing processor `p` and the
+/// thread-safe shared state; invalidations of *other* processors' caches
+/// are posted to their mailboxes. The cost is charged to `p` before
+/// returning.
+fn access_core(
+    cfg: &MachineConfig,
+    shared: &SharedState,
+    page_bits: u32,
+    proc: ProcId,
+    p: &mut Processor,
+    addr: VAddr,
+    kind: AccessKind,
+) -> (u64, Option<MemFill>) {
+    let write = kind == AccessKind::Write;
+    let vpage = addr >> page_bits;
+    let offset = addr & ((1 << page_bits) - 1);
+    let lat = &cfg.lat;
+    let mut cost = 0;
+
+    // 1. TLB.
+    match kind {
+        AccessKind::Read => p.counters.loads += 1,
+        AccessKind::Write => p.counters.stores += 1,
+    }
+    if !p.tlb.access(vpage) {
+        p.counters.tlb_misses += 1;
+        cost += lat.tlb_miss;
+    }
+    let local = p.node;
+
+    // 2. Translation / fault.
+    let tr = shared.translate(vpage, local, cfg.policy);
+    if let Translate::Faulted(_) = tr {
+        p.counters.page_faults += 1;
+        cost += lat.page_fault;
+    }
+    let mapping = tr.mapping();
+    let paddr = (mapping.frame << page_bits) | offset;
+
+    // 3. L1.
+    cost += lat.l1_hit;
+    match p.l1.access(paddr, write) {
+        Probe::Hit { was_dirty } => {
+            if write && !was_dirty {
+                // Upgrade: may need to invalidate other sharers.
+                cost += coherence_write_core(cfg, shared, proc, p, paddr);
+            }
+            p.counters.cycles += cost;
+            return (cost, None);
+        }
+        Probe::Miss { victim } => {
+            // L1 victims write back into L2; that transfer is part of
+            // the L2-hit path and is not charged separately. We must
+            // mark the line dirty in L2 so its eventual eviction is
+            // written back.
+            if let Some(v) = victim {
+                if v.dirty {
+                    let byte = v.tag << p.l1.config().line_size.trailing_zeros();
+                    p.l2.access(byte, true);
+                }
+            }
+            p.counters.l1_misses += 1;
+        }
+    }
+
+    // 4. L2.
+    cost += lat.l2_hit;
+    match p.l2.access(paddr, write) {
+        Probe::Hit { was_dirty } => {
+            if write && !was_dirty {
+                cost += coherence_write_core(cfg, shared, proc, p, paddr);
+            }
+            p.counters.cycles += cost;
+            return (cost, None);
+        }
+        Probe::Miss { victim } => {
+            p.counters.l2_misses += 1;
+            if let Some(v) = victim {
+                // Inclusion: L1 lines of the evicted L2 line must go.
+                let l2_line_bytes = p.l2.config().line_size as u64;
+                let l1_line_bytes = p.l1.config().line_size as u64;
+                let byte = v.tag * l2_line_bytes;
+                let mut off = 0;
+                while off < l2_line_bytes {
+                    let l1line = (byte + off) >> l1_line_bytes.trailing_zeros();
+                    p.l1.invalidate_line(l1line);
+                    off += l1_line_bytes;
+                }
+                let dir_line = byte >> cfg.l2.line_size.trailing_zeros();
+                shared.dir.evict(dir_line, proc);
+                if v.dirty {
+                    p.counters.writebacks += 1;
+                    cost += lat.writeback;
+                }
+            }
+        }
+    }
+
+    // 5. Memory + coherence.
+    let dir_line = paddr >> cfg.l2.line_size.trailing_zeros();
+    let coh = if write {
+        shared.dir.write(dir_line, proc)
+    } else {
+        shared.dir.read(dir_line, proc)
+    };
+    let n_inval = coh.invalidate.len() as u64;
+    if n_inval > 0 {
+        shared.post_invalidations(&coh.invalidate, dir_line);
+        p.counters.invalidations_sent += n_inval;
+        cost += n_inval * lat.invalidation;
+    }
+    if coh.intervention {
+        p.counters.interventions += 1;
+    }
+    let distance = hops(local, mapping.node);
+    if distance == 0 {
+        p.counters.local_misses += 1;
+        cost += lat.local_mem;
+    } else {
+        p.counters.remote_misses += 1;
+        cost += lat.remote_base + lat.remote_per_hop * distance as u64;
+    }
+    shared.node_served[mapping.node.0].fetch_add(1, Ordering::Relaxed);
+    p.counters.cycles += cost;
+    (
+        cost,
+        Some(MemFill {
+            vpage,
+            accessor: local,
+            home: mapping.node,
+        }),
+    )
+}
+
 /// The simulated CC-NUMA multiprocessor.
 #[derive(Debug)]
 pub struct Machine {
     cfg: MachineConfig,
     procs: Vec<Processor>,
-    pt: PageTable,
-    dir: Directory,
-    mem: Vec<u8>,
+    shared: SharedState,
     brk: u64,
     page_bits: u32,
-    node_served: Vec<u64>,
     /// Per-page per-node L2-miss counts, kept only when migration is on.
     page_miss_counts: std::collections::HashMap<u64, Vec<u32>>,
     migrations: u64,
@@ -73,7 +262,7 @@ impl Machine {
         cfg.validate().expect("invalid machine configuration");
         let page_bits = cfg.page_size.trailing_zeros();
         let n_colors = (cfg.l2.size / cfg.l2.assoc / cfg.page_size).max(1);
-        let procs = (0..cfg.nprocs())
+        let procs: Vec<Processor> = (0..cfg.nprocs())
             .map(|p| Processor {
                 node: NodeId(p / cfg.procs_per_node),
                 l1: Cache::new(cfg.l1),
@@ -89,16 +278,13 @@ impl Machine {
             cfg.page_coloring,
             page_bits,
         );
-        let n_nodes = cfg.n_nodes;
+        let shared = SharedState::new(pt, procs.len(), cfg.n_nodes);
         Machine {
             cfg,
             procs,
-            pt,
-            dir: Directory::new(),
-            mem: Vec::new(),
+            shared,
             brk: 64, // keep address 0 unmapped
             page_bits,
-            node_served: vec![0; n_nodes],
             page_miss_counts: std::collections::HashMap::new(),
             migrations: 0,
         }
@@ -126,9 +312,7 @@ impl Machine {
         let align = align.max(8) as u64;
         let base = (self.brk + align - 1) & !(align - 1);
         self.brk = base + bytes as u64;
-        if self.mem.len() < self.brk as usize {
-            self.mem.resize(self.brk as usize, 0);
-        }
+        self.shared.mem.grow_to(self.brk);
         base
     }
 
@@ -145,8 +329,10 @@ impl Machine {
     /// elsewhere (with full TLB/cache shoot-down). Returns `true` if a
     /// remap occurred.
     pub fn place_page(&mut self, vpage: u64, node: NodeId) -> bool {
-        let old = self.pt.lookup(vpage);
-        let (_m, remapped) = self.pt.place(vpage, node);
+        let mut pt = self.shared.pt.write().expect("page table poisoned");
+        let old = pt.lookup(vpage);
+        let (_m, remapped) = pt.place(vpage, node);
+        drop(pt);
         if remapped {
             let old = old.expect("remap implies prior mapping");
             let old_frame = old.frame;
@@ -154,6 +340,15 @@ impl Machine {
                 p.tlb.invalidate(vpage);
                 p.l1.invalidate_page(old_frame, self.page_bits);
                 p.l2.invalidate_page(old_frame, self.page_bits);
+            }
+            // The old frame goes back to the allocator: drop its directory
+            // state so a page that later reuses it does not inherit stale
+            // sharers (and pay phantom invalidations).
+            let line_bytes = self.cfg.l2.line_size as u64;
+            let first_line = (old_frame << self.page_bits) / line_bytes;
+            let lines_per_page = (1u64 << self.page_bits) / line_bytes;
+            for line in first_line..first_line + lines_per_page.max(1) {
+                self.shared.dir.clear_line(line);
             }
         }
         remapped
@@ -205,12 +400,21 @@ impl Machine {
 
     /// Home node of the page containing `addr`, if mapped.
     pub fn home_of(&self, addr: VAddr) -> Option<NodeId> {
-        self.pt.lookup(addr >> self.page_bits).map(|m| m.node)
+        self.shared
+            .pt
+            .read()
+            .expect("page table poisoned")
+            .lookup(addr >> self.page_bits)
+            .map(|m| m.node)
     }
 
     /// Pages currently resident on each node (placement histogram).
     pub fn pages_per_node(&self) -> Vec<usize> {
-        self.pt.pages_per_node()
+        self.shared
+            .pt
+            .read()
+            .expect("page table poisoned")
+            .pages_per_node()
     }
 
     // ---------------------------------------------------------------
@@ -219,129 +423,65 @@ impl Machine {
 
     /// Perform a timed access of the hierarchy; returns the cycle cost
     /// (already charged to `proc`).
+    ///
+    /// Any invalidations of other processors' caches take effect before
+    /// this returns (the mailboxes are drained), so single-threaded use
+    /// sees fully synchronous coherence.
     pub fn access(&mut self, proc: ProcId, addr: VAddr, kind: AccessKind) -> u64 {
-        let write = kind == AccessKind::Write;
-        let vpage = addr >> self.page_bits;
-        let offset = addr & ((1 << self.page_bits) - 1);
-        let lat = self.cfg.lat.clone();
-        let mut cost = 0;
-
-        // 1. TLB.
-        let p = &mut self.procs[proc.0];
-        match kind {
-            AccessKind::Read => p.counters.loads += 1,
-            AccessKind::Write => p.counters.stores += 1,
-        }
-        if !p.tlb.access(vpage) {
-            p.counters.tlb_misses += 1;
-            cost += lat.tlb_miss;
-        }
-        let local = p.node;
-
-        // 2. Translation / fault.
-        let policy = self.cfg.policy;
-        let tr = self.pt.translate(vpage, local, policy);
-        if let Translate::Faulted(_) = tr {
-            self.procs[proc.0].counters.page_faults += 1;
-            cost += lat.page_fault;
-        }
-        let mapping = tr.mapping();
-        let paddr = self.pt.phys_addr(mapping, offset);
-
-        // 3. L1.
-        let p = &mut self.procs[proc.0];
-        cost += lat.l1_hit;
-        let l1 = p.l1.access(paddr, write);
-        match l1 {
-            Probe::Hit { was_dirty } => {
-                if write && !was_dirty {
-                    // Upgrade: may need to invalidate other sharers.
-                    cost += self.coherence_write(proc, paddr);
-                }
-                self.charge(proc, cost);
-                return cost;
-            }
-            Probe::Miss { victim } => {
-                // L1 victims write back into L2; that transfer is part of
-                // the L2-hit path and is not charged separately. We must
-                // mark the line dirty in L2 so its eventual eviction is
-                // written back.
-                if let Some(v) = victim {
-                    if v.dirty {
-                        let byte = v.tag << p.l1.config().line_size.trailing_zeros();
-                        p.l2.access(byte, true);
-                    }
-                }
-                p.counters.l1_misses += 1;
-            }
-        }
-
-        // 4. L2.
-        cost += lat.l2_hit;
-        let p = &mut self.procs[proc.0];
-        let l2 = p.l2.access(paddr, write);
-        match l2 {
-            Probe::Hit { was_dirty } => {
-                if write && !was_dirty {
-                    cost += self.coherence_write(proc, paddr);
-                }
-                self.charge(proc, cost);
-                return cost;
-            }
-            Probe::Miss { victim } => {
-                p.counters.l2_misses += 1;
-                if let Some(v) = victim {
-                    // Inclusion: L1 lines of the evicted L2 line must go.
-                    let l2_line_bytes = p.l2.config().line_size as u64;
-                    let l1_line_bytes = p.l1.config().line_size as u64;
-                    let byte = v.tag * l2_line_bytes;
-                    let mut off = 0;
-                    while off < l2_line_bytes {
-                        let l1line = (byte + off) >> l1_line_bytes.trailing_zeros();
-                        p.l1.invalidate_line(l1line);
-                        off += l1_line_bytes;
-                    }
-                    let dir_line = self.dir_line(byte);
-                    self.dir.evict(dir_line, proc);
-                    if v.dirty {
-                        self.procs[proc.0].counters.writebacks += 1;
-                        cost += lat.writeback;
-                    }
-                }
-            }
-        }
-
-        // 5. Memory + coherence.
-        let dir_line = self.dir_line(paddr);
-        let coh = if write {
-            self.dir.write(dir_line, proc)
-        } else {
-            self.dir.read(dir_line, proc)
-        };
-        let n_inval = coh.invalidate.len() as u64;
-        if n_inval > 0 {
-            self.apply_invalidations(&coh.invalidate, dir_line);
-            self.procs[proc.0].counters.invalidations_sent += n_inval;
-            cost += n_inval * lat.invalidation;
-        }
-        let p = &mut self.procs[proc.0];
-        if coh.intervention {
-            p.counters.interventions += 1;
-        }
-        let distance = hops(local, mapping.node);
-        if distance == 0 {
-            p.counters.local_misses += 1;
-            cost += lat.local_mem;
-        } else {
-            p.counters.remote_misses += 1;
-            cost += lat.remote_base + lat.remote_per_hop * distance as u64;
-        }
-        self.node_served[mapping.node.0] += 1;
-        self.charge(proc, cost);
-        if let Some(threshold) = self.cfg.migration_threshold {
-            self.note_miss_for_migration(vpage, local, mapping.node, threshold);
+        let (cost, fill) = access_core(
+            &self.cfg,
+            &self.shared,
+            self.page_bits,
+            proc,
+            &mut self.procs[proc.0],
+            addr,
+            kind,
+        );
+        self.drain_mail();
+        if let (Some(threshold), Some(f)) = (self.cfg.migration_threshold, fill) {
+            self.note_miss_for_migration(f.vpage, f.accessor, f.home, threshold);
         }
         cost
+    }
+
+    /// Deliver all pending cross-processor invalidations. Called after
+    /// every serial access and at parallel-team join points.
+    pub fn drain_mail(&mut self) {
+        if self.shared.mail_pending() == 0 {
+            return;
+        }
+        for i in 0..self.procs.len() {
+            for line in self.shared.take_mail(ProcId(i)) {
+                apply_line_invalidation(&self.cfg, &mut self.procs[i], line);
+            }
+        }
+    }
+
+    /// Split off a [`MachineShard`] per team member, giving each exclusive
+    /// access to its own processor and shared access to memory, page table
+    /// and directory. The shards borrow the machine, so the whole-machine
+    /// API is unavailable until they drop (typically at team join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` contains a duplicate processor.
+    pub fn team_shards(&mut self, ids: &[ProcId]) -> Vec<MachineShard<'_>> {
+        let cfg = &self.cfg;
+        let shared = &self.shared;
+        let page_bits = self.page_bits;
+        let mut slots: Vec<Option<&mut Processor>> =
+            self.procs.iter_mut().map(Some).collect();
+        ids.iter()
+            .map(|&id| MachineShard {
+                cfg,
+                shared,
+                page_bits,
+                proc: id,
+                p: slots[id.0]
+                    .take()
+                    .unwrap_or_else(|| panic!("duplicate team member {id}")),
+            })
+            .collect()
     }
 
     /// Verghese-style OS page migration: count per-node misses to each
@@ -379,46 +519,12 @@ impl Machine {
     /// parallel-region scheduler uses deltas of this to bound region time
     /// by the bottleneck node's service demand
     /// (`misses × lat.mem_occupancy`).
-    pub fn node_served(&self) -> &[u64] {
-        &self.node_served
-    }
-
-    /// Writer found its line clean: consult the directory for ownership
-    /// and invalidate other sharers. Returns the extra cycles.
-    fn coherence_write(&mut self, proc: ProcId, paddr: u64) -> u64 {
-        let dir_line = self.dir_line(paddr);
-        let coh = self.dir.write(dir_line, proc);
-        let n = coh.invalidate.len() as u64;
-        if n == 0 {
-            return 0;
-        }
-        self.apply_invalidations(&coh.invalidate, dir_line);
-        self.procs[proc.0].counters.invalidations_sent += n;
-        n * self.cfg.lat.invalidation
-    }
-
-    /// Purge `dir_line` (an L2-line-granularity address) from the caches of
-    /// every processor in `targets`.
-    fn apply_invalidations(&mut self, targets: &[ProcId], dir_line: u64) {
-        let l2_line = self.cfg.l2.line_size as u64;
-        let l1_line = self.cfg.l1.line_size as u64;
-        let byte = dir_line * l2_line;
-        for &t in targets {
-            let p = &mut self.procs[t.0];
-            p.l2.invalidate_line(dir_line);
-            let mut off = 0;
-            while off < l2_line {
-                p.l1.invalidate_line((byte + off) >> l1_line.trailing_zeros());
-                off += l1_line;
-            }
-            p.counters.invalidations_received += 1;
-        }
-    }
-
-    /// Directory granularity = L2 line.
-    #[inline]
-    fn dir_line(&self, paddr: u64) -> u64 {
-        paddr >> self.cfg.l2.line_size.trailing_zeros()
+    pub fn node_served(&self) -> Vec<u64> {
+        self.shared
+            .node_served
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     // ---------------------------------------------------------------
@@ -473,8 +579,7 @@ impl Machine {
     ///
     /// Panics if `addr` is outside any allocated region.
     pub fn peek_f64(&self, addr: VAddr) -> f64 {
-        let a = addr as usize;
-        f64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"))
+        f64::from_bits(self.shared.mem.load_u64(addr))
     }
 
     /// Untimed write of the backing store (test setup).
@@ -483,8 +588,7 @@ impl Machine {
     ///
     /// Panics if `addr` is outside any allocated region.
     pub fn poke_f64(&mut self, addr: VAddr, v: f64) {
-        let a = addr as usize;
-        self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        self.shared.mem.store_u64(addr, v.to_bits());
     }
 
     /// Untimed read of an `i64`.
@@ -493,8 +597,7 @@ impl Machine {
     ///
     /// Panics if `addr` is outside any allocated region.
     pub fn peek_i64(&self, addr: VAddr) -> i64 {
-        let a = addr as usize;
-        i64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"))
+        self.shared.mem.load_u64(addr) as i64
     }
 
     /// Untimed write of an `i64`.
@@ -503,8 +606,7 @@ impl Machine {
     ///
     /// Panics if `addr` is outside any allocated region.
     pub fn poke_i64(&mut self, addr: VAddr, v: i64) {
-        let a = addr as usize;
-        self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        self.shared.mem.store_u64(addr, v as u64);
     }
 
     // ---------------------------------------------------------------
@@ -548,7 +650,123 @@ impl Machine {
 
     /// Total coherence invalidations machine-wide.
     pub fn total_invalidations(&self) -> u64 {
-        self.dir.total_invalidations()
+        self.shared.dir.total_invalidations()
+    }
+}
+
+/// One team member's view of the machine during a parallel region:
+/// exclusive ownership of its own processor, shared (thread-safe) access to
+/// memory, the page table and the directory.
+///
+/// A shard is `Send`, so each member can be simulated on its own host
+/// thread. All methods mirror the [`Machine`] equivalents but take no
+/// `ProcId` — a shard always acts as the processor it was split off for.
+/// Pending invalidations posted by other members are applied at the start
+/// of every [`MachineShard::access`]; the team must call
+/// [`Machine::drain_mail`] after joining to deliver any stragglers.
+#[derive(Debug)]
+pub struct MachineShard<'m> {
+    cfg: &'m MachineConfig,
+    shared: &'m SharedState,
+    page_bits: u32,
+    proc: ProcId,
+    p: &'m mut Processor,
+}
+
+impl MachineShard<'_> {
+    /// The processor this shard simulates.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// Node this shard's processor lives on.
+    pub fn node(&self) -> NodeId {
+        self.p.node
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        self.cfg
+    }
+
+    /// Timed access; see [`Machine::access`]. Drains this processor's
+    /// invalidation mailbox first, so remote writes ordered before this
+    /// access are honoured.
+    pub fn access(&mut self, addr: VAddr, kind: AccessKind) -> u64 {
+        for line in self.shared.take_mail(self.proc) {
+            apply_line_invalidation(self.cfg, self.p, line);
+        }
+        access_core(
+            self.cfg,
+            self.shared,
+            self.page_bits,
+            self.proc,
+            self.p,
+            addr,
+            kind,
+        )
+        .0
+    }
+
+    /// Timed load of an `f64`; see [`Machine::read_f64`].
+    pub fn read_f64(&mut self, addr: VAddr) -> (f64, u64) {
+        let c = self.access(addr, AccessKind::Read);
+        (self.peek_f64(addr), c)
+    }
+
+    /// Timed store of an `f64`; see [`Machine::write_f64`].
+    pub fn write_f64(&mut self, addr: VAddr, v: f64) -> u64 {
+        let c = self.access(addr, AccessKind::Write);
+        self.poke_f64(addr, v);
+        c
+    }
+
+    /// Timed load of an `i64`; see [`Machine::read_i64`].
+    pub fn read_i64(&mut self, addr: VAddr) -> (i64, u64) {
+        let c = self.access(addr, AccessKind::Read);
+        (self.peek_i64(addr), c)
+    }
+
+    /// Timed store of an `i64`; see [`Machine::write_i64`].
+    pub fn write_i64(&mut self, addr: VAddr, v: i64) -> u64 {
+        let c = self.access(addr, AccessKind::Write);
+        self.poke_i64(addr, v);
+        c
+    }
+
+    /// Untimed read of the backing store.
+    pub fn peek_f64(&self, addr: VAddr) -> f64 {
+        f64::from_bits(self.shared.mem.load_u64(addr))
+    }
+
+    /// Untimed write of the backing store.
+    pub fn poke_f64(&mut self, addr: VAddr, v: f64) {
+        self.shared.mem.store_u64(addr, v.to_bits());
+    }
+
+    /// Untimed read of an `i64`.
+    pub fn peek_i64(&self, addr: VAddr) -> i64 {
+        self.shared.mem.load_u64(addr) as i64
+    }
+
+    /// Untimed write of an `i64`.
+    pub fn poke_i64(&mut self, addr: VAddr, v: i64) {
+        self.shared.mem.store_u64(addr, v as u64);
+    }
+
+    /// Charge `cycles` of computation to this processor.
+    pub fn charge(&mut self, cycles: u64) {
+        self.p.counters.cycles += cycles;
+    }
+
+    /// Current cycle count of this processor.
+    pub fn cycles(&self) -> u64 {
+        self.p.counters.cycles
+    }
+
+    /// Counters of this processor.
+    pub fn counters(&self) -> &CounterSet {
+        &self.p.counters
     }
 }
 
@@ -779,5 +997,62 @@ mod tests {
         }
         // 32-byte L1 lines -> one miss every 4 doubles.
         assert!(misses_after_first <= 33, "got {misses_after_first}");
+    }
+
+    #[test]
+    fn shards_run_disjoint_writes_on_threads() {
+        let mut m = machine(4);
+        // One private page per member (page size 1024 in small_test).
+        let a = m.alloc_pages(4 * 1024);
+        let ids: Vec<ProcId> = (0..4).map(ProcId).collect();
+        let shards = m.team_shards(&ids);
+        std::thread::scope(|s| {
+            for (i, mut sh) in shards.into_iter().enumerate() {
+                s.spawn(move || {
+                    let base = a + i as u64 * 1024;
+                    for k in 0..16u64 {
+                        sh.write_f64(base + k * 8, (i as u64 * 100 + k) as f64);
+                    }
+                });
+            }
+        });
+        m.drain_mail();
+        for i in 0..4u64 {
+            for k in 0..16u64 {
+                assert_eq!(m.peek_f64(a + i * 1024 + k * 8), (i * 100 + k) as f64);
+            }
+        }
+        // Each member's time advanced and the stores were counted.
+        for i in 0..4 {
+            assert!(m.cycles(ProcId(i)) > 0);
+            assert_eq!(m.counters(ProcId(i)).stores, 16);
+        }
+    }
+
+    #[test]
+    fn shard_sees_invalidations_from_other_member() {
+        let mut m = machine(2);
+        let a = m.alloc_pages(1024);
+        // Both read the same line serially first.
+        m.access(ProcId(0), a, AccessKind::Read);
+        m.access(ProcId(1), a, AccessKind::Read);
+        let mut shards = m.team_shards(&[ProcId(0), ProcId(1)]);
+        let mut s1 = shards.pop().unwrap();
+        let mut s0 = shards.pop().unwrap();
+        // Member 0 writes the shared line: invalidation is posted.
+        s0.access(a, AccessKind::Write);
+        // Member 1's next access drains its mailbox and must miss.
+        let cost = s1.access(a, AccessKind::Read);
+        assert!(cost > s1.config().lat.l1_hit, "stale hit after remote write");
+        assert_eq!(s1.counters().invalidations_received, 1);
+        let _ = s0;
+        m.drain_mail();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate team member")]
+    fn duplicate_shard_ids_rejected() {
+        let mut m = machine(2);
+        let _ = m.team_shards(&[ProcId(1), ProcId(1)]);
     }
 }

@@ -76,8 +76,21 @@ pub struct PageTable {
     frames_per_node: usize,
     n_colors: usize,
     coloring: bool,
-    /// Per-node count of frames handed out, per colour.
+    /// Per-node count of live (mapped) frames, per colour.
     used: Vec<Vec<usize>>,
+    /// Per-node count of colour-runs ever handed out, per colour. Never
+    /// decremented: fresh frame numbers must not collide with frames that
+    /// are still mapped.
+    next_run: Vec<Vec<usize>>,
+    /// Per-node free list of released frame numbers, per colour. Remapped
+    /// pages return their frame here for exact reuse.
+    free: Vec<Vec<Vec<u64>>>,
+    /// Per-colour run counters for the shared overflow frame space used
+    /// once a node's own range is exhausted (overcommit).
+    overflow_run: Vec<usize>,
+    /// First frame number of the overflow space (colour-aligned, past
+    /// every node's range).
+    overflow_base: usize,
     rr_next: usize,
     page_bits: u32,
 }
@@ -102,6 +115,10 @@ impl PageTable {
             n_colors,
             coloring,
             used: vec![vec![0; n_colors]; n_nodes],
+            next_run: vec![vec![0; n_colors]; n_nodes],
+            free: vec![vec![Vec::new(); n_colors]; n_nodes],
+            overflow_run: vec![0; n_colors],
+            overflow_base: (n_nodes * frames_per_node).div_ceil(n_colors) * n_colors,
             rr_next: 0,
             page_bits,
         }
@@ -148,7 +165,6 @@ impl PageTable {
     fn map_page(&mut self, vpage: u64, preferred: NodeId) -> Mapping {
         let color = (vpage as usize) % self.n_colors;
         let node = self.pick_node(preferred);
-        let used = &mut self.used[node.0];
         // Frame numbering: node-major, then colour-runs, so that the global
         // frame number preserves the colour: frame % n_colors == color.
         let frame_color = if self.coloring {
@@ -156,11 +172,29 @@ impl PageTable {
         } else {
             // Colour-oblivious allocation: spread by allocation order, which
             // models the random physical placement of an uncoloured OS.
-            (used.iter().sum::<usize>() * 7 + vpage as usize * 13) % self.n_colors
+            (self.used[node.0].iter().sum::<usize>() * 7 + vpage as usize * 13) % self.n_colors
         };
-        let run = used[frame_color];
-        used[frame_color] += 1;
-        let frame = (node.0 * self.frames_per_node + run * self.n_colors + frame_color) as u64;
+        // Frame numbers must stay globally unique while mapped: two live
+        // virtual pages sharing a frame would alias physical cache lines
+        // and conjure coherence traffic between unrelated arrays. Reuse a
+        // released frame of this colour exactly if one exists; otherwise
+        // hand out a fresh run from the node's own range, or — once that
+        // range is exhausted (overcommit) — from the shared overflow space
+        // past every node's range.
+        let frame = if let Some(f) = self.free[node.0][frame_color].pop() {
+            f
+        } else {
+            let run = self.next_run[node.0][frame_color];
+            if run * self.n_colors + frame_color < self.frames_per_node {
+                self.next_run[node.0][frame_color] += 1;
+                (node.0 * self.frames_per_node + run * self.n_colors + frame_color) as u64
+            } else {
+                let orun = self.overflow_run[frame_color];
+                self.overflow_run[frame_color] += 1;
+                (self.overflow_base + orun * self.n_colors + frame_color) as u64
+            }
+        };
+        self.used[node.0][frame_color] += 1;
         let m = Mapping { node, frame };
         if self.map.len() <= vpage as usize {
             self.map.resize(vpage as usize + 1, None);
@@ -192,6 +226,7 @@ impl PageTable {
         if used[color] > 0 {
             used[color] -= 1;
         }
+        self.free[m.node.0][color].push(m.frame);
     }
 
     /// Number of pages currently mapped on each node.

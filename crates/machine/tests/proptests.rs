@@ -111,4 +111,78 @@ proptest! {
         prop_assert!(t.l2_misses <= t.l1_misses);
         prop_assert_eq!(t.invalidations_sent, t.invalidations_received);
     }
+
+    /// Concurrent first-touch placement: a team of host threads faults the
+    /// same set of pages simultaneously (every member walks the page list in
+    /// a different rotation, maximizing same-page races). Every touched
+    /// vpage must end up with exactly one home node — no duplicate or ghost
+    /// mappings — and an explicit `place_page` between rounds must stick
+    /// even while other pages keep faulting around it.
+    #[test]
+    fn concurrent_first_touch_unique_home(
+        pages in prop::collection::vec(0u64..64, 8..64),
+        nthreads in 2usize..8,
+    ) {
+        let mut m = Machine::new(MachineConfig::small_test(8)); // 4 nodes
+        let page = m.config().page_size as u64; // 1 KiB
+        let base = m.alloc_pages(64 * page as usize);
+        let ids: Vec<ProcId> = (0..nthreads).map(ProcId).collect();
+
+        let shards = m.team_shards(&ids);
+        std::thread::scope(|s| {
+            for (t, mut shard) in shards.into_iter().enumerate() {
+                let pages = &pages;
+                s.spawn(move || {
+                    for i in 0..pages.len() {
+                        let pg = pages[(i + t * 7) % pages.len()];
+                        shard.access(base + pg * page, AccessKind::Read);
+                    }
+                });
+            }
+        });
+        m.drain_mail();
+
+        let distinct: std::collections::BTreeSet<u64> = pages.iter().copied().collect();
+        // Exactly one mapping per touched page, and none invented.
+        prop_assert_eq!(
+            m.pages_per_node().iter().sum::<usize>(),
+            distinct.len(),
+            "mapped page count != distinct touched pages"
+        );
+        let homes: Vec<NodeId> = distinct
+            .iter()
+            .map(|&pg| m.home_of(base + pg * page).expect("touched page unmapped"))
+            .collect();
+
+        // Explicitly re-place the first touched page, then race another
+        // round of faults/accesses over everything.
+        let target = *distinct.iter().next().unwrap();
+        let moved_to = NodeId((m.home_of(base + target * page).unwrap().0 + 1) % 4);
+        prop_assert!(m.place_page((base + target * page) >> page.trailing_zeros(), moved_to));
+
+        let shards = m.team_shards(&ids);
+        std::thread::scope(|s| {
+            for (t, mut shard) in shards.into_iter().enumerate() {
+                let pages = &pages;
+                s.spawn(move || {
+                    for i in 0..pages.len() {
+                        let pg = pages[(i + t * 3) % pages.len()];
+                        shard.access(base + pg * page, AccessKind::Write);
+                    }
+                });
+            }
+        });
+        m.drain_mail();
+
+        // Homes are sticky: unchanged except the explicit move.
+        prop_assert_eq!(m.pages_per_node().iter().sum::<usize>(), distinct.len());
+        for (&pg, &home0) in distinct.iter().zip(&homes) {
+            let now = m.home_of(base + pg * page).unwrap();
+            if pg == target {
+                prop_assert_eq!(now, moved_to, "explicit placement lost");
+            } else {
+                prop_assert_eq!(now, home0, "page {} changed home without place_page", pg);
+            }
+        }
+    }
 }

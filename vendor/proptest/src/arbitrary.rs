@@ -1,0 +1,94 @@
+//! `any::<T>()` for the primitive types the workspace's tests draw.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (`any::<T>()`).
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mostly well-behaved finite values, with occasional special values
+        // so `prop_filter("finite", ..)`-style guards stay meaningful.
+        match rng.below(16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            5 => f64::MIN_POSITIVE,
+            _ => {
+                let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let exp = rng.below(41) as i32 - 20;
+                let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                sign * mantissa * 2f64.powi(exp)
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_mixes_specials_and_finites() {
+        let mut rng = TestRng::for_case("arb-f64", 0);
+        let mut finite = 0;
+        let mut special = 0;
+        for _ in 0..1000 {
+            let v = f64::arbitrary(&mut rng);
+            if v.is_finite() {
+                finite += 1;
+            } else {
+                special += 1;
+            }
+        }
+        assert!(finite > 500);
+        assert!(special > 10);
+    }
+}

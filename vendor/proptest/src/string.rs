@@ -1,0 +1,211 @@
+//! String strategies from simple regex-like patterns.
+//!
+//! Real proptest compiles full regexes; this stand-in supports the subset
+//! the workspace's tests use: sequences of literal characters and character
+//! classes (`[a-d]`, `[ -~\n]`), each optionally repeated with `{n}` or
+//! `{min,max}`. Unsupported syntax panics loudly so a silently-wrong
+//! generator can't masquerade as coverage.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// A flattened set of candidate characters.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other, // \\, \[, \-, \{ …
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                set.push(unescape(e));
+            }
+            _ => {
+                // Range `a-z` iff '-' is followed by a non-']' char.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next(); // the '-'
+                    match ahead.peek() {
+                        Some(&end) if end != ']' => {
+                            chars.next(); // consume '-'
+                            let end = match chars.next() {
+                                Some('\\') => unescape(chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in pattern {pattern:?}")
+                                })),
+                                Some(e) => e,
+                                None => panic!("unterminated range in pattern {pattern:?}"),
+                            };
+                            assert!(
+                                c <= end,
+                                "inverted range {c:?}-{end:?} in pattern {pattern:?}"
+                            );
+                            for v in c as u32..=end as u32 {
+                                if let Some(ch) = char::from_u32(v) {
+                                    set.push(ch);
+                                }
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                set.push(c);
+            }
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    set
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad repetition {body:?} in pattern {pattern:?}")
+                            }),
+                            hi.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad repetition {body:?} in pattern {pattern:?}")
+                            }),
+                        ),
+                        None => {
+                            let n = body.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad repetition {body:?} in pattern {pattern:?}")
+                            });
+                            (n, n)
+                        }
+                    };
+                    assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+                    return (lo, hi);
+                }
+                body.push(c);
+            }
+            panic!("unterminated repetition in pattern {pattern:?}");
+        }
+        Some('*') => {
+            chars.next();
+            (0, 16)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 16)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars, pattern)),
+            '\\' => Atom::Literal(unescape(chars.next().unwrap_or_else(|| {
+                panic!("dangling escape in pattern {pattern:?}")
+            }))),
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!(
+                    "string pattern {pattern:?} uses regex syntax ({c:?}) beyond the \
+                     vendored proptest subset (classes, literals, repetition)"
+                )
+            }
+            _ => Atom::Literal(c),
+        };
+        let (min, max) = parse_repeat(&mut chars, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let count = p.min + rng.below((p.max - p.min + 1) as u64) as u32;
+            for _ in 0..count {
+                match &p.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        self.as_str().gen_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_class_yields_one_char() {
+        let mut rng = TestRng::for_case("string", 0);
+        for _ in 0..200 {
+            let s = "[a-d]".gen_value(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_with_bounded_repetition() {
+        let mut rng = TestRng::for_case("string", 1);
+        for _ in 0..50 {
+            let s = "[ -~\n]{0,300}".gen_value(&mut rng);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut rng = TestRng::for_case("string", 2);
+        assert_eq!("abc".gen_value(&mut rng), "abc");
+        assert_eq!("a{3}".gen_value(&mut rng), "aaa");
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors the tiny subset of `rand` it could plausibly need as a
+//! deterministic generator. Nothing in the workspace currently calls into
+//! this crate at runtime; it exists so `rand` dependency edges resolve.
+//!
+//! The generator is SplitMix64: tiny, fast, and good enough for test-data
+//! generation. It is intentionally *not* cryptographically secure.
+
+/// A deterministic 64-bit generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Create a generator from an explicit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Minimal `Rng` surface: uniform draws from half-open integer ranges and
+/// a uniform `f64` in `[0, 1)`.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `[range.start, range.end)`. Panics on empty ranges.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let width = range.end - range.start;
+        range.start + self.next_u64() % width
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Rng for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        SmallRng::next_u64(self)
+    }
+}
+
+/// A process-global convenience generator, seeded deterministically.
+pub fn thread_rng() -> SmallRng {
+    SmallRng::seed_from_u64(0x5eed_0fd5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let v = a.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f = a.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}
