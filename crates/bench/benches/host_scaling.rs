@@ -4,7 +4,7 @@
 //! threaded team simulation, simulating N processors cost ~N× the host
 //! wall-clock of one. This bench runs the Figure-5 transpose workload
 //! (reshaped placement, nprocs = 8) twice — once with the serial-team
-//! reference path (`ExecOptions::with_serial_team`) and once with the
+//! reference path (`ExecOptions::serial_team`) and once with the
 //! default host-parallel path — and compares the host wall-clock the
 //! [`dsm_core::RunReport`] records for the parallel regions (the part the
 //! member threads accelerate; serial init is identical in both modes).
@@ -12,6 +12,12 @@
 //! Target: ≥4× speedup at nprocs = 8. Wall-clock depends on the host, so
 //! the assertion scales with the cores actually available: hosts with
 //! fewer than two cores only report the measurement.
+//!
+//! A third run with `ExecOptions::profile` measures the cost of the
+//! attribution profiler, reported as overhead over the unprofiled
+//! parallel run (the profiler's disabled-path cost — one predictable
+//! branch per memory access — is below wall-clock noise and cannot be
+//! measured from inside one build).
 
 use std::time::Duration;
 
@@ -27,8 +33,9 @@ fn best_of(prog: &dsm_core::CompiledProgram, opts: &ExecOptions) -> (RunReport, 
     let mut best: Option<(RunReport, Duration)> = None;
     for _ in 0..RUNS {
         let r = prog
-            .run_with(&cfg, opts)
-            .unwrap_or_else(|e| panic!("bench workload failed to run: {e}"));
+            .run(&cfg, opts)
+            .unwrap_or_else(|e| panic!("bench workload failed to run: {e}"))
+            .report;
         let w = r.host_region_wall;
         if best.as_ref().is_none_or(|(_, b)| w < *b) {
             best = Some((r, w));
@@ -44,8 +51,9 @@ fn main() {
         .compile()
         .unwrap_or_else(|e| panic!("bench workload failed to compile: {e:?}"));
 
-    let (sr, serial_wall) = best_of(&prog, &ExecOptions::new(NPROCS).with_serial_team());
+    let (sr, serial_wall) = best_of(&prog, &ExecOptions::new(NPROCS).serial_team(true));
     let (pr, parallel_wall) = best_of(&prog, &ExecOptions::new(NPROCS));
+    let (_, profiled_wall) = best_of(&prog, &ExecOptions::new(NPROCS).profile(true));
 
     assert_eq!(
         sr.total_cycles, pr.total_cycles,
@@ -59,6 +67,12 @@ fn main() {
     println!("  serial-team region wall: {serial_wall:?} (total {:?})", sr.host_wall);
     println!("  parallel region wall:    {parallel_wall:?} (total {:?})", pr.host_wall);
     println!("  wall-clock speedup:      {speedup:.2}x (best of {RUNS} runs each)");
+    let overhead =
+        profiled_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9) - 1.0;
+    println!(
+        "  profiled region wall:    {profiled_wall:?} ({:+.1}% over unprofiled)",
+        overhead * 100.0
+    );
 
     // The ≥4× target needs ≥8 host cores; scale the floor for smaller
     // hosts and only report on (near-)serial ones.

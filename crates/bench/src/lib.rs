@@ -13,7 +13,7 @@
 //! working-set : cache and portion : page ratios.
 
 use dsm_core::workloads::Policy;
-use dsm_core::{ExecOptions, Machine, MachineConfig, OptConfig, RunReport, Session};
+use dsm_core::{ExecOptions, Machine, MachineConfig, OptConfig, RunOutcome, RunReport, Session};
 
 /// Default linear scale divisor relative to the real Origin-2000.
 pub const SCALE: usize = 64;
@@ -59,13 +59,28 @@ pub struct Series {
 ///
 /// Panics on compile or runtime errors — experiment programs are trusted.
 pub fn run_policy(source: &str, policy: Policy, nprocs: usize, scale: usize) -> RunReport {
+    run_policy_with(source, policy, scale, &ExecOptions::new(nprocs)).report
+}
+
+/// [`run_policy`] with explicit [`ExecOptions`] — used by benches that
+/// need the attribution profile or captured arrays.
+///
+/// # Panics
+///
+/// Panics on compile or runtime errors — experiment programs are trusted.
+pub fn run_policy_with(
+    source: &str,
+    policy: Policy,
+    scale: usize,
+    opts: &ExecOptions,
+) -> RunOutcome {
     let prog = Session::new()
         .source("bench.f", source)
         .optimize(OptConfig::default())
         .compile()
         .unwrap_or_else(|e| panic!("bench workload failed to compile: {e:?}"));
-    let cfg = policy.machine(nprocs, scale);
-    prog.run(&cfg, nprocs)
+    let cfg = policy.machine(opts.nprocs, scale);
+    prog.run(&cfg, opts)
         .unwrap_or_else(|e| panic!("bench workload failed to run: {e}"))
 }
 

@@ -14,9 +14,11 @@
 //!       --round-robin   round-robin page placement instead of first-touch
 //!       --counters      print per-processor hardware counters
 //!       --serial-team   simulate team members sequentially (reference mode)
+//!       --profile       print the per-array/per-region attribution profile
+//!       --profile-json FILE   also write the profile as JSON to FILE
 //! ```
 
-use dsm_core::{ExecOptions, Machine, MachineConfig, OptConfig, PagePolicy, Session};
+use dsm_core::{ExecOptions, MachineConfig, OptConfig, PagePolicy, Session};
 
 struct Options {
     files: Vec<String>,
@@ -28,12 +30,15 @@ struct Options {
     round_robin: bool,
     counters: bool,
     serial_team: bool,
+    profile: bool,
+    profile_json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dsmfc [-p N] [--scale N] [-O none|tile|hoist|full] [--dump-ir] \
-         [--check] [--round-robin] [--counters] [--serial-team] file.f [file2.f ...]"
+         [--check] [--round-robin] [--counters] [--serial-team] [--profile] \
+         [--profile-json FILE] file.f [file2.f ...]"
     );
     std::process::exit(2)
 }
@@ -49,6 +54,8 @@ fn parse_args() -> Options {
         round_robin: false,
         counters: false,
         serial_team: false,
+        profile: false,
+        profile_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -79,6 +86,10 @@ fn parse_args() -> Options {
             "--round-robin" => o.round_robin = true,
             "--counters" => o.counters = true,
             "--serial-team" => o.serial_team = true,
+            "--profile" => o.profile = true,
+            "--profile-json" => {
+                o.profile_json = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             _ => usage(),
@@ -133,16 +144,14 @@ fn main() {
     if o.round_robin {
         cfg.policy = PagePolicy::RoundRobin;
     }
-    let mut machine = Machine::new(cfg);
-    let mut exec = ExecOptions::new(o.procs);
-    if o.checks {
-        exec = exec.with_checks();
-    }
-    if o.serial_team {
-        exec = exec.with_serial_team();
-    }
-    match dsm_exec::run_program(&mut machine, program.program(), &exec) {
-        Ok(report) => {
+    let want_profile = o.profile || o.profile_json.is_some();
+    let exec = ExecOptions::new(o.procs)
+        .with_checks(o.checks)
+        .serial_team(o.serial_team)
+        .profile(want_profile);
+    match program.run(&cfg, &exec) {
+        Ok(out) => {
+            let report = &out.report;
             println!(
                 "cycles: {} total ({} in parallel regions, {} regions)",
                 report.total_cycles, report.parallel_cycles, report.parallel_regions
@@ -159,9 +168,20 @@ fn main() {
                     println!("P{p:<3} {c}");
                 }
             }
+            if let Some(profile) = out.profile() {
+                if o.profile {
+                    println!("{profile}");
+                }
+                if let Some(path) = &o.profile_json {
+                    if let Err(e) = std::fs::write(path, profile.to_json()) {
+                        eprintln!("dsmfc: cannot write `{path}`: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         Err(e) => {
-            eprintln!("runtime error: {e}");
+            eprintln!("{e}");
             std::process::exit(1);
         }
     }

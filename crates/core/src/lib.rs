@@ -7,9 +7,9 @@
 //! simulated Origin-2000-class CC-NUMA machine.
 //!
 //! ```
-//! use dsm_core::{MachineConfig, OptConfig, Session};
+//! use dsm_core::{DsmError, ExecOptions, MachineConfig, OptConfig, Session};
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), DsmError> {
 //! let src = "\
 //!       program main
 //!       integer i
@@ -24,10 +24,14 @@
 //! let program = Session::new()
 //!     .source("demo.f", src)
 //!     .optimize(OptConfig::default())
-//!     .compile()
-//!     .map_err(|e| e[0].clone())?;
-//! let report = program.run(&MachineConfig::small_test(4), 4)?;
-//! assert!(report.total_cycles > 0);
+//!     .compile()?;
+//! let out = program.run(
+//!     &MachineConfig::small_test(4),
+//!     &ExecOptions::new(4).profile(true).capture(&["a"]),
+//! )?;
+//! assert!(out.report.total_cycles > 0);
+//! assert_eq!(out.captures[0][1023], 2048.0);
+//! assert!(out.profile().is_some_and(|p| p.array("a").is_some()));
 //! # Ok(())
 //! # }
 //! ```
@@ -40,10 +44,69 @@
 pub mod workloads;
 
 pub use dsm_compile::{OptConfig, PrelinkReport};
-pub use dsm_exec::{ExecError, ExecOptions, RunReport};
+pub use dsm_exec::{ExecError, ExecOptions, Profile, RunOutcome, RunReport};
 pub use dsm_frontend::{CompileError, ErrorKind};
 pub use dsm_ir::Program;
 pub use dsm_machine::{CounterSet, Machine, MachineConfig, PagePolicy};
+
+/// Any failure the end-to-end API can produce: compile-time diagnostics or
+/// a runtime execution error. Both [`Session::compile`] (via `?`) and
+/// [`CompiledProgram::run`] convert into it, so a driver needs exactly one
+/// error type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsmError {
+    /// Every compile-time and link-time diagnostic.
+    Compile(Vec<CompileError>),
+    /// A runtime failure (out-of-bounds, failed argument check, illegal
+    /// redistribution, step limit).
+    Exec(ExecError),
+}
+
+impl DsmError {
+    /// The compile diagnostics, when this is a compile failure.
+    pub fn compile_errors(&self) -> Option<&[CompileError]> {
+        match self {
+            DsmError::Compile(e) => Some(e),
+            DsmError::Exec(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsmError::Compile(errs) => {
+                write!(f, "{} compile error(s)", errs.len())?;
+                for e in errs {
+                    write!(f, "\n  {}: {}", e.file_name, e.msg)?;
+                }
+                Ok(())
+            }
+            DsmError::Exec(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsmError::Compile(_) => None,
+            DsmError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<Vec<CompileError>> for DsmError {
+    fn from(e: Vec<CompileError>) -> Self {
+        DsmError::Compile(e)
+    }
+}
+
+impl From<ExecError> for DsmError {
+    fn from(e: ExecError) -> Self {
+        DsmError::Exec(e)
+    }
+}
 
 /// A compilation session: sources plus optimization settings.
 #[derive(Debug, Clone, Default)]
@@ -113,15 +176,22 @@ impl CompiledProgram {
         dsm_ir::printer::print_program(&self.compiled.program)
     }
 
-    /// Run on a fresh machine built from `cfg` with `nprocs` processors.
+    /// Run on a fresh machine built from `cfg` under `opts`, returning the
+    /// full [`RunOutcome`]: the report, any captured arrays
+    /// ([`ExecOptions::capture`]) and the attribution profile
+    /// ([`ExecOptions::profile`]).
     ///
     /// # Errors
     ///
     /// Returns runtime failures (out-of-bounds, failed argument checks,
-    /// illegal redistribution).
-    pub fn run(&self, cfg: &MachineConfig, nprocs: usize) -> Result<RunReport, ExecError> {
+    /// illegal redistribution) as [`DsmError::Exec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.nprocs` exceeds the machine's processor count.
+    pub fn run(&self, cfg: &MachineConfig, opts: &ExecOptions) -> Result<RunOutcome, DsmError> {
         let mut m = Machine::new(cfg.clone());
-        dsm_exec::run_program(&mut m, &self.compiled.program, &ExecOptions::new(nprocs))
+        dsm_exec::run_outcome(&mut m, &self.compiled.program, opts).map_err(DsmError::from)
     }
 
     /// Run with explicit [`ExecOptions`] (runtime checks, step limits).
@@ -129,6 +199,7 @@ impl CompiledProgram {
     /// # Errors
     ///
     /// As [`CompiledProgram::run`].
+    #[deprecated(note = "use `run(cfg, opts)` and take `.report` from the outcome")]
     pub fn run_with(
         &self,
         cfg: &MachineConfig,
@@ -143,13 +214,20 @@ impl CompiledProgram {
     /// # Errors
     ///
     /// As [`CompiledProgram::run`].
+    #[deprecated(note = "use `run(cfg, &ExecOptions::new(n).capture(names))`")]
     pub fn run_capture(
         &self,
         cfg: &MachineConfig,
         nprocs: usize,
         captures: &[&str],
     ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
-        self.run_capture_with(cfg, &ExecOptions::new(nprocs), captures)
+        let mut m = Machine::new(cfg.clone());
+        dsm_exec::run_program_capture(
+            &mut m,
+            &self.compiled.program,
+            &ExecOptions::new(nprocs),
+            captures,
+        )
     }
 
     /// [`CompiledProgram::run_capture`] with explicit [`ExecOptions`]
@@ -158,6 +236,7 @@ impl CompiledProgram {
     /// # Errors
     ///
     /// As [`CompiledProgram::run`].
+    #[deprecated(note = "use `run(cfg, opts.capture(names))`")]
     pub fn run_capture_with(
         &self,
         cfg: &MachineConfig,
@@ -165,7 +244,7 @@ impl CompiledProgram {
         captures: &[&str],
     ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
         let mut m = Machine::new(cfg.clone());
-        dsm_exec::interp::run_program_capture(&mut m, &self.compiled.program, opts, captures)
+        dsm_exec::run_program_capture(&mut m, &self.compiled.program, opts, captures)
     }
 }
 
@@ -182,12 +261,55 @@ mod tests {
             )
             .compile()
             .expect("compiles");
-        let (r, cap) = p
-            .run_capture(&MachineConfig::small_test(2), 2, &["a"])
+        let out = p
+            .run(
+                &MachineConfig::small_test(2),
+                &ExecOptions::new(2).capture(&["a"]).profile(true),
+            )
             .expect("runs");
-        assert!(r.total_cycles > 0);
-        assert_eq!(cap[0][63], 64.0);
+        assert!(out.report.total_cycles > 0);
+        assert_eq!(out.captures[0][63], 64.0);
+        assert!(out.profile().is_some_and(|pr| pr.array("a").is_some()));
         assert!(p.ir_dump().contains("do"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let p = Session::new()
+            .source(
+                "t.f",
+                "      program main\n      integer i\n      real*8 a(64)\n      do i = 1, 64\n        a(i) = i\n      enddo\n      end\n",
+            )
+            .compile()
+            .expect("compiles");
+        let cfg = MachineConfig::small_test(2);
+        let r = p.run_with(&cfg, &ExecOptions::new(2)).expect("runs");
+        assert!(r.total_cycles > 0);
+        let (r2, cap) = p.run_capture(&cfg, 2, &["a"]).expect("runs");
+        assert_eq!(r2.total_cycles, r.total_cycles);
+        assert_eq!(cap[0][63], 64.0);
+        let (_, cap2) = p
+            .run_capture_with(&cfg, &ExecOptions::new(2), &["a"])
+            .expect("runs");
+        assert_eq!(cap, cap2);
+    }
+
+    #[test]
+    fn dsm_error_unifies_compile_and_exec() {
+        fn end_to_end(src: &str) -> Result<RunOutcome, DsmError> {
+            let p = Session::new().source("t.f", src).compile()?;
+            p.run(&MachineConfig::small_test(2), &ExecOptions::new(2))
+        }
+        let e = end_to_end("      program main\n      x = 1\n      end\n")
+            .expect_err("undeclared x");
+        assert!(e.compile_errors().is_some());
+        assert!(e.to_string().contains("compile error"));
+        let ok = end_to_end(
+            "      program main\n      real*8 a(8)\n      a(1) = 1\n      end\n",
+        )
+        .expect("runs");
+        assert!(ok.report.total_cycles > 0);
     }
 
     #[test]

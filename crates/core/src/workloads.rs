@@ -233,7 +233,7 @@ c$doacross nest(j, i) local(i, j, m){aff}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{OptConfig, Session};
+    use crate::{ExecOptions, OptConfig, Session};
 
     fn compiles(src: &str) {
         Session::new()
@@ -275,7 +275,10 @@ mod tests {
                 .compile()
                 .expect("compiles");
             let cfg = p.machine(4, 1024);
-            let (_, cap) = prog.run_capture(&cfg, 4, &["a"]).expect("runs");
+            let cap = prog
+                .run(&cfg, &ExecOptions::new(4).capture(&["a"]))
+                .expect("runs")
+                .captures;
             match &reference {
                 None => reference = Some(cap[0].clone()),
                 Some(r) => assert_eq!(&cap[0], r, "policy {p:?} altered results"),
@@ -298,8 +301,9 @@ mod tests {
             .compile()
             .unwrap();
         let cfg = Policy::Reshaped.machine(4, 2048);
-        let (_, c1) = one.run_capture(&cfg, 4, &["a"]).unwrap();
-        let (_, c2) = two.run_capture(&cfg, 4, &["a"]).unwrap();
+        let opts = ExecOptions::new(4).capture(&["a"]);
+        let c1 = one.run(&cfg, &opts).unwrap().captures;
+        let c2 = two.run(&cfg, &opts).unwrap().captures;
         assert_eq!(c1[0], c2[0]);
     }
 
@@ -312,7 +316,7 @@ mod tests {
                 .compile()
                 .unwrap();
             let cfg = p.machine(4, 2048);
-            let (_, cap) = prog.run_capture(&cfg, 4, &["u"]).unwrap();
+            let cap = prog.run(&cfg, &ExecOptions::new(4).capture(&["u"])).unwrap().captures;
             match &reference {
                 None => reference = Some(cap[0].clone()),
                 Some(r) => assert_eq!(&cap[0], r, "policy {p:?} altered LU results"),

@@ -1,0 +1,154 @@
+//! End-to-end tests of the `dsmfc` driver binary: flag parsing, exit
+//! codes, the golden quickstart output, and the profile surfaces.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn dsmfc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dsmfc"))
+        .args(args)
+        .output()
+        .expect("dsmfc spawns")
+}
+
+fn quickstart() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/fortran/quickstart.f")
+}
+
+fn write_fixture(name: &str, text: &str) -> PathBuf {
+    let p = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::write(&p, text).expect("fixture writes");
+    p
+}
+
+#[test]
+fn usage_without_files_exits_2() {
+    let out = dsmfc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = dsmfc(&["--frobnicate", "x.f"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_proc_count_exits_2() {
+    let out = dsmfc(&["-p", "many", "x.f"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = dsmfc(&["--profile-json"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn compile_error_exits_1_with_diagnostics() {
+    let f = write_fixture(
+        "cli_bad.f",
+        "      program main\n      x = 1\n      end\n",
+    );
+    let out = dsmfc(&[f.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains('x'), "diagnostics name the symbol: {err}");
+}
+
+#[test]
+fn runtime_error_exits_1_under_check() {
+    // The paper's Section-6 bug: formal larger than the passed portion.
+    let f = write_fixture(
+        "cli_runtime.f",
+        "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      i = 1\n      call mysub(a(i))\n      end\n      subroutine mysub(x)\n      real*8 x(6)\n      x(1) = 0.0\n      end\n",
+    );
+    let path = f.to_str().unwrap();
+    let out = dsmfc(&["--check", path]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("runtime error"));
+    // Without --check the same program runs to completion.
+    let out = dsmfc(&[path]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn missing_file_exits_1() {
+    let out = dsmfc(&["/nonexistent/nope.f"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn dump_ir_prints_ir_and_skips_execution() {
+    let out = dsmfc(&["--dump-ir", quickstart().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("do"), "{s}");
+    assert!(!s.contains("cycles:"), "--dump-ir must not run the program");
+}
+
+/// Golden output for the quickstart program. `--serial-team` keeps the
+/// simulation on one host thread, so every line here is deterministic
+/// except the host wall-clock (which the test skips).
+#[test]
+fn quickstart_golden_stdout() {
+    let out = dsmfc(&["-p", "4", "--serial-team", quickstart().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = s.lines().collect();
+    assert_eq!(
+        lines[0],
+        "cycles: 104432 total (51087 in parallel regions, 1 regions)"
+    );
+    assert_eq!(lines[1], "simulated seconds at 195 MHz: 0.000536");
+    assert!(lines[2].starts_with("host wall-clock:"));
+    assert_eq!(
+        lines[3],
+        "aggregate: cycles=417728 loads=16384 stores=8190 L1$miss=4495 \
+         L2$miss=713 (local=581 remote=132 intv=192) tlb=97 inval(tx/rx)=0/0 faults=1 wb=1"
+    );
+    assert_eq!(lines[4], "pages/node: [33, 32]");
+}
+
+#[test]
+fn counters_flag_prints_per_proc_rows() {
+    let out = dsmfc(&["-p", "2", "--counters", quickstart().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("P0"), "{s}");
+    assert!(s.contains("P1"), "{s}");
+}
+
+#[test]
+fn profile_flag_prints_attribution_tables() {
+    let out = dsmfc(&["-p", "4", "--profile", quickstart().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("=== memory-behavior profile ==="), "{s}");
+    assert!(s.contains("per-array attribution:"), "{s}");
+    assert!(s.contains("per-region attribution:"), "{s}");
+    // Both program arrays appear as rows.
+    assert!(s.lines().any(|l| l.trim_start().starts_with("a ")), "{s}");
+    assert!(s.lines().any(|l| l.trim_start().starts_with("b ")), "{s}");
+}
+
+#[test]
+fn profile_json_writes_file() {
+    let json_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_profile.json");
+    let out = dsmfc(&[
+        "-p",
+        "4",
+        "--profile-json",
+        json_path.to_str().unwrap(),
+        quickstart().to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    // --profile-json alone must not print the table…
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("memory-behavior profile"));
+    // …but the file holds the same data as JSON.
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+    for key in ["\"arrays\"", "\"regions\"", "\"cells\"", "\"hot_pages\"", "\"hints\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.contains("\"name\": \"a\""), "{json}");
+}

@@ -2,7 +2,7 @@
 //! executed) verbatim — modulo the paper's own typesetting garbles, which
 //! are restored to the obvious intended Fortran.
 
-use dsm_core::{MachineConfig, OptConfig, Session};
+use dsm_core::{ExecOptions, MachineConfig, OptConfig, Session};
 
 fn compile(src: &str) -> dsm_core::CompiledProgram {
     Session::new()
@@ -27,9 +27,13 @@ c$doacross local(i) shared(n, a)
       end
 ";
     let p = compile(src);
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["a"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["a"]),
+        )
+        .unwrap()
+        .captures;
     assert_eq!(cap[0][99], 200.0);
 }
 
@@ -51,9 +55,13 @@ c$doacross nest(i, j) local(i, j) shared(m, n, b)
       end
 ";
     let p = compile(src);
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["b"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["b"]),
+        )
+        .unwrap()
+        .captures;
     // b(j,i) = i + j; b(40, 30) at (40-1) + 40*(30-1).
     assert_eq!(cap[0][39 + 40 * 29], (30 + 40) as f64);
 }
@@ -93,13 +101,13 @@ c$distribute_reshape a(cyclic(5))
       end
 ";
     let p = compile(src);
-    let r = p
-        .run_with(
+    let out = p
+        .run(
             &MachineConfig::small_test(4),
-            &dsm_core::ExecOptions::new(4).with_checks(),
+            &ExecOptions::new(4).with_checks(true),
         )
         .expect("the paper's example passes its own runtime checks");
-    assert_eq!(r.argcheck_ops.0, 200);
+    assert_eq!(out.report.argcheck_ops.0, 200);
 }
 
 /// Section 3.4: the affinity example.
@@ -118,9 +126,13 @@ c$doacross local(i) shared(n, a) affinity(i) = data(a(i))
       end
 ";
     let p = compile(src);
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["a"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["a"]),
+        )
+        .unwrap()
+        .captures;
     assert_eq!(cap[0][499], 500.0 * 500.0);
 }
 
@@ -149,9 +161,13 @@ c$distribute_reshape a(block)
         !dump.contains("[raw]"),
         "no per-iteration div/mod remains:\n{dump}"
     );
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["a"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["a"]),
+        )
+        .unwrap()
+        .captures;
     assert_eq!(cap[0][0], 1.0);
     assert_eq!(cap[0][4095], 4096.0);
 }
@@ -178,9 +194,13 @@ c$distribute_reshape a(block)
     // freely reordered — but the block distribution keeps iteration order,
     // so tiling remains legal and results must match a serial evaluation.
     let p = compile(src);
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["a"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["a"]),
+        )
+        .unwrap()
+        .captures;
     // Serial reference (Gauss-Seidel-style in-place sweep).
     let mut a: Vec<f64> = (1..=1024).map(|i| i as f64).collect();
     for i in 1..1023 {
@@ -213,9 +233,13 @@ c$doacross local(i, j)
       end
 ";
     let p = compile(src);
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["a"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["a"]),
+        )
+        .unwrap()
+        .captures;
     // a(j,i) = b(i,j) = i - j: element a(5, 9) = 9 - 5.
     assert_eq!(cap[0][(5 - 1) + 64 * (9 - 1)], 4.0);
 }
@@ -245,9 +269,13 @@ c$doacross local(i, j) affinity(j) = data(a(1, j))
       end
 ";
     let p = compile(src);
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["a"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["a"]),
+        )
+        .unwrap()
+        .captures;
     // a(10, 20) = mean of the 5-point stencil of b around (10, 20).
     let b = |i: f64, j: f64| i * j;
     let expect =
@@ -274,9 +302,13 @@ c$doacross nest(j, i) local(i, j, m)
       end
 ";
     let p = compile(src);
-    let (_, cap) = p
-        .run_capture(&MachineConfig::small_test(4), 4, &["u"])
-        .unwrap();
+    let cap = p
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["u"]),
+        )
+        .unwrap()
+        .captures;
     // u(2, 7, 9, 3): linear (2-1) + 5*(7-1) + 80*(9-1) + 1280*(3-1).
     assert_eq!(cap[0][1 + 5 * 6 + 80 * 8 + 1280 * 2], (2 + 7 + 9) as f64);
 }

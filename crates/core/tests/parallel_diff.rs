@@ -6,7 +6,7 @@
 //! conflict-free regions — regions in which no cache line is written by
 //! one member while another member reads or writes it.  The paper's
 //! evaluation workloads are exactly that shape, so for each of them the
-//! serial (`ExecOptions::with_serial_team`) and parallel runs must agree
+//! serial (`ExecOptions::serial_team`) and parallel runs must agree
 //! on
 //!
 //! * the final contents of every array, and
@@ -40,12 +40,15 @@ fn run_both(src: &str, policy: Policy, nprocs: usize, arrays: &[&str]) -> [(RunR
         .unwrap_or_else(|e| panic!("workload failed to compile: {e:?}"));
     let cfg = policy.machine(nprocs, 2048);
     let serial = prog
-        .run_capture_with(&cfg, &ExecOptions::new(nprocs).with_serial_team(), arrays)
+        .run(&cfg, &ExecOptions::new(nprocs).serial_team(true).capture(arrays))
         .expect("serial run");
     let parallel = prog
-        .run_capture_with(&cfg, &ExecOptions::new(nprocs), arrays)
+        .run(&cfg, &ExecOptions::new(nprocs).capture(arrays))
         .expect("parallel run");
-    [serial, parallel]
+    [
+        (serial.report, serial.captures),
+        (parallel.report, parallel.captures),
+    ]
 }
 
 fn assert_contents_identical(src: &str, policy: Policy, nprocs: usize, arrays: &[&str], what: &str) -> [(RunReport, Vec<Vec<f64>>); 2] {

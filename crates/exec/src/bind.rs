@@ -130,6 +130,7 @@ impl Binder {
                         let desc = DistDescriptor::undistributed(&extents);
                         self.arena.push(RtArray {
                             name: decl.name.clone(),
+                            sym: m.intern_symbol(&decl.name),
                             desc,
                             kind: DistKind::None,
                             layout: ArrayLayout::Contiguous { base },
@@ -153,6 +154,7 @@ impl Binder {
                         let base = m.alloc((max_len * 8) as usize, 8);
                         let arr = RtArray {
                             name: decl.name.clone(),
+                            sym: m.intern_symbol(&decl.name),
                             desc: DistDescriptor::undistributed(&extents),
                             kind: DistKind::None,
                             layout: ArrayLayout::Contiguous { base },
@@ -188,15 +190,24 @@ impl Binder {
     /// at `base`: a plain contiguous array with the formal's declared
     /// extents (the callee "treats the incoming parameter as a
     /// non-distributed, standard Fortran array").
-    pub fn bind_view(&mut self, decl: &ArrayDecl, base: VAddr, frame: &Frame) -> usize {
+    pub fn bind_view(
+        &mut self,
+        m: &mut Machine,
+        decl: &ArrayDecl,
+        base: VAddr,
+        frame: &Frame,
+    ) -> usize {
         let extents: Vec<u64> = decl
             .dims
             .iter()
             .map(|e| Self::extent_value(e, frame))
             .collect();
         let desc = DistDescriptor::undistributed(&extents);
+        let name = format!("{}@view", decl.name);
+        let sym = m.intern_symbol(&name);
         self.arena.push(RtArray {
-            name: format!("{}@view", decl.name),
+            name,
+            sym,
             desc,
             kind: DistKind::None,
             layout: ArrayLayout::Contiguous { base },
@@ -266,7 +277,7 @@ mod tests {
         let mut b = Binder::new(&mut m, &p, 2);
         let mut f = Frame::new(s);
         f.scalars[s.scalar_named("n").unwrap().0] = Value::I(42);
-        let view = b.bind_view(&s.arrays[0], 0x4000, &f);
+        let view = b.bind_view(&mut m, &s.arrays[0], 0x4000, &f);
         assert_eq!(b.get(view).desc.total_len(), 42);
         assert_eq!(b.get(view).addr_of(&[41]), 0x4000 + 41 * 8);
     }

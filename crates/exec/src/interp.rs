@@ -20,14 +20,20 @@ use dsm_ir::{
     ActualArg, AddrMode, AffIdx, BinOp, DistKind, Doacross, Expr, Intrinsic, LoopStmt, Program,
     RtExpr, ScalarTy, SchedType, Stmt, Subroutine, UnOp,
 };
-use dsm_machine::{AccessKind, Machine, MachineConfig, MachineShard, ProcId};
+use dsm_machine::{AccessKind, AccessTag, Machine, MachineConfig, MachineShard, ProcId, SERIAL_REGION};
 use dsm_runtime::{argcheck::ArgInfo, partition, sched, ArgChecker, RuntimeError};
 
 use crate::bind::Binder;
-use crate::report::RunReport;
+use crate::report::{RunOutcome, RunReport};
 use crate::value::{Frame, Value};
 
-/// Execution options.
+/// Execution options: a fluent builder consumed by [`run_outcome`].
+///
+/// ```
+/// use dsm_exec::ExecOptions;
+/// let opts = ExecOptions::new(8).with_checks(true).serial_team(true).profile(true);
+/// assert!(opts.runtime_checks && opts.serial_team && opts.profile);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Number of processors the program runs on (≤ the machine's).
@@ -40,29 +46,74 @@ pub struct ExecOptions {
     /// of in parallel (reference mode; also the automatic fallback for
     /// region bodies that are not parallel-safe).
     pub serial_team: bool,
+    /// Attribute every access to its (array, parallel region) and return a
+    /// [`crate::Profile`] in the report.
+    pub profile: bool,
+    /// Names of main-program arrays whose final contents the run returns
+    /// (Fortran element order), for verification.
+    pub captures: Vec<String>,
+}
+
+impl Default for ExecOptions {
+    /// One processor, everything off.
+    fn default() -> Self {
+        ExecOptions::new(1)
+    }
 }
 
 impl ExecOptions {
-    /// Run on `nprocs` processors with checks off.
+    /// Run on `nprocs` processors with checks, profiling and captures off.
     pub fn new(nprocs: usize) -> Self {
         ExecOptions {
             nprocs,
             runtime_checks: false,
             max_steps: u64::MAX,
             serial_team: false,
+            profile: false,
+            captures: Vec::new(),
         }
     }
 
-    /// Enable runtime argument checking.
-    pub fn with_checks(mut self) -> Self {
-        self.runtime_checks = true;
+    /// Enable or disable runtime argument checking.
+    #[must_use]
+    pub fn with_checks(mut self, on: bool) -> Self {
+        self.runtime_checks = on;
         self
     }
 
     /// Force serial (one member at a time) team simulation.
-    pub fn with_serial_team(mut self) -> Self {
-        self.serial_team = true;
+    #[must_use]
+    pub fn serial_team(mut self, on: bool) -> Self {
+        self.serial_team = on;
         self
+    }
+
+    /// Enable memory-behavior attribution profiling.
+    #[must_use]
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Cap the number of executed statements (runaway-loop valve).
+    #[must_use]
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Capture the final contents of these main-program arrays.
+    #[must_use]
+    pub fn capture(mut self, names: &[&str]) -> Self {
+        self.captures = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Force serial team simulation.
+    #[deprecated(note = "use `serial_team(true)`")]
+    #[must_use]
+    pub fn with_serial_team(self) -> Self {
+        self.serial_team(true)
     }
 }
 
@@ -131,12 +182,14 @@ pub fn run_program(
     program: &Program,
     opts: &ExecOptions,
 ) -> Result<RunReport, ExecError> {
-    run_program_capture(machine, program, opts, &[]).map(|(r, _)| r)
+    run_outcome(machine, program, opts).map(|o| o.report)
 }
 
 /// Like [`run_program`], but additionally returns the final contents of
 /// the named arrays of the main program (row-major over the column-major
-/// linearization, i.e. Fortran element order), for verification.
+/// linearization, i.e. Fortran element order), for verification. Thin
+/// compatibility layer over [`run_outcome`]; `captures` here override any
+/// in `opts`.
 ///
 /// # Errors
 ///
@@ -152,6 +205,27 @@ pub fn run_program_capture(
     opts: &ExecOptions,
     captures: &[&str],
 ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
+    let opts = opts.clone().capture(captures);
+    run_outcome(machine, program, &opts).map(|o| (o.report, o.captures))
+}
+
+/// Run `program` on `machine` under `opts`, returning the full
+/// [`RunOutcome`]: the report (with an attribution [`crate::Profile`] when
+/// `opts.profile` is set) plus the contents of any captured arrays.
+///
+/// # Errors
+///
+/// As [`run_program`]; unknown capture names are returned as empty
+/// vectors.
+///
+/// # Panics
+///
+/// Panics if `opts.nprocs` exceeds the machine's processor count.
+pub fn run_outcome(
+    machine: &mut Machine,
+    program: &Program,
+    opts: &ExecOptions,
+) -> Result<RunOutcome, ExecError> {
     assert!(
         opts.nprocs >= 1 && opts.nprocs <= machine.nprocs(),
         "nprocs {} out of range for machine with {} processors",
@@ -159,6 +233,9 @@ pub fn run_program_capture(
         machine.nprocs()
     );
     let host_t0 = std::time::Instant::now();
+    if opts.profile {
+        machine.enable_profiling();
+    }
     let binder = Binder::new(machine, program, opts.nprocs);
     let steps = AtomicU64::new(0);
     let mut interp = Interp {
@@ -170,6 +247,7 @@ pub fn run_program_capture(
         regions: 0,
         region_cycles: 0,
         region_wall: std::time::Duration::ZERO,
+        region_names: Vec::new(),
         steps: &steps,
     };
     let main = program.main_sub();
@@ -181,6 +259,7 @@ pub fn run_program_capture(
     let mut ctx = Ctx {
         proc: ProcId(0),
         in_region: false,
+        region: SERIAL_REGION,
     };
     interp.exec_block(&main.body, main, &mut frame, &mut ctx)?;
 
@@ -191,6 +270,7 @@ pub fn run_program_capture(
         regions,
         region_cycles,
         region_wall,
+        region_names,
         ..
     } = interp;
     let Mach::Whole(machine) = mach else {
@@ -202,6 +282,13 @@ pub fn run_program_capture(
         .collect();
     let total = machine.total_counters();
     let total_cycles = per_proc.iter().map(|c| c.cycles).max().unwrap_or(0);
+    let profile = if opts.profile {
+        machine
+            .merged_attribution()
+            .map(|attr| Box::new(crate::profile::build_profile(&attr, machine, &region_names)))
+    } else {
+        None
+    };
     let report = RunReport {
         total_cycles,
         per_proc,
@@ -212,9 +299,10 @@ pub fn run_program_capture(
         argcheck_ops: checker.stats(),
         host_wall: host_t0.elapsed(),
         host_region_wall: region_wall,
+        profile,
     };
-    let mut captured = Vec::with_capacity(captures.len());
-    for name in captures {
+    let mut captured = Vec::with_capacity(opts.captures.len());
+    for name in &opts.captures {
         let mut data = Vec::new();
         if let Some(aid) = main.array_named(name) {
             let inst = frame.arrays[aid.0];
@@ -236,15 +324,20 @@ pub fn run_program_capture(
         }
         captured.push(data);
     }
-    Ok((report, captured))
+    Ok(RunOutcome {
+        report,
+        captures: captured,
+    })
 }
 
-/// Execution context: which simulated processor runs the current code and
-/// whether we are inside a parallel region.
+/// Execution context: which simulated processor runs the current code,
+/// whether we are inside a parallel region, and which one (for access
+/// attribution; [`SERIAL_REGION`] outside any region).
 #[derive(Debug, Clone, Copy)]
 struct Ctx {
     proc: ProcId,
     in_region: bool,
+    region: u32,
 }
 
 /// The interpreter's handle on the machine: either the whole thing (serial
@@ -278,6 +371,16 @@ impl Mach<'_> {
             Mach::Shard(s) => {
                 debug_assert_eq!(proc, s.proc());
                 s.charge(cycles);
+            }
+        }
+    }
+
+    fn set_tag(&mut self, proc: ProcId, tag: AccessTag) {
+        match self {
+            Mach::Whole(m) => m.set_tag(proc, tag),
+            Mach::Shard(s) => {
+                debug_assert_eq!(proc, s.proc());
+                s.set_tag(tag);
             }
         }
     }
@@ -407,6 +510,9 @@ struct Interp<'a> {
     /// Only meaningful on the top-level interpreter; member interpreters
     /// never fork.
     region_wall: std::time::Duration,
+    /// Label of each parallel region executed so far, indexed by region id
+    /// (only the top-level interpreter forks, so only it appends).
+    region_names: Vec<String>,
     /// Statement counter, shared across the team for the step limit.
     steps: &'a AtomicU64,
 }
@@ -594,7 +700,12 @@ impl Interp<'_> {
         frame: &mut Frame,
         ctx: &mut Ctx,
     ) -> Result<(), ExecError> {
+        let region_id = self.regions as u32;
         self.regions += 1;
+        self.region_names.push(format!(
+            "{}:do {}",
+            sub.name, sub.scalars[l.var.0].name
+        ));
         let ops = self.ops();
         let nprocs = self.opts.nprocs;
         let start = self.mach.cycles(ctx.proc) + ops.parallel_fork;
@@ -738,11 +849,13 @@ impl Interp<'_> {
                             regions: 0,
                             region_cycles: 0,
                             region_wall: std::time::Duration::ZERO,
+                            region_names: Vec::new(),
                             steps,
                         };
                         let mut member_ctx = Ctx {
                             proc,
                             in_region: true,
+                            region: region_id,
                         };
                         // Private copy of all scalars (covers the `local`
                         // clause; in-region writes to shared scalars are
@@ -795,6 +908,7 @@ impl Interp<'_> {
                 let mut member_ctx = Ctx {
                     proc: *p,
                     in_region: true,
+                    region: region_id,
                 };
                 // Private copy of all scalars (covers the `local` clause;
                 // the model discards in-region writes to shared scalars at
@@ -979,10 +1093,12 @@ impl Interp<'_> {
                     }
                     // The view's extents may depend on scalar params bound
                     // above; create it after scalars are in place.
-                    let view = self
-                        .binder
-                        .owned()
-                        .bind_view(&callee.arrays[a.0], addr, &callee_frame);
+                    let view = self.binder.owned().bind_view(
+                        self.mach.whole(),
+                        &callee.arrays[a.0],
+                        addr,
+                        &callee_frame,
+                    );
                     array_binds.push((a.0, view));
                 }
                 (dsm_ir::Param::Scalar(_), _) => {
@@ -1039,6 +1155,7 @@ impl Interp<'_> {
         let mut callee_ctx = Ctx {
             proc: ctx.proc,
             in_region: ctx.in_region,
+            region: ctx.region,
         };
         self.exec_block(&callee.body, callee, &mut callee_frame, &mut callee_ctx)?;
         for addr in registered {
@@ -1307,6 +1424,19 @@ impl Interp<'_> {
         let idx0 = self.index_values(array, indices, sub, frame, ctx)?;
         let inst = frame.arrays[array.0];
         let ops = self.ops();
+        let arr = self.binder.get(inst);
+        // Attribute this element access — and the addressing loads below —
+        // to (array, enclosing region). Index evaluation above already
+        // tagged any nested loads with their own arrays.
+        if self.opts.profile {
+            self.mach.set_tag(
+                ctx.proc,
+                AccessTag {
+                    sym: arr.sym,
+                    region: ctx.region,
+                },
+            );
+        }
         let arr = self.binder.get(inst);
         let addr = arr.addr_of(&idx0);
         let n_dist = arr.desc.distributed.len().max(1) as u64;

@@ -21,11 +21,13 @@
 
 pub mod bind;
 pub mod interp;
+pub mod profile;
 pub mod report;
 pub mod value;
 
-pub use interp::{run_program, ExecError, ExecOptions};
-pub use report::RunReport;
+pub use interp::{run_outcome, run_program, run_program_capture, ExecError, ExecOptions};
+pub use profile::{ArrayProfile, CellProfile, HotPage, Profile, RegionProfile};
+pub use report::{RunOutcome, RunReport};
 
 #[cfg(test)]
 mod tests {

@@ -2,6 +2,8 @@
 
 use dsm_machine::CounterSet;
 
+use crate::profile::Profile;
+
 /// Measurements of one program execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -28,6 +30,9 @@ pub struct RunReport {
     /// join, summed over regions) — the part the host-threaded team
     /// simulation accelerates.
     pub host_region_wall: std::time::Duration,
+    /// Memory-behavior attribution; `Some` iff the run was executed with
+    /// [`crate::ExecOptions::profile`] on.
+    pub profile: Option<Box<Profile>>,
 }
 
 impl RunReport {
@@ -47,9 +52,30 @@ impl RunReport {
         }
     }
 
-    /// Speedup of this run relative to `baseline` (same work).
+    /// Speedup of this run relative to `baseline` (same work), measured on
+    /// kernel cycles so serial initialization does not pollute the curve
+    /// (the paper's figures plot parallel-region time).
     pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
-        baseline.total_cycles as f64 / self.total_cycles.max(1) as f64
+        baseline.kernel_cycles() as f64 / self.kernel_cycles().max(1) as f64
+    }
+}
+
+/// Everything one execution produces: the report (with its optional
+/// attribution profile) plus the final contents of any captured arrays, in
+/// the order they were requested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Measurements (and `report.profile` when profiling was on).
+    pub report: RunReport,
+    /// Captured arrays in Fortran element order; unknown names yield empty
+    /// vectors.
+    pub captures: Vec<Vec<f64>>,
+}
+
+impl RunOutcome {
+    /// The attribution profile, when the run was profiled.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.report.profile.as_deref()
     }
 }
 
@@ -85,6 +111,7 @@ mod tests {
             argcheck_ops: (0, 0),
             host_wall: std::time::Duration::ZERO,
             host_region_wall: std::time::Duration::ZERO,
+            profile: None,
         }
     }
 
@@ -94,6 +121,25 @@ mod tests {
         let slow = report(3_900_000);
         assert!((fast.seconds(195e6) - 0.01).abs() < 1e-12);
         assert_eq!(fast.speedup_over(&slow), 2.0);
+    }
+
+    #[test]
+    fn speedup_uses_kernel_cycles_when_regions_ran() {
+        // Identical serial-init overhead, 4x difference inside regions:
+        // the speedup must reflect the kernel, not the total.
+        let mut fast = report(1_400_000);
+        fast.parallel_cycles = 400_000;
+        let mut slow = report(2_600_000);
+        slow.parallel_cycles = 1_600_000;
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+    }
+
+    #[test]
+    fn speedup_guards_zero_cycles() {
+        let zero = report(0);
+        let other = report(100);
+        assert_eq!(other.speedup_over(&zero), 0.0);
+        assert!(zero.speedup_over(&other).is_finite());
     }
 
     #[test]

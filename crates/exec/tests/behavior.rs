@@ -153,7 +153,7 @@ fn runtime_check_catches_oversized_formal() {
     let src = "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      i = 1\n      call mysub(a(i))\n      end\n      subroutine mysub(x)\n      real*8 x(6)\n      x(1) = 0.0\n      end\n";
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(4));
-    let err = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks())
+    let err = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks(true))
         .expect_err("formal larger than portion must fail");
     match err {
         ExecError::Runtime(e) => assert!(e.to_string().contains("portion"), "{e}"),
@@ -171,7 +171,7 @@ fn runtime_check_passes_for_correct_program() {
     let src = "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      do i = 1, 1000, 5\n        call mysub(a(i))\n      enddo\n      end\n      subroutine mysub(x)\n      integer j\n      real*8 x(5)\n      do j = 1, 5\n        x(j) = 1.0\n      enddo\n      end\n";
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(4));
-    let r = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks()).expect("runs");
+    let r = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks(true)).expect("runs");
     let (inserts, lookups) = r.argcheck_ops;
     assert_eq!(inserts, 200, "one hash insert per call");
     assert!(lookups >= 200, "one lookup per array formal");

@@ -49,6 +49,7 @@ pub mod counters;
 pub mod directory;
 pub mod machine;
 pub mod pagetable;
+pub mod profile;
 pub mod shared;
 pub mod tlb;
 pub mod topology;
@@ -59,6 +60,9 @@ pub use counters::CounterSet;
 pub use directory::Directory;
 pub use machine::{AccessKind, Machine, MachineShard, VAddr};
 pub use pagetable::{PagePolicy, PageTable};
+pub use profile::{
+    AccessTag, AttributionTable, FillLevel, PageAttr, TagStats, SERIAL_REGION, UNTAGGED_SYM,
+};
 pub use shared::{ShardedDirectory, SharedState, WordMem, DIR_SHARDS};
 pub use tlb::Tlb;
 pub use topology::{hops, NodeId};

@@ -33,6 +33,7 @@ use crate::cache::{Cache, Probe};
 use crate::config::MachineConfig;
 use crate::counters::CounterSet;
 use crate::pagetable::{PageTable, Translate};
+use crate::profile::{AccessTag, AttributionTable, FillLevel, UNTAGGED_SYM};
 use crate::shared::SharedState;
 use crate::tlb::Tlb;
 use crate::topology::{hops, NodeId};
@@ -58,6 +59,23 @@ struct Processor {
     l2: Cache,
     tlb: Tlb,
     counters: CounterSet,
+    /// Tag the executor stamped on subsequent accesses (profiling).
+    cur_tag: AccessTag,
+    /// Private attribution table; `Some` iff profiling is enabled. Boxed so
+    /// the disabled case costs one pointer of state and one branch per
+    /// pipeline exit.
+    attr: Option<Box<AttributionTable>>,
+}
+
+impl Processor {
+    /// Credit a finished access to the current tag (no-op when profiling
+    /// is off).
+    #[inline]
+    fn note(&mut self, kind: AccessKind, tlb_miss: bool, level: FillLevel) {
+        if let Some(attr) = self.attr.as_deref_mut() {
+            attr.note_access(self.cur_tag, kind, tlb_miss, level);
+        }
+    }
 }
 
 /// What the access pipeline saw when it reached memory (step 5); feeds the
@@ -100,6 +118,9 @@ fn coherence_write_core(
     }
     shared.post_invalidations(&coh.invalidate, dir_line);
     p.counters.invalidations_sent += n;
+    if let Some(attr) = p.attr.as_deref_mut() {
+        attr.note_invalidations(p.cur_tag, n);
+    }
     n * cfg.lat.invalidation
 }
 
@@ -129,7 +150,8 @@ fn access_core(
         AccessKind::Read => p.counters.loads += 1,
         AccessKind::Write => p.counters.stores += 1,
     }
-    if !p.tlb.access(vpage) {
+    let tlb_miss = !p.tlb.access(vpage);
+    if tlb_miss {
         p.counters.tlb_misses += 1;
         cost += lat.tlb_miss;
     }
@@ -152,6 +174,7 @@ fn access_core(
                 // Upgrade: may need to invalidate other sharers.
                 cost += coherence_write_core(cfg, shared, proc, p, paddr);
             }
+            p.note(kind, tlb_miss, FillLevel::L1);
             p.counters.cycles += cost;
             return (cost, None);
         }
@@ -177,6 +200,7 @@ fn access_core(
             if write && !was_dirty {
                 cost += coherence_write_core(cfg, shared, proc, p, paddr);
             }
+            p.note(kind, tlb_miss, FillLevel::L2);
             p.counters.cycles += cost;
             return (cost, None);
         }
@@ -227,6 +251,19 @@ fn access_core(
         p.counters.remote_misses += 1;
         cost += lat.remote_base + lat.remote_per_hop * distance as u64;
     }
+    if let Some(attr) = p.attr.as_deref_mut() {
+        let tag = p.cur_tag;
+        attr.note_access(
+            tag,
+            kind,
+            tlb_miss,
+            FillLevel::Mem {
+                local: distance == 0,
+                hops: distance,
+            },
+        );
+        attr.note_page_fill(tag, vpage, local, distance == 0);
+    }
     shared.node_served[mapping.node.0].fetch_add(1, Ordering::Relaxed);
     p.counters.cycles += cost;
     (
@@ -250,6 +287,8 @@ pub struct Machine {
     /// Per-page per-node L2-miss counts, kept only when migration is on.
     page_miss_counts: std::collections::HashMap<u64, Vec<u32>>,
     migrations: u64,
+    /// Interned array names for access tagging; index = `AccessTag::sym`.
+    symbols: Vec<String>,
 }
 
 impl Machine {
@@ -269,6 +308,8 @@ impl Machine {
                 l2: Cache::new(cfg.l2),
                 tlb: Tlb::new(cfg.tlb_entries),
                 counters: CounterSet::new(),
+                cur_tag: AccessTag::default(),
+                attr: None,
             })
             .collect();
         let pt = PageTable::new(
@@ -287,6 +328,7 @@ impl Machine {
             page_bits,
             page_miss_counts: std::collections::HashMap::new(),
             migrations: 0,
+            symbols: Vec::new(),
         }
     }
 
@@ -652,6 +694,71 @@ impl Machine {
     pub fn total_invalidations(&self) -> u64 {
         self.shared.dir.total_invalidations()
     }
+
+    // ---------------------------------------------------------------
+    // Attribution profiling.
+    // ---------------------------------------------------------------
+
+    /// Turn on per-tag attribution: every processor gets a private
+    /// [`AttributionTable`] and subsequent accesses are credited to the tag
+    /// last set with [`Machine::set_tag`] / [`MachineShard::set_tag`].
+    /// Idempotent; existing tables are kept.
+    pub fn enable_profiling(&mut self) {
+        let n_nodes = self.cfg.n_nodes;
+        for p in &mut self.procs {
+            if p.attr.is_none() {
+                p.attr = Some(Box::new(AttributionTable::new(n_nodes)));
+            }
+        }
+    }
+
+    /// Whether attribution profiling is enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.procs.first().is_some_and(|p| p.attr.is_some())
+    }
+
+    /// Stamp the tag applied to `proc`'s subsequent accesses. Cheap (two
+    /// word stores); callers typically guard it on their own profiling
+    /// flag anyway.
+    #[inline]
+    pub fn set_tag(&mut self, proc: ProcId, tag: AccessTag) {
+        self.procs[proc.0].cur_tag = tag;
+    }
+
+    /// Intern an array name, returning its stable symbol id for
+    /// [`AccessTag::sym`]. Linear scan: programs have tens of arrays and
+    /// interning happens once per binding, not per access.
+    pub fn intern_symbol(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.symbols.iter().position(|s| s == name) {
+            return i as u32;
+        }
+        assert!(
+            self.symbols.len() < UNTAGGED_SYM as usize,
+            "symbol table overflow"
+        );
+        self.symbols.push(name.to_string());
+        (self.symbols.len() - 1) as u32
+    }
+
+    /// Interned array names; index with `AccessTag::sym`.
+    pub fn symbol_names(&self) -> &[String] {
+        &self.symbols
+    }
+
+    /// Merge every processor's attribution table into one (the join-time
+    /// reduction). `None` when profiling was never enabled.
+    pub fn merged_attribution(&self) -> Option<AttributionTable> {
+        if !self.profiling_enabled() {
+            return None;
+        }
+        let mut merged = AttributionTable::new(self.cfg.n_nodes);
+        for p in &self.procs {
+            if let Some(t) = p.attr.as_deref() {
+                merged.merge(t);
+            }
+        }
+        Some(merged)
+    }
 }
 
 /// One team member's view of the machine during a parallel region:
@@ -754,6 +861,14 @@ impl MachineShard<'_> {
         self.shared.mem.store_u64(addr, v as u64);
     }
 
+    /// Stamp the tag applied to this shard's subsequent accesses; see
+    /// [`Machine::set_tag`]. Touches only the shard's own processor, so it
+    /// is safe (and lock-free) from the member's host thread.
+    #[inline]
+    pub fn set_tag(&mut self, tag: AccessTag) {
+        self.p.cur_tag = tag;
+    }
+
     /// Charge `cycles` of computation to this processor.
     pub fn charge(&mut self, cycles: u64) {
         self.p.counters.cycles += cycles;
@@ -801,6 +916,54 @@ mod tests {
         );
         assert_eq!(c2, m.config().lat.l1_hit);
         assert_eq!(m.counters(ProcId(0)).page_faults, 1);
+    }
+
+    #[test]
+    fn attribution_matches_counters() {
+        use crate::profile::{AccessTag, TagStats};
+        let mut m = machine(4);
+        m.enable_profiling();
+        let sym_a = m.intern_symbol("a");
+        let sym_b = m.intern_symbol("b");
+        assert_eq!(m.intern_symbol("a"), sym_a);
+        let a = m.alloc_pages(4096);
+        let b = m.alloc_pages(4096);
+        m.place_range(a, 4096, NodeId(0));
+        m.place_range(b, 4096, NodeId(1));
+        for i in 0..64 {
+            m.set_tag(ProcId(0), AccessTag { sym: sym_a, region: 0 });
+            m.access(ProcId(0), a + i * 8, AccessKind::Read);
+            m.set_tag(ProcId(0), AccessTag { sym: sym_b, region: 0 });
+            m.access(ProcId(0), b + i * 8, AccessKind::Write);
+        }
+        let attr = m.merged_attribution().expect("profiling on");
+        let t = attr.grand_total();
+        let c = m.total_counters();
+        assert_eq!(t.loads, c.loads);
+        assert_eq!(t.stores, c.stores);
+        assert_eq!(t.local_misses, c.local_misses);
+        assert_eq!(t.remote_misses, c.remote_misses);
+        assert_eq!(t.tlb_misses, c.tlb_misses);
+        assert_eq!(t.l1_misses(), c.l1_misses);
+        // Everything under `b`'s tag went to a remote node; `a` stayed local.
+        let b_stats: TagStats = attr
+            .tags()
+            .filter(|(tag, _)| tag.sym == sym_b)
+            .fold(TagStats::default(), |mut acc, (_, s)| {
+                acc.add(s);
+                acc
+            });
+        assert_eq!(b_stats.local_misses, 0);
+        assert!(b_stats.remote_misses > 0);
+        // The page-level view agrees: `b`'s page is remote-dominated and
+        // its dominant accessor (node 0) differs from its home (node 1).
+        let (_, pa) = attr
+            .pages()
+            .find(|(vp, _)| **vp == b >> m.config().page_size.trailing_zeros())
+            .expect("b's page attributed");
+        assert_eq!(pa.sym, sym_b);
+        assert!(pa.remote > 0 && pa.local == 0);
+        assert_eq!(pa.dominant_node(), NodeId(0));
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub enum ArrayLayout {
 pub struct RtArray {
     /// Source name (diagnostics).
     pub name: String,
+    /// Symbol interned in the machine ([`Machine::intern_symbol`]) for
+    /// access-tag attribution.
+    pub sym: u32,
     /// Resolved distribution geometry.
     pub desc: DistDescriptor,
     /// Which directive governs this array.
@@ -72,6 +75,7 @@ impl RtArray {
         nprocs: usize,
     ) -> RtArray {
         let elem_bytes = 8u64;
+        let sym = m.intern_symbol(name);
         match kind {
             DistKind::None => {
                 let desc = DistDescriptor::undistributed(extents);
@@ -79,6 +83,7 @@ impl RtArray {
                 let base = m.alloc(bytes, 8);
                 RtArray {
                     name: name.into(),
+                    sym,
                     desc,
                     kind,
                     layout: ArrayLayout::Contiguous { base },
@@ -92,6 +97,7 @@ impl RtArray {
                 let base = m.alloc_pages(bytes);
                 let arr = RtArray {
                     name: name.into(),
+                    sym,
                     desc,
                     kind,
                     layout: ArrayLayout::Contiguous { base },
@@ -117,6 +123,7 @@ impl RtArray {
                 }
                 RtArray {
                     name: name.into(),
+                    sym,
                     desc,
                     kind,
                     layout: ArrayLayout::Reshaped {

@@ -11,9 +11,9 @@
 //! distribution is competitive when portions are large.
 
 use dsm_core::workloads::{conv2d_source, Policy};
-use dsm_core::{OptConfig, Session};
+use dsm_core::{DsmError, ExecOptions, OptConfig, Session};
 
-fn run_variant(n: usize, nprocs: usize, two_level: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run_variant(n: usize, nprocs: usize, two_level: bool) -> Result<(), DsmError> {
     let scale = 64;
     println!(
         "\n2-D convolution {n}x{n}, {} parallelism, {nprocs} processors",
@@ -32,11 +32,12 @@ fn run_variant(n: usize, nprocs: usize, two_level: bool) -> Result<(), Box<dyn s
         let program = Session::new()
             .source("conv.f", &conv2d_source(n, 1, policy, two_level))
             .optimize(OptConfig::default())
-            .compile()
-            .map_err(|e| e[0].clone())?;
-        let serial = program.run(&policy.machine(1, scale), 1)?;
+            .compile()?;
+        let serial = program.run(&policy.machine(1, scale), &ExecOptions::new(1))?.report;
         let base = *serial_cycles.get_or_insert(serial.kernel_cycles());
-        let r = program.run(&policy.machine(nprocs, scale), nprocs)?;
+        let r = program
+            .run(&policy.machine(nprocs, scale), &ExecOptions::new(nprocs))?
+            .report;
         println!(
             "{:<12} {:>14} {:>9.2} {:>10.2}",
             policy.label(),
@@ -48,7 +49,7 @@ fn run_variant(n: usize, nprocs: usize, two_level: bool) -> Result<(), Box<dyn s
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), DsmError> {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(128);
     let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);

@@ -70,14 +70,14 @@ fn main() {
         .compile()
         .expect("this one compiles — the bug is dynamic");
     let cfg = MachineConfig::small_test(4);
-    match program.run_with(&cfg, &ExecOptions::new(4).with_checks()) {
+    match program.run(&cfg, &ExecOptions::new(4).with_checks(true)) {
         Ok(_) => println!("  (unexpectedly ran)"),
         Err(e) => println!("  {e}"),
     }
     println!("\nwithout -check, the same program runs silently — the class of bug");
     println!("the paper calls 'extremely difficult to detect':");
-    match program.run_with(&cfg, &ExecOptions::new(4)) {
-        Ok(r) => println!("  ran fine, {} cycles", r.total_cycles),
+    match program.run(&cfg, &ExecOptions::new(4)) {
+        Ok(out) => println!("  ran fine, {} cycles", out.report.total_cycles),
         Err(e) => println!("  {e}"),
     }
 }

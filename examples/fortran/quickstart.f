@@ -1,0 +1,13 @@
+      program main
+      integer i
+      real*8 a(4096), b(4096)
+c$distribute_reshape a(block)
+c$distribute_reshape b(block)
+      do i = 1, 4096
+        b(i) = i
+      enddo
+c$doacross local(i) shared(a, b) affinity(i) = data(a(i))
+      do i = 2, 4095
+        a(i) = (b(i-1) + b(i) + b(i+1)) / 3.0
+      enddo
+      end

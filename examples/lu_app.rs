@@ -7,9 +7,9 @@
 //! ```
 
 use dsm_core::workloads::{lu_source, Policy};
-use dsm_core::{OptConfig, Session};
+use dsm_core::{DsmError, ExecOptions, OptConfig, Session};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), DsmError> {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
     let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
@@ -28,11 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = Session::new()
             .source("lu.f", &lu_source(n, n, n / 2, 1, policy))
             .optimize(OptConfig::default())
-            .compile()
-            .map_err(|e| e[0].clone())?;
-        let serial = program.run(&policy.machine(1, scale), 1)?;
+            .compile()?;
+        let serial = program.run(&policy.machine(1, scale), &ExecOptions::new(1))?.report;
         let base = *serial_cycles.get_or_insert(serial.kernel_cycles());
-        let r = program.run(&policy.machine(nprocs, scale), nprocs)?;
+        let r = program
+            .run(&policy.machine(nprocs, scale), &ExecOptions::new(nprocs))?
+            .report;
         println!(
             "{:<12} {:>14} {:>9.2} {:>10.2}",
             policy.label(),
@@ -54,9 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = Session::new()
             .source("lu.f", &src)
             .optimize(opt)
-            .compile()
-            .map_err(|e| e[0].clone())?;
-        let r = program.run(&Policy::Reshaped.machine(1, scale), 1)?;
+            .compile()?;
+        let r = program.run(&Policy::Reshaped.machine(1, scale), &ExecOptions::new(1))?.report;
         println!("  {label:<22} {:>14} cycles", r.total_cycles);
     }
     Ok(())

@@ -10,7 +10,7 @@
 //! including the compiler's transformed IR so you can see the Figure-2
 //! processor-tile loops and the upgraded addressing modes.
 
-use dsm_core::{MachineConfig, OptConfig, Session};
+use dsm_core::{DsmError, ExecOptions, MachineConfig, OptConfig, Session};
 
 const SRC: &str = "\
       program main
@@ -28,30 +28,32 @@ c$doacross local(i) shared(a, b) affinity(i) = data(a(i))
       end
 ";
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), DsmError> {
     let program = Session::new()
         .source("quickstart.f", SRC)
         .optimize(OptConfig::default())
-        .compile()
-        .map_err(|errs| {
-            for e in &errs {
-                eprintln!("{e}");
-            }
-            errs[0].clone()
-        })?;
+        .compile()?;
 
     println!("--- transformed IR (note !proctile loops and [hoisted] refs) ---");
     println!("{}", program.ir_dump());
 
     for nprocs in [1, 4, 16] {
         let cfg = MachineConfig::scaled_origin2000(nprocs, 64);
-        let report = program.run(&cfg, nprocs)?;
+        let report = program.run(&cfg, &ExecOptions::new(nprocs))?.report;
         println!(
             "P={nprocs:<3} cycles={:<12} remote-miss-fraction={:.2} L2-misses={}",
             report.total_cycles,
             report.total.remote_fraction(),
             report.total.l2_misses
         );
+    }
+
+    // Where did the misses land?  Run once more with the attribution
+    // profiler on (also available as `dsmfc --profile`).
+    let cfg = MachineConfig::scaled_origin2000(16, 64);
+    let out = program.run(&cfg, &ExecOptions::new(16).profile(true))?;
+    if let Some(profile) = out.profile() {
+        println!("{profile}");
     }
     Ok(())
 }

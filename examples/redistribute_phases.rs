@@ -11,7 +11,7 @@
 //! build pays the remap cost once but runs both phases with local data.
 
 use dsm_core::workloads::Policy;
-use dsm_core::{OptConfig, Session};
+use dsm_core::{DsmError, ExecOptions, OptConfig, Session};
 
 fn source(n: usize, reps: usize, phase1_dist: &str, redist: Option<&str>) -> String {
     let redirective = redist
@@ -43,7 +43,7 @@ c$doacross local(i, j) affinity(i) = data(a(i, 1))
     )
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), DsmError> {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(512);
     let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
@@ -70,10 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = Session::new()
             .source("phases.f", src)
             .optimize(OptConfig::default())
-            .compile()
-            .map_err(|e| e[0].clone())?;
+            .compile()?;
         let cfg = Policy::Regular.machine(nprocs, scale);
-        let r = program.run(&cfg, nprocs)?;
+        let r = program.run(&cfg, &ExecOptions::new(nprocs))?.report;
         println!(
             "{:<34} {:>14} {:>10.2}",
             label,

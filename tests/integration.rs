@@ -61,10 +61,14 @@ c$doacross local(i) affinity(i) = data(g(i))
         program.prelink_report().clones_created >= 2,
         "fillseq and relax must be cloned for their reshaped signatures"
     );
-    let (report, caps) = program
-        .run_capture(&MachineConfig::small_test(4), 4, &["grid", "scratch"])
+    let out = program
+        .run(
+            &MachineConfig::small_test(4),
+            &ExecOptions::new(4).capture(&["grid", "scratch"]),
+        )
         .expect("runs");
-    assert!(report.parallel_regions >= 1);
+    let caps = &out.captures;
+    assert!(out.report.parallel_regions >= 1);
     // scratch = i + 100 after bump; grid interior = mean of neighbours.
     assert_eq!(caps[1][9], 10.0 + 100.0);
     assert_eq!(caps[0][9], 10.0, "grid(10) = (9+10+11)/3");
@@ -87,12 +91,9 @@ fn split_files_equal_single_file() {
         .source("all.f", &single)
         .compile()
         .expect("single compiles");
-    let (_, c1) = p_split
-        .run_capture(&MachineConfig::small_test(2), 2, &["a"])
-        .unwrap();
-    let (_, c2) = p_single
-        .run_capture(&MachineConfig::small_test(2), 2, &["a"])
-        .unwrap();
+    let opts = ExecOptions::new(2).capture(&["a"]);
+    let c1 = p_split.run(&MachineConfig::small_test(2), &opts).unwrap().captures;
+    let c2 = p_single.run(&MachineConfig::small_test(2), &opts).unwrap().captures;
     assert_eq!(c1[0], c2[0]);
 }
 
@@ -117,9 +118,13 @@ fn optimization_levels_agree_on_workloads() {
                 .optimize(opt)
                 .compile()
                 .expect("compiles");
-            let (_, cap) = p
-                .run_capture(&Policy::Reshaped.machine(4, 1024), 4, &["a"])
-                .expect("runs");
+            let cap = p
+                .run(
+                    &Policy::Reshaped.machine(4, 1024),
+                    &ExecOptions::new(4).capture(&["a"]),
+                )
+                .expect("runs")
+                .captures;
             match &reference {
                 None => reference = Some(cap[0].clone()),
                 Some(r) => assert_eq!(&cap[0], r, "results changed under {opt:?}"),
@@ -138,9 +143,13 @@ fn results_independent_of_nprocs() {
         .expect("compiles");
     let mut reference: Option<Vec<f64>> = None;
     for nprocs in [1, 2, 4, 8] {
-        let (_, cap) = p
-            .run_capture(&Policy::Reshaped.machine(nprocs, 1024), nprocs, &["a"])
-            .expect("runs");
+        let cap = p
+            .run(
+                &Policy::Reshaped.machine(nprocs, 1024),
+                &ExecOptions::new(nprocs).capture(&["a"]),
+            )
+            .expect("runs")
+            .captures;
         match &reference {
             None => reference = Some(cap[0].clone()),
             Some(r) => assert_eq!(&cap[0], r, "results changed at P={nprocs}"),
@@ -180,9 +189,9 @@ fn runtime_whole_array_shape_check() {
         .compile()
         .expect("compiles (shape bug is dynamic)");
     let err = p
-        .run_with(
+        .run(
             &MachineConfig::small_test(2),
-            &ExecOptions::new(2).with_checks(),
+            &ExecOptions::new(2).with_checks(true),
         )
         .expect_err("transposed formal shape must fail the runtime check");
     assert!(err.to_string().contains("shape"), "{err}");
@@ -199,7 +208,7 @@ fn counters_distinguish_placement_quality() {
             .source("t.f", src)
             .compile()
             .expect("compiles");
-        p.run(&pol.machine(8, 64), 8).expect("runs")
+        p.run(&pol.machine(8, 64), &ExecOptions::new(8)).expect("runs").report
     };
     let rh = run(&hostile, Policy::FirstTouch);
     let rf = run(&friendly, Policy::Reshaped);
