@@ -1,0 +1,42 @@
+//! Throughput of the differential conformance harness: programs checked
+//! per second on the quick and full configuration matrices. This bounds
+//! what budget the CI `fuzz-smoke` (200 programs) and nightly (2000
+//! programs) jobs can afford, and regresses loudly if the generator,
+//! oracle, or runner get slower.
+//!
+//! Scale the seed count with `DSM_BENCH_SCALE` (default 64 → 100 seeds;
+//! larger divisors shrink the run).
+
+use dsm_bench::scale;
+use dsm_conformance::{check_seed, Matrix};
+use std::time::Instant;
+
+fn measure(label: &str, matrix: &Matrix, seeds: u64) {
+    let start = Instant::now();
+    let mut runs = 0u64;
+    for seed in 0..seeds {
+        match check_seed(seed, matrix) {
+            Ok(stats) => runs += stats.runs as u64,
+            Err(d) => {
+                eprintln!("fuzz_throughput: seed {seed} diverged: {d}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let dt = start.elapsed().as_secs_f64();
+    println!(
+        "{label}: {seeds} programs, {runs} runs in {dt:.2}s  \
+         ({:.0} programs/s, {:.0} runs/s)",
+        seeds as f64 / dt,
+        runs as f64 / dt
+    );
+}
+
+fn main() {
+    // scale() defaults to 64; keep 100 seeds there and shrink for larger
+    // divisors so the CI bench-smoke stays quick.
+    let seeds = (6400 / scale().max(1)).clamp(4, 1000) as u64;
+    println!("=== conformance harness throughput ({seeds} seeds) ===");
+    measure("quick matrix", &Matrix::quick(), seeds);
+    measure("full matrix", &Matrix::full(), seeds);
+}

@@ -108,6 +108,18 @@ fn axis_of(sub: &Subroutine, a: ArrayId, dim: usize) -> Option<usize> {
     )
 }
 
+/// Whether a planned proc-tile nest names every axis of its processor
+/// grid (the grid has one axis per distributed dimension in the
+/// signature). Required for *parallel* emission: each team member owns
+/// one coordinate per axis, so uncovered axes replicate work.
+fn covers_grid(levels: &[TileLevel]) -> bool {
+    let Some(first) = levels.first() else {
+        return false;
+    };
+    let n_axes = first.sig.dists.len();
+    (0..n_axes).all(|ax| levels.iter().any(|lv| lv.axis == ax))
+}
+
 /// One tiled loop level: data loop `var` walks grid axis `axis` (of any
 /// array with grid signature `sig`, extent `extent` and format `kind` on
 /// that dimension) via the affine index `scale*var + offset`. `array` and
@@ -164,8 +176,14 @@ fn tile_loop(sub: &mut Subroutine, l: LoopStmt, cfg: &TileConfig) -> Vec<Stmt> {
             vec![recurse(sub, l, cfg)]
         }
         Some(d) if d.affinity.is_some() => match plan_affinity_nest(sub, &l) {
-            Some(plan) => emit_nest(sub, l, plan, cfg, true),
-            None => vec![recurse(sub, l, cfg)],
+            // A parallel proc-tile nest is only sound when its levels
+            // cover every axis of the processor grid: the runtime gives
+            // each team member its own coordinate per named axis, so
+            // members that differ only on an uncovered axis would all
+            // execute the same tile. Fall back to runtime affinity
+            // scheduling otherwise.
+            Some(plan) if covers_grid(&plan) => emit_nest(sub, l, plan, cfg, true),
+            _ => vec![recurse(sub, l, cfg)],
         },
         _ => {
             // Serial loop or doacross without affinity: tile if the body
@@ -173,6 +191,12 @@ fn tile_loop(sub: &mut Subroutine, l: LoopStmt, cfg: &TileConfig) -> Vec<Stmt> {
             match plan_ref_based(sub, &l) {
                 Some(level) => {
                     let parallel = l.par.is_some();
+                    if parallel && !covers_grid(std::slice::from_ref(&level)) {
+                        // Same soundness rule as the affinity case; a
+                        // serial proc loop walks every tile itself, so
+                        // only the parallel form needs full coverage.
+                        return vec![recurse(sub, l, cfg)];
+                    }
                     emit_nest(sub, l, vec![level], cfg, parallel)
                 }
                 None => {

@@ -1,0 +1,124 @@
+//! Golden IR-printer snapshots after each compile pass.
+//!
+//! Each snapshot records the printed IR of a paper kernel after every
+//! stage of the pipeline in order — lower+prelink, stmtcse, skew,
+//! tile+peel, hoist/CSE, fp-divmod — so a change to any pass shows up as
+//! a reviewable diff of exactly the stage it perturbed.
+//!
+//! Regenerate with `DSM_UPDATE_GOLDEN=1 cargo test -p dsm-compile --test
+//! golden` and inspect the diff before committing.
+
+use dsm_compile::tile::TileConfig;
+use dsm_compile::{divmod, hoist, lower, prelink, skew, stmtcse, tile};
+use dsm_ir::printer::print_program;
+use std::path::PathBuf;
+
+/// Figure 2: the affinity-scheduled stencil. `affinity(i) = data(a(i))`
+/// over block-reshaped arrays, with `b(i-1)`/`b(i+1)` neighbors so the
+/// tile pass must peel boundary iterations.
+const FIG2_AFFINITY: &str = "\
+      program main
+      integer i
+      real*8 a(100), b(100)
+c$distribute_reshape a(block)
+c$distribute_reshape b(block)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 2, 99
+        a(i) = (b(i - 1) + b(i) + b(i + 1)) / 3.0
+      enddo
+      end
+";
+
+/// Figure 3 flavor: a transpose over column-reshaped arrays. The outer
+/// parallel loop tiles on `a`'s distributed dimension while the `b(j, i)`
+/// reads stay raw (their distributed dim rides the inner variable), so
+/// hoisting and div/mod conversion both have work to do.
+const FIG3_TRANSPOSE: &str = "\
+      program main
+      integer i, j
+      real*8 a(64, 64), b(64, 64)
+c$distribute_reshape a(*, block)
+c$distribute_reshape b(*, block)
+c$doacross local(i, j) affinity(j) = data(a(1, j))
+      do j = 1, 64
+        do i = 1, 64
+          a(i, j) = b(j, i)
+        enddo
+      enddo
+      end
+";
+
+/// Print the IR after lower+prelink and then after each pass applied
+/// cumulatively in pipeline order (all toggles on).
+fn stage_dump(source: &str) -> String {
+    let analysis = dsm_frontend::compile_sources(&[("golden.f", source)])
+        .unwrap_or_else(|e| panic!("frontend: {e:?}"));
+    let mut program = lower::lower_program(&analysis).unwrap_or_else(|e| panic!("lower: {e:?}"));
+    prelink(&mut program).unwrap_or_else(|e| panic!("prelink: {e:?}"));
+
+    let mut out = String::new();
+    let mut snap = |label: &str, p: &dsm_ir::Program| {
+        out.push_str(&format!("==== after {label} ====\n"));
+        out.push_str(&print_program(p));
+        out.push('\n');
+    };
+    snap("lower+prelink", &program);
+
+    macro_rules! stage {
+        ($label:expr, $body:expr) => {{
+            for sub in &mut program.subs {
+                #[allow(clippy::redundant_closure_call)]
+                let _ = ($body)(sub);
+            }
+            snap($label, &program);
+        }};
+    }
+    stage!("stmtcse", |s: &mut dsm_ir::Subroutine| stmtcse::run(s));
+    stage!("skew", |s: &mut dsm_ir::Subroutine| skew::run(s));
+    stage!("tile", |s: &mut dsm_ir::Subroutine| tile::run(
+        s,
+        &TileConfig::default()
+    ));
+    stage!("hoist", |s: &mut dsm_ir::Subroutine| hoist::run(s));
+    stage!("divmod", |s: &mut dsm_ir::Subroutine| divmod::run(s));
+    dsm_ir::validate_program(&program).unwrap_or_else(|e| panic!("invalid final IR: {e}"));
+    out
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("DSM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("read {path:?}: {e}\nrun with DSM_UPDATE_GOLDEN=1 to create it")
+    });
+    if expected != actual {
+        // Locate the first differing line for a readable failure.
+        let (mut line, mut a, mut b) = (0, "", "");
+        for (i, (e, g)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != g {
+                (line, a, b) = (i + 1, e, g);
+                break;
+            }
+        }
+        panic!(
+            "golden mismatch for {name} at line {line}:\n  golden: {a}\n  actual: {b}\n\
+             full actual output:\n{actual}\n\
+             (regenerate with DSM_UPDATE_GOLDEN=1 if the change is intended)"
+        );
+    }
+}
+
+#[test]
+fn fig2_affinity_stages_match_golden() {
+    check_golden("fig2_affinity.txt", &stage_dump(FIG2_AFFINITY));
+}
+
+#[test]
+fn fig3_transpose_stages_match_golden() {
+    check_golden("fig3_transpose.txt", &stage_dump(FIG3_TRANSPOSE));
+}

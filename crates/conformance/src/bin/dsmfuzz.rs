@@ -1,0 +1,182 @@
+//! `dsmfuzz` — differential conformance fuzzer.
+//!
+//! Generates directive-Fortran programs from sequential seeds, runs
+//! each across the full machine-configuration matrix, and compares
+//! every run against the layout-oblivious oracle. On the first
+//! divergence it greedily shrinks the program to a minimal reproducer
+//! and (with `--out`) writes the failing and shrunken sources plus the
+//! divergence report as artifacts.
+//!
+//! ```text
+//! dsmfuzz [--seed S] [--count N] [--quick] [--out DIR]
+//! dsmfuzz --replay SEED [--quick] [--out DIR]
+//! dsmfuzz --dump SEED
+//! ```
+//!
+//! Exit status: 0 = all programs conform, 1 = divergence found,
+//! 2 = usage error.
+
+use dsm_conformance::{check_sources, generate, shrink, Divergence, Matrix, Spec};
+use std::path::PathBuf;
+
+struct Args {
+    seed: u64,
+    count: u64,
+    replay: Option<u64>,
+    dump: Option<u64>,
+    quick: bool,
+    out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: dsmfuzz [--seed S] [--count N] [--replay SEED] [--dump SEED] [--quick] [--out DIR]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        count: 200,
+        replay: None,
+        dump: None,
+        quick: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match a.as_str() {
+            "--seed" => args.seed = num("--seed")?,
+            "--count" => args.count = num("--count")?,
+            "--replay" => args.replay = Some(num("--replay")?),
+            "--dump" => args.dump = Some(num("--dump")?),
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a directory")?,
+                ))
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dsmfuzz: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let matrix = if args.quick {
+        Matrix::quick()
+    } else {
+        Matrix::full()
+    };
+
+    if let Some(seed) = args.dump {
+        print!("{}", render_concat(&generate(seed)));
+        return;
+    }
+
+    let (first, count) = match args.replay {
+        Some(seed) => (seed, 1),
+        None => (args.seed, args.count),
+    };
+    let mut total_runs = 0usize;
+    for seed in first..first.saturating_add(count) {
+        let spec = generate(seed);
+        let sources = spec.render();
+        match check_sources(&sources, &spec.capture_names(), &matrix) {
+            Ok(stats) => {
+                total_runs += stats.runs;
+                let done = seed - first + 1;
+                if done % 25 == 0 || done == count {
+                    eprintln!(
+                        "dsmfuzz: {done}/{count} programs conform ({total_runs} runs)"
+                    );
+                }
+            }
+            Err(d) => {
+                report_failure(seed, &spec, &d, &matrix, args.out.as_deref());
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "dsmfuzz: {count} programs x matrix ({} primary runs each): \
+         zero divergences, zero invariant violations",
+        matrix.runs()
+    );
+}
+
+fn render_concat(spec: &Spec) -> String {
+    spec.render()
+        .into_iter()
+        .map(|(name, text)| format!("! --- {name} ---\n{text}"))
+        .collect()
+}
+
+fn report_failure(
+    seed: u64,
+    spec: &Spec,
+    d: &Divergence,
+    matrix: &Matrix,
+    out: Option<&std::path::Path>,
+) {
+    eprintln!("dsmfuzz: seed {seed} DIVERGED");
+    eprintln!("  {d}");
+    eprintln!("--- failing program (seed {seed}) ---");
+    eprint!("{}", render_concat(spec));
+
+    // Shrink while the same failure class persists.
+    let kind = d.kind;
+    eprintln!("--- shrinking (this reruns the matrix per candidate) ---");
+    let min = shrink(spec, 400, |cand| {
+        matches!(
+            check_sources(&cand.render(), &cand.capture_names(), matrix),
+            Err(e) if e.kind == kind
+        )
+    });
+    let min_src = render_concat(&min);
+    let min_div = check_sources(&min.render(), &min.capture_names(), matrix)
+        .err()
+        .map(|e| e.to_string())
+        .unwrap_or_else(|| "shrunken program no longer fails (flaky?)".into());
+    eprintln!("--- minimal reproducer ({} lines) ---", min_src.lines().count());
+    eprint!("{min_src}");
+    eprintln!("--- divergence on minimal reproducer ---");
+    eprintln!("  {min_div}");
+    eprintln!("replay with: dsmfuzz --replay {seed}");
+
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("dsmfuzz: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let writes = [
+            (format!("failing-{seed}.f"), render_concat(spec)),
+            (format!("failing-{seed}-min.f"), min_src),
+            (
+                format!("divergence-{seed}.txt"),
+                format!("seed {seed}\noriginal: {d}\nminimal: {min_div}\n"),
+            ),
+        ];
+        for (name, contents) in writes {
+            let path = dir.join(name);
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("dsmfuzz: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("dsmfuzz: wrote {}", path.display());
+            }
+        }
+    }
+}

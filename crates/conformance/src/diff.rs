@@ -1,0 +1,467 @@
+//! Differential runner: one program, every configuration, one verdict.
+//!
+//! Each program is compiled once per optimization variant and executed
+//! across the processor-count × serial-team × checks × profile matrix.
+//! Every run is held to three standards:
+//!
+//! 1. **Oracle agreement** — captured arrays are bit-identical to the
+//!    layout-oblivious reference evaluation (directives change
+//!    placement, never values).
+//! 2. **Counter balance** — per processor and in aggregate, every L2
+//!    miss is served locally or remotely (`local + remote == l2`), the
+//!    hierarchy filters monotonically (`l2 ≤ l1 ≤ accesses`), and when
+//!    profiling is on the attribution table sums back to the machine
+//!    counters exactly.
+//! 3. **Determinism** — serial-team runs repeat cycle-exactly; threaded
+//!    runs repeat with identical data and access totals (cycles may
+//!    legitimately wobble only when members falsely share lines, see
+//!    `crates/core/tests/parallel_diff.rs`).
+
+use crate::oracle;
+use dsm_compile::{compile_strings, OptConfig};
+use dsm_exec::{run_outcome, ExecOptions, RunOutcome};
+use dsm_machine::{CounterSet, Machine, MachineConfig};
+
+/// Which slice of the configuration matrix to run.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    /// Processor counts.
+    pub procs: Vec<usize>,
+    /// Named optimization variants.
+    pub opt_variants: Vec<(&'static str, OptConfig)>,
+    /// (serial_team, checks, profile) combinations.
+    pub modes: Vec<(bool, bool, bool)>,
+}
+
+impl Matrix {
+    /// The full acceptance matrix: P ∈ {1, 2, 4, 8}, both optimization
+    /// variants, all eight mode combinations.
+    pub fn full() -> Self {
+        let mut modes = Vec::new();
+        for serial in [true, false] {
+            for checks in [false, true] {
+                for profile in [false, true] {
+                    modes.push((serial, checks, profile));
+                }
+            }
+        }
+        Matrix {
+            procs: vec![1, 2, 4, 8],
+            opt_variants: vec![
+                ("default", OptConfig::default()),
+                ("none", OptConfig::none()),
+            ],
+            modes,
+        }
+    }
+
+    /// A cheap smoke slice for debug-mode tests: default optimizations,
+    /// P ∈ {1, 4}, serial/threaded plain plus one everything-on run.
+    pub fn quick() -> Self {
+        Matrix {
+            procs: vec![1, 4],
+            opt_variants: vec![("default", OptConfig::default())],
+            modes: vec![(true, false, false), (false, false, false), (true, true, true)],
+        }
+    }
+
+    /// Number of primary runs (determinism replicas excluded).
+    pub fn runs(&self) -> usize {
+        self.procs.len() * self.opt_variants.len() * self.modes.len()
+    }
+}
+
+/// One way a program failed conformance.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Machine/exec configuration the failure appeared under.
+    pub config: String,
+    /// Failure class: `compile`, `oracle`, `exec-error`,
+    /// `capture-mismatch`, `counter-balance`, `attribution`,
+    /// `nondeterminism`, `profile-perturbs`.
+    pub kind: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.config, self.detail)
+    }
+}
+
+/// Statistics of a passing program.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckStats {
+    /// Total executions performed (including determinism replicas).
+    pub runs: usize,
+    /// Subroutine clones the pre-linker created.
+    pub clones: usize,
+}
+
+/// Run `sources` through `matrix`; `Ok` carries run statistics, `Err`
+/// the first divergence found.
+pub fn check_sources(
+    sources: &[(String, String)],
+    captures: &[String],
+    matrix: &Matrix,
+) -> Result<CheckStats, Box<Divergence>> {
+    let expected = oracle::evaluate(sources, captures).map_err(|e| {
+        Box::new(Divergence {
+            config: "oracle".into(),
+            kind: "oracle",
+            detail: e.to_string(),
+        })
+    })?;
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    let capture_refs: Vec<&str> = captures.iter().map(|s| s.as_str()).collect();
+    let mut runs = 0;
+    let mut clones = 0;
+
+    for (opt_name, opt) in &matrix.opt_variants {
+        let compiled = compile_strings(&borrowed, opt).map_err(|errs| {
+            Box::new(Divergence {
+                config: format!("opt={opt_name}"),
+                kind: "compile",
+                detail: format!("{errs:?}"),
+            })
+        })?;
+        clones = clones.max(compiled.prelink.clones_created);
+        for &p in &matrix.procs {
+            // Reference cycle timings of this (opt, P): serial-team,
+            // plain. Used to pin profiling as purely observational.
+            let mut serial_plain: Option<RunOutcome> = None;
+            for &(serial, checks, profile) in &matrix.modes {
+                let config = format!(
+                    "opt={opt_name} P={p} serial_team={} checks={} profile={}",
+                    on(serial),
+                    on(checks),
+                    on(profile)
+                );
+                let out = execute(&compiled.program, p, serial, checks, profile, &capture_refs)
+                    .map_err(|e| {
+                        Box::new(Divergence {
+                            config: config.clone(),
+                            kind: "exec-error",
+                            detail: e,
+                        })
+                    })?;
+                runs += 1;
+                compare_captures(&out, &expected, captures, &config)?;
+                check_balance(&out, profile, &config)?;
+
+                if serial && !checks && !profile {
+                    // Serial-team simulation has no host concurrency at
+                    // all: a second run must be cycle-exact.
+                    let again = execute(&compiled.program, p, serial, checks, profile, &capture_refs)
+                        .map_err(|e| {
+                            Box::new(Divergence {
+                                config: config.clone(),
+                                kind: "exec-error",
+                                detail: e,
+                            })
+                        })?;
+                    runs += 1;
+                    check_replica(&out, &again, true, &config)?;
+                    serial_plain = Some(out);
+                } else if !serial && !checks && !profile {
+                    // Threaded runs must repeat with identical data and
+                    // access totals; cycles may wobble under false
+                    // sharing, so they are not compared here.
+                    let again = execute(&compiled.program, p, serial, checks, profile, &capture_refs)
+                        .map_err(|e| {
+                            Box::new(Divergence {
+                                config: config.clone(),
+                                kind: "exec-error",
+                                detail: e,
+                            })
+                        })?;
+                    runs += 1;
+                    check_replica(&out, &again, false, &config)?;
+                } else if serial && !checks && profile {
+                    // Attribution must be observational: identical
+                    // simulated time and counters as the plain run.
+                    if let Some(base) = &serial_plain {
+                        if base.report.total_cycles != out.report.total_cycles
+                            || base.report.total != out.report.total
+                        {
+                            return Err(Box::new(Divergence {
+                                config,
+                                kind: "profile-perturbs",
+                                detail: format!(
+                                    "plain {} cycles vs profiled {}",
+                                    base.report.total_cycles, out.report.total_cycles
+                                ),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(CheckStats { runs, clones })
+}
+
+fn on(b: bool) -> &'static str {
+    if b {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+fn execute(
+    program: &dsm_ir::Program,
+    p: usize,
+    serial: bool,
+    checks: bool,
+    profile: bool,
+    captures: &[&str],
+) -> Result<RunOutcome, String> {
+    let mut machine = Machine::new(MachineConfig::small_test(p));
+    let opts = ExecOptions::new(p)
+        .serial_team(serial)
+        .with_checks(checks)
+        .profile(profile)
+        .max_steps(100_000_000)
+        .capture(captures);
+    run_outcome(&mut machine, program, &opts).map_err(|e| e.to_string())
+}
+
+fn compare_captures(
+    out: &RunOutcome,
+    expected: &[Vec<f64>],
+    names: &[String],
+    config: &str,
+) -> Result<(), Box<Divergence>> {
+    for ((name, got), want) in names.iter().zip(&out.captures).zip(expected) {
+        if got.len() != want.len() {
+            return Err(Box::new(Divergence {
+                config: config.into(),
+                kind: "capture-mismatch",
+                detail: format!(
+                    "array `{name}`: {} elements captured, oracle has {}",
+                    got.len(),
+                    want.len()
+                ),
+            }));
+        }
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return Err(Box::new(Divergence {
+                    config: config.into(),
+                    kind: "capture-mismatch",
+                    detail: format!(
+                        "array `{name}` element {i} (linear, column-major): \
+                         machine {g:?} ({:#x}), oracle {w:?} ({:#x})",
+                        g.to_bits(),
+                        w.to_bits()
+                    ),
+                }));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Structural counter identities that hold for *every* run.
+fn check_balance(
+    out: &RunOutcome,
+    profile: bool,
+    config: &str,
+) -> Result<(), Box<Divergence>> {
+    let fail = |detail: String, kind: &'static str| {
+        Err(Box::new(Divergence {
+            config: config.into(),
+            kind,
+            detail,
+        }))
+    };
+    let balance = |c: &CounterSet, who: &str| {
+        if c.local_misses + c.remote_misses != c.l2_misses {
+            return fail(
+                format!(
+                    "{who}: local {} + remote {} != l2 misses {}",
+                    c.local_misses, c.remote_misses, c.l2_misses
+                ),
+                "counter-balance",
+            );
+        }
+        if c.l2_misses > c.l1_misses || c.l1_misses > c.accesses() {
+            return fail(
+                format!(
+                    "{who}: hierarchy not monotone: l2 {} l1 {} accesses {}",
+                    c.l2_misses,
+                    c.l1_misses,
+                    c.accesses()
+                ),
+                "counter-balance",
+            );
+        }
+        Ok(())
+    };
+    balance(&out.report.total, "total")?;
+    for (i, c) in out.report.per_proc.iter().enumerate() {
+        balance(c, &format!("P{i}"))?;
+    }
+
+    if profile {
+        let Some(prof) = out.profile() else {
+            return fail("profile requested but absent".into(), "attribution");
+        };
+        let t = prof.totals();
+        let total = &out.report.total;
+        // Every attributed access resolves at exactly one level.
+        if t.l1_hits + t.l2_hits + t.local_misses + t.remote_misses != t.accesses() {
+            return fail(
+                format!(
+                    "attributed accesses {} != l1 {} + l2 {} + local {} + remote {}",
+                    t.accesses(),
+                    t.l1_hits,
+                    t.l2_hits,
+                    t.local_misses,
+                    t.remote_misses
+                ),
+                "attribution",
+            );
+        }
+        // The table sums back to the machine counters.
+        let checks: [(&str, u64, u64); 4] = [
+            ("local_misses", t.local_misses, total.local_misses),
+            ("remote_misses", t.remote_misses, total.remote_misses),
+            ("tlb_misses", t.tlb_misses, total.tlb_misses),
+            (
+                "invalidations_sent",
+                t.invalidations_sent,
+                total.invalidations_sent,
+            ),
+        ];
+        for (what, attributed, machine) in checks {
+            if attributed != machine {
+                return fail(
+                    format!("{what}: attributed {attributed} != machine {machine}"),
+                    "attribution",
+                );
+            }
+        }
+        // Element traffic is a subset of machine traffic (spills and
+        // argcheck lookups also count at the machine).
+        if t.loads > total.loads || t.stores > total.stores {
+            return fail(
+                format!(
+                    "attributed loads/stores {}/{} exceed machine {}/{}",
+                    t.loads, t.stores, total.loads, total.stores
+                ),
+                "attribution",
+            );
+        }
+        // Per-region rollup agrees with the per-array rollup.
+        let rl: u64 = prof.regions.iter().map(|r| r.stats.local_misses).sum();
+        let rr: u64 = prof.regions.iter().map(|r| r.stats.remote_misses).sum();
+        if (rl, rr) != (t.local_misses, t.remote_misses) {
+            return fail(
+                format!(
+                    "region rollup ({rl}, {rr}) != array rollup ({}, {})",
+                    t.local_misses, t.remote_misses
+                ),
+                "attribution",
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Compare a run against its immediate re-execution.
+fn check_replica(
+    a: &RunOutcome,
+    b: &RunOutcome,
+    cycle_exact: bool,
+    config: &str,
+) -> Result<(), Box<Divergence>> {
+    let fail = |detail: String| {
+        Err(Box::new(Divergence {
+            config: config.into(),
+            kind: "nondeterminism",
+            detail,
+        }))
+    };
+    // Bitwise comparison: integer arrays are captured as raw i64 bits,
+    // which are NaN patterns for negative values — `==` on f64 would
+    // report spurious differences (NaN != NaN).
+    let same_bits = a.captures.len() == b.captures.len()
+        && a.captures.iter().zip(&b.captures).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits())
+        });
+    if !same_bits {
+        return fail("captured arrays differ between identical runs".into());
+    }
+    let (ra, rb) = (&a.report, &b.report);
+    if cycle_exact {
+        if ra.total_cycles != rb.total_cycles {
+            return fail(format!(
+                "total cycles {} vs {}",
+                ra.total_cycles, rb.total_cycles
+            ));
+        }
+        if ra.total != rb.total || ra.per_proc != rb.per_proc {
+            return fail("counters differ between identical serial-team runs".into());
+        }
+        if ra.parallel_cycles != rb.parallel_cycles
+            || ra.pages_per_node != rb.pages_per_node
+        {
+            return fail("region cycles / page placement differ between runs".into());
+        }
+    } else {
+        let access = |r: &dsm_exec::RunReport| {
+            (
+                r.total.loads,
+                r.total.stores,
+                r.total.page_faults,
+                r.parallel_regions,
+            )
+        };
+        if access(ra) != access(rb) {
+            return fail(format!(
+                "access totals differ between identical threaded runs: {:?} vs {:?}",
+                access(ra),
+                access(rb)
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources(text: &str) -> Vec<(String, String)> {
+        vec![("main.f".to_string(), text.to_string())]
+    }
+
+    #[test]
+    fn clean_program_passes_quick_matrix() {
+        let src = "      program main\n      integer i\n      real*8 a(16)\nc$distribute a(block)\nc$doacross local(i)\n      do i = 1, 16\n        a(i) = dble(i) * 0.5\n      enddo\n      end\n";
+        let stats = check_sources(
+            &sources(src),
+            &["a".to_string()],
+            &Matrix::quick(),
+        )
+        .expect("conformant program");
+        assert!(stats.runs >= Matrix::quick().runs());
+    }
+
+    #[test]
+    fn oracle_mismatch_is_reported() {
+        // Force a mismatch by asking the oracle for an array the program
+        // does not have… both sides return empty, so instead check that a
+        // bad program (zero step) surfaces as a divergence, not a panic.
+        let src = "      program main\n      integer i\n      real*8 a(4)\n      do i = 1, 4, i - i\n        a(i) = 1.0\n      enddo\n      end\n";
+        let err = check_sources(&sources(src), &["a".to_string()], &Matrix::quick());
+        assert!(err.is_err());
+    }
+}

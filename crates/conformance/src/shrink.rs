@@ -1,0 +1,266 @@
+//! Greedy program shrinker.
+//!
+//! Given a failing [`Spec`] and a predicate that re-runs the
+//! differential check, repeatedly tries structure-level simplifications
+//! — drop a phase, strip a clause, flatten an expression, shrink an
+//! extent, remove a distribution — keeping any mutation under which the
+//! failure persists, until a full round of candidates yields nothing.
+//! Because mutations act on the [`Spec`] (not text), every candidate is
+//! a well-formed program, and the final result renders as a small,
+//! paste-able Fortran reproducer.
+
+use crate::spec::{collect_reads, Bounds, DistSpec, LoopSpec, Phase, RExpr, Spec};
+
+/// Shrink `spec` while `fails` keeps returning `true`. The predicate is
+/// called at most `budget` times (each call is a full matrix run, so
+/// this bounds shrink time); the original spec is returned unchanged if
+/// it does not fail.
+pub fn shrink(spec: &Spec, budget: usize, mut fails: impl FnMut(&Spec) -> bool) -> Spec {
+    let mut best = spec.clone();
+    if !fails(&best) {
+        return best;
+    }
+    let mut calls = 1usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if calls >= budget {
+                return best;
+            }
+            calls += 1;
+            if fails(&cand) {
+                best = cand;
+                improved = true;
+                break; // restart candidate enumeration from the smaller spec
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// All one-step simplifications of `spec`, most aggressive first.
+fn candidates(spec: &Spec) -> Vec<Spec> {
+    let mut out = Vec::new();
+
+    // Keep only a prefix of the phases (most aggressive: one phase).
+    for keep in 1..spec.phases.len() {
+        let mut s = spec.clone();
+        s.phases.truncate(keep);
+        out.push(s);
+    }
+    // Drop each single phase.
+    for i in 0..spec.phases.len() {
+        if spec.phases.len() > 1 {
+            let mut s = spec.clone();
+            s.phases.remove(i);
+            out.push(s);
+        }
+    }
+    // Per-phase simplifications.
+    for (i, p) in spec.phases.iter().enumerate() {
+        match p {
+            Phase::Loop(l) => {
+                for l2 in loop_simplifications(l) {
+                    let mut s = spec.clone();
+                    s.phases[i] = Phase::Loop(l2);
+                    out.push(s);
+                }
+            }
+            Phase::Init { arr, rhs } if *rhs != RExpr::F(1.0) => {
+                let mut s = spec.clone();
+                s.phases[i] = Phase::Init {
+                    arr: *arr,
+                    rhs: RExpr::F(1.0),
+                };
+                out.push(s);
+            }
+            _ => {}
+        }
+    }
+    // Strip distributions, shrink extents.
+    for (i, a) in spec.arrays.iter().enumerate() {
+        if !matches!(a.dist, DistSpec::None) {
+            let mut s = spec.clone();
+            s.arrays[i].dist = DistSpec::None;
+            out.push(s);
+        }
+        if a.dims.iter().any(|&d| d > 4) {
+            let mut s = spec.clone();
+            s.arrays[i].dims = a.dims.iter().map(|&d| d.min(4)).collect();
+            out.push(s);
+        }
+        if a.dims.len() > 1 {
+            // Drop trailing dimensions; remap loop slots conservatively.
+            let mut s = spec.clone();
+            s.arrays[i].dims.truncate(1);
+            for ph in &mut s.phases {
+                if let Phase::Loop(l) = ph {
+                    if l.arr == i {
+                        l.slot = 0;
+                        l.nest2 = false;
+                    }
+                    if let Some(aff) = &mut l.affinity {
+                        if aff.arr == i {
+                            aff.slot = 0;
+                        }
+                    }
+                }
+            }
+            // A call whose formal shape no longer matches would now be a
+            // compile error (a different failure); drop such calls.
+            s.phases.retain(|ph| match ph {
+                Phase::Call { arr, .. } => *arr != i,
+                _ => true,
+            });
+            if !s.phases.is_empty() {
+                out.push(s);
+            }
+        }
+    }
+    // Remove unreferenced arrays / subs (with index remapping).
+    for i in 0..spec.arrays.len() {
+        if spec.arrays.len() > 1 && !array_referenced(spec, i) {
+            out.push(remove_array(spec, i));
+        }
+    }
+    for i in 0..spec.subs.len() {
+        if !spec.phases.iter().any(|p| matches!(p, Phase::Call { sub, .. } if *sub == i)) {
+            let mut s = spec.clone();
+            s.subs.remove(i);
+            for p in &mut s.phases {
+                if let Phase::Call { sub, .. } = p {
+                    if *sub > i {
+                        *sub -= 1;
+                    }
+                }
+            }
+            out.push(s);
+        }
+    }
+    out
+}
+
+fn loop_simplifications(l: &LoopSpec) -> Vec<LoopSpec> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut LoopSpec)| {
+        let mut l2 = l.clone();
+        f(&mut l2);
+        if l2 != *l {
+            out.push(l2);
+        }
+    };
+    push(&|l| l.rhs = RExpr::F(1.0));
+    push(&|l| l.guard = None);
+    push(&|l| l.affinity = None);
+    push(&|l| l.sched = None);
+    push(&|l| l.nest2 = false);
+    push(&|l| l.shareds = false);
+    push(&|l| l.bounds = Bounds::Full);
+    out
+}
+
+fn array_referenced(spec: &Spec, i: usize) -> bool {
+    spec.phases.iter().any(|p| {
+        let mut hit = false;
+        let mut note = |arr: usize| hit |= arr == i;
+        match p {
+            Phase::Init { arr, rhs } => {
+                note(*arr);
+                collect_reads(rhs, &mut note);
+            }
+            Phase::ScalarAssign { rhs } => collect_reads(rhs, &mut note),
+            Phase::Loop(l) => {
+                note(l.arr);
+                if let Some(a) = &l.affinity {
+                    note(a.arr);
+                }
+                collect_reads(&l.rhs, &mut note);
+            }
+            Phase::Redistribute { arr, .. } | Phase::Call { arr, .. } => note(*arr),
+            Phase::Barrier => {}
+        }
+        hit
+    })
+}
+
+/// Remove array `i` (known unreferenced) and shift all indices above it.
+fn remove_array(spec: &Spec, i: usize) -> Spec {
+    let mut s = spec.clone();
+    s.arrays.remove(i);
+    let fix = |arr: &mut usize| {
+        if *arr > i {
+            *arr -= 1;
+        }
+    };
+    let fix_expr = |e: &mut RExpr| fix_reads(e, i);
+    for p in &mut s.phases {
+        match p {
+            Phase::Init { arr, rhs } => {
+                fix(arr);
+                fix_expr(rhs);
+            }
+            Phase::ScalarAssign { rhs } => fix_expr(rhs),
+            Phase::Loop(l) => {
+                fix(&mut l.arr);
+                if let Some(a) = &mut l.affinity {
+                    fix(&mut a.arr);
+                }
+                fix_expr(&mut l.rhs);
+            }
+            Phase::Redistribute { arr, .. } | Phase::Call { arr, .. } => fix(arr),
+            Phase::Barrier => {}
+        }
+    }
+    s
+}
+
+fn fix_reads(e: &mut RExpr, removed: usize) {
+    match e {
+        RExpr::Read(arr, _, _) if *arr > removed => *arr -= 1,
+        RExpr::Read(..) => {}
+        RExpr::Add(a, b) | RExpr::Sub(a, b) | RExpr::Mul(a, b) | RExpr::MaxR(a, b) => {
+            fix_reads(a, removed);
+            fix_reads(b, removed);
+        }
+        RExpr::Half(a) | RExpr::SqrtAbs(a) | RExpr::Trunc(a) => fix_reads(a, removed),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn shrink_reaches_minimal_doacross() {
+        // Failure predicate: "has any doacross loop". The shrinker must
+        // strip everything else away.
+        let spec = generate(7);
+        let has_doacross = |s: &Spec| {
+            s.phases
+                .iter()
+                .any(|p| matches!(p, Phase::Loop(l) if l.doacross))
+        };
+        assert!(has_doacross(&spec), "seed 7 should contain a doacross");
+        let min = shrink(&spec, 500, has_doacross);
+        assert!(has_doacross(&min));
+        assert_eq!(min.phases.len(), 1, "{min:?}");
+        assert_eq!(min.arrays.len(), 1, "{min:?}");
+        assert!(min.subs.is_empty(), "{min:?}");
+        let (_, text) = &min.render()[0];
+        assert!(
+            text.lines().count() <= 15,
+            "minimal reproducer should be tiny:\n{text}"
+        );
+    }
+
+    #[test]
+    fn non_failing_spec_is_untouched() {
+        let spec = generate(3);
+        let out = shrink(&spec, 10, |_| false);
+        assert_eq!(out, spec);
+    }
+}

@@ -273,9 +273,14 @@ mod tests {
         assert!(p.ir_dump().contains("do"));
     }
 
+    /// Each deprecated `run_*` shim is a thin view of [`CompiledProgram::run`]:
+    /// the report and captures it returns must be *identical* to calling
+    /// `run(&cfg, &opts)` with the equivalent options (the fixture has no
+    /// parallel region, so even cycle counts are exactly reproducible).
+    /// See the "Migrating from the `run_*` helpers" section in README.md.
     #[test]
     #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn deprecated_shims_delegate_to_run() {
         let p = Session::new()
             .source(
                 "t.f",
@@ -284,15 +289,34 @@ mod tests {
             .compile()
             .expect("compiles");
         let cfg = MachineConfig::small_test(2);
-        let r = p.run_with(&cfg, &ExecOptions::new(2)).expect("runs");
-        assert!(r.total_cycles > 0);
-        let (r2, cap) = p.run_capture(&cfg, 2, &["a"]).expect("runs");
-        assert_eq!(r2.total_cycles, r.total_cycles);
-        assert_eq!(cap[0][63], 64.0);
-        let (_, cap2) = p
+        // The host wall-clock is the one field real time leaks into;
+        // everything simulated must match exactly.
+        let norm = |mut r: dsm_exec::RunReport| {
+            r.host_wall = std::time::Duration::ZERO;
+            r.host_region_wall = std::time::Duration::ZERO;
+            r
+        };
+
+        // run_with(cfg, opts) == run(cfg, opts).report
+        let opts = ExecOptions::new(2);
+        let outcome = p.run(&cfg, &opts).expect("run");
+        let shim = p.run_with(&cfg, &opts).expect("run_with");
+        assert_eq!(norm(shim), norm(outcome.report));
+
+        // run_capture(cfg, n, names) == run(cfg, ExecOptions::new(n).capture(names))
+        let opts_cap = ExecOptions::new(2).capture(&["a"]);
+        let outcome_cap = p.run(&cfg, &opts_cap).expect("run");
+        let (rep, caps) = p.run_capture(&cfg, 2, &["a"]).expect("run_capture");
+        assert_eq!(norm(rep), norm(outcome_cap.report.clone()));
+        assert_eq!(caps, outcome_cap.captures);
+        assert_eq!(caps[0][63], 64.0);
+
+        // run_capture_with(cfg, opts, names) == run(cfg, opts.capture(names))
+        let (rep2, caps2) = p
             .run_capture_with(&cfg, &ExecOptions::new(2), &["a"])
-            .expect("runs");
-        assert_eq!(cap, cap2);
+            .expect("run_capture_with");
+        assert_eq!(norm(rep2), norm(outcome_cap.report));
+        assert_eq!(caps2, outcome_cap.captures);
     }
 
     #[test]

@@ -109,6 +109,56 @@ fn quickstart_golden_stdout() {
     assert_eq!(lines[4], "pages/node: [33, 32]");
 }
 
+/// At P=1 there is only one team member, so serializing the team must
+/// change nothing observable: the whole stdout (minus the wall-clock
+/// line) matches the default threaded run exactly.
+#[test]
+fn serial_team_at_p1_matches_threaded_run() {
+    let path = quickstart();
+    let path = path.to_str().unwrap();
+    let serial = dsmfc(&["-p", "1", "--serial-team", path]);
+    let plain = dsmfc(&["-p", "1", path]);
+    assert_eq!(serial.status.code(), Some(0));
+    assert_eq!(plain.status.code(), Some(0));
+    let strip = |out: &Output| -> Vec<String> {
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("host wall-clock:"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(strip(&serial), strip(&plain));
+    let s = String::from_utf8_lossy(&serial.stdout);
+    assert!(s.starts_with("cycles:"), "{s}");
+}
+
+/// `--profile-json` at P=1: the file is written, parses as a JSON
+/// object, and reports the uniprocessor shape (every access local, no
+/// invalidation traffic).
+#[test]
+fn profile_json_at_p1_reports_local_only_traffic() {
+    let json_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_profile_p1.json");
+    let out = dsmfc(&[
+        "-p",
+        "1",
+        "--profile-json",
+        json_path.to_str().unwrap(),
+        quickstart().to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+    for key in ["\"arrays\"", "\"regions\"", "\"name\": \"a\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    // One node holds every page: remote misses cannot occur.
+    assert!(!json.contains("\"remote_misses\": 1"), "{json}");
+    assert!(
+        json.contains("\"remote_misses\": 0"),
+        "expected explicit zero remote misses: {json}"
+    );
+}
+
 #[test]
 fn counters_flag_prints_per_proc_rows() {
     let out = dsmfc(&["-p", "2", "--counters", quickstart().to_str().unwrap()]);

@@ -263,6 +263,12 @@ fn access_core(
             },
         );
         attr.note_page_fill(tag, vpage, local, distance == 0);
+        // Write misses send invalidations too (a clean-hit writer goes
+        // through coherence_write_core, which attributes its own); without
+        // this the attributed invalidation total undercounts the machine's.
+        if n_inval > 0 {
+            attr.note_invalidations(tag, n_inval);
+        }
     }
     shared.node_served[mapping.node.0].fetch_add(1, Ordering::Relaxed);
     p.counters.cycles += cost;

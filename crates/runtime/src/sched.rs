@@ -69,6 +69,17 @@ pub fn partition(sched: SchedType, lb: i64, ub: i64, step: i64, n: usize) -> Vec
     }
 }
 
+/// Fault-injection switch for the conformance harness: when the
+/// `DSM_INJECT_CHUNK_BUG` environment variable is set at process start,
+/// [`partition_simple`] drops the last iteration of every non-final chunk
+/// (an off-by-one chunk bound). `dsmfuzz` runs itself under this variable
+/// to prove the differential oracle catches and shrinks real scheduler
+/// bugs; nothing in the workspace sets it otherwise.
+fn inject_chunk_bug() -> bool {
+    static BUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *BUG.get_or_init(|| std::env::var_os("DSM_INJECT_CHUNK_BUG").is_some())
+}
+
 /// `simple` scheduling: `n` contiguous chunks of `ceil(N/n)` iterations.
 pub fn partition_simple(lb: i64, ub: i64, step: i64, n: usize) -> Vec<Vec<Chunk>> {
     let total = Chunk { lb, ub, step }.len();
@@ -79,7 +90,10 @@ pub fn partition_simple(lb: i64, ub: i64, step: i64, n: usize) -> Vec<Vec<Chunk>
             if first >= total {
                 return Vec::new();
             }
-            let last = ((w + 1) * per - 1).min(total - 1);
+            let mut last = ((w + 1) * per - 1).min(total - 1);
+            if inject_chunk_bug() && last > first && last < total - 1 {
+                last -= 1;
+            }
             vec![Chunk {
                 lb: lb + first as i64 * step,
                 ub: lb + last as i64 * step,
