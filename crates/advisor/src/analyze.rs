@@ -1,0 +1,581 @@
+//! Static analysis of an unannotated program: which arrays exist, which
+//! loops are *statically confluent* (safe to annotate `c$doacross`), and
+//! where the program's phases sit — everything the planner needs to
+//! enumerate candidate directive plans.
+//!
+//! The confluence rule mirrors the conformance generator's
+//! by-construction safety invariant (crates/conformance/src/gen.rs):
+//! inside a candidate parallel loop over `v`,
+//!
+//! * every assignment targets an array element whose index carries `v`
+//!   bare in some slot (distinct `v` ⇒ distinct elements, so iterations
+//!   never write the same location),
+//! * no scalar assignments, calls, redistributes or barriers occur,
+//! * arrays written by the loop are read only at index forms identical
+//!   to one of their writes (`a(i) = a(i) * 0.5` is fine; any other read
+//!   could observe another iteration's write),
+//! * loop bounds reference no arrays.
+//!
+//! Any loop passing these checks computes the same values under any
+//! schedule, which is exactly what lets the planner flip it parallel and
+//! rely on bit-identical captures.
+
+use std::collections::HashMap;
+
+use dsm_frontend::ast::{ABinOp, AExpr, AStmt, AUnOp, UnitKind};
+use dsm_frontend::{parse_source, strip_directives, CompileError, ErrorKind, Span};
+
+/// One main-program array eligible for distribution directives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayInfo {
+    /// Declared name.
+    pub name: String,
+    /// Constant extents (column-major; element size is 8 bytes).
+    pub dims: Vec<i64>,
+}
+
+impl ArrayInfo {
+    /// Total element count.
+    pub fn elems(&self) -> i64 {
+        self.dims.iter().product()
+    }
+}
+
+/// One statically-confluent loop: a legal `c$doacross` site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSite {
+    /// Source file index (into the stripped source list).
+    pub file: usize,
+    /// 1-based line of the `do` statement in the stripped source.
+    pub line: usize,
+    /// Pre-order position among all statements (phase ordering).
+    pub order: usize,
+    /// Direct child of the main program body (a redistribute can be
+    /// inserted immediately before it).
+    pub top_level: bool,
+    /// Parallel loop variable.
+    pub var: String,
+    /// Arrays written, with the index slot carrying `var` bare.
+    pub writes: Vec<(String, usize)>,
+    /// Declared arrays read, with the slot carrying `var` bare (if any).
+    pub reads: Vec<(String, Option<usize>)>,
+    /// Loop variables of the nest (the `local(...)` clause).
+    pub locals: Vec<String>,
+    /// Inner loop variable when the body is a perfect 2-deep nest whose
+    /// inner bounds do not depend on `var` (a `nest(v, w)` candidate).
+    pub nest: Option<String>,
+}
+
+/// Everything the planner knows about one program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// The directive-stripped sources the plan will be spliced into.
+    pub stripped: Vec<(String, String)>,
+    /// Main-program arrays with constant shapes.
+    pub arrays: Vec<ArrayInfo>,
+    /// Statically-confluent loops, in program order.
+    pub sites: Vec<LoopSite>,
+    /// File index of the main program unit.
+    pub main_file: usize,
+    /// Line (in the stripped main file) before which `c$distribute`
+    /// directives are inserted — the first executable statement.
+    pub decl_insert_line: usize,
+}
+
+impl Analysis {
+    /// Shape of a named array, if known.
+    pub fn array(&self, name: &str) -> Option<&ArrayInfo> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+}
+
+/// Strip directives from `sources` and analyze the result.
+///
+/// # Errors
+///
+/// Returns parse errors, or a synthesized error when no `program` unit
+/// exists.
+pub fn analyze(sources: &[(String, String)]) -> Result<Analysis, Vec<CompileError>> {
+    let stripped: Vec<(String, String)> = sources
+        .iter()
+        .map(|(n, t)| (n.clone(), strip_directives(t)))
+        .collect();
+    let mut units = Vec::new();
+    for (idx, (name, text)) in stripped.iter().enumerate() {
+        units.extend(parse_source(idx, name, text)?);
+    }
+    let Some(main) = units.iter().find(|u| u.kind == UnitKind::Program) else {
+        return Err(vec![CompileError {
+            span: Span::new(0, 1),
+            kind: ErrorKind::Sema,
+            msg: "advisor needs a `program` unit".into(),
+            file_name: stripped.first().map(|(n, _)| n.clone()).unwrap_or_default(),
+        }]);
+    };
+
+    // Fold `parameter` constants so declared extents become numbers.
+    let mut params: HashMap<String, i64> = HashMap::new();
+    for (_, name, expr) in &main.parameters {
+        if let Some(v) = const_eval(expr, &params) {
+            params.insert(name.clone(), v);
+        }
+    }
+    let arrays: Vec<ArrayInfo> = main
+        .decls
+        .iter()
+        .filter(|d| !d.dims.is_empty())
+        .filter_map(|d| {
+            let dims: Option<Vec<i64>> = d.dims.iter().map(|e| const_eval(e, &params)).collect();
+            dims.map(|dims| ArrayInfo {
+                name: d.name.clone(),
+                dims,
+            })
+        })
+        .collect();
+    let array_names: Vec<&str> = arrays.iter().map(|a| a.name.as_str()).collect();
+
+    let decl_insert_line = main
+        .body
+        .first()
+        .map(|s| stmt_span(s).line)
+        .unwrap_or(main.span.line + 1);
+
+    let mut sites = Vec::new();
+    let mut order = 0usize;
+    find_sites(
+        &main.body,
+        main.span.file,
+        true,
+        &array_names,
+        &mut order,
+        &mut sites,
+    );
+
+    Ok(Analysis {
+        stripped,
+        arrays,
+        sites,
+        main_file: main.file,
+        decl_insert_line,
+    })
+}
+
+fn stmt_span(s: &AStmt) -> Span {
+    match s {
+        AStmt::Assign { span, .. }
+        | AStmt::Do { span, .. }
+        | AStmt::If { span, .. }
+        | AStmt::Call { span, .. }
+        | AStmt::Redistribute { span, .. }
+        | AStmt::Barrier { span } => *span,
+    }
+}
+
+fn const_eval(e: &AExpr, params: &HashMap<String, i64>) -> Option<i64> {
+    match e {
+        AExpr::Int(v) => Some(*v),
+        AExpr::Name(n) => params.get(n).copied(),
+        AExpr::Un(AUnOp::Neg, a) => Some(-const_eval(a, params)?),
+        AExpr::Bin(op, a, b) => {
+            let (a, b) = (const_eval(a, params)?, const_eval(b, params)?);
+            match op {
+                ABinOp::Add => Some(a + b),
+                ABinOp::Sub => Some(a - b),
+                ABinOp::Mul => Some(a * b),
+                ABinOp::Div => (b != 0).then(|| a / b),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn find_sites(
+    stmts: &[AStmt],
+    file: usize,
+    top_level: bool,
+    arrays: &[&str],
+    order: &mut usize,
+    sites: &mut Vec<LoopSite>,
+) {
+    for stmt in stmts {
+        *order += 1;
+        let my_order = *order;
+        match stmt {
+            AStmt::Do {
+                span,
+                var,
+                lb,
+                ub,
+                step,
+                body,
+                ..
+            } => {
+                if let Some(site) =
+                    check_confluent(*span, file, my_order, top_level, var, lb, ub, step, body, arrays)
+                {
+                    sites.push(site);
+                    // A confluent loop is annotated as a whole; do not
+                    // offer its inner loops as separate (nested doacross
+                    // is illegal).
+                } else {
+                    find_sites(body, file, false, arrays, order, sites);
+                }
+            }
+            AStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                find_sites(then_body, file, false, arrays, order, sites);
+                find_sites(else_body, file, false, arrays, order, sites);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Collected facts about one loop body, built by [`scan_body`].
+#[derive(Default)]
+struct BodyFacts {
+    /// (array, bare-var slot) per assignment.
+    writes: Vec<(String, usize)>,
+    /// Exact lhs index forms per written array (identity-read check).
+    lhs_forms: Vec<(String, Vec<AExpr>)>,
+    /// Every expression evaluated in a read position.
+    read_exprs: Vec<AExpr>,
+    /// Loop variables of inner serial loops.
+    inner_vars: Vec<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_confluent(
+    span: Span,
+    file: usize,
+    order: usize,
+    top_level: bool,
+    var: &str,
+    lb: &AExpr,
+    ub: &AExpr,
+    step: &Option<AExpr>,
+    body: &[AStmt],
+    arrays: &[&str],
+) -> Option<LoopSite> {
+    if has_index(lb) || has_index(ub) || step.as_ref().is_some_and(has_index) {
+        return None;
+    }
+    let mut facts = BodyFacts::default();
+    scan_body(body, var, &mut facts)?;
+    if facts.writes.is_empty() {
+        return None; // nothing parallel about it
+    }
+    // Several assignments may target the same (array, slot); report one.
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    facts.writes.retain(|w| {
+        if seen.contains(w) {
+            false
+        } else {
+            seen.push(w.clone());
+            true
+        }
+    });
+    // Reads of written arrays must match a write's exact index form.
+    let written: Vec<&str> = facts.writes.iter().map(|(n, _)| n.as_str()).collect();
+    for e in &facts.read_exprs {
+        if !reads_ok(e, &written, &facts.lhs_forms) {
+            return None;
+        }
+    }
+
+    // Record which declared arrays are read (for the cost model).
+    let mut reads: Vec<(String, Option<usize>)> = Vec::new();
+    for e in &facts.read_exprs {
+        collect_reads(e, arrays, var, &mut reads);
+    }
+    reads.retain(|(n, _)| !written.contains(&n.as_str()));
+
+    let mut locals = vec![var.to_string()];
+    for v in &facts.inner_vars {
+        if !locals.contains(v) {
+            locals.push(v.clone());
+        }
+    }
+    let nest = match body {
+        [AStmt::Do {
+            var: inner,
+            lb,
+            ub,
+            step,
+            ..
+        }] if !expr_mentions(lb, var)
+            && !expr_mentions(ub, var)
+            && !step.as_ref().is_some_and(|s| expr_mentions(s, var)) =>
+        {
+            Some(inner.clone())
+        }
+        _ => None,
+    };
+    Some(LoopSite {
+        file,
+        line: span.line,
+        order,
+        top_level,
+        var: var.to_string(),
+        writes: facts.writes,
+        reads,
+        locals,
+        nest,
+    })
+}
+
+/// Walk a candidate body collecting facts; `None` means an outright
+/// disqualifier (scalar write, call, redistribute, barrier, bad write
+/// index, inner loop reusing `var`).
+fn scan_body(stmts: &[AStmt], var: &str, facts: &mut BodyFacts) -> Option<()> {
+    for stmt in stmts {
+        match stmt {
+            AStmt::Assign {
+                lhs,
+                lhs_indices,
+                rhs,
+                ..
+            } => {
+                if lhs_indices.is_empty() {
+                    return None; // scalar write races
+                }
+                let slot = lhs_indices
+                    .iter()
+                    .position(|e| matches!(e, AExpr::Name(n) if n == var))?;
+                facts.writes.push((lhs.clone(), slot));
+                facts.lhs_forms.push((lhs.clone(), lhs_indices.clone()));
+                // Index expressions of the lhs are themselves reads.
+                for e in lhs_indices {
+                    facts.read_exprs.push(e.clone());
+                }
+                facts.read_exprs.push(rhs.clone());
+            }
+            AStmt::Do {
+                var: w,
+                lb,
+                ub,
+                step,
+                body,
+                ..
+            } => {
+                if w == var || has_index(lb) || has_index(ub) {
+                    return None;
+                }
+                if let Some(s) = step {
+                    if has_index(s) {
+                        return None;
+                    }
+                }
+                facts.read_exprs.push(lb.clone());
+                facts.read_exprs.push(ub.clone());
+                if !facts.inner_vars.contains(w) {
+                    facts.inner_vars.push(w.clone());
+                }
+                scan_body(body, var, facts)?;
+            }
+            AStmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                facts.read_exprs.push(cond.clone());
+                scan_body(then_body, var, facts)?;
+                scan_body(else_body, var, facts)?;
+            }
+            AStmt::Call { .. } | AStmt::Redistribute { .. } | AStmt::Barrier { .. } => return None,
+        }
+    }
+    Some(())
+}
+
+/// Does the expression contain any `name(args)` reference?
+fn has_index(e: &AExpr) -> bool {
+    match e {
+        AExpr::Index(..) => true,
+        AExpr::Un(_, a) => has_index(a),
+        AExpr::Bin(_, a, b) => has_index(a) || has_index(b),
+        _ => false,
+    }
+}
+
+fn expr_mentions(e: &AExpr, name: &str) -> bool {
+    match e {
+        AExpr::Name(n) => n == name,
+        AExpr::Index(n, args) => n == name || args.iter().any(|a| expr_mentions(a, name)),
+        AExpr::Un(_, a) => expr_mentions(a, name),
+        AExpr::Bin(_, a, b) => expr_mentions(a, name) || expr_mentions(b, name),
+        _ => false,
+    }
+}
+
+/// Every reference to a written array must replicate one of its write
+/// index forms exactly.
+fn reads_ok(e: &AExpr, written: &[&str], lhs_forms: &[(String, Vec<AExpr>)]) -> bool {
+    match e {
+        AExpr::Index(name, args) => {
+            if written.contains(&name.as_str())
+                && !lhs_forms.iter().any(|(n, f)| n == name && f == args)
+            {
+                return false;
+            }
+            args.iter().all(|a| reads_ok(a, written, lhs_forms))
+        }
+        AExpr::Un(_, a) => reads_ok(a, written, lhs_forms),
+        AExpr::Bin(_, a, b) => {
+            reads_ok(a, written, lhs_forms) && reads_ok(b, written, lhs_forms)
+        }
+        _ => true,
+    }
+}
+
+fn collect_reads(
+    e: &AExpr,
+    arrays: &[&str],
+    var: &str,
+    out: &mut Vec<(String, Option<usize>)>,
+) {
+    match e {
+        AExpr::Index(name, args) => {
+            if arrays.contains(&name.as_str()) {
+                let slot = args
+                    .iter()
+                    .position(|a| matches!(a, AExpr::Name(n) if n == var));
+                match out.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, s)) => {
+                        if s.is_none() {
+                            *s = slot;
+                        }
+                    }
+                    None => out.push((name.clone(), slot)),
+                }
+            }
+            for a in args {
+                collect_reads(a, arrays, var, out);
+            }
+        }
+        AExpr::Un(_, a) => collect_reads(a, arrays, var, out),
+        AExpr::Bin(_, a, b) => {
+            collect_reads(a, arrays, var, out);
+            collect_reads(b, arrays, var, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEAT: &str = "\
+      program heat
+      integer i, step, nsteps
+      real*8 u(64), unew(64)
+c$doacross local(i) affinity(i) = data(u(i))
+      do i = 1, 64
+        u(i) = 0.0
+        if (i .ge. 20 .and. i .le. 30) u(i) = 100.0
+      enddo
+      nsteps = 3
+      do step = 1, nsteps
+        do i = 2, 63
+          unew(i) = u(i) + 0.25 * (u(i-1) - 2.0*u(i) + u(i+1))
+        enddo
+        do i = 2, 63
+          u(i) = unew(i)
+        enddo
+      enddo
+      end
+";
+
+    fn an(src: &str) -> Analysis {
+        analyze(&[("t.f".to_string(), src.to_string())]).expect("analyzes")
+    }
+
+    #[test]
+    fn heat_finds_three_sites_not_the_step_loop() {
+        let a = an(HEAT);
+        assert_eq!(a.arrays.len(), 2);
+        assert_eq!(a.array("u").unwrap().dims, vec![64]);
+        assert_eq!(a.sites.len(), 3, "{:#?}", a.sites);
+        // Init loop writes u at slot 0, is top level; the step loop is
+        // not a site, its two inner loops are (not top level).
+        assert_eq!(a.sites[0].writes, vec![("u".to_string(), 0)]);
+        assert!(a.sites[0].top_level);
+        assert!(!a.sites[1].top_level);
+        assert_eq!(a.sites[1].writes, vec![("unew".to_string(), 0)]);
+        assert_eq!(a.sites[1].reads, vec![("u".to_string(), Some(0))]);
+        assert_eq!(a.sites[2].writes, vec![("u".to_string(), 0)]);
+        // Directives were stripped before analysis.
+        assert!(!a.stripped[0].1.contains("c$doacross"));
+    }
+
+    #[test]
+    fn phases_sites_conflict_on_slots() {
+        let src = "\
+      program phases
+      integer i, j
+      real*8 a(16, 16)
+      do j = 1, 16
+        do i = 1, 16
+          a(i, j) = i + j
+        enddo
+      enddo
+      do i = 1, 16
+        do j = 1, 16
+          a(i, j) = a(i, j) * 0.5
+        enddo
+      enddo
+      end
+";
+        let a = an(src);
+        assert_eq!(a.sites.len(), 2);
+        assert_eq!(a.sites[0].writes, vec![("a".to_string(), 1)]);
+        assert_eq!(a.sites[1].writes, vec![("a".to_string(), 0)]);
+        assert!(a.sites[0].top_level && a.sites[1].top_level);
+        assert_eq!(a.sites[0].nest.as_deref(), Some("i"));
+        assert_eq!(a.sites[0].locals, vec!["j".to_string(), "i".to_string()]);
+    }
+
+    #[test]
+    fn unsafe_bodies_are_rejected() {
+        // Scalar accumulation races; non-identity read of the written
+        // array races; a loop writing nothing is not a site.
+        let src = "\
+      program bad
+      integer i
+      real*8 s, a(16)
+      s = 0.0
+      do i = 1, 16
+        s = s + 1.0
+      enddo
+      do i = 2, 16
+        a(i) = a(i-1) + 1.0
+      enddo
+      do i = 1, 16
+        s = 2.0
+      enddo
+      end
+";
+        let a = an(src);
+        assert!(a.sites.is_empty(), "{:#?}", a.sites);
+    }
+
+    #[test]
+    fn writes_must_carry_the_loop_var_bare() {
+        let src = "\
+      program fixed
+      integer i
+      real*8 a(16)
+      do i = 1, 16
+        a(1) = 3.0
+      enddo
+      end
+";
+        assert!(an(src).sites.is_empty());
+    }
+}

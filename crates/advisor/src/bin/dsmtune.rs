@@ -1,0 +1,120 @@
+//! `dsmtune` — the standalone auto-distribution planner CLI.
+//!
+//! Strips any directives from the input program, searches for the best
+//! distribution plan on the simulated machine, verifies it against the
+//! conformance oracle, and prints the chosen directives. `--plan-json`
+//! writes the machine-readable plan; `--emit` writes the annotated
+//! Fortran.
+
+use std::process::ExitCode;
+
+use dsm_advisor::{advise, AdvisorConfig};
+
+const USAGE: &str = "usage: dsmtune [options] file.f [file.f ...]
+  -p, --procs N      processors (default 8)
+      --scale N      machine scale divisor (default 64)
+      --budget N     max candidate simulations (default 48)
+      --threads N    concurrent evaluations (default: host cores)
+      --plan-json F  write the machine-readable plan to F
+      --emit F       write the annotated Fortran main file to F
+      --no-verify    skip oracle verification of the winner
+";
+
+fn num_arg(args: &mut std::env::Args, flag: &str) -> Result<usize, String> {
+    args.next()
+        .filter(|v| !v.starts_with('-'))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("dsmtune: {flag} requires a number"))
+}
+
+fn path_arg(args: &mut std::env::Args, flag: &str) -> Result<String, String> {
+    args.next()
+        .filter(|v| !v.starts_with('-'))
+        .ok_or_else(|| format!("dsmtune: {flag} requires an output path"))
+}
+
+fn run() -> Result<(), String> {
+    let mut cfg = AdvisorConfig::default();
+    let mut plan_json: Option<String> = None;
+    let mut emit: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args();
+    args.next();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-p" | "--procs" => cfg.nprocs = num_arg(&mut args, &a)?,
+            "--scale" => cfg.scale = num_arg(&mut args, &a)?,
+            "--budget" => cfg.budget = num_arg(&mut args, &a)?,
+            "--threads" => cfg.threads = num_arg(&mut args, &a)?,
+            "--plan-json" => plan_json = Some(path_arg(&mut args, &a)?),
+            "--emit" => emit = Some(path_arg(&mut args, &a)?),
+            "--no-verify" => cfg.verify = false,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            _ if a.starts_with('-') => return Err(format!("dsmtune: unknown option {a}\n{USAGE}")),
+            _ => files.push(a),
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("dsmtune: no input files\n{USAGE}"));
+    }
+    let mut sources = Vec::new();
+    for f in &files {
+        let text =
+            std::fs::read_to_string(f).map_err(|e| format!("dsmtune: cannot read {f}: {e}"))?;
+        sources.push((f.clone(), text));
+    }
+
+    let advice = advise(&sources, &cfg).map_err(|e| format!("dsmtune: {e}"))?;
+
+    println!(
+        "auto: baseline {} cycles ({} remote misses)",
+        advice.baseline.total_cycles, advice.baseline.remote_misses
+    );
+    println!(
+        "auto: best     {} cycles ({} remote misses), speedup {:.2}x",
+        advice.best.total_cycles,
+        advice.best.remote_misses,
+        advice.speedup()
+    );
+    println!(
+        "auto: searched {} candidates ({} pruned, {} rejected) in {:?} ({:?} serial)",
+        advice.evaluated,
+        advice.pruned,
+        advice.rejected,
+        advice.search_wall,
+        advice.serial_eval_wall
+    );
+    if advice.verified_runs > 0 {
+        println!(
+            "auto: winner verified against the oracle ({} runs)",
+            advice.verified_runs
+        );
+    }
+    for d in advice.directives() {
+        println!("auto:   {d}");
+    }
+    if let Some(p) = &plan_json {
+        std::fs::write(p, advice.plan_json())
+            .map_err(|e| format!("dsmtune: cannot write {p}: {e}"))?;
+        println!("auto: plan written to {p}");
+    }
+    if let Some(p) = &emit {
+        std::fs::write(p, advice.emitted())
+            .map_err(|e| format!("dsmtune: cannot write {p}: {e}"))?;
+        println!("auto: annotated Fortran written to {p}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

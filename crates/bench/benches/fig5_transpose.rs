@@ -106,7 +106,7 @@ fn main() {
         "reshaping must collapse B's remote misses (got {rs_b} vs {ft_b})"
     );
     assert!(
-        ft_prof.hints.iter().any(|h| h.starts_with("`b`:")),
+        ft_prof.hints.iter().any(|h| h.array == "b"),
         "first-touch profile must hint at reshaping B: {:?}",
         ft_prof.hints
     );

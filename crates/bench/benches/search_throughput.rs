@@ -1,0 +1,92 @@
+//! Throughput of the auto-distribution search: candidate plans evaluated
+//! per second, and how much of the serial evaluation cost the threaded
+//! wave evaluator hides. This bounds what `--budget` the CI
+//! `advisor-smoke` job can afford, and regresses loudly if candidate
+//! generation, pruning, or the evaluator get slower.
+//!
+//! `DSM_BENCH_SCALE` (default 64) sets the machine scale divisor, as in
+//! every other bench.
+
+use dsm_advisor::{advise, AdvisorConfig};
+use dsm_bench::scale;
+use dsm_core::workloads::{transpose_source, Policy};
+use std::time::Instant;
+
+fn measure(label: &str, sources: &[(String, String)], cfg: &AdvisorConfig) {
+    let start = Instant::now();
+    let advice = match advise(sources, cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("search_throughput: {label}: advise failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let dt = start.elapsed().as_secs_f64();
+    let search = advice.search_wall.as_secs_f64().max(1e-9);
+    println!(
+        "{label}: {} evaluated + {} pruned + {} rejected in {dt:.2}s \
+         ({:.1} candidates/s), speedup over baseline {:.2}x, \
+         eval overlap {:.2}x ({} thread(s))",
+        advice.evaluated,
+        advice.pruned,
+        advice.rejected,
+        advice.evaluated as f64 / search,
+        advice.speedup(),
+        advice.serial_eval_wall.as_secs_f64() / search,
+        cfg.threads,
+    );
+    // The search must never hand back something slower than its own
+    // baseline measurement — that would mean the ranking is broken.
+    assert!(advice.best.total_cycles <= advice.baseline.total_cycles);
+}
+
+fn heat_source() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/fortran/heat.f"
+    );
+    std::fs::read_to_string(path).expect("read examples/fortran/heat.f")
+}
+
+fn main() {
+    let scale = scale();
+    println!("=== advisor search throughput (scale {scale}) ===");
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let cfg = AdvisorConfig {
+        nprocs: 8,
+        scale,
+        budget: 24,
+        verify: false,
+        ..AdvisorConfig::default()
+    };
+    measure(
+        "transpose 160x160",
+        &[(
+            "transpose.f".to_string(),
+            transpose_source(160, 3, Policy::FirstTouch),
+        )],
+        &cfg,
+    );
+    measure("heat.f", &[("heat.f".to_string(), heat_source())], &cfg);
+    // The wave evaluator's concurrency claim: with >1 host core, the same
+    // search must overlap candidate simulations (serial sum > wall).
+    if threads >= 2 {
+        let sources = [(
+            "transpose.f".to_string(),
+            transpose_source(160, 3, Policy::FirstTouch),
+        )];
+        let advice = advise(&sources, &cfg).expect("advise");
+        assert!(
+            advice.search_wall < advice.serial_eval_wall,
+            "no overlap: search {:?} vs serial sum {:?}",
+            advice.search_wall,
+            advice.serial_eval_wall
+        );
+        println!(
+            "overlap check: search {:?} < serial sum {:?} on {threads} cores",
+            advice.search_wall, advice.serial_eval_wall
+        );
+    } else {
+        println!("overlap check: skipped (single host core)");
+    }
+}

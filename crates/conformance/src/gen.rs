@@ -22,6 +22,50 @@ use rand::{Rng, SmallRng};
 
 const ARRAY_NAMES: [&str; 3] = ["a", "b", "c"];
 
+/// Options for [`generate_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenOptions {
+    /// Emit the program without any placement directives — no
+    /// `distribute`/`distribute_reshape`, no `redistribute` phases, no
+    /// `doacross` annotations (`c$barrier` stays; it is synchronization,
+    /// not placement). The stripped program computes the same values as
+    /// the annotated one for the same seed, which is exactly what the
+    /// advisor needs as fuzz input: unannotated programs whose oracle
+    /// expectations are already known-good.
+    pub strip_directives: bool,
+}
+
+/// Generate the program for one seed under `opts`.
+pub fn generate_with(seed: u64, opts: &GenOptions) -> Spec {
+    let mut spec = generate(seed);
+    if opts.strip_directives {
+        strip_spec(&mut spec);
+    }
+    spec
+}
+
+/// Remove every placement directive from a generated spec. Serial
+/// execution is strictly more permissive than the generator's doacross
+/// safety rules, so the stripped program is always valid.
+fn strip_spec(spec: &mut Spec) {
+    for a in &mut spec.arrays {
+        a.dist = DistSpec::None;
+    }
+    for s in &mut spec.subs {
+        s.doacross = false;
+    }
+    spec.phases.retain(|p| !matches!(p, Phase::Redistribute { .. }));
+    for p in &mut spec.phases {
+        if let Phase::Loop(l) = p {
+            l.doacross = false;
+            l.nest2 = false;
+            l.shareds = false;
+            l.affinity = None;
+            l.sched = None;
+        }
+    }
+}
+
 /// Generate the program for one seed.
 pub fn generate(seed: u64) -> Spec {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -377,6 +421,25 @@ mod tests {
     fn deterministic_per_seed() {
         for seed in [0u64, 1, 42, 0xdead_beef] {
             assert_eq!(generate(seed), generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stripped_seeds_have_no_placement_directives() {
+        let opts = GenOptions {
+            strip_directives: true,
+        };
+        for seed in 0..50u64 {
+            let spec = generate_with(seed, &opts);
+            for (name, text) in spec.render() {
+                for kw in ["c$distribute", "c$redistribute", "c$doacross"] {
+                    assert!(
+                        !text.contains(kw),
+                        "seed {seed} {name} still has {kw}:\n{text}"
+                    );
+                }
+                dsm_frontend::parse_source(0, &name, &text).expect("stripped program parses");
+            }
         }
     }
 

@@ -28,7 +28,7 @@ pub mod shrink;
 pub mod spec;
 
 pub use diff::{check_sources, CheckStats, Divergence, Matrix};
-pub use gen::generate;
+pub use gen::{generate, generate_with, GenOptions};
 pub use shrink::shrink;
 pub use spec::Spec;
 

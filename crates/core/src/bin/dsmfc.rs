@@ -16,9 +16,15 @@
 //!       --serial-team   simulate team members sequentially (reference mode)
 //!       --profile       print the per-array/per-region attribution profile
 //!       --profile-json FILE   also write the profile as JSON to FILE
+//!       --auto          strip directives and search for the best plan first
+//!       --budget N      candidate simulations for --auto (default 48)
+//!       --plan-json FILE      write the --auto plan as JSON to FILE
+//!       --emit-fortran FILE   write the --auto annotated source to FILE
 //! ```
 
-use dsm_core::{ExecOptions, MachineConfig, OptConfig, PagePolicy, Session};
+use dsm_core::{
+    advise, AdvisorConfig, ExecOptions, MachineConfig, OptConfig, PagePolicy, Session,
+};
 
 struct Options {
     files: Vec<String>,
@@ -32,15 +38,33 @@ struct Options {
     serial_team: bool,
     profile: bool,
     profile_json: Option<String>,
+    auto: bool,
+    budget: usize,
+    plan_json: Option<String>,
+    emit_fortran: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dsmfc [-p N] [--scale N] [-O none|tile|hoist|full] [--dump-ir] \
          [--check] [--round-robin] [--counters] [--serial-team] [--profile] \
-         [--profile-json FILE] file.f [file2.f ...]"
+         [--profile-json FILE] [--auto] [--budget N] [--plan-json FILE] \
+         [--emit-fortran FILE] file.f [file2.f ...]"
     );
     std::process::exit(2)
+}
+
+/// The output path following a flag. A missing argument — or a following
+/// flag swallowed as if it were a path — is a hard error, not a silent
+/// misparse.
+fn path_arg(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    match args.next() {
+        Some(v) if !v.starts_with('-') => v,
+        _ => {
+            eprintln!("dsmfc: {flag} requires an output path");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -56,6 +80,10 @@ fn parse_args() -> Options {
         serial_team: false,
         profile: false,
         profile_json: None,
+        auto: false,
+        budget: 48,
+        plan_json: None,
+        emit_fortran: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -87,9 +115,16 @@ fn parse_args() -> Options {
             "--counters" => o.counters = true,
             "--serial-team" => o.serial_team = true,
             "--profile" => o.profile = true,
-            "--profile-json" => {
-                o.profile_json = Some(args.next().unwrap_or_else(|| usage()));
+            "--profile-json" => o.profile_json = Some(path_arg(&mut args, &a)),
+            "--auto" => o.auto = true,
+            "--budget" => {
+                o.budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
+            "--plan-json" => o.plan_json = Some(path_arg(&mut args, &a)),
+            "--emit-fortran" => o.emit_fortran = Some(path_arg(&mut args, &a)),
             "-h" | "--help" => usage(),
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             _ => usage(),
@@ -101,27 +136,78 @@ fn parse_args() -> Options {
     o
 }
 
+/// Run the advisor over `sources` and return the annotated program it
+/// chose (which the normal compile+run below then uses).
+fn run_auto(o: &Options, sources: &[(String, String)]) -> Vec<(String, String)> {
+    let cfg = AdvisorConfig {
+        nprocs: o.procs,
+        scale: o.scale,
+        budget: o.budget,
+        opt: o.opt,
+        ..AdvisorConfig::default()
+    };
+    let advice = match advise(sources, &cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dsmfc: --auto failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "auto: baseline {} cycles ({} remote misses)",
+        advice.baseline.total_cycles, advice.baseline.remote_misses
+    );
+    println!(
+        "auto: best     {} cycles ({} remote misses), speedup {:.2}x",
+        advice.best.total_cycles,
+        advice.best.remote_misses,
+        advice.speedup()
+    );
+    println!(
+        "auto: searched {} candidates ({} pruned, {} rejected), verified {} oracle runs",
+        advice.evaluated, advice.pruned, advice.rejected, advice.verified_runs
+    );
+    for d in advice.directives() {
+        println!("auto:   {d}");
+    }
+    if let Some(path) = &o.plan_json {
+        if let Err(e) = std::fs::write(path, advice.plan_json()) {
+            eprintln!("dsmfc: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &o.emit_fortran {
+        if let Err(e) = std::fs::write(path, advice.emitted()) {
+            eprintln!("dsmfc: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
+    advice.annotated
+}
+
 fn main() {
     let o = parse_args();
-    let mut session = Session::new().optimize(o.opt);
+    let mut sources: Vec<(String, String)> = Vec::new();
     for f in &o.files {
         match std::fs::read_to_string(f) {
-            Ok(text) => session = session.source(f, &text),
+            Ok(text) => sources.push((f.clone(), text)),
             Err(e) => {
                 eprintln!("dsmfc: cannot read `{f}`: {e}");
                 std::process::exit(1);
             }
         }
     }
+    if o.auto {
+        sources = run_auto(&o, &sources);
+    }
+    let mut session = Session::new().optimize(o.opt);
+    for (name, text) in &sources {
+        session = session.source(name, text);
+    }
     let program = match session.compile() {
         Ok(p) => p,
         Err(errs) => {
-            let texts: Vec<(String, String)> = o
-                .files
-                .iter()
-                .filter_map(|f| std::fs::read_to_string(f).ok().map(|t| (f.clone(), t)))
-                .collect();
-            let refs: Vec<(&str, &str)> = texts
+            let refs: Vec<(&str, &str)> = sources
                 .iter()
                 .map(|(n, t)| (n.as_str(), t.as_str()))
                 .collect();

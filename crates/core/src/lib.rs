@@ -43,6 +43,7 @@
 
 pub mod workloads;
 
+pub use dsm_advisor::{advise, Advice, AdvisorConfig, AdvisorError};
 pub use dsm_compile::{OptConfig, PrelinkReport};
 pub use dsm_exec::{ExecError, ExecOptions, Profile, RunOutcome, RunReport};
 pub use dsm_frontend::{CompileError, ErrorKind};

@@ -283,9 +283,30 @@ pub fn run_outcome(
     let total = machine.total_counters();
     let total_cycles = per_proc.iter().map(|c| c.cycles).max().unwrap_or(0);
     let profile = if opts.profile {
-        machine
-            .merged_attribution()
-            .map(|attr| Box::new(crate::profile::build_profile(&attr, machine, &region_names)))
+        // Array shapes let the hints suggest a distribution per dimension.
+        let shapes: Vec<(String, Vec<u64>)> = main
+            .arrays
+            .iter()
+            .enumerate()
+            .filter_map(|(i, decl)| {
+                let inst = frame.arrays[i];
+                (inst != usize::MAX).then(|| {
+                    let arr = binder.get(inst);
+                    (
+                        decl.name.clone(),
+                        arr.desc.dims.iter().map(|d| d.extent).collect(),
+                    )
+                })
+            })
+            .collect();
+        machine.merged_attribution().map(|attr| {
+            Box::new(crate::profile::build_profile(
+                &attr,
+                machine,
+                &region_names,
+                &shapes,
+            ))
+        })
     } else {
         None
     };

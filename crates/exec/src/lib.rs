@@ -26,7 +26,10 @@ pub mod report;
 pub mod value;
 
 pub use interp::{run_outcome, run_program, run_program_capture, ExecError, ExecOptions};
-pub use profile::{ArrayProfile, CellProfile, HotPage, Profile, RegionProfile};
+pub use profile::{
+    ArrayProfile, CellProfile, DimSuggestion, HintEvidence, HotPage, PlacementHint, Profile,
+    RegionProfile,
+};
 pub use report::{RunOutcome, RunReport};
 
 #[cfg(test)]

@@ -69,8 +69,108 @@ pub struct HotPage {
     pub remote: u64,
 }
 
+/// Per-dimension distribution suggestion of a [`PlacementHint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimSuggestion {
+    /// Distribute this dimension blockwise.
+    Block,
+    /// Leave this dimension undistributed (`*`).
+    Star,
+}
+
+impl DimSuggestion {
+    /// Directive spelling of the item.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DimSuggestion::Block => "block",
+            DimSuggestion::Star => "*",
+        }
+    }
+}
+
+/// The counters a [`PlacementHint`] is grounded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HintEvidence {
+    /// Memory fills (local + remote misses) attributed to the array.
+    pub mem_fills: u64,
+    /// Fills served by a node other than the accessor's.
+    pub remote_fills: u64,
+    /// Pages of the array whose dominant accessor is not their home.
+    pub misplaced_pages: usize,
+}
+
+impl HintEvidence {
+    /// Remote share of the array's memory fills.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.mem_fills == 0 {
+            0.0
+        } else {
+            self.remote_fills as f64 / self.mem_fills as f64
+        }
+    }
+}
+
+/// One structured placement hint: an array whose memory fills are
+/// dominated by remote traffic, together with the distribution the page
+/// evidence suggests and the counters backing it. The advisor consumes
+/// this struct; [`fmt::Display`] renders the human prose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementHint {
+    /// Array the hint applies to.
+    pub array: String,
+    /// Suggested distribution per dimension (Block on the dimension whose
+    /// page-aligned spans best predict the dominant accessor nodes, `*`
+    /// elsewhere). Empty when the array's shape was not visible to the
+    /// profiler (e.g. formal-parameter views).
+    pub suggested: Vec<DimSuggestion>,
+    /// True when page-granularity placement cannot express the
+    /// suggestion — per-node portions smaller than a page — i.e. the hint
+    /// calls for `c$distribute_reshape` rather than `c$distribute`.
+    pub reshape: bool,
+    /// The counters that triggered the hint.
+    pub evidence: HintEvidence,
+}
+
+impl PlacementHint {
+    /// The suggested directive reference, e.g. `c$distribute_reshape
+    /// b(block, *)` (falls back to `(...)` when the shape was unknown).
+    pub fn directive(&self) -> String {
+        let kw = if self.reshape {
+            "c$distribute_reshape"
+        } else {
+            "c$distribute"
+        };
+        let items = if self.suggested.is_empty() {
+            "...".to_string()
+        } else {
+            self.suggested
+                .iter()
+                .map(|d| d.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!("{kw} {}({items})", self.array)
+    }
+}
+
+impl fmt::Display for PlacementHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}`: {:.0}% of its {} memory fills were remote ({} page(s) \
+             dominated by a non-home node) — consider `{}` \
+             or an affinity schedule that keeps its accessors on the home nodes",
+            self.array,
+            self.evidence.remote_fraction() * 100.0,
+            self.evidence.mem_fills,
+            self.evidence.misplaced_pages,
+            self.directive(),
+        )
+    }
+}
+
 /// The memory-behavior profile of one run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Per-array rollup, sorted by access count (descending).
     pub arrays: Vec<ArrayProfile>,
@@ -82,7 +182,7 @@ pub struct Profile {
     /// Top remote-heavy pages (home vs. dominant accessor).
     pub hot_pages: Vec<HotPage>,
     /// Automatic placement hints ("this array wants `distribute_reshape`").
-    pub hints: Vec<String>,
+    pub hints: Vec<PlacementHint>,
 }
 
 impl Profile {
@@ -164,13 +264,28 @@ impl Profile {
         s.push_str("\n  ],\n  \"hints\": [");
         for (i, h) in self.hints.iter().enumerate() {
             if i > 0 {
-                s.push_str(", ");
+                s.push(',');
             }
-            s.push('"');
-            escape_into(&mut s, h);
-            s.push('"');
+            s.push_str("\n    {");
+            json_str(&mut s, "array", &h.array);
+            s.push_str(", \"dists\": [");
+            for (j, d) in h.suggested.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push('"');
+                s.push_str(d.as_str());
+                s.push('"');
+            }
+            s.push_str(&format!(
+                "], \"reshape\": {}, \"mem_fills\": {}, \"remote_fills\": {}, \
+                 \"misplaced_pages\": {}, ",
+                h.reshape, h.evidence.mem_fills, h.evidence.remote_fills, h.evidence.misplaced_pages
+            ));
+            json_str(&mut s, "text", &h.to_string());
+            s.push('}');
         }
-        s.push_str("]\n}\n");
+        s.push_str("\n  ]\n}\n");
         s
     }
 }
@@ -218,6 +333,7 @@ pub(crate) fn build_profile(
     attr: &AttributionTable,
     machine: &Machine,
     region_names: &[String],
+    shapes: &[(String, Vec<u64>)],
 ) -> Profile {
     let names = machine.symbol_names();
     let sym_name = |sym: u32| -> String {
@@ -293,6 +409,8 @@ pub(crate) fn build_profile(
     // mostly missed from nodes other than their homes, is the paper's
     // textbook case for `c$distribute_reshape`.
     let mut hints = Vec::new();
+    let n_nodes = machine.config().n_nodes;
+    let elems_per_page = (machine.config().page_size / 8).max(1);
     for &(sym, ref stats) in &by_sym {
         if sym == UNTAGGED_SYM
             || stats.mem_fills() < HINT_MIN_FILLS
@@ -308,14 +426,21 @@ pub(crate) fn build_profile(
             .pages()
             .filter(|(_, pa)| pa.sym == sym && pa.remote > pa.local)
             .count();
-        hints.push(format!(
-            "`{name}`: {:.0}% of its {} memory fills were remote ({} page(s) \
-             dominated by a non-home node) — consider `c$distribute_reshape {name}(...)` \
-             or an affinity schedule that keeps its accessors on the home nodes",
-            stats.remote_fraction() * 100.0,
-            stats.mem_fills(),
-            misplaced,
-        ));
+        let dims = shapes
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| d.as_slice());
+        let (suggested, reshape) = suggest_dims(attr, sym, dims, n_nodes, elems_per_page);
+        hints.push(PlacementHint {
+            array: name,
+            suggested,
+            reshape,
+            evidence: HintEvidence {
+                mem_fills: stats.mem_fills(),
+                remote_fills: stats.remote_misses,
+                misplaced_pages: misplaced,
+            },
+        });
     }
 
     Profile {
@@ -344,6 +469,68 @@ pub(crate) fn build_profile(
         hot_pages: pages,
         hints,
     }
+}
+
+/// Pick the dimension whose blockwise partition best predicts each
+/// remote page's dominant accessor node, `*` for the rest.
+///
+/// Pages are mapped back to (column-major) element indices relative to the
+/// array's lowest touched page — the base address is not page-aligned, so
+/// this is approximate by up to one page, which is fine for a hint. A
+/// suggestion whose contiguous per-node run is smaller than a page cannot
+/// be realized by page-granularity placement, so it is flagged `reshape`.
+fn suggest_dims(
+    attr: &AttributionTable,
+    sym: u32,
+    dims: Option<&[u64]>,
+    n_nodes: usize,
+    elems_per_page: usize,
+) -> (Vec<DimSuggestion>, bool) {
+    let Some(dims) = dims else {
+        return (Vec::new(), true);
+    };
+    if dims.is_empty() || dims.contains(&0) || n_nodes == 0 {
+        return (Vec::new(), true);
+    }
+    let pages: Vec<(u64, usize)> = attr
+        .pages()
+        .filter(|(_, pa)| pa.sym == sym && pa.remote > 0)
+        .map(|(&vp, pa)| (vp, pa.dominant_node().0))
+        .collect();
+    let base = pages.iter().map(|&(vp, _)| vp).min().unwrap_or(0);
+    let total: u64 = dims.iter().product();
+    // Default to the outermost dimension: under column-major layout its
+    // blocks are the contiguous ones, the safest page-level choice.
+    let mut best = (dims.len() - 1, 0usize);
+    for d in 0..dims.len() {
+        let stride: u64 = dims[..d].iter().product();
+        let chunk = dims[d].div_ceil(n_nodes as u64).max(1);
+        let mut agree = 0usize;
+        for &(vp, dom) in &pages {
+            let mid = ((vp - base) * elems_per_page as u64 + elems_per_page as u64 / 2)
+                .min(total.saturating_sub(1));
+            let idx = (mid / stride) % dims[d];
+            if (idx / chunk) as usize == dom {
+                agree += 1;
+            }
+        }
+        if agree > best.1 {
+            best = (d, agree);
+        }
+    }
+    let d = best.0;
+    let suggested = (0..dims.len())
+        .map(|i| {
+            if i == d {
+                DimSuggestion::Block
+            } else {
+                DimSuggestion::Star
+            }
+        })
+        .collect();
+    let stride: u64 = dims[..d].iter().product();
+    let run = stride * dims[d].div_ceil(n_nodes as u64);
+    (suggested, run < elems_per_page as u64)
 }
 
 fn roll(acc: &mut Vec<(u32, TagStats)>, key: u32, stats: &TagStats) {
@@ -444,7 +631,16 @@ mod tests {
                 local: 1,
                 remote: 3,
             }],
-            hints: vec!["`a`: consider \"reshape\"".into()],
+            hints: vec![PlacementHint {
+                array: "a".into(),
+                suggested: vec![DimSuggestion::Block, DimSuggestion::Star],
+                reshape: true,
+                evidence: HintEvidence {
+                    mem_fills: 4,
+                    remote_fills: 3,
+                    misplaced_pages: 1,
+                },
+            }],
         }
     }
 
@@ -459,15 +655,31 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_and_round_trips_fields() {
+    fn json_round_trips_fields() {
         let j = sample().to_json();
         assert!(j.contains("\"arrays\""));
         assert!(j.contains("\"remote_misses\": 3"));
-        assert!(j.contains("\\\"reshape\\\""), "quotes escaped: {j}");
+        assert!(j.contains("\"dists\": [\"block\", \"*\"]"), "{j}");
+        assert!(j.contains("\"reshape\": true"));
         assert!(j.contains("\"vpage\": 3"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "a\\\"b\\\\c\\n");
+    }
+
+    #[test]
+    fn hint_prose_renders_directive() {
+        let h = &sample().hints[0];
+        let text = h.to_string();
+        assert!(text.contains("`a`: 75% of its 4 memory fills were remote"));
+        assert!(text.contains("`c$distribute_reshape a(block, *)`"), "{text}");
     }
 
     #[test]

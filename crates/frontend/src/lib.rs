@@ -39,12 +39,14 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod sema;
+pub mod splice;
 
 pub use ast::{SourceUnit, UnitKind};
 pub use diag::render_diagnostics;
 pub use error::{CompileError, ErrorKind, Span};
 pub use parser::parse_source;
 pub use sema::{analyze, Analysis, UnitInfo};
+pub use splice::{splice_directives, strip_directives, Splice};
 
 /// Parse and semantically check a set of source files.
 ///

@@ -1,0 +1,306 @@
+//! Directive splicing: strip the `c$` placement directives out of a
+//! source text, render directive ASTs back to their surface syntax, and
+//! splice a chosen set of directive lines into a stripped source — the
+//! output half of the auto-distribution planner (`dsm-advisor`), which
+//! must hand the user a compilable annotated program, not just a plan.
+//!
+//! Everything here is line-oriented, matching the directive language:
+//! a directive is always a whole `c$` line (plus `&` continuations), so
+//! stripping and inserting never has to reflow statement text.
+
+use std::fmt::Write as _;
+
+use crate::ast::{
+    ABinOp, AExpr, AUnOp, AffinityDir, DistItem, DistributeDir, DoacrossDir, SchedSpec,
+};
+
+/// The directive keyword of a `c$` line (lowercased), if it is one.
+fn directive_keyword(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("c$").or_else(|| t.strip_prefix("C$"))?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    Some(rest[..end].to_ascii_lowercase())
+}
+
+/// True when a directive line continues on the next line.
+fn continues(line: &str) -> bool {
+    line.trim_end().ends_with('&')
+}
+
+/// Remove every placement directive (`c$distribute`,
+/// `c$distribute_reshape`, `c$redistribute`, `c$doacross`) from `src`,
+/// including their `&` continuation lines. `c$barrier` is kept: it is
+/// synchronization, not placement, and removing it would change program
+/// semantics.
+pub fn strip_directives(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut skipping = false;
+    for line in src.lines() {
+        if skipping {
+            skipping = continues(line);
+            continue;
+        }
+        if let Some(kw) = directive_keyword(line) {
+            if matches!(
+                kw.as_str(),
+                "distribute" | "distribute_reshape" | "redistribute" | "doacross"
+            ) {
+                skipping = continues(line);
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// One directive line to insert into a source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Splice {
+    /// 1-based line number of the *input* text the directive is inserted
+    /// before; numbers past the last line append at the end.
+    pub before_line: usize,
+    /// The full directive line (no trailing newline).
+    pub text: String,
+}
+
+/// Insert directive lines into `src`. All `before_line` numbers refer to
+/// the input text (compute them against one parse of the same source);
+/// inserts at the same line keep their slice order.
+pub fn splice_directives(src: &str, inserts: &[Splice]) -> String {
+    let mut ordered: Vec<&Splice> = inserts.iter().collect();
+    ordered.sort_by_key(|s| s.before_line);
+    let mut out = String::with_capacity(src.len() + inserts.len() * 40);
+    let mut next = ordered.into_iter().peekable();
+    for (i, line) in src.lines().enumerate() {
+        let lineno = i + 1;
+        while next.peek().is_some_and(|s| s.before_line <= lineno) {
+            out.push_str(&next.next().unwrap().text);
+            out.push('\n');
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    for s in next {
+        out.push_str(&s.text);
+        out.push('\n');
+    }
+    out
+}
+
+fn join<T>(items: &[T], sep: &str, mut f: impl FnMut(&T) -> String) -> String {
+    items.iter().map(&mut f).collect::<Vec<_>>().join(sep)
+}
+
+/// Render an expression back to source syntax (used inside directives:
+/// `cyclic(expr)` and `data(...)` indices). Binary operators are fully
+/// parenthesized, which re-parses to the same tree.
+pub fn render_expr(e: &AExpr) -> String {
+    match e {
+        AExpr::Int(v) => v.to_string(),
+        AExpr::Real(v) => {
+            if v.fract() == 0.0 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        AExpr::Name(n) => n.clone(),
+        AExpr::Index(n, args) => format!("{n}({})", join(args, ", ", render_expr)),
+        AExpr::Un(AUnOp::Neg, a) => format!("(-{})", render_expr(a)),
+        AExpr::Un(AUnOp::Not, a) => format!(".not. {}", render_expr(a)),
+        AExpr::Bin(op, a, b) => {
+            let sym = match op {
+                ABinOp::Add => "+",
+                ABinOp::Sub => "-",
+                ABinOp::Mul => "*",
+                ABinOp::Div => "/",
+                ABinOp::Pow => "**",
+                ABinOp::Lt => "<",
+                ABinOp::Le => "<=",
+                ABinOp::Gt => ">",
+                ABinOp::Ge => ">=",
+                ABinOp::Eq => "==",
+                ABinOp::Ne => "/=",
+                ABinOp::And => ".and.",
+                ABinOp::Or => ".or.",
+            };
+            format!("({} {} {})", render_expr(a), sym, render_expr(b))
+        }
+    }
+}
+
+/// Render one `<dist>` item.
+pub fn render_dist_item(i: &DistItem) -> String {
+    match i {
+        DistItem::Block => "block".into(),
+        DistItem::Cyclic(None) => "cyclic".into(),
+        DistItem::Cyclic(Some(e)) => format!("cyclic({})", render_expr(e)),
+        DistItem::Star => "*".into(),
+    }
+}
+
+/// Render a `c$distribute` / `c$distribute_reshape` line.
+pub fn render_distribute(d: &DistributeDir) -> String {
+    let kw = if d.reshape {
+        "c$distribute_reshape"
+    } else {
+        "c$distribute"
+    };
+    let mut s = format!("{kw} {}({})", d.array, join(&d.dists, ", ", render_dist_item));
+    if !d.onto.is_empty() {
+        write!(s, " onto({})", join(&d.onto, ", ", i64::to_string)).unwrap();
+    }
+    s
+}
+
+/// Render a `c$redistribute` line.
+pub fn render_redistribute(array: &str, dists: &[DistItem]) -> String {
+    format!(
+        "c$redistribute {array}({})",
+        join(dists, ", ", render_dist_item)
+    )
+}
+
+/// Render a `c$doacross` line (placed directly before its `do`).
+pub fn render_doacross(d: &DoacrossDir) -> String {
+    let mut s = String::from("c$doacross");
+    if !d.nest.is_empty() {
+        write!(s, " nest({})", d.nest.join(", ")).unwrap();
+    }
+    if !d.locals.is_empty() {
+        write!(s, " local({})", d.locals.join(", ")).unwrap();
+    }
+    if !d.shareds.is_empty() {
+        write!(s, " shared({})", d.shareds.join(", ")).unwrap();
+    }
+    if let Some(AffinityDir {
+        loop_vars,
+        array,
+        indices,
+    }) = &d.affinity
+    {
+        write!(
+            s,
+            " affinity({}) = data({array}({}))",
+            loop_vars.join(", "),
+            join(indices, ", ", render_expr)
+        )
+        .unwrap();
+    }
+    match &d.sched {
+        Some(SchedSpec::Simple) => s.push_str(" schedtype(simple)"),
+        Some(SchedSpec::Interleave(k)) => write!(s, " schedtype(interleave({k}))").unwrap(),
+        Some(SchedSpec::Dynamic(k)) => write!(s, " schedtype(dynamic({k}))").unwrap(),
+        None => {}
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_source;
+
+    const ANNOTATED: &str = "\
+      program main
+      integer i
+      real*8 a(64), b(64)
+c$distribute a(block)
+c$distribute_reshape b(block)
+c$doacross local(i) affinity(i) = data(a(i))
+      do i = 1, 64
+        a(i) = b(i) + 1.0
+      enddo
+c$barrier
+c$redistribute a(cyclic(4))
+      end
+";
+
+    #[test]
+    fn strip_removes_placement_keeps_barrier() {
+        let s = strip_directives(ANNOTATED);
+        assert!(!s.contains("c$distribute"));
+        assert!(!s.contains("c$doacross"));
+        assert!(!s.contains("c$redistribute"));
+        assert!(s.contains("c$barrier"));
+        assert!(s.contains("a(i) = b(i) + 1.0"));
+        parse_source(0, "t.f", &s).expect("stripped source still parses");
+    }
+
+    #[test]
+    fn strip_drops_continuation_lines() {
+        let src = "      program main\nc$doacross local(i) &\nc$  shared(a)\n      end\n";
+        let s = strip_directives(src);
+        assert!(!s.contains("shared"), "{s}");
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn splice_inserts_in_input_line_order() {
+        let src = "l1\nl2\nl3\n";
+        let out = splice_directives(
+            src,
+            &[
+                Splice {
+                    before_line: 3,
+                    text: "X".into(),
+                },
+                Splice {
+                    before_line: 1,
+                    text: "Y".into(),
+                },
+                Splice {
+                    before_line: 99,
+                    text: "Z".into(),
+                },
+            ],
+        );
+        assert_eq!(out, "Y\nl1\nl2\nX\nl3\nZ\n");
+    }
+
+    #[test]
+    fn rendered_directives_round_trip_through_parser() {
+        let units = parse_source(0, "t.f", ANNOTATED).expect("parses");
+        let unit = &units[0];
+        let stripped = strip_directives(ANNOTATED);
+        // Re-render everything the parser saw and splice it back in.
+        let mut inserts: Vec<Splice> = unit
+            .distributes
+            .iter()
+            .map(|d| Splice {
+                before_line: 4, // before the first `do` region of the stripped text
+                text: render_distribute(d),
+            })
+            .collect();
+        let crate::ast::AStmt::Do { doacross, .. } = &unit.body[0] else {
+            panic!("first statement is the do loop");
+        };
+        inserts.push(Splice {
+            before_line: 4,
+            text: render_doacross(doacross.as_ref().expect("has doacross")),
+        });
+        let crate::ast::AStmt::Redistribute { array, dists, .. } = unit.body.last().unwrap() else {
+            panic!("last statement is the redistribute");
+        };
+        inserts.push(Splice {
+            before_line: 6, // after the barrier line of the stripped text
+            text: render_redistribute(array, dists),
+        });
+        let spliced = splice_directives(&stripped, &inserts);
+        let reparsed = parse_source(0, "t.f", &spliced).expect("spliced source parses");
+        let r = &reparsed[0];
+        assert_eq!(r.distributes.len(), 2);
+        assert_eq!(r.distributes[0].dists, unit.distributes[0].dists);
+        assert!(r.distributes[1].reshape);
+        let crate::ast::AStmt::Do { doacross: rd, .. } = &r.body[0] else {
+            panic!("reparsed do");
+        };
+        let rd = rd.as_ref().expect("doacross survived");
+        assert_eq!(rd.locals, doacross.as_ref().unwrap().locals);
+        assert_eq!(rd.affinity, doacross.as_ref().unwrap().affinity);
+    }
+}

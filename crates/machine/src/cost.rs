@@ -1,0 +1,146 @@
+//! Static cost-model inputs derived from a [`MachineConfig`].
+//!
+//! The auto-distribution planner (`dsm-advisor`) prunes its candidate
+//! space with a closed-form estimate of memory-fill cost *before* paying
+//! for a simulation. Everything the estimate needs — fill latencies, the
+//! hop structure of the hypercube, page and line granularity — is a pure
+//! function of the machine configuration, so it lives here next to the
+//! numbers it is derived from rather than being re-derived (and drifting)
+//! inside the planner.
+
+use crate::config::MachineConfig;
+use crate::topology::{diameter, hops, NodeId};
+
+/// Closed-form cost inputs for one machine configuration.
+///
+/// All costs are in processor cycles, matching [`crate::LatencyConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Nodes on the hypercube.
+    pub n_nodes: usize,
+    /// Processors per node.
+    pub procs_per_node: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// L2 line size in bytes (the memory-fill granularity).
+    pub line_size: usize,
+    /// Cost of a fill served by the local node's memory.
+    pub local_fill: u64,
+    /// Base cost of a remote fill (before per-hop latency).
+    pub remote_base: u64,
+    /// Extra cost per router hop of a remote fill.
+    pub per_hop: u64,
+    /// TLB refill penalty.
+    pub tlb_miss: u64,
+    /// Cost charged per remote sharer invalidated on a write.
+    pub invalidation: u64,
+    /// Home-memory occupancy per serviced fill (the hot-node
+    /// serialization effect of Figure 5).
+    pub mem_occupancy: u64,
+}
+
+impl CostModel {
+    /// Cost of a remote fill across `h` router hops.
+    pub fn remote_fill(&self, h: u32) -> u64 {
+        self.remote_base + u64::from(h) * self.per_hop
+    }
+
+    /// Cost of a fill from node `from` to the requester on node `to`.
+    pub fn fill_between(&self, from: NodeId, to: NodeId) -> u64 {
+        if from == to {
+            self.local_fill
+        } else {
+            self.remote_fill(hops(from, to))
+        }
+    }
+
+    /// Mean remote-fill cost over a uniformly random non-local home.
+    ///
+    /// On a binary hypercube of dimension `d` the expected Hamming
+    /// distance between two distinct nodes is `d/2 · 2^d / (2^d - 1)`;
+    /// for planning purposes the `d/2` approximation is plenty.
+    pub fn mean_remote_fill(&self) -> u64 {
+        let d = diameter(self.n_nodes);
+        self.remote_base + u64::from(d) * self.per_hop / 2
+    }
+
+    /// Expected fill cost when the home node is uniformly random over
+    /// all nodes (round-robin placement, or block placement orthogonal
+    /// to the accessing dimension): `1/N` local, the rest remote.
+    pub fn scattered_fill(&self) -> u64 {
+        if self.n_nodes <= 1 {
+            return self.local_fill;
+        }
+        let remote = self.mean_remote_fill() * (self.n_nodes as u64 - 1);
+        (self.local_fill + remote) / self.n_nodes as u64
+    }
+
+    /// Expected fill cost when every fill is served by one hot node
+    /// (serial first-touch placement): the scattered latency *plus* the
+    /// occupancy serialization of a single home memory feeding `N`
+    /// nodes.
+    pub fn hot_node_fill(&self) -> u64 {
+        self.scattered_fill() + self.mem_occupancy * self.n_nodes as u64
+    }
+
+    /// Elements of `elem_bytes` per page.
+    pub fn elems_per_page(&self, elem_bytes: usize) -> usize {
+        (self.page_size / elem_bytes).max(1)
+    }
+}
+
+impl MachineConfig {
+    /// The static cost-model inputs of this configuration (see
+    /// [`CostModel`]).
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            n_nodes: self.n_nodes,
+            procs_per_node: self.procs_per_node,
+            page_size: self.page_size,
+            line_size: self.l2.line_size,
+            local_fill: self.lat.local_mem,
+            remote_base: self.lat.remote_base,
+            per_hop: self.lat.remote_per_hop,
+            tlb_miss: self.lat.tlb_miss,
+            invalidation: self.lat.invalidation,
+            mem_occupancy: self.lat.mem_occupancy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_costs_are_ordered() {
+        let cm = MachineConfig::small_test(8).cost_model();
+        assert!(cm.local_fill < cm.remote_fill(0));
+        assert!(cm.remote_fill(0) < cm.remote_fill(3));
+        assert!(cm.local_fill < cm.scattered_fill());
+        assert!(cm.scattered_fill() < cm.hot_node_fill());
+    }
+
+    #[test]
+    fn fill_between_matches_topology() {
+        let cm = MachineConfig::small_test(8).cost_model();
+        assert_eq!(cm.fill_between(NodeId(2), NodeId(2)), cm.local_fill);
+        assert_eq!(
+            cm.fill_between(NodeId(0), NodeId(3)),
+            cm.remote_fill(2),
+            "two hops between 0b00 and 0b11"
+        );
+    }
+
+    #[test]
+    fn uniprocessor_scatters_to_local() {
+        let cm = MachineConfig::small_test(1).cost_model();
+        assert_eq!(cm.scattered_fill(), cm.local_fill);
+    }
+
+    #[test]
+    fn page_granularity_exposed() {
+        let cm = MachineConfig::small_test(4).cost_model();
+        assert_eq!(cm.elems_per_page(8), cm.page_size / 8);
+    }
+}

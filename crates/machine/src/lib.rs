@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod cost;
 pub mod counters;
 pub mod directory;
 pub mod machine;
@@ -56,6 +57,7 @@ pub mod topology;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::{LatencyConfig, MachineConfig, OpCosts};
+pub use cost::CostModel;
 pub use counters::CounterSet;
 pub use directory::Directory;
 pub use machine::{AccessKind, Machine, MachineShard, VAddr};
