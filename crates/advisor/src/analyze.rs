@@ -211,9 +211,9 @@ fn find_sites(
                 body,
                 ..
             } => {
-                if let Some(site) =
-                    check_confluent(*span, file, my_order, top_level, var, lb, ub, step, body, arrays)
-                {
+                if let Some(site) = check_confluent(
+                    *span, file, my_order, top_level, var, lb, ub, step, body, arrays,
+                ) {
                     sites.push(site);
                     // A confluent loop is annotated as a whole; do not
                     // offer its inner loops as separate (nested doacross
@@ -426,19 +426,12 @@ fn reads_ok(e: &AExpr, written: &[&str], lhs_forms: &[(String, Vec<AExpr>)]) -> 
             args.iter().all(|a| reads_ok(a, written, lhs_forms))
         }
         AExpr::Un(_, a) => reads_ok(a, written, lhs_forms),
-        AExpr::Bin(_, a, b) => {
-            reads_ok(a, written, lhs_forms) && reads_ok(b, written, lhs_forms)
-        }
+        AExpr::Bin(_, a, b) => reads_ok(a, written, lhs_forms) && reads_ok(b, written, lhs_forms),
         _ => true,
     }
 }
 
-fn collect_reads(
-    e: &AExpr,
-    arrays: &[&str],
-    var: &str,
-    out: &mut Vec<(String, Option<usize>)>,
-) {
+fn collect_reads(e: &AExpr, arrays: &[&str], var: &str, out: &mut Vec<(String, Option<usize>)>) {
     match e {
         AExpr::Index(name, args) => {
             if arrays.contains(&name.as_str()) {

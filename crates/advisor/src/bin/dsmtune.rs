@@ -8,7 +8,8 @@
 
 use std::process::ExitCode;
 
-use dsm_advisor::{advise, AdvisorConfig};
+use dsm_advisor::{advise, migration_baselines, AdvisorConfig, MigrationRow};
+use dsm_machine::MigrationPolicy;
 
 const USAGE: &str = "usage: dsmtune [options] file.f [file.f ...]
   -p, --procs N      processors (default 8)
@@ -18,6 +19,9 @@ const USAGE: &str = "usage: dsmtune [options] file.f [file.f ...]
       --plan-json F  write the machine-readable plan to F
       --emit F       write the annotated Fortran main file to F
       --no-verify    skip oracle verification of the winner
+      --baseline=migrate  also run the plan's loops with no placement
+                     under off/threshold/competitive migration and print
+                     the directive-vs-migration comparison table
 ";
 
 fn num_arg(args: &mut std::env::Args, flag: &str) -> Result<usize, String> {
@@ -37,6 +41,7 @@ fn run() -> Result<(), String> {
     let mut cfg = AdvisorConfig::default();
     let mut plan_json: Option<String> = None;
     let mut emit: Option<String> = None;
+    let mut baseline_migrate = false;
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args();
     args.next();
@@ -49,6 +54,15 @@ fn run() -> Result<(), String> {
             "--plan-json" => plan_json = Some(path_arg(&mut args, &a)?),
             "--emit" => emit = Some(path_arg(&mut args, &a)?),
             "--no-verify" => cfg.verify = false,
+            "--baseline=migrate" => baseline_migrate = true,
+            "--baseline" => match args.next().as_deref() {
+                Some("migrate") => baseline_migrate = true,
+                other => {
+                    return Err(format!(
+                        "dsmtune: unknown --baseline mode {other:?} (try migrate)\n{USAGE}"
+                    ))
+                }
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return Ok(());
@@ -96,6 +110,16 @@ fn run() -> Result<(), String> {
     for d in advice.directives() {
         println!("auto:   {d}");
     }
+    if baseline_migrate {
+        let policies = [
+            MigrationPolicy::Off,
+            MigrationPolicy::threshold(4),
+            MigrationPolicy::competitive(4),
+        ];
+        let rows = migration_baselines(&advice, &cfg, &policies)
+            .map_err(|e| format!("dsmtune: --baseline=migrate: {e}"))?;
+        print_migration_table(&rows, &advice);
+    }
     if let Some(p) = &plan_json {
         std::fs::write(p, advice.plan_json())
             .map_err(|e| format!("dsmtune: cannot write {p}: {e}"))?;
@@ -107,6 +131,41 @@ fn run() -> Result<(), String> {
         println!("auto: annotated Fortran written to {p}");
     }
     Ok(())
+}
+
+/// The directive-vs-migration table: the plan's loops under first-touch
+/// placement and each migration policy, then the full directive plan.
+fn print_migration_table(rows: &[MigrationRow], advice: &dsm_advisor::Advice) {
+    println!("=== directive plan vs reactive migration ===");
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>10}",
+        "policy", "total-cycles", "kernel-cycles", "remote-misses", "pages-mig"
+    );
+    for r in rows {
+        println!(
+            "{:<16} {:>14} {:>14} {:>14} {:>10}",
+            r.policy.to_string(),
+            r.measure.total_cycles,
+            r.measure.kernel_cycles,
+            r.measure.remote_misses,
+            r.pages_migrated
+        );
+    }
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>10}",
+        "plan", advice.best.total_cycles, advice.best.kernel_cycles, advice.best.remote_misses, 0
+    );
+    if let Some(best) = rows
+        .iter()
+        .filter(|r| !r.policy.is_off())
+        .min_by_key(|r| r.measure.kernel_cycles)
+    {
+        let speedup = best.measure.kernel_cycles as f64 / advice.best.kernel_cycles.max(1) as f64;
+        println!(
+            "plan speedup over best migration policy ({}): {:.2}x kernel cycles",
+            best.policy, speedup
+        );
+    }
 }
 
 fn main() -> ExitCode {

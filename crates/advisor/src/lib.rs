@@ -34,6 +34,7 @@ use std::time::Duration;
 
 use dsm_compile::OptConfig;
 use dsm_exec::Profile;
+use dsm_machine::MigrationPolicy;
 
 pub use analyze::{analyze, Analysis, ArrayInfo, LoopSite};
 pub use plan::{Di, Plan, PlanDist, PlanLoop, PlanRedist};
@@ -267,6 +268,84 @@ pub fn advise(sources: &[(String, String)], cfg: &AdvisorConfig) -> Result<Advic
         serial_eval_wall: outcome.serial_eval_wall,
         analysis: an,
     })
+}
+
+/// One row of the directive-vs-migration comparison printed by
+/// `dsmtune --baseline=migrate`: the winning plan's parallel loops with
+/// every placement directive (and affinity clause) removed — i.e. the
+/// program a placement-oblivious compiler would run, placed by first
+/// touch — executed under one reactive page-migration policy.
+#[derive(Debug, Clone)]
+pub struct MigrationRow {
+    /// The policy this row ran under.
+    pub policy: MigrationPolicy,
+    /// The run's measurement triple.
+    pub measure: Measure,
+    /// Pages the daemon moved.
+    pub pages_migrated: u64,
+    /// Cycles the daemon charged for copies and shootdowns.
+    pub migration_cycles: u64,
+}
+
+/// Measure the migration alternative to the chosen plan: strip the plan
+/// down to its parallel loops (no distributions, no affinity, no
+/// redistributes) and run that first-touch program under each of
+/// `policies` on the same machine configuration the search used.
+///
+/// # Errors
+///
+/// [`AdvisorError::Baseline`] when the stripped-loop program fails to
+/// compile or run — which the search's own baseline makes unlikely.
+pub fn migration_baselines(
+    advice: &Advice,
+    cfg: &AdvisorConfig,
+    policies: &[MigrationPolicy],
+) -> Result<Vec<MigrationRow>, AdvisorError> {
+    use dsm_machine::{Machine, MachineConfig};
+    let loops_only = Plan {
+        dists: Vec::new(),
+        redists: Vec::new(),
+        loops: advice
+            .plan
+            .loops
+            .iter()
+            .map(|l| PlanLoop {
+                affinity: None,
+                ..l.clone()
+            })
+            .collect(),
+    };
+    let annotated = loops_only.annotate(&advice.analysis);
+    let borrowed: Vec<(&str, &str)> = annotated
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    let compiled = dsm_compile::compile_strings(&borrowed, &cfg.opt)
+        .map_err(|e| AdvisorError::Baseline(format!("loops-only program: {e:?}")))?;
+    let mut rows = Vec::with_capacity(policies.len());
+    for &policy in policies {
+        let mut machine = Machine::new(MachineConfig::scaled_origin2000(cfg.nprocs, cfg.scale));
+        // Threaded teams, unlike the advisor's serial-replay search runs:
+        // the migration daemon's behaviour depends on reference counters
+        // accumulating from all members concurrently, and serial replay
+        // distorts that sampling (one member at a time dominates).
+        let opts = dsm_exec::ExecOptions::new(cfg.nprocs)
+            .max_steps(cfg.max_steps)
+            .migration(policy);
+        let report = dsm_exec::run_program(&mut machine, &compiled.program, &opts)
+            .map_err(|e| AdvisorError::Baseline(format!("migrate={policy}: {e}")))?;
+        rows.push(MigrationRow {
+            policy,
+            measure: Measure {
+                total_cycles: report.total_cycles,
+                kernel_cycles: report.kernel_cycles(),
+                remote_misses: report.total.remote_misses,
+            },
+            pages_migrated: report.pages_migrated,
+            migration_cycles: report.migration_cycles,
+        });
+    }
+    Ok(rows)
 }
 
 fn profile_plan(plan: &Plan, an: &Analysis, cfg: &AdvisorConfig) -> Option<Box<Profile>> {

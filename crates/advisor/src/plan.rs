@@ -130,7 +130,8 @@ impl Plan {
     #[must_use]
     pub fn with_redist(&self, r: PlanRedist) -> Plan {
         let mut p = self.clone();
-        p.redists.retain(|x| x.array != r.array || x.before_line != r.before_line);
+        p.redists
+            .retain(|x| x.array != r.array || x.before_line != r.before_line);
         p.redists.push(r);
         p
     }
@@ -215,9 +216,7 @@ impl Plan {
         an.stripped
             .iter()
             .zip(per_file)
-            .map(|((name, text), (_, inserts))| {
-                (name.clone(), splice_directives(text, &inserts))
-            })
+            .map(|((name, text), (_, inserts))| (name.clone(), splice_directives(text, &inserts)))
             .collect()
     }
 

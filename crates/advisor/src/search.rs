@@ -103,8 +103,7 @@ impl Ctx<'_> {
             .profile(profile)
             .max_steps(self.cfg.max_steps)
             .capture(&names);
-        let mut out =
-            run_outcome(&mut machine, &compiled.program, &opts).map_err(|_| EvalFail)?;
+        let mut out = run_outcome(&mut machine, &compiled.program, &opts).map_err(|_| EvalFail)?;
         let bits = capture_bits(&out.captures);
         if !self.baseline_bits.is_empty() && bits != self.baseline_bits {
             return Err(EvalFail);
@@ -145,8 +144,12 @@ pub fn search(an: &Analysis, cfg: &AdvisorConfig) -> Result<SearchOutcome, Strin
         .iter()
         .map(|(n, t)| (n.as_str(), t.as_str()))
         .collect();
-    let compiled = compile_strings(&borrowed, &cfg.opt)
-        .map_err(|es| format!("baseline does not compile: {}", es.first().map(|e| e.msg.clone()).unwrap_or_default()))?;
+    let compiled = compile_strings(&borrowed, &cfg.opt).map_err(|es| {
+        format!(
+            "baseline does not compile: {}",
+            es.first().map(|e| e.msg.clone()).unwrap_or_default()
+        )
+    })?;
     let mut machine = Machine::new(ctx.machine());
     let names: Vec<&str> = ctx.captures.iter().map(String::as_str).collect();
     let opts = ExecOptions::new(cfg.nprocs)
@@ -263,11 +266,7 @@ fn run_wave(ctx: &Ctx<'_>, cm: &dsm_machine::CostModel, state: &mut State, cands
         return;
     }
 
-    let threads = ctx
-        .cfg
-        .threads
-        .max(1)
-        .min(survivors.len());
+    let threads = ctx.cfg.threads.max(1).min(survivors.len());
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, Result<Eval, EvalFail>)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
@@ -532,9 +531,9 @@ mod tests {
 
         let incumbent = wave1[1].clone();
         let dists = dist_candidates(&an, &incumbent, "a");
-        assert!(dists
-            .iter()
-            .any(|p| p.dist_of("a").is_some_and(|d| d.reshape && d.items == vec![Di::Block, Di::Star])));
+        assert!(dists.iter().any(|p| p
+            .dist_of("a")
+            .is_some_and(|d| d.reshape && d.items == vec![Di::Block, Di::Star])));
 
         let redists = redistribute_candidates(&an, &incumbent);
         assert_eq!(redists.len(), 1, "{redists:#?}");
@@ -565,9 +564,9 @@ mod tests {
         // schedules.
         assert!(cands.len() >= 5, "{}", cands.len());
         assert!(cands[0].loops.iter().all(|l| l.site != 1));
-        assert!(cands
+        assert!(cands.iter().any(|p| p
+            .loops
             .iter()
-            .any(|p| p.loops.iter().any(|l| l.site == 1
-                && l.affinity == Some(("a".to_string(), 0)))));
+            .any(|l| l.site == 1 && l.affinity == Some(("a".to_string(), 0)))));
     }
 }

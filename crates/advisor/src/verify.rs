@@ -6,9 +6,12 @@
 
 use dsm_compile::OptConfig;
 use dsm_conformance::{check_sources, Matrix};
+use dsm_machine::MigrationPolicy;
 
 /// The verification matrix: uniprocessor plus the search's processor
-/// count, default optimization, the three quick modes.
+/// count, default optimization, the three quick modes, migration off
+/// and threshold (plans must stay bit-identical when the daemon moves
+/// their pages around underneath them).
 fn matrix(nprocs: usize) -> Matrix {
     let mut procs = vec![1];
     let p = nprocs.clamp(2, 8);
@@ -18,7 +21,12 @@ fn matrix(nprocs: usize) -> Matrix {
     Matrix {
         procs,
         opt_variants: vec![("default", OptConfig::default())],
-        modes: vec![(true, false, false), (false, false, false), (true, true, true)],
+        modes: vec![
+            (true, false, false),
+            (false, false, false),
+            (true, true, true),
+        ],
+        policies: vec![MigrationPolicy::Off, MigrationPolicy::threshold(4)],
     }
 }
 

@@ -26,6 +26,7 @@ fn oracle_matrix() -> Matrix {
         procs: vec![1, 4],
         opt_variants: vec![("default", OptConfig::default())],
         modes: vec![(true, false, false), (false, false, false)],
+        policies: vec![dsm_machine::MigrationPolicy::Off],
     }
 }
 

@@ -121,7 +121,7 @@ c$doacross local(i) shared(a)
     let mut cfg2 = Policy::FirstTouch.machine(8, scale);
     let mut plain = Machine::new(cfg2.clone());
     let r_plain = dsm_exec::run_program(&mut plain, prog.program(), &ExecOptions::new(8)).unwrap();
-    cfg2.migration_threshold = Some(4);
+    cfg2.migration = dsm_machine::MigrationPolicy::threshold(4);
     let mut mig = Machine::new(cfg2);
     let r_mig = dsm_exec::run_program(&mut mig, prog.program(), &ExecOptions::new(8)).unwrap();
     println!("=== ablation: OS page migration (no directives, serial init) ===");

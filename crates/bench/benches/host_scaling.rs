@@ -64,11 +64,16 @@ fn main() {
     let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
     println!("Host scaling: fig5 transpose, reshaped, simulated nprocs={NPROCS}");
     println!("  host cores available:    {cores}");
-    println!("  serial-team region wall: {serial_wall:?} (total {:?})", sr.host_wall);
-    println!("  parallel region wall:    {parallel_wall:?} (total {:?})", pr.host_wall);
+    println!(
+        "  serial-team region wall: {serial_wall:?} (total {:?})",
+        sr.host_wall
+    );
+    println!(
+        "  parallel region wall:    {parallel_wall:?} (total {:?})",
+        pr.host_wall
+    );
     println!("  wall-clock speedup:      {speedup:.2}x (best of {RUNS} runs each)");
-    let overhead =
-        profiled_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9) - 1.0;
+    let overhead = profiled_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9) - 1.0;
     println!(
         "  profiled region wall:    {profiled_wall:?} ({:+.1}% over unprofiled)",
         overhead * 100.0

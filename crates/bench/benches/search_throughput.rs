@@ -41,10 +41,7 @@ fn measure(label: &str, sources: &[(String, String)], cfg: &AdvisorConfig) {
 }
 
 fn heat_source() -> String {
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../examples/fortran/heat.f"
-    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/fortran/heat.f");
     std::fs::read_to_string(path).expect("read examples/fortran/heat.f")
 }
 

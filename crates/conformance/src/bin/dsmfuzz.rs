@@ -28,7 +28,8 @@ struct Args {
     out: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: dsmfuzz [--seed S] [--count N] [--replay SEED] [--dump SEED] [--quick] [--out DIR]";
+const USAGE: &str =
+    "usage: dsmfuzz [--seed S] [--count N] [--replay SEED] [--dump SEED] [--quick] [--out DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -53,11 +54,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(num("--replay")?),
             "--dump" => args.dump = Some(num("--dump")?),
             "--quick" => args.quick = true,
-            "--out" => {
-                args.out = Some(PathBuf::from(
-                    it.next().ok_or("--out needs a directory")?,
-                ))
-            }
+            "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -100,9 +97,7 @@ fn main() {
                 total_runs += stats.runs;
                 let done = seed - first + 1;
                 if done % 25 == 0 || done == count {
-                    eprintln!(
-                        "dsmfuzz: {done}/{count} programs conform ({total_runs} runs)"
-                    );
+                    eprintln!("dsmfuzz: {done}/{count} programs conform ({total_runs} runs)");
                 }
             }
             Err(d) => {
@@ -151,7 +146,10 @@ fn report_failure(
         .err()
         .map(|e| e.to_string())
         .unwrap_or_else(|| "shrunken program no longer fails (flaky?)".into());
-    eprintln!("--- minimal reproducer ({} lines) ---", min_src.lines().count());
+    eprintln!(
+        "--- minimal reproducer ({} lines) ---",
+        min_src.lines().count()
+    );
     eprint!("{min_src}");
     eprintln!("--- divergence on minimal reproducer ---");
     eprintln!("  {min_div}");

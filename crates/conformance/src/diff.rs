@@ -1,12 +1,13 @@
 //! Differential runner: one program, every configuration, one verdict.
 //!
 //! Each program is compiled once per optimization variant and executed
-//! across the processor-count × serial-team × checks × profile matrix.
+//! across the processor-count × migration-policy × serial-team × checks
+//! × profile matrix.
 //! Every run is held to three standards:
 //!
 //! 1. **Oracle agreement** — captured arrays are bit-identical to the
-//!    layout-oblivious reference evaluation (directives change
-//!    placement, never values).
+//!    layout-oblivious reference evaluation (directives — and reactive
+//!    page migration — change placement, never values).
 //! 2. **Counter balance** — per processor and in aggregate, every L2
 //!    miss is served locally or remotely (`local + remote == l2`), the
 //!    hierarchy filters monotonically (`l2 ≤ l1 ≤ accesses`), and when
@@ -20,7 +21,7 @@
 use crate::oracle;
 use dsm_compile::{compile_strings, OptConfig};
 use dsm_exec::{run_outcome, ExecOptions, RunOutcome};
-use dsm_machine::{CounterSet, Machine, MachineConfig};
+use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy};
 
 /// Which slice of the configuration matrix to run.
 #[derive(Debug, Clone)]
@@ -31,11 +32,14 @@ pub struct Matrix {
     pub opt_variants: Vec<(&'static str, OptConfig)>,
     /// (serial_team, checks, profile) combinations.
     pub modes: Vec<(bool, bool, bool)>,
+    /// Reactive page-migration policies each mode runs under.
+    pub policies: Vec<MigrationPolicy>,
 }
 
 impl Matrix {
     /// The full acceptance matrix: P ∈ {1, 2, 4, 8}, both optimization
-    /// variants, all eight mode combinations.
+    /// variants, all eight mode combinations, all three migration
+    /// policies.
     pub fn full() -> Self {
         let mut modes = Vec::new();
         for serial in [true, false] {
@@ -52,22 +56,33 @@ impl Matrix {
                 ("none", OptConfig::none()),
             ],
             modes,
+            policies: vec![
+                MigrationPolicy::Off,
+                MigrationPolicy::threshold(4),
+                MigrationPolicy::competitive(4),
+            ],
         }
     }
 
     /// A cheap smoke slice for debug-mode tests: default optimizations,
-    /// P ∈ {1, 4}, serial/threaded plain plus one everything-on run.
+    /// P ∈ {1, 4}, serial/threaded plain plus one everything-on run,
+    /// migration off and threshold.
     pub fn quick() -> Self {
         Matrix {
             procs: vec![1, 4],
             opt_variants: vec![("default", OptConfig::default())],
-            modes: vec![(true, false, false), (false, false, false), (true, true, true)],
+            modes: vec![
+                (true, false, false),
+                (false, false, false),
+                (true, true, true),
+            ],
+            policies: vec![MigrationPolicy::Off, MigrationPolicy::threshold(4)],
         }
     }
 
     /// Number of primary runs (determinism replicas excluded).
     pub fn runs(&self) -> usize {
-        self.procs.len() * self.opt_variants.len() * self.modes.len()
+        self.procs.len() * self.opt_variants.len() * self.modes.len() * self.policies.len()
     }
 }
 
@@ -131,17 +146,28 @@ pub fn check_sources(
         })?;
         clones = clones.max(compiled.prelink.clones_created);
         for &p in &matrix.procs {
-            // Reference cycle timings of this (opt, P): serial-team,
-            // plain. Used to pin profiling as purely observational.
-            let mut serial_plain: Option<RunOutcome> = None;
-            for &(serial, checks, profile) in &matrix.modes {
-                let config = format!(
-                    "opt={opt_name} P={p} serial_team={} checks={} profile={}",
-                    on(serial),
-                    on(checks),
-                    on(profile)
-                );
-                let out = execute(&compiled.program, p, serial, checks, profile, &capture_refs)
+            for &policy in &matrix.policies {
+                // Reference cycle timings of this (opt, P, policy):
+                // serial-team, plain. Used to pin profiling as purely
+                // observational (migration decisions do not depend on the
+                // profile flag, so the base is compared within one policy).
+                let mut serial_plain: Option<RunOutcome> = None;
+                for &(serial, checks, profile) in &matrix.modes {
+                    let config = format!(
+                        "opt={opt_name} P={p} migrate={policy} serial_team={} checks={} profile={}",
+                        on(serial),
+                        on(checks),
+                        on(profile)
+                    );
+                    let out = execute(
+                        &compiled.program,
+                        p,
+                        policy,
+                        serial,
+                        checks,
+                        profile,
+                        &capture_refs,
+                    )
                     .map_err(|e| {
                         Box::new(Divergence {
                             config: config.clone(),
@@ -149,14 +175,22 @@ pub fn check_sources(
                             detail: e,
                         })
                     })?;
-                runs += 1;
-                compare_captures(&out, &expected, captures, &config)?;
-                check_balance(&out, profile, &config)?;
+                    runs += 1;
+                    compare_captures(&out, &expected, captures, &config)?;
+                    check_balance(&out, profile, &config)?;
 
-                if serial && !checks && !profile {
-                    // Serial-team simulation has no host concurrency at
-                    // all: a second run must be cycle-exact.
-                    let again = execute(&compiled.program, p, serial, checks, profile, &capture_refs)
+                    if serial && !checks && !profile {
+                        // Serial-team simulation has no host concurrency at
+                        // all: a second run must be cycle-exact.
+                        let again = execute(
+                            &compiled.program,
+                            p,
+                            policy,
+                            serial,
+                            checks,
+                            profile,
+                            &capture_refs,
+                        )
                         .map_err(|e| {
                             Box::new(Divergence {
                                 config: config.clone(),
@@ -164,14 +198,22 @@ pub fn check_sources(
                                 detail: e,
                             })
                         })?;
-                    runs += 1;
-                    check_replica(&out, &again, true, &config)?;
-                    serial_plain = Some(out);
-                } else if !serial && !checks && !profile {
-                    // Threaded runs must repeat with identical data and
-                    // access totals; cycles may wobble under false
-                    // sharing, so they are not compared here.
-                    let again = execute(&compiled.program, p, serial, checks, profile, &capture_refs)
+                        runs += 1;
+                        check_replica(&out, &again, true, &config)?;
+                        serial_plain = Some(out);
+                    } else if !serial && !checks && !profile {
+                        // Threaded runs must repeat with identical data and
+                        // access totals; cycles may wobble under false
+                        // sharing, so they are not compared here.
+                        let again = execute(
+                            &compiled.program,
+                            p,
+                            policy,
+                            serial,
+                            checks,
+                            profile,
+                            &capture_refs,
+                        )
                         .map_err(|e| {
                             Box::new(Divergence {
                                 config: config.clone(),
@@ -179,23 +221,24 @@ pub fn check_sources(
                                 detail: e,
                             })
                         })?;
-                    runs += 1;
-                    check_replica(&out, &again, false, &config)?;
-                } else if serial && !checks && profile {
-                    // Attribution must be observational: identical
-                    // simulated time and counters as the plain run.
-                    if let Some(base) = &serial_plain {
-                        if base.report.total_cycles != out.report.total_cycles
-                            || base.report.total != out.report.total
-                        {
-                            return Err(Box::new(Divergence {
-                                config,
-                                kind: "profile-perturbs",
-                                detail: format!(
-                                    "plain {} cycles vs profiled {}",
-                                    base.report.total_cycles, out.report.total_cycles
-                                ),
-                            }));
+                        runs += 1;
+                        check_replica(&out, &again, false, &config)?;
+                    } else if serial && !checks && profile {
+                        // Attribution must be observational: identical
+                        // simulated time and counters as the plain run.
+                        if let Some(base) = &serial_plain {
+                            if base.report.total_cycles != out.report.total_cycles
+                                || base.report.total != out.report.total
+                            {
+                                return Err(Box::new(Divergence {
+                                    config,
+                                    kind: "profile-perturbs",
+                                    detail: format!(
+                                        "plain {} cycles vs profiled {}",
+                                        base.report.total_cycles, out.report.total_cycles
+                                    ),
+                                }));
+                            }
                         }
                     }
                 }
@@ -216,12 +259,15 @@ fn on(b: bool) -> &'static str {
 fn execute(
     program: &dsm_ir::Program,
     p: usize,
+    policy: MigrationPolicy,
     serial: bool,
     checks: bool,
     profile: bool,
     captures: &[&str],
 ) -> Result<RunOutcome, String> {
-    let mut machine = Machine::new(MachineConfig::small_test(p));
+    let mut cfg = MachineConfig::small_test(p);
+    cfg.migration = policy;
+    let mut machine = Machine::new(cfg);
     let opts = ExecOptions::new(p)
         .serial_team(serial)
         .with_checks(checks)
@@ -268,11 +314,7 @@ fn compare_captures(
 }
 
 /// Structural counter identities that hold for *every* run.
-fn check_balance(
-    out: &RunOutcome,
-    profile: bool,
-    config: &str,
-) -> Result<(), Box<Divergence>> {
+fn check_balance(out: &RunOutcome, profile: bool, config: &str) -> Result<(), Box<Divergence>> {
     let fail = |detail: String, kind: &'static str| {
         Err(Box::new(Divergence {
             config: config.into(),
@@ -393,8 +435,7 @@ fn check_replica(
     // report spurious differences (NaN != NaN).
     let same_bits = a.captures.len() == b.captures.len()
         && a.captures.iter().zip(&b.captures).all(|(x, y)| {
-            x.len() == y.len()
-                && x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits())
+            x.len() == y.len() && x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits())
         });
     if !same_bits {
         return fail("captured arrays differ between identical runs".into());
@@ -410,9 +451,7 @@ fn check_replica(
         if ra.total != rb.total || ra.per_proc != rb.per_proc {
             return fail("counters differ between identical serial-team runs".into());
         }
-        if ra.parallel_cycles != rb.parallel_cycles
-            || ra.pages_per_node != rb.pages_per_node
-        {
+        if ra.parallel_cycles != rb.parallel_cycles || ra.pages_per_node != rb.pages_per_node {
             return fail("region cycles / page placement differ between runs".into());
         }
     } else {
@@ -446,13 +485,19 @@ mod tests {
     #[test]
     fn clean_program_passes_quick_matrix() {
         let src = "      program main\n      integer i\n      real*8 a(16)\nc$distribute a(block)\nc$doacross local(i)\n      do i = 1, 16\n        a(i) = dble(i) * 0.5\n      enddo\n      end\n";
-        let stats = check_sources(
-            &sources(src),
-            &["a".to_string()],
-            &Matrix::quick(),
-        )
-        .expect("conformant program");
+        let stats = check_sources(&sources(src), &["a".to_string()], &Matrix::quick())
+            .expect("conformant program");
         assert!(stats.runs >= Matrix::quick().runs());
+    }
+
+    #[test]
+    fn matrix_includes_migration_axis() {
+        let q = Matrix::quick();
+        assert!(q.policies.contains(&MigrationPolicy::Off));
+        assert!(q.policies.iter().any(|p| !p.is_off()));
+        let f = Matrix::full();
+        assert_eq!(f.policies.len(), 3);
+        assert_eq!(f.runs(), 4 * 2 * 8 * 3);
     }
 
     #[test]

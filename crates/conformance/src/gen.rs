@@ -15,8 +15,8 @@
 //! nesting, expression trees — is fuzzed freely.
 
 use crate::spec::{
-    AffSpec, ArraySpec, Bounds, DistItemSpec, DistSpec, ElemTy, LoopSpec, Phase,
-    RExpr, ReadKind, SchedSpec, Spec, SubSpec,
+    AffSpec, ArraySpec, Bounds, DistItemSpec, DistSpec, ElemTy, LoopSpec, Phase, RExpr, ReadKind,
+    SchedSpec, Spec, SubSpec,
 };
 use rand::{Rng, SmallRng};
 
@@ -54,7 +54,8 @@ fn strip_spec(spec: &mut Spec) {
     for s in &mut spec.subs {
         s.doacross = false;
     }
-    spec.phases.retain(|p| !matches!(p, Phase::Redistribute { .. }));
+    spec.phases
+        .retain(|p| !matches!(p, Phase::Redistribute { .. }));
     for p in &mut spec.phases {
         if let Phase::Loop(l) = p {
             l.doacross = false;
@@ -212,7 +213,10 @@ fn gen_loop(r: &mut SmallRng, spec: &Spec, doacross: bool) -> LoopSpec {
         .collect();
     let affinity = if doacross && !aff_pairs.is_empty() && r.gen_range(0..10) < 4 {
         let (t, aslot) = *pick(r, &aff_pairs);
-        Some(AffSpec { arr: t, slot: aslot })
+        Some(AffSpec {
+            arr: t,
+            slot: aslot,
+        })
     } else {
         None
     };
@@ -444,7 +448,7 @@ mod tests {
     }
 
     #[test]
-    fn first_hundred_seeds_parse(){
+    fn first_hundred_seeds_parse() {
         for seed in 0..100u64 {
             let spec = generate(seed);
             for (name, text) in spec.render() {

@@ -27,9 +27,7 @@
 //! unobservable in captured arrays.
 
 use dsm_exec::value::Value;
-use dsm_frontend::ast::{
-    ABinOp, AExpr, AStmt, ATy, AUnOp, SourceUnit, UnitKind,
-};
+use dsm_frontend::ast::{ABinOp, AExpr, AStmt, ATy, AUnOp, SourceUnit, UnitKind};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -139,10 +137,7 @@ pub struct Oracle {
 /// bit-level `f64` vectors, exactly as the simulator's capture path
 /// reports them: `real*8` elements verbatim, `integer` elements as the
 /// raw `i64` bits reinterpreted, unknown names as empty vectors.
-pub fn evaluate(
-    sources: &[(String, String)],
-    captures: &[String],
-) -> OResult<Vec<Vec<f64>>> {
+pub fn evaluate(sources: &[(String, String)], captures: &[String]) -> OResult<Vec<Vec<f64>>> {
     let mut oracle = Oracle::new(sources)?;
     let arrays = oracle.run()?;
     Ok(captures
@@ -171,9 +166,8 @@ impl Oracle {
         let mut main = None;
         let mut subs = HashMap::new();
         for (idx, (name, text)) in sources.iter().enumerate() {
-            let units = dsm_frontend::parse_source(idx, name, text).map_err(|errs| {
-                OracleError::Parse(format!("{name}: {errs:?}"))
-            })?;
+            let units = dsm_frontend::parse_source(idx, name, text)
+                .map_err(|errs| OracleError::Parse(format!("{name}: {errs:?}")))?;
             for u in units {
                 match u.kind {
                     UnitKind::Program => main = Some(u),
@@ -183,9 +177,7 @@ impl Oracle {
                 }
             }
         }
-        let main = main.ok_or_else(|| {
-            OracleError::Parse("no program unit found".into())
-        })?;
+        let main = main.ok_or_else(|| OracleError::Parse("no program unit found".into()))?;
         Ok(Oracle {
             main,
             subs,
@@ -294,7 +286,10 @@ impl Oracle {
         self.tick()?;
         match st {
             AStmt::Assign {
-                lhs, lhs_indices, rhs, ..
+                lhs,
+                lhs_indices,
+                rhs,
+                ..
             } => {
                 let v = self.eval_in(act, rhs)?;
                 if lhs_indices.is_empty() {
@@ -395,13 +390,7 @@ impl Oracle {
         Ok(())
     }
 
-    fn exec_call(
-        &mut self,
-        name: &str,
-        args: &[AExpr],
-        act: &mut Act,
-        depth: u32,
-    ) -> OResult<()> {
+    fn exec_call(&mut self, name: &str, args: &[AExpr], act: &mut Act, depth: u32) -> OResult<()> {
         if depth > 64 {
             return Err(OracleError::Runtime("call depth limit".into()));
         }

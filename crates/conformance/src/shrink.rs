@@ -126,7 +126,11 @@ fn candidates(spec: &Spec) -> Vec<Spec> {
         }
     }
     for i in 0..spec.subs.len() {
-        if !spec.phases.iter().any(|p| matches!(p, Phase::Call { sub, .. } if *sub == i)) {
+        if !spec
+            .phases
+            .iter()
+            .any(|p| matches!(p, Phase::Call { sub, .. } if *sub == i))
+        {
             let mut s = spec.clone();
             s.subs.remove(i);
             for p in &mut s.phases {

@@ -303,15 +303,10 @@ impl Spec {
             Phase::Init { arr, rhs } => {
                 let a = &self.arrays[*arr];
                 let rank = a.dims.len();
-                let idx: Vec<String> =
-                    (0..rank).map(|d| LOOP_VARS[d].to_string()).collect();
+                let idx: Vec<String> = (0..rank).map(|d| LOOP_VARS[d].to_string()).collect();
                 let lhs = format!("{}({})", a.name, idx.join(", "));
                 for (d, e) in a.dims.iter().enumerate() {
-                    out.push_str(&format!(
-                        "{}do {} = 1, {e}\n",
-                        indent(d),
-                        LOOP_VARS[d]
-                    ));
+                    out.push_str(&format!("{}do {} = 1, {e}\n", indent(d), LOOP_VARS[d]));
                 }
                 let cx = RenderCx {
                     spec: self,
@@ -405,7 +400,13 @@ impl Spec {
             if let Some(aff) = &l.affinity {
                 let t = &self.arrays[aff.arr];
                 let idx: Vec<String> = (0..t.dims.len())
-                    .map(|d| if d == aff.slot { "i".into() } else { "1".to_string() })
+                    .map(|d| {
+                        if d == aff.slot {
+                            "i".into()
+                        } else {
+                            "1".to_string()
+                        }
+                    })
                     .collect();
                 dir.push_str(&format!(
                     " affinity(i) = data({}({}))",
@@ -433,18 +434,11 @@ impl Spec {
         out.push_str(&format!("      do i = {bounds}\n"));
         let mut depth = 1;
         if let Some(k) = l.guard {
-            out.push_str(&format!(
-                "{}if (mod(i, {k}) .eq. 0) then\n",
-                indent(depth)
-            ));
+            out.push_str(&format!("{}if (mod(i, {k}) .eq. 0) then\n", indent(depth)));
             depth += 1;
         }
         for (d, v) in &inner {
-            out.push_str(&format!(
-                "{}do {v} = 1, {}\n",
-                indent(depth),
-                a.dims[*d]
-            ));
+            out.push_str(&format!("{}do {v} = 1, {}\n", indent(depth), a.dims[*d]));
             depth += 1;
         }
         let cx = RenderCx {
@@ -471,10 +465,7 @@ impl Spec {
     fn render_sub(&self, out: &mut String, s: &SubSpec) {
         let rank = s.dims.len();
         out.push_str(&format!("      subroutine {}(x)\n", s.name));
-        out.push_str(&format!(
-            "      integer {}\n",
-            LOOP_VARS[..rank].join(", ")
-        ));
+        out.push_str(&format!("      integer {}\n", LOOP_VARS[..rank].join(", ")));
         let dims = s
             .dims
             .iter()

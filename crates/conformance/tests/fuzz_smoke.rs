@@ -1,5 +1,7 @@
 //! End-to-end tests for the `dsmfuzz` binary: a clean smoke run over the
-//! quick matrix, and a fault-injection run proving the harness actually
+//! quick matrix (which since the reactive-migration work also samples the
+//! migration-policy axis: every generated program runs under `off` and
+//! `threshold:4`), and a fault-injection run proving the harness actually
 //! detects, shrinks, and reports a planted interpreter bug.
 
 use std::process::Command;
@@ -60,13 +62,21 @@ fn injected_chunk_bug_is_caught_and_shrunk() {
             rest.split_whitespace().next()?.parse().ok()
         })
         .expect("minimal reproducer header in output");
-    assert!(lines <= 15, "reproducer too large ({lines} lines):\n{stderr}");
+    assert!(
+        lines <= 15,
+        "reproducer too large ({lines} lines):\n{stderr}"
+    );
 
     // Replay artifacts land in --out: full program, shrunk program,
     // divergence report (seed number may vary with the generator).
     let names: Vec<String> = std::fs::read_dir(&outdir)
         .expect("out dir created")
-        .map(|e| e.expect("dir entry").file_name().to_string_lossy().into_owned())
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
         .collect();
     for pat in ["failing-", "-min.f", "divergence-"] {
         assert!(

@@ -14,6 +14,10 @@
 //!       --round-robin   round-robin page placement instead of first-touch
 //!       --counters      print per-processor hardware counters
 //!       --serial-team   simulate team members sequentially (reference mode)
+//!       --migrate POLICY      reactive page migration: off |
+//!                             threshold[:N] | competitive[:N]
+//!       --strip-placement     drop placement directives and affinity
+//!                             clauses (keep doacross) before compiling
 //!       --profile       print the per-array/per-region attribution profile
 //!       --profile-json FILE   also write the profile as JSON to FILE
 //!       --auto          strip directives and search for the best plan first
@@ -23,7 +27,8 @@
 //! ```
 
 use dsm_core::{
-    advise, AdvisorConfig, ExecOptions, MachineConfig, OptConfig, PagePolicy, Session,
+    advise, AdvisorConfig, ExecOptions, MachineConfig, MigrationPolicy, OptConfig, PagePolicy,
+    Session,
 };
 
 struct Options {
@@ -36,6 +41,8 @@ struct Options {
     round_robin: bool,
     counters: bool,
     serial_team: bool,
+    migrate: Option<MigrationPolicy>,
+    strip_placement: bool,
     profile: bool,
     profile_json: Option<String>,
     auto: bool,
@@ -47,11 +54,25 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: dsmfc [-p N] [--scale N] [-O none|tile|hoist|full] [--dump-ir] \
-         [--check] [--round-robin] [--counters] [--serial-team] [--profile] \
+         [--check] [--round-robin] [--counters] [--serial-team] \
+         [--migrate off|threshold[:N]|competitive[:N]] [--strip-placement] [--profile] \
          [--profile-json FILE] [--auto] [--budget N] [--plan-json FILE] \
          [--emit-fortran FILE] file.f [file2.f ...]"
     );
     std::process::exit(2)
+}
+
+/// Parse the `--migrate` policy argument, exiting with a diagnostic on
+/// a malformed spec.
+fn migrate_arg(spec: Option<&str>) -> MigrationPolicy {
+    let Some(spec) = spec else {
+        eprintln!("dsmfc: --migrate requires a policy (off | threshold[:N] | competitive[:N])");
+        std::process::exit(2);
+    };
+    MigrationPolicy::parse(spec).unwrap_or_else(|e| {
+        eprintln!("dsmfc: --migrate: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// The output path following a flag. A missing argument — or a following
@@ -78,6 +99,8 @@ fn parse_args() -> Options {
         round_robin: false,
         counters: false,
         serial_team: false,
+        migrate: None,
+        strip_placement: false,
         profile: false,
         profile_json: None,
         auto: false,
@@ -114,6 +137,11 @@ fn parse_args() -> Options {
             "--round-robin" => o.round_robin = true,
             "--counters" => o.counters = true,
             "--serial-team" => o.serial_team = true,
+            "--migrate" => o.migrate = Some(migrate_arg(args.next().as_deref())),
+            m if m.starts_with("--migrate=") => {
+                o.migrate = Some(migrate_arg(m.strip_prefix("--migrate=")));
+            }
+            "--strip-placement" => o.strip_placement = true,
             "--profile" => o.profile = true,
             "--profile-json" => o.profile_json = Some(path_arg(&mut args, &a)),
             "--auto" => o.auto = true,
@@ -197,6 +225,11 @@ fn main() {
             }
         }
     }
+    if o.strip_placement {
+        for (_, text) in &mut sources {
+            *text = dsm_frontend::strip_placement(text);
+        }
+    }
     if o.auto {
         sources = run_auto(&o, &sources);
     }
@@ -231,10 +264,13 @@ fn main() {
         cfg.policy = PagePolicy::RoundRobin;
     }
     let want_profile = o.profile || o.profile_json.is_some();
-    let exec = ExecOptions::new(o.procs)
+    let mut exec = ExecOptions::new(o.procs)
         .with_checks(o.checks)
         .serial_team(o.serial_team)
         .profile(want_profile);
+    if let Some(policy) = o.migrate {
+        exec = exec.migration(policy);
+    }
     match program.run(&cfg, &exec) {
         Ok(out) => {
             let report = &out.report;
@@ -249,6 +285,12 @@ fn main() {
             );
             println!("aggregate: {}", report.total);
             println!("pages/node: {:?}", report.pages_per_node);
+            if o.migrate.is_some_and(|p| !p.is_off()) {
+                println!(
+                    "migration: {} page(s), {} cycles",
+                    report.pages_migrated, report.migration_cycles
+                );
+            }
             if o.counters {
                 for (p, c) in report.per_proc.iter().enumerate() {
                     println!("P{p:<3} {c}");

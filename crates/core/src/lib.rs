@@ -48,7 +48,7 @@ pub use dsm_compile::{OptConfig, PrelinkReport};
 pub use dsm_exec::{ExecError, ExecOptions, Profile, RunOutcome, RunReport};
 pub use dsm_frontend::{CompileError, ErrorKind};
 pub use dsm_ir::Program;
-pub use dsm_machine::{CounterSet, Machine, MachineConfig, PagePolicy};
+pub use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy, PagePolicy};
 
 /// Any failure the end-to-end API can produce: compile-time diagnostics or
 /// a runtime execution error. Both [`Session::compile`] (via `?`) and
@@ -326,14 +326,12 @@ mod tests {
             let p = Session::new().source("t.f", src).compile()?;
             p.run(&MachineConfig::small_test(2), &ExecOptions::new(2))
         }
-        let e = end_to_end("      program main\n      x = 1\n      end\n")
-            .expect_err("undeclared x");
+        let e =
+            end_to_end("      program main\n      x = 1\n      end\n").expect_err("undeclared x");
         assert!(e.compile_errors().is_some());
         assert!(e.to_string().contains("compile error"));
-        let ok = end_to_end(
-            "      program main\n      real*8 a(8)\n      a(1) = 1\n      end\n",
-        )
-        .expect("runs");
+        let ok = end_to_end("      program main\n      real*8 a(8)\n      a(1) = 1\n      end\n")
+            .expect("runs");
         assert!(ok.report.total_cycles > 0);
     }
 

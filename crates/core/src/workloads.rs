@@ -316,7 +316,10 @@ mod tests {
                 .compile()
                 .unwrap();
             let cfg = p.machine(4, 2048);
-            let cap = prog.run(&cfg, &ExecOptions::new(4).capture(&["u"])).unwrap().captures;
+            let cap = prog
+                .run(&cfg, &ExecOptions::new(4).capture(&["u"]))
+                .unwrap()
+                .captures;
             match &reference {
                 None => reference = Some(cap[0].clone()),
                 Some(r) => assert_eq!(&cap[0], r, "policy {p:?} altered LU results"),

@@ -78,7 +78,10 @@ fn advisor_rediscovers_the_fig5_transpose_reshape() {
     let ft_b = kernel_read_remote(ft.report.profile.as_ref().expect("profile"), "b");
     let win_b = kernel_read_remote(advice.profile.as_ref().expect("winner profile"), "b");
     assert!(ft_b > 1000, "first-touch must miss remotely on b: {ft_b}");
-    assert_eq!(win_b, 0, "the reshape must collapse b's kernel remote misses");
+    assert_eq!(
+        win_b, 0,
+        "the reshape must collapse b's kernel remote misses"
+    );
 
     // Match-or-beat the hand annotation, measured identically.
     let hand = run_annotated(&transpose_source(n, reps, Policy::Reshaped), nprocs);

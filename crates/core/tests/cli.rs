@@ -44,10 +44,7 @@ fn bad_proc_count_exits_2() {
 
 #[test]
 fn compile_error_exits_1_with_diagnostics() {
-    let f = write_fixture(
-        "cli_bad.f",
-        "      program main\n      x = 1\n      end\n",
-    );
+    let f = write_fixture("cli_bad.f", "      program main\n      x = 1\n      end\n");
     let out = dsmfc(&[f.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8_lossy(&out.stderr);
@@ -147,7 +144,10 @@ fn profile_json_at_p1_reports_local_only_traffic() {
     ]);
     assert_eq!(out.status.code(), Some(0));
     let json = std::fs::read_to_string(&json_path).expect("json written");
-    assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "{json}");
+    assert!(
+        json.starts_with('{') && json.trim_end().ends_with('}'),
+        "{json}"
+    );
     for key in ["\"arrays\"", "\"regions\"", "\"name\": \"a\""] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
@@ -196,8 +196,17 @@ fn profile_json_writes_file() {
     assert!(!String::from_utf8_lossy(&out.stdout).contains("memory-behavior profile"));
     // …but the file holds the same data as JSON.
     let json = std::fs::read_to_string(&json_path).expect("json written");
-    assert!(json.starts_with('{') && json.trim_end().ends_with('}'), "{json}");
-    for key in ["\"arrays\"", "\"regions\"", "\"cells\"", "\"hot_pages\"", "\"hints\""] {
+    assert!(
+        json.starts_with('{') && json.trim_end().ends_with('}'),
+        "{json}"
+    );
+    for key in [
+        "\"arrays\"",
+        "\"regions\"",
+        "\"cells\"",
+        "\"hot_pages\"",
+        "\"hints\"",
+    ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
     assert!(json.contains("\"name\": \"a\""), "{json}");

@@ -1,0 +1,100 @@
+//! End-to-end reactive page-migration behaviour on `heat.f`: migration
+//! repairs the first-touch trap when the placement directives are
+//! stripped, never touches directive-placed (pinned) pages, and the
+//! machine's counter identities survive with the daemon running.
+
+use dsm_core::{CompiledProgram, ExecOptions, MachineConfig, MigrationPolicy, Session};
+
+fn heat_source() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/fortran/heat.f"
+    ))
+    .expect("heat.f readable")
+}
+
+fn compile(src: &str) -> CompiledProgram {
+    Session::new()
+        .source("heat.f", src)
+        .compile()
+        .unwrap_or_else(|e| panic!("heat.f failed to compile: {e:?}"))
+}
+
+fn run(prog: &CompiledProgram, policy: MigrationPolicy) -> dsm_core::RunReport {
+    let nprocs = 8;
+    prog.run(
+        &MachineConfig::scaled_origin2000(nprocs, 64),
+        &ExecOptions::new(nprocs).migration(policy),
+    )
+    .expect("heat.f runs")
+    .report
+}
+
+/// With the placement directives stripped, `heat.f`'s serial
+/// initialization first-touches every page of `u` onto node 0; the
+/// threshold daemon must dig the pages out and strictly reduce remote
+/// misses versus plain first-touch.
+#[test]
+fn threshold_migration_repairs_first_touch_on_stripped_heat() {
+    let stripped = compile(&dsm_frontend::strip_placement(&heat_source()));
+    let off = run(&stripped, MigrationPolicy::Off);
+    let thr = run(&stripped, MigrationPolicy::threshold(4));
+
+    assert_eq!(off.pages_migrated, 0);
+    assert!(thr.pages_migrated > 0, "daemon never fired");
+    assert!(
+        thr.total.remote_misses < off.total.remote_misses,
+        "threshold must strictly reduce remote misses: {} vs first-touch {}",
+        thr.total.remote_misses,
+        off.total.remote_misses
+    );
+}
+
+/// With the hand directives, every page of `u`/`unew` is explicitly
+/// placed — pinned — so the daemon has nothing to do even under an
+/// aggressive policy: zero migrations, zero cycles charged.
+#[test]
+fn directives_pin_pages_against_migration() {
+    let annotated = compile(&heat_source());
+    for policy in [
+        MigrationPolicy::threshold(2),
+        MigrationPolicy::competitive(2),
+    ] {
+        let report = run(&annotated, policy);
+        assert_eq!(
+            report.pages_migrated, 0,
+            "directive-placed pages migrated under {policy}"
+        );
+        assert_eq!(report.migration_cycles, 0);
+    }
+}
+
+/// The machine's fill identity `l2_misses == local + remote` must hold
+/// per processor and in aggregate while the daemon remaps pages
+/// underneath the run.
+#[test]
+fn counter_balance_holds_with_migration_on() {
+    let stripped = compile(&dsm_frontend::strip_placement(&heat_source()));
+    for policy in [
+        MigrationPolicy::threshold(4),
+        MigrationPolicy::competitive(4),
+    ] {
+        let report = run(&stripped, policy);
+        assert!(
+            report.pages_migrated > 0,
+            "daemon never fired under {policy}"
+        );
+        assert_eq!(
+            report.total.l2_misses,
+            report.total.local_misses + report.total.remote_misses,
+            "aggregate fill identity broken under {policy}"
+        );
+        for (p, c) in report.per_proc.iter().enumerate() {
+            assert_eq!(
+                c.l2_misses,
+                c.local_misses + c.remote_misses,
+                "fill identity broken on proc {p} under {policy}"
+            );
+        }
+    }
+}

@@ -33,14 +33,22 @@ fn normalize(c: &CounterSet) -> CounterSet {
     c
 }
 
-fn run_both(src: &str, policy: Policy, nprocs: usize, arrays: &[&str]) -> [(RunReport, Vec<Vec<f64>>); 2] {
+fn run_both(
+    src: &str,
+    policy: Policy,
+    nprocs: usize,
+    arrays: &[&str],
+) -> [(RunReport, Vec<Vec<f64>>); 2] {
     let prog = Session::new()
         .source("w.f", src)
         .compile()
         .unwrap_or_else(|e| panic!("workload failed to compile: {e:?}"));
     let cfg = policy.machine(nprocs, 2048);
     let serial = prog
-        .run(&cfg, &ExecOptions::new(nprocs).serial_team(true).capture(arrays))
+        .run(
+            &cfg,
+            &ExecOptions::new(nprocs).serial_team(true).capture(arrays),
+        )
         .expect("serial run");
     let parallel = prog
         .run(&cfg, &ExecOptions::new(nprocs).capture(arrays))
@@ -51,11 +59,20 @@ fn run_both(src: &str, policy: Policy, nprocs: usize, arrays: &[&str]) -> [(RunR
     ]
 }
 
-fn assert_contents_identical(src: &str, policy: Policy, nprocs: usize, arrays: &[&str], what: &str) -> [(RunReport, Vec<Vec<f64>>); 2] {
+fn assert_contents_identical(
+    src: &str,
+    policy: Policy,
+    nprocs: usize,
+    arrays: &[&str],
+    what: &str,
+) -> [(RunReport, Vec<Vec<f64>>); 2] {
     let both = run_both(src, policy, nprocs, arrays);
     let [(_, sc), (_, pc)] = &both;
     for (name, (s, p)) in arrays.iter().zip(sc.iter().zip(pc)) {
-        assert_eq!(s, p, "{what}: array `{name}` differs between serial and parallel");
+        assert_eq!(
+            s, p,
+            "{what}: array `{name}` differs between serial and parallel"
+        );
     }
     both
 }

@@ -8,8 +8,8 @@
 //! form of the paper's Figure-2 schedules.
 //!
 //! Team members are simulated on real host threads whenever the region
-//! body is parallel-safe (no calls, no redistribution) and migration is
-//! off: each member runs against a [`MachineShard`] — its own caches,
+//! body is parallel-safe (no calls, no redistribution): each member runs
+//! against a [`MachineShard`] — its own caches,
 //! TLB and clock, plus thread-safe shared memory/page-table/directory
 //! state.  [`ExecOptions::serial_team`] forces the old one-member-at-a-
 //! time execution, which remains the fallback for unsafe bodies.
@@ -20,7 +20,11 @@ use dsm_ir::{
     ActualArg, AddrMode, AffIdx, BinOp, DistKind, Doacross, Expr, Intrinsic, LoopStmt, Program,
     RtExpr, ScalarTy, SchedType, Stmt, Subroutine, UnOp,
 };
-use dsm_machine::{AccessKind, AccessTag, Machine, MachineConfig, MachineShard, ProcId, SERIAL_REGION};
+use dsm_machine::{
+    AccessKind, AccessTag, Machine, MachineConfig, MachineShard, MigrationPolicy, ProcId,
+    SERIAL_REGION,
+};
+use dsm_runtime::epoch::{join_epoch, EpochClock};
 use dsm_runtime::{argcheck::ArgInfo, partition, sched, ArgChecker, RuntimeError};
 
 use crate::bind::Binder;
@@ -52,6 +56,9 @@ pub struct ExecOptions {
     /// Names of main-program arrays whose final contents the run returns
     /// (Fortran element order), for verification.
     pub captures: Vec<String>,
+    /// Override the machine's reactive page-migration policy for this run
+    /// (`None` keeps whatever the [`MachineConfig`] says).
+    pub migration: Option<MigrationPolicy>,
 }
 
 impl Default for ExecOptions {
@@ -71,6 +78,7 @@ impl ExecOptions {
             serial_team: false,
             profile: false,
             captures: Vec::new(),
+            migration: None,
         }
     }
 
@@ -106,6 +114,14 @@ impl ExecOptions {
     #[must_use]
     pub fn capture(mut self, names: &[&str]) -> Self {
         self.captures = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Run under this reactive page-migration policy (overrides the
+    /// machine configuration's).
+    #[must_use]
+    pub fn migration(mut self, policy: MigrationPolicy) -> Self {
+        self.migration = Some(policy);
         self
     }
 
@@ -236,6 +252,9 @@ pub fn run_outcome(
     if opts.profile {
         machine.enable_profiling();
     }
+    if let Some(policy) = opts.migration {
+        machine.set_migration(policy);
+    }
     let binder = Binder::new(machine, program, opts.nprocs);
     let steps = AtomicU64::new(0);
     let mut interp = Interp {
@@ -249,6 +268,7 @@ pub fn run_outcome(
         region_wall: std::time::Duration::ZERO,
         region_names: Vec::new(),
         steps: &steps,
+        epoch: EpochClock::default(),
     };
     let main = program.main_sub();
     let mut frame = Frame::new(main);
@@ -318,6 +338,8 @@ pub fn run_outcome(
         parallel_cycles: region_cycles,
         pages_per_node: machine.pages_per_node(),
         argcheck_ops: checker.stats(),
+        pages_migrated: machine.pages_migrated(),
+        migration_cycles: machine.migration_cycles(),
         host_wall: host_t0.elapsed(),
         host_region_wall: region_wall,
         profile,
@@ -536,6 +558,9 @@ struct Interp<'a> {
     region_names: Vec<String>,
     /// Statement counter, shared across the team for the step limit.
     steps: &'a AtomicU64,
+    /// Migration-epoch cadence at team joins (top-level interpreter only;
+    /// members never fork).
+    epoch: EpochClock,
 }
 
 impl Interp<'_> {
@@ -723,10 +748,8 @@ impl Interp<'_> {
     ) -> Result<(), ExecError> {
         let region_id = self.regions as u32;
         self.regions += 1;
-        self.region_names.push(format!(
-            "{}:do {}",
-            sub.name, sub.scalars[l.var.0].name
-        ));
+        self.region_names
+            .push(format!("{}:do {}", sub.name, sub.scalars[l.var.0].name));
         let ops = self.ops();
         let nprocs = self.opts.nprocs;
         let start = self.mach.cycles(ctx.proc) + ops.parallel_fork;
@@ -814,19 +837,18 @@ impl Interp<'_> {
         }
 
         // Host-parallel simulation is sound only when the body cannot
-        // mutate whole-machine/binder state (and migration, which remaps
-        // pages behind a `&mut Machine`, is off). Count distinct members:
-        // with fewer than two there is nothing to overlap.
+        // mutate whole-machine/binder state. (Migration is compatible:
+        // shards only bump lock-free reference counters; the daemon
+        // itself runs at the join below, with the whole machine back in
+        // hand.) Count distinct members: with fewer than two there is
+        // nothing to overlap.
         let distinct = {
             let mut ids: Vec<usize> = team.iter().map(|(p, _)| p.0).collect();
             ids.sort_unstable();
             ids.dedup();
             ids.len()
         };
-        let run_parallel = !self.opts.serial_team
-            && self.mach.config().migration_threshold.is_none()
-            && distinct >= 2
-            && body_parallel_safe(&l.body);
+        let run_parallel = !self.opts.serial_team && distinct >= 2 && body_parallel_safe(&l.body);
 
         let dispatch = matches!(d.sched, SchedType::Dynamic(_));
         let fork_t0 = std::time::Instant::now();
@@ -872,6 +894,7 @@ impl Interp<'_> {
                             region_wall: std::time::Duration::ZERO,
                             region_names: Vec::new(),
                             steps,
+                            epoch: EpochClock::default(),
                         };
                         let mut member_ctx = Ctx {
                             proc,
@@ -922,6 +945,14 @@ impl Interp<'_> {
         } else {
             // Serial reference path: level every member to the fork point
             // and run its share to completion before the next member.
+            //
+            // Access-count migration epochs are paused here: replaying
+            // members one at a time means the reference counters are
+            // transiently dominated by whichever member is current, and a
+            // mid-region epoch would chase each member in turn (page
+            // thrash the threaded path can't exhibit). The daemon instead
+            // fires at the join below with whole-team counts.
+            self.mach.whole().pause_epochs(true);
             for (p, work) in &team {
                 if self.mach.cycles(*p) < start {
                     self.mach.whole().set_cycles(*p, start);
@@ -959,6 +990,7 @@ impl Interp<'_> {
                     }
                 }
             }
+            self.mach.whole().pause_epochs(false);
         }
         self.region_wall += fork_t0.elapsed();
 
@@ -988,6 +1020,9 @@ impl Interp<'_> {
             machine.set_cycles(ctx.proc, t_end);
         }
         self.region_cycles += t_end - (start - ops.parallel_fork);
+        // Team join = migration epoch boundary: the shards sampled the
+        // reference counters; the daemon itself needs the whole machine.
+        join_epoch(self.mach.whole(), &mut self.epoch);
         // Sequential semantics for the loop variable after the region
         // (what `lastlocal` guarantees on the real system): the value it
         // would hold after a serial execution of the loop.
@@ -1056,7 +1091,8 @@ impl Interp<'_> {
                     {
                         let shape: Vec<u64> = arr.desc.dims.iter().map(|d| d.extent).collect();
                         let name = arr.name.clone();
-                        self.checker.register(base, ArgInfo::WholeArray { name, shape });
+                        self.checker
+                            .register(base, ArgInfo::WholeArray { name, shape });
                         registered.push(base);
                         self.mach.charge(ctx.proc, 40);
                     }

@@ -28,6 +28,8 @@ pub struct ArrayProfile {
     pub name: String,
     /// Summed outcome counters.
     pub stats: TagStats,
+    /// Pages of this array moved by the reactive migration daemon.
+    pub pages_migrated: u64,
 }
 
 /// Attribution rolled up for one parallel region (over all arrays), or for
@@ -183,6 +185,11 @@ pub struct Profile {
     pub hot_pages: Vec<HotPage>,
     /// Automatic placement hints ("this array wants `distribute_reshape`").
     pub hints: Vec<PlacementHint>,
+    /// Total pages moved by the reactive migration daemon (0 with
+    /// migration off).
+    pub pages_migrated: u64,
+    /// Cycles charged by the daemon for page copies and shootdowns.
+    pub migration_cycles: u64,
 }
 
 impl Profile {
@@ -221,6 +228,7 @@ impl Profile {
             json_str(&mut s, "name", &a.name);
             s.push(',');
             json_stats(&mut s, &a.stats);
+            s.push_str(&format!(", \"pages_migrated\": {}", a.pages_migrated));
             s.push('}');
         }
         s.push_str("\n  ],\n  \"regions\": [");
@@ -280,12 +288,18 @@ impl Profile {
             s.push_str(&format!(
                 "], \"reshape\": {}, \"mem_fills\": {}, \"remote_fills\": {}, \
                  \"misplaced_pages\": {}, ",
-                h.reshape, h.evidence.mem_fills, h.evidence.remote_fills, h.evidence.misplaced_pages
+                h.reshape,
+                h.evidence.mem_fills,
+                h.evidence.remote_fills,
+                h.evidence.misplaced_pages
             ));
             json_str(&mut s, "text", &h.to_string());
             s.push('}');
         }
-        s.push_str("\n  ]\n}\n");
+        s.push_str(&format!(
+            "\n  ],\n  \"pages_migrated\": {},\n  \"migration_cycles\": {}\n}}\n",
+            self.pages_migrated, self.migration_cycles
+        ));
         s
     }
 }
@@ -388,10 +402,7 @@ pub(crate) fn build_profile(
         .pages()
         .filter(|(_, pa)| pa.remote > 0)
         .map(|(&vpage, pa)| {
-            let home = machine
-                .home_of(vpage << page_bits)
-                .unwrap_or(NodeId(0))
-                .0;
+            let home = machine.home_of(vpage << page_bits).unwrap_or(NodeId(0)).0;
             HotPage {
                 vpage,
                 array: sym_name(pa.sym),
@@ -404,6 +415,21 @@ pub(crate) fn build_profile(
         .collect();
     pages.sort_by(|a, b| b.remote.cmp(&a.remote).then(a.vpage.cmp(&b.vpage)));
     pages.truncate(TOP_PAGES);
+
+    // Per-array migration attribution: the daemon reports which vpages it
+    // moved; the attribution table knows which array owns each vpage.
+    let mut migrated_by_sym: Vec<(u32, u64)> = Vec::new();
+    for (vpage, n) in machine.migration_pages() {
+        let sym = attr
+            .pages()
+            .find(|(&vp, _)| vp == vpage)
+            .map(|(_, pa)| pa.sym)
+            .unwrap_or(UNTAGGED_SYM);
+        match migrated_by_sym.iter_mut().find(|(s, _)| *s == sym) {
+            Some((_, c)) => *c += u64::from(n),
+            None => migrated_by_sym.push((sym, u64::from(n))),
+        }
+    }
 
     // Placement hints: an array dominated by remote fills, whose pages are
     // mostly missed from nodes other than their homes, is the paper's
@@ -449,6 +475,10 @@ pub(crate) fn build_profile(
             .map(|(sym, stats)| ArrayProfile {
                 name: sym_name(sym),
                 stats,
+                pages_migrated: migrated_by_sym
+                    .iter()
+                    .find(|(s, _)| *s == sym)
+                    .map_or(0, |(_, c)| *c),
             })
             .collect(),
         regions: by_region
@@ -468,6 +498,8 @@ pub(crate) fn build_profile(
             .collect(),
         hot_pages: pages,
         hints,
+        pages_migrated: machine.pages_migrated(),
+        migration_cycles: machine.migration_cycles(),
     }
 }
 
@@ -581,6 +613,21 @@ impl fmt::Display for Profile {
                 )?;
             }
         }
+        if self.pages_migrated > 0 {
+            let moved: Vec<String> = self
+                .arrays
+                .iter()
+                .filter(|a| a.pages_migrated > 0)
+                .map(|a| format!("{}={}", a.name, a.pages_migrated))
+                .collect();
+            writeln!(
+                f,
+                "migration: {} page(s) moved ({} cycles): {}",
+                self.pages_migrated,
+                self.migration_cycles,
+                moved.join(" ")
+            )?;
+        }
         if self.hints.is_empty() {
             writeln!(f, "placement hints: none — placement looks healthy")?;
         } else {
@@ -613,6 +660,7 @@ mod tests {
             arrays: vec![ArrayProfile {
                 name: "a".into(),
                 stats,
+                pages_migrated: 2,
             }],
             regions: vec![RegionProfile {
                 label: "(serial)".into(),
@@ -641,6 +689,8 @@ mod tests {
                     misplaced_pages: 1,
                 },
             }],
+            pages_migrated: 2,
+            migration_cycles: 9000,
         }
     }
 
@@ -679,7 +729,10 @@ mod tests {
         let h = &sample().hints[0];
         let text = h.to_string();
         assert!(text.contains("`a`: 75% of its 4 memory fills were remote"));
-        assert!(text.contains("`c$distribute_reshape a(block, *)`"), "{text}");
+        assert!(
+            text.contains("`c$distribute_reshape a(block, *)`"),
+            "{text}"
+        );
     }
 
     #[test]

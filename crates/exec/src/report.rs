@@ -23,6 +23,11 @@ pub struct RunReport {
     pub pages_per_node: Vec<usize>,
     /// Runtime argument-checker traffic: (inserts, lookups).
     pub argcheck_ops: (u64, u64),
+    /// Pages moved by the reactive migration daemon (0 with migration
+    /// off).
+    pub pages_migrated: u64,
+    /// Cycles the daemon charged for page copies and TLB shootdowns.
+    pub migration_cycles: u64,
     /// Host-side wall-clock time of the whole run (simulator performance,
     /// not simulated time).
     pub host_wall: std::time::Duration,
@@ -88,6 +93,13 @@ impl std::fmt::Display for RunReport {
         )?;
         writeln!(f, "totals: {}", self.total)?;
         writeln!(f, "pages/node: {:?}", self.pages_per_node)?;
+        if self.pages_migrated > 0 {
+            writeln!(
+                f,
+                "migration: {} page(s), {} cycles",
+                self.pages_migrated, self.migration_cycles
+            )?;
+        }
         write!(
             f,
             "host wall: {:?} total, {:?} in parallel regions",
@@ -109,6 +121,8 @@ mod tests {
             parallel_cycles: 0,
             pages_per_node: vec![],
             argcheck_ops: (0, 0),
+            pages_migrated: 0,
+            migration_cycles: 0,
             host_wall: std::time::Duration::ZERO,
             host_region_wall: std::time::Duration::ZERO,
             profile: None,

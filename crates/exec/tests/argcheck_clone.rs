@@ -56,8 +56,11 @@ const SUB_100: &str = "\
 ";
 
 fn run_two_files(main_f: &str, sub_f: &str, nprocs: usize, checks: bool) -> Result<(), ExecError> {
-    let compiled = compile_strings(&[("main.f", main_f), ("subs.f", sub_f)], &OptConfig::default())
-        .unwrap_or_else(|e| panic!("compile: {e:?}"));
+    let compiled = compile_strings(
+        &[("main.f", main_f), ("subs.f", sub_f)],
+        &OptConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("compile: {e:?}"));
     // The reshaped actual crosses a file boundary, so the pre-linker must
     // have cloned (or at least recompiled) the callee for the incoming
     // distribution — the check under test runs inside that clone.
@@ -107,7 +110,6 @@ fn matching_formal_across_clone_passes() {
 #[test]
 fn matching_call_is_clean_at_every_p() {
     for p in [1, 2, 8] {
-        run_two_files(MAIN_MATCH, SUB_100, p, true)
-            .unwrap_or_else(|e| panic!("P={p}: {e:?}"));
+        run_two_files(MAIN_MATCH, SUB_100, p, true).unwrap_or_else(|e| panic!("P={p}: {e:?}"));
     }
 }

@@ -312,7 +312,7 @@ fn os_page_migration_extension_fixes_first_touch_over_time() {
     cfg.l1 = dsm_machine::CacheConfig::new(512, 32, 2);
     let mut plain = Machine::new(cfg.clone());
     let r_plain = run_program(&mut plain, &c.program, &ExecOptions::new(8)).unwrap();
-    cfg.migration_threshold = Some(4);
+    cfg.migration = dsm_machine::MigrationPolicy::threshold(4);
     let c2 = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
     let mut migrating = Machine::new(cfg);
     let r_mig = run_program(&mut migrating, &c2.program, &ExecOptions::new(8)).unwrap();

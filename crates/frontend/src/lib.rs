@@ -46,7 +46,7 @@ pub use diag::render_diagnostics;
 pub use error::{CompileError, ErrorKind, Span};
 pub use parser::parse_source;
 pub use sema::{analyze, Analysis, UnitInfo};
-pub use splice::{splice_directives, strip_directives, Splice};
+pub use splice::{splice_directives, strip_directives, strip_placement, Splice};
 
 /// Parse and semantically check a set of source files.
 ///

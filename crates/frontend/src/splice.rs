@@ -57,6 +57,90 @@ pub fn strip_directives(src: &str) -> String {
     out
 }
 
+/// Remove only the *placement* machinery from `src`: `c$distribute`,
+/// `c$distribute_reshape` and `c$redistribute` lines disappear, and the
+/// `affinity(...) = data(...)` clause is cut out of every `c$doacross`
+/// (continuations joined first). Parallelism is kept; page placement
+/// falls back to first touch. This is the program a placement-oblivious
+/// shared-memory compiler would run — the baseline the reactive
+/// page-migration daemon is measured against.
+pub fn strip_placement(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut lines = src.lines();
+    while let Some(line) = lines.next() {
+        match directive_keyword(line).as_deref() {
+            Some("distribute" | "distribute_reshape" | "redistribute") => {
+                let mut cont = continues(line);
+                while cont {
+                    match lines.next() {
+                        Some(l) => cont = continues(l),
+                        None => break,
+                    }
+                }
+            }
+            Some("doacross") => {
+                let mut logical = line.trim_end().to_string();
+                while continues(&logical) {
+                    logical.pop(); // the '&'
+                    let Some(l) = lines.next() else { break };
+                    logical = logical.trim_end().to_string();
+                    let t = l.trim();
+                    let t = t
+                        .strip_prefix("c$")
+                        .or_else(|| t.strip_prefix("C$"))
+                        .unwrap_or(t);
+                    logical.push(' ');
+                    logical.push_str(t.trim_start());
+                }
+                out.push_str(&remove_affinity(&logical));
+                out.push('\n');
+            }
+            _ => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Cut `affinity(...) = data(...)` out of a joined doacross line (the
+/// clause is two balanced paren groups); no clause, no change.
+fn remove_affinity(line: &str) -> String {
+    let Some(start) = line.to_ascii_lowercase().find("affinity") else {
+        return line.to_string();
+    };
+    let bytes = line.as_bytes();
+    let mut i = start + "affinity".len();
+    for _ in 0..2 {
+        while i < bytes.len() && bytes[i] != b'(' {
+            i += 1;
+        }
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut s = line[..start].trim_end().to_string();
+    let tail = line[i.min(line.len())..].trim();
+    if !tail.is_empty() {
+        s.push(' ');
+        s.push_str(tail);
+    }
+    s
+}
+
 /// One directive line to insert into a source text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Splice {
@@ -150,7 +234,11 @@ pub fn render_distribute(d: &DistributeDir) -> String {
     } else {
         "c$distribute"
     };
-    let mut s = format!("{kw} {}({})", d.array, join(&d.dists, ", ", render_dist_item));
+    let mut s = format!(
+        "{kw} {}({})",
+        d.array,
+        join(&d.dists, ", ", render_dist_item)
+    );
     if !d.onto.is_empty() {
         write!(s, " onto({})", join(&d.onto, ", ", i64::to_string)).unwrap();
     }
@@ -237,6 +325,46 @@ c$redistribute a(cyclic(4))
         let s = strip_directives(src);
         assert!(!s.contains("shared"), "{s}");
         assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn strip_placement_keeps_doacross_drops_affinity() {
+        let s = strip_placement(ANNOTATED);
+        assert!(!s.contains("c$distribute"));
+        assert!(!s.contains("c$redistribute"));
+        assert!(!s.contains("affinity"), "{s}");
+        assert!(s.contains("c$doacross local(i)"), "{s}");
+        assert!(s.contains("c$barrier"));
+        parse_source(0, "t.f", &s).expect("placement-stripped source parses");
+    }
+
+    #[test]
+    fn strip_placement_joins_continuations() {
+        let src = "      program main
+      integer i
+      real*8 a(8)
+c$distribute a(block)
+c$doacross local(i) &
+c$  affinity(i) = data(a(i))
+      do i = 1, 8
+        a(i) = 1.0
+      enddo
+      end
+";
+        let s = strip_placement(src);
+        assert!(!s.contains("affinity"), "{s}");
+        assert!(s.contains("c$doacross local(i)"), "{s}");
+        parse_source(0, "t.f", &s).expect("joined doacross parses");
+    }
+
+    #[test]
+    fn remove_affinity_keeps_trailing_clauses() {
+        let line = "c$doacross local(i) affinity(i) = data(a(i)) shared(b)";
+        assert_eq!(remove_affinity(line), "c$doacross local(i) shared(b)");
+        assert_eq!(
+            remove_affinity("c$doacross local(i)"),
+            "c$doacross local(i)"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! floating-point divide.
 
 use crate::cache::CacheConfig;
+use crate::migrate::MigrationPolicy;
 use crate::pagetable::PagePolicy;
 
 /// Latency parameters, in processor cycles.
@@ -126,13 +127,16 @@ pub struct MachineConfig {
     /// Whether the OS applies page colouring when choosing frames
     /// (the Origin's IRIX does; see Section 8.2 of the paper).
     pub page_coloring: bool,
-    /// Optional OS page migration (the Verghese et al. \[VDG+96\]
-    /// baseline the paper's related work compares against): after a node
-    /// accumulates this many L2 misses to a remote page — and at least
-    /// twice the home node's count — the OS migrates the page there.
-    /// `None` disables migration (the default; it is an extension, not
-    /// part of the paper's system).
-    pub migration_threshold: Option<u32>,
+    /// Reactive OS page migration (the Verghese et al. \[VDG+96\]
+    /// baseline the paper's related work compares against). Per-page
+    /// per-node reference counters accumulate on every memory fill; at
+    /// epoch boundaries the policy decides which pages move to their
+    /// dominant node. [`MigrationPolicy::Off`] by default — it is an
+    /// extension, not part of the paper's system.
+    pub migration: MigrationPolicy,
+    /// Serial accesses between migration-daemon epochs. Parallel-team
+    /// joins are additional epoch boundaries regardless of this count.
+    pub migration_epoch: u64,
     /// Latency parameters.
     pub lat: LatencyConfig,
     /// Operation costs.
@@ -158,7 +162,8 @@ impl MachineConfig {
             tlb_entries: 64,
             policy: PagePolicy::FirstTouch,
             page_coloring: true,
-            migration_threshold: None,
+            migration: MigrationPolicy::Off,
+            migration_epoch: 4096,
             lat: LatencyConfig::default(),
             ops: OpCosts::default(),
         }
@@ -226,7 +231,8 @@ impl MachineConfig {
             tlb_entries: 8,
             policy: PagePolicy::FirstTouch,
             page_coloring: true,
-            migration_threshold: None,
+            migration: MigrationPolicy::Off,
+            migration_epoch: 1024,
             lat: LatencyConfig::default(),
             ops: OpCosts::default(),
         }

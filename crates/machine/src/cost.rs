@@ -87,6 +87,14 @@ impl CostModel {
     pub fn elems_per_page(&self, elem_bytes: usize) -> usize {
         (self.page_size / elem_bytes).max(1)
     }
+
+    /// Cycles to migrate one page from `from` to `to`: every line of the
+    /// page crosses the network at the hop-aware fill cost, plus a TLB
+    /// shootdown interrupt on each of `nprocs` processors.
+    pub fn page_migration(&self, from: NodeId, to: NodeId, nprocs: usize) -> u64 {
+        let lines = (self.page_size / self.line_size).max(1) as u64;
+        lines * self.fill_between(from, to) + nprocs as u64 * self.tlb_miss
+    }
 }
 
 impl MachineConfig {

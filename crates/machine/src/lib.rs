@@ -49,6 +49,7 @@ pub mod cost;
 pub mod counters;
 pub mod directory;
 pub mod machine;
+pub mod migrate;
 pub mod pagetable;
 pub mod profile;
 pub mod shared;
@@ -61,6 +62,7 @@ pub use cost::CostModel;
 pub use counters::CounterSet;
 pub use directory::Directory;
 pub use machine::{AccessKind, Machine, MachineShard, VAddr};
+pub use migrate::{MigrationPolicy, MigrationStats, RefCounters};
 pub use pagetable::{PagePolicy, PageTable};
 pub use profile::{
     AccessTag, AttributionTable, FillLevel, PageAttr, TagStats, SERIAL_REGION, UNTAGGED_SYM,

@@ -32,6 +32,7 @@ use std::sync::atomic::Ordering;
 use crate::cache::{Cache, Probe};
 use crate::config::MachineConfig;
 use crate::counters::CounterSet;
+use crate::migrate::MigrationStats;
 use crate::pagetable::{PageTable, Translate};
 use crate::profile::{AccessTag, AttributionTable, FillLevel, UNTAGGED_SYM};
 use crate::shared::SharedState;
@@ -76,14 +77,6 @@ impl Processor {
             attr.note_access(self.cur_tag, kind, tlb_miss, level);
         }
     }
-}
-
-/// What the access pipeline saw when it reached memory (step 5); feeds the
-/// serial-only migration daemon.
-struct MemFill {
-    vpage: u64,
-    accessor: NodeId,
-    home: NodeId,
 }
 
 /// Purge one directory line (L2-line granularity) from a processor's caches
@@ -138,7 +131,7 @@ fn access_core(
     p: &mut Processor,
     addr: VAddr,
     kind: AccessKind,
-) -> (u64, Option<MemFill>) {
+) -> u64 {
     let write = kind == AccessKind::Write;
     let vpage = addr >> page_bits;
     let offset = addr & ((1 << page_bits) - 1);
@@ -176,7 +169,7 @@ fn access_core(
             }
             p.note(kind, tlb_miss, FillLevel::L1);
             p.counters.cycles += cost;
-            return (cost, None);
+            return cost;
         }
         Probe::Miss { victim } => {
             // L1 victims write back into L2; that transfer is part of
@@ -202,7 +195,7 @@ fn access_core(
             }
             p.note(kind, tlb_miss, FillLevel::L2);
             p.counters.cycles += cost;
-            return (cost, None);
+            return cost;
         }
         Probe::Miss { victim } => {
             p.counters.l2_misses += 1;
@@ -271,15 +264,13 @@ fn access_core(
         }
     }
     shared.node_served[mapping.node.0].fetch_add(1, Ordering::Relaxed);
+    if !cfg.migration.is_off() {
+        // Per-page reference counter for the migration daemon; lock-free,
+        // so shards on host threads sample concurrently.
+        shared.refs.record(vpage, local);
+    }
     p.counters.cycles += cost;
-    (
-        cost,
-        Some(MemFill {
-            vpage,
-            accessor: local,
-            home: mapping.node,
-        }),
-    )
+    cost
 }
 
 /// The simulated CC-NUMA multiprocessor.
@@ -290,9 +281,16 @@ pub struct Machine {
     shared: SharedState,
     brk: u64,
     page_bits: u32,
-    /// Per-page per-node L2-miss counts, kept only when migration is on.
-    page_miss_counts: std::collections::HashMap<u64, Vec<u32>>,
-    migrations: u64,
+    /// Migration-engine totals (empty unless migration is on).
+    mig: MigrationStats,
+    /// Serial accesses since the last migration epoch.
+    epoch_accesses: u64,
+    /// Suspend access-count epochs (the executor pauses them while it
+    /// simulates team members one at a time: mid-region counters are
+    /// dominated by whichever member is currently running, and migrating
+    /// on them would chase each member in turn — the daemon must wait
+    /// for the join).
+    epochs_paused: bool,
     /// Interned array names for access tagging; index = `AccessTag::sym`.
     symbols: Vec<String>,
 }
@@ -332,8 +330,9 @@ impl Machine {
             shared,
             brk: 64, // keep address 0 unmapped
             page_bits,
-            page_miss_counts: std::collections::HashMap::new(),
-            migrations: 0,
+            mig: MigrationStats::default(),
+            epoch_accesses: 0,
+            epochs_paused: false,
             symbols: Vec::new(),
         }
     }
@@ -361,6 +360,7 @@ impl Machine {
         let base = (self.brk + align - 1) & !(align - 1);
         self.brk = base + bytes as u64;
         self.shared.mem.grow_to(self.brk);
+        self.shared.refs.grow_to((self.brk >> self.page_bits) + 1);
         base
     }
 
@@ -376,30 +376,52 @@ impl Machine {
     /// Place virtual page `vpage` on `node`, remapping if already mapped
     /// elsewhere (with full TLB/cache shoot-down). Returns `true` if a
     /// remap occurred.
+    ///
+    /// Explicit placement also *pins* the page: the reactive-migration
+    /// daemon skips it from then on (IRIX semantics — the OS never
+    /// second-guesses placement the program asked for, so directive-placed
+    /// arrays cannot be dragged around by reference-counter noise).
     pub fn place_page(&mut self, vpage: u64, node: NodeId) -> bool {
+        self.shared
+            .pt
+            .write()
+            .expect("page table poisoned")
+            .pin(vpage);
+        self.remap_page(vpage, node)
+    }
+
+    /// Remap `vpage` to `node` without pinning it (the migration daemon's
+    /// path; explicit placement wraps this in [`Machine::place_page`]).
+    fn remap_page(&mut self, vpage: u64, node: NodeId) -> bool {
         let mut pt = self.shared.pt.write().expect("page table poisoned");
         let old = pt.lookup(vpage);
         let (_m, remapped) = pt.place(vpage, node);
         drop(pt);
         if remapped {
             let old = old.expect("remap implies prior mapping");
-            let old_frame = old.frame;
-            for p in &mut self.procs {
-                p.tlb.invalidate(vpage);
-                p.l1.invalidate_page(old_frame, self.page_bits);
-                p.l2.invalidate_page(old_frame, self.page_bits);
-            }
-            // The old frame goes back to the allocator: drop its directory
-            // state so a page that later reuses it does not inherit stale
-            // sharers (and pay phantom invalidations).
-            let line_bytes = self.cfg.l2.line_size as u64;
-            let first_line = (old_frame << self.page_bits) / line_bytes;
-            let lines_per_page = (1u64 << self.page_bits) / line_bytes;
-            for line in first_line..first_line + lines_per_page.max(1) {
-                self.shared.dir.clear_line(line);
-            }
+            self.retire_frame(vpage, old.frame);
         }
         remapped
+    }
+
+    /// Shoot down every trace of a page's released frame: TLB entries for
+    /// the page, cached lines of the old frame in each processor, and the
+    /// frame's directory state. The *only* remap cleanup path — explicit
+    /// placement, redistribution and the migration engine all funnel
+    /// through it, so a page that later reuses the frame can never
+    /// inherit stale sharers (or phantom invalidations).
+    fn retire_frame(&mut self, vpage: u64, old_frame: u64) {
+        for p in &mut self.procs {
+            p.tlb.invalidate(vpage);
+            p.l1.invalidate_page(old_frame, self.page_bits);
+            p.l2.invalidate_page(old_frame, self.page_bits);
+        }
+        let line_bytes = self.cfg.l2.line_size as u64;
+        let first_line = (old_frame << self.page_bits) / line_bytes;
+        let lines_per_page = (1u64 << self.page_bits) / line_bytes;
+        for line in first_line..first_line + lines_per_page.max(1) {
+            self.shared.dir.clear_line(line);
+        }
     }
 
     /// Place every page overlapping `[base, base+len)` on `node`.
@@ -476,7 +498,7 @@ impl Machine {
     /// this returns (the mailboxes are drained), so single-threaded use
     /// sees fully synchronous coherence.
     pub fn access(&mut self, proc: ProcId, addr: VAddr, kind: AccessKind) -> u64 {
-        let (cost, fill) = access_core(
+        let cost = access_core(
             &self.cfg,
             &self.shared,
             self.page_bits,
@@ -486,10 +508,21 @@ impl Machine {
             kind,
         );
         self.drain_mail();
-        if let (Some(threshold), Some(f)) = (self.cfg.migration_threshold, fill) {
-            self.note_miss_for_migration(f.vpage, f.accessor, f.home, threshold);
+        if !self.cfg.migration.is_off() && !self.epochs_paused {
+            self.epoch_accesses += 1;
+            if self.epoch_accesses >= self.cfg.migration_epoch {
+                self.migration_epoch();
+            }
         }
         cost
+    }
+
+    /// Suspend (or resume) access-count migration epochs. The executor
+    /// pauses them while it simulates a parallel team one member at a
+    /// time and fires the daemon itself at the join, where the counters
+    /// reflect the whole team's epoch rather than one member's replay.
+    pub fn pause_epochs(&mut self, on: bool) {
+        self.epochs_paused = on;
     }
 
     /// Deliver all pending cross-processor invalidations. Called after
@@ -517,8 +550,7 @@ impl Machine {
         let cfg = &self.cfg;
         let shared = &self.shared;
         let page_bits = self.page_bits;
-        let mut slots: Vec<Option<&mut Processor>> =
-            self.procs.iter_mut().map(Some).collect();
+        let mut slots: Vec<Option<&mut Processor>> = self.procs.iter_mut().map(Some).collect();
         ids.iter()
             .map(|&id| MachineShard {
                 cfg,
@@ -532,35 +564,122 @@ impl Machine {
             .collect()
     }
 
-    /// Verghese-style OS page migration: count per-node misses to each
-    /// page; when a remote node dominates, migrate the page there.
-    fn note_miss_for_migration(
-        &mut self,
-        vpage: u64,
-        accessor: NodeId,
-        home: NodeId,
-        threshold: u32,
-    ) {
-        let n_nodes = self.cfg.n_nodes;
-        let counts = self
-            .page_miss_counts
-            .entry(vpage)
-            .or_insert_with(|| vec![0; n_nodes]);
-        counts[accessor.0] += 1;
-        if accessor != home {
-            let mine = counts[accessor.0];
-            let theirs = counts[home.0];
-            if mine >= threshold && mine >= 2 * theirs.max(1) {
-                self.place_page(vpage, accessor);
-                self.migrations += 1;
-                self.page_miss_counts.remove(&vpage);
+    /// Switch the reactive migration policy (e.g. from
+    /// `ExecOptions::migration`). Takes effect from the next access.
+    pub fn set_migration(&mut self, policy: crate::MigrationPolicy) {
+        self.cfg.migration = policy;
+    }
+
+    /// Run one migration epoch *now*: scan the per-page reference
+    /// counters, migrate every page the policy says should move, charge
+    /// the copy + TLB-shootdown cycles, then decay the counters.
+    ///
+    /// The serial access path calls this every
+    /// [`MachineConfig::migration_epoch`] accesses; the executor calls it
+    /// at parallel-team join points (the shards only bump counters — the
+    /// daemon itself needs the whole machine). A no-op when migration is
+    /// off.
+    pub fn migration_epoch(&mut self) {
+        self.epoch_accesses = 0;
+        let policy = self.cfg.migration;
+        if policy.is_off() {
+            return;
+        }
+        // Deterministic scan: ascending virtual page over the pages the
+        // counter table covers (== every page ever allocated).
+        let pages = self.shared.refs.pages();
+        let mut moves: Vec<(u64, NodeId, NodeId)> = Vec::new();
+        {
+            let pt = self.shared.pt.read().expect("page table poisoned");
+            for vpage in 0..pages {
+                let Some(mapping) = pt.lookup(vpage) else {
+                    continue;
+                };
+                // Explicitly placed pages are off limits (see
+                // [`Machine::place_page`]).
+                if pt.is_pinned(vpage) {
+                    continue;
+                }
+                let counts = self.shared.refs.counts(vpage);
+                if let Some(target) = policy.decide(&counts, mapping.node) {
+                    moves.push((vpage, mapping.node, target));
+                }
             }
+        }
+        let cm = self.cfg.cost_model();
+        let nprocs = self.procs.len();
+        for &(vpage, from, to) in &moves {
+            self.remap_page(vpage, to);
+            // The whole machine observes the move: every processor eats
+            // the page copy + shootdown latency (the daemon runs at a
+            // global pause point), which keeps team clocks level and the
+            // charge deterministic.
+            let cost = cm.page_migration(from, to, nprocs);
+            for p in &mut self.procs {
+                p.counters.cycles += cost;
+            }
+            self.mig.pages_migrated += 1;
+            self.mig.migration_cycles += cost;
+            *self.mig.per_page.entry(vpage).or_insert(0) += 1;
+            self.shared.refs.reset_page(vpage);
+        }
+        // Aging: halve what remains so decisions track recent behaviour.
+        let mut moved = moves.iter().map(|m| m.0).peekable();
+        for vpage in 0..pages {
+            if moved.peek() == Some(&vpage) {
+                moved.next();
+                continue;
+            }
+            self.shared.refs.decay_page(vpage);
         }
     }
 
     /// Pages migrated by the OS daemon (0 unless migration is enabled).
     pub fn migrations(&self) -> u64 {
-        self.migrations
+        self.mig.pages_migrated
+    }
+
+    /// Pages migrated by the OS daemon (alias of [`Machine::migrations`]
+    /// matching the report/profile field name).
+    pub fn pages_migrated(&self) -> u64 {
+        self.mig.pages_migrated
+    }
+
+    /// Cycles charged for page copies and TLB shootdowns so far.
+    pub fn migration_cycles(&self) -> u64 {
+        self.mig.migration_cycles
+    }
+
+    /// Migration count per virtual page, ascending by page (feeds the
+    /// profiler's per-array attribution).
+    pub fn migration_pages(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.mig.per_page.iter().map(|(&p, &n)| (p, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The migration daemon's reference-counter table (for invariant
+    /// checks and tests).
+    pub fn ref_counters(&self) -> &crate::RefCounters {
+        &self.shared.refs
+    }
+
+    /// Directory sharer set of the L2 line holding physical byte
+    /// address `paddr` (for stale-sharer invariant checks).
+    pub fn line_sharers(&self, paddr: u64) -> Vec<ProcId> {
+        self.shared
+            .dir
+            .sharers(paddr >> self.cfg.l2.line_size.trailing_zeros())
+    }
+
+    /// Current physical frame of a virtual page, if mapped.
+    pub fn frame_of(&self, vpage: u64) -> Option<u64> {
+        self.shared
+            .pt
+            .read()
+            .expect("page table poisoned")
+            .lookup(vpage)
+            .map(|m| m.frame)
     }
 
     /// Misses serviced by each node's memory since construction. A
@@ -818,7 +937,6 @@ impl MachineShard<'_> {
             addr,
             kind,
         )
-        .0
     }
 
     /// Timed load of an `f64`; see [`Machine::read_f64`].
@@ -937,9 +1055,21 @@ mod tests {
         m.place_range(a, 4096, NodeId(0));
         m.place_range(b, 4096, NodeId(1));
         for i in 0..64 {
-            m.set_tag(ProcId(0), AccessTag { sym: sym_a, region: 0 });
+            m.set_tag(
+                ProcId(0),
+                AccessTag {
+                    sym: sym_a,
+                    region: 0,
+                },
+            );
             m.access(ProcId(0), a + i * 8, AccessKind::Read);
-            m.set_tag(ProcId(0), AccessTag { sym: sym_b, region: 0 });
+            m.set_tag(
+                ProcId(0),
+                AccessTag {
+                    sym: sym_b,
+                    region: 0,
+                },
+            );
             m.access(ProcId(0), b + i * 8, AccessKind::Write);
         }
         let attr = m.merged_attribution().expect("profiling on");
@@ -952,13 +1082,13 @@ mod tests {
         assert_eq!(t.tlb_misses, c.tlb_misses);
         assert_eq!(t.l1_misses(), c.l1_misses);
         // Everything under `b`'s tag went to a remote node; `a` stayed local.
-        let b_stats: TagStats = attr
-            .tags()
-            .filter(|(tag, _)| tag.sym == sym_b)
-            .fold(TagStats::default(), |mut acc, (_, s)| {
+        let b_stats: TagStats = attr.tags().filter(|(tag, _)| tag.sym == sym_b).fold(
+            TagStats::default(),
+            |mut acc, (_, s)| {
                 acc.add(s);
                 acc
-            });
+            },
+        );
         assert_eq!(b_stats.local_misses, 0);
         assert!(b_stats.remote_misses > 0);
         // The page-level view agrees: `b`'s page is remote-dominated and
@@ -1122,14 +1252,19 @@ mod tests {
     #[test]
     fn migration_moves_hot_pages() {
         let mut cfg = MachineConfig::small_test(4);
-        cfg.migration_threshold = Some(8);
+        cfg.migration = crate::MigrationPolicy::competitive(8);
+        cfg.migration_epoch = 64;
         // Shrink caches so repeated accesses keep missing (migration is
         // triggered by L2 misses).
         cfg.l2 = crate::cache::CacheConfig::new(256, 64, 2);
         cfg.l1 = crate::cache::CacheConfig::new(128, 32, 2);
         let mut m = Machine::new(cfg);
         let a = m.alloc_pages(1024);
-        m.place_range(a, 1024, NodeId(0));
+        // First touch by proc 0 homes the page on node 0 (an explicit
+        // placement would pin it against the daemon).
+        for off in (0..1024).step_by(64) {
+            m.access(ProcId(0), a + off, AccessKind::Read);
+        }
         // Proc 2 (node 1) hammers the page with a thrashing stride.
         for rep in 0..40u64 {
             for off in (0..1024).step_by(64) {
@@ -1139,6 +1274,86 @@ mod tests {
         }
         assert!(m.migrations() >= 1, "hot page should migrate");
         assert_eq!(m.home_of(a), Some(NodeId(1)));
+        assert_eq!(m.pages_migrated(), m.migrations());
+        assert!(m.migration_cycles() > 0, "copy + shootdown must be priced");
+        assert_eq!(
+            m.migration_pages()[0].0,
+            a >> m.config().page_size.trailing_zeros()
+        );
+    }
+
+    #[test]
+    fn migration_keeps_values_and_clears_sharers() {
+        let mut cfg = MachineConfig::small_test(4);
+        cfg.migration = crate::MigrationPolicy::threshold(4);
+        cfg.migration_epoch = 32;
+        cfg.l2 = crate::cache::CacheConfig::new(256, 64, 2);
+        cfg.l1 = crate::cache::CacheConfig::new(128, 32, 2);
+        let mut m = Machine::new(cfg);
+        let a = m.alloc_pages(1024);
+        for k in 0..128u64 {
+            m.write_f64(ProcId(0), a + k * 8, k as f64);
+        }
+        let old_frame = m.frame_of(a >> 10).expect("mapped");
+        for _ in 0..200u64 {
+            for off in (0..1024).step_by(64) {
+                m.access(ProcId(2), a + off, AccessKind::Read);
+            }
+        }
+        assert!(m.migrations() >= 1);
+        assert_ne!(m.frame_of(a >> 10), Some(old_frame), "frame must move");
+        // The released frame's directory lines hold no stale sharers.
+        for line in 0..(1024 / 64) {
+            let paddr = (old_frame << 10) + line * 64;
+            assert!(
+                m.line_sharers(paddr).is_empty(),
+                "stale sharer at line {line}"
+            );
+        }
+        // The data followed the page.
+        for k in 0..128u64 {
+            assert_eq!(m.read_f64(ProcId(2), a + k * 8).0, k as f64);
+        }
+    }
+
+    #[test]
+    fn double_remap_preserves_word_values() {
+        // Regression: the remap shoot-down (shared by explicit placement
+        // and migration) must never lose data, even when the second remap
+        // reuses the page's original frame.
+        let mut m = machine(4);
+        let a = m.alloc_pages(1024);
+        for k in 0..128u64 {
+            m.write_f64(ProcId(0), a + k * 8, (k * 3) as f64);
+        }
+        assert_eq!(m.place_range(a, 1024, NodeId(1)), 1);
+        m.access(ProcId(1), a, AccessKind::Read); // cache it remotely
+        assert_eq!(m.place_range(a, 1024, NodeId(0)), 1);
+        for k in 0..128u64 {
+            assert_eq!(m.read_f64(ProcId(3), a + k * 8).0, (k * 3) as f64);
+        }
+    }
+
+    #[test]
+    fn explicit_placement_pins_against_migration() {
+        // A directive-placed page never migrates, no matter how lopsided
+        // its reference counts get — the OS honours explicit placement.
+        let mut cfg = MachineConfig::small_test(4);
+        cfg.migration = crate::MigrationPolicy::threshold(2);
+        cfg.migration_epoch = 32;
+        cfg.l2 = crate::cache::CacheConfig::new(256, 64, 2);
+        cfg.l1 = crate::cache::CacheConfig::new(128, 32, 2);
+        let mut m = Machine::new(cfg);
+        let a = m.alloc_pages(1024);
+        m.place_range(a, 1024, NodeId(0));
+        for _ in 0..100u64 {
+            for off in (0..1024).step_by(64) {
+                m.access(ProcId(2), a + off, AccessKind::Read);
+            }
+        }
+        m.migration_epoch();
+        assert_eq!(m.migrations(), 0, "pinned page must not migrate");
+        assert_eq!(m.home_of(a), Some(NodeId(0)));
     }
 
     #[test]
@@ -1212,7 +1427,10 @@ mod tests {
         s0.access(a, AccessKind::Write);
         // Member 1's next access drains its mailbox and must miss.
         let cost = s1.access(a, AccessKind::Read);
-        assert!(cost > s1.config().lat.l1_hit, "stale hit after remote write");
+        assert!(
+            cost > s1.config().lat.l1_hit,
+            "stale hit after remote write"
+        );
         assert_eq!(s1.counters().invalidations_received, 1);
         let _ = s0;
         m.drain_mail();

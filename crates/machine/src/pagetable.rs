@@ -72,6 +72,10 @@ pub struct PageTable {
     /// allocator keeps the virtual address space compact, so this stays
     /// proportional to allocated memory.
     map: Vec<Option<Mapping>>,
+    /// vpage -> explicitly placed. Set by the placement system call and
+    /// honoured by the reactive-migration daemon (IRIX semantics: the OS
+    /// never second-guesses pages the program placed itself).
+    pinned: Vec<bool>,
     n_nodes: usize,
     frames_per_node: usize,
     n_colors: usize,
@@ -110,6 +114,7 @@ impl PageTable {
         let n_colors = n_colors.max(1);
         PageTable {
             map: Vec::new(),
+            pinned: Vec::new(),
             n_nodes,
             frames_per_node,
             n_colors,
@@ -127,6 +132,21 @@ impl PageTable {
     /// Look up an existing mapping without faulting.
     pub fn lookup(&self, vpage: u64) -> Option<Mapping> {
         self.map.get(vpage as usize).copied().flatten()
+    }
+
+    /// Mark `vpage` as explicitly placed: the reactive-migration daemon
+    /// must leave it alone from now on.
+    pub fn pin(&mut self, vpage: u64) {
+        if self.pinned.len() <= vpage as usize {
+            self.pinned.resize(vpage as usize + 1, false);
+        }
+        self.pinned[vpage as usize] = true;
+    }
+
+    /// Whether `vpage` was ever explicitly placed (and is therefore off
+    /// limits to the migration daemon).
+    pub fn is_pinned(&self, vpage: u64) -> bool {
+        self.pinned.get(vpage as usize).copied().unwrap_or(false)
     }
 
     /// Translate `vpage` for a processor on `local`, faulting with the

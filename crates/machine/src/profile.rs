@@ -214,7 +214,13 @@ impl AttributionTable {
 
     /// Record one finished access under `tag`.
     #[inline]
-    pub fn note_access(&mut self, tag: AccessTag, kind: AccessKind, tlb_miss: bool, level: FillLevel) {
+    pub fn note_access(
+        &mut self,
+        tag: AccessTag,
+        kind: AccessKind,
+        tlb_miss: bool,
+        level: FillLevel,
+    ) {
         let s = self.tags.entry(tag).or_default();
         match kind {
             AccessKind::Read => s.loads += 1,
@@ -320,9 +326,25 @@ mod tests {
         let tag = AccessTag { sym: 0, region: 1 };
         let mut a = AttributionTable::new(2);
         let mut b = AttributionTable::new(2);
-        a.note_access(tag, AccessKind::Read, false, FillLevel::Mem { local: true, hops: 0 });
+        a.note_access(
+            tag,
+            AccessKind::Read,
+            false,
+            FillLevel::Mem {
+                local: true,
+                hops: 0,
+            },
+        );
         a.note_page_fill(tag, 7, NodeId(0), true);
-        b.note_access(tag, AccessKind::Write, true, FillLevel::Mem { local: false, hops: 2 });
+        b.note_access(
+            tag,
+            AccessKind::Write,
+            true,
+            FillLevel::Mem {
+                local: false,
+                hops: 2,
+            },
+        );
         b.note_page_fill(tag, 7, NodeId(1), false);
         b.note_invalidations(tag, 3);
         a.merge(&b);

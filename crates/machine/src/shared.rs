@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
 use crate::directory::{CoherenceResult, Directory};
+use crate::migrate::RefCounters;
 use crate::pagetable::{PagePolicy, PageTable, Translate};
 use crate::topology::NodeId;
 use crate::ProcId;
@@ -123,7 +124,9 @@ impl ShardedDirectory {
     /// An empty directory of [`DIR_SHARDS`] shards.
     pub fn new() -> Self {
         ShardedDirectory {
-            shards: (0..DIR_SHARDS).map(|_| Mutex::new(Directory::new())).collect(),
+            shards: (0..DIR_SHARDS)
+                .map(|_| Mutex::new(Directory::new()))
+                .collect(),
         }
     }
 
@@ -154,11 +157,21 @@ impl ShardedDirectory {
         self.shard(line).clear_line(line);
     }
 
+    /// Current sharer set of a line (empty if uncached). Used by the
+    /// migration engine's stale-sharer invariant checks.
+    pub fn sharers(&self, line: u64) -> Vec<ProcId> {
+        self.shard(line).sharers(line)
+    }
+
     /// Total invalidation messages sent since construction.
     pub fn total_invalidations(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("directory shard poisoned").total_invalidations())
+            .map(|s| {
+                s.lock()
+                    .expect("directory shard poisoned")
+                    .total_invalidations()
+            })
             .sum()
     }
 
@@ -178,6 +191,9 @@ pub struct SharedState {
     pub(crate) dir: ShardedDirectory,
     pub(crate) mem: WordMem,
     pub(crate) node_served: Vec<AtomicU64>,
+    /// Per-page per-node reference counters feeding the migration
+    /// daemon; grown (like `mem`) only from serial allocation code.
+    pub(crate) refs: RefCounters,
     /// Per-processor pending line invalidations (directory-line numbers).
     mail: Vec<Mutex<Vec<u64>>>,
     /// Total undelivered mailbox entries (fast empty check).
@@ -191,6 +207,7 @@ impl SharedState {
             dir: ShardedDirectory::new(),
             mem: WordMem::default(),
             node_served: (0..n_nodes).map(|_| AtomicU64::new(0)).collect(),
+            refs: RefCounters::new(n_nodes),
             mail: (0..nprocs).map(|_| Mutex::new(Vec::new())).collect(),
             mail_count: AtomicUsize::new(0),
         }

@@ -1,6 +1,8 @@
 //! Property-based tests of the machine substrate's invariants.
 
-use dsm_machine::{AccessKind, Cache, CacheConfig, Machine, MachineConfig, NodeId, ProcId, Tlb};
+use dsm_machine::{
+    AccessKind, Cache, CacheConfig, Machine, MachineConfig, MigrationPolicy, NodeId, ProcId, Tlb,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -183,6 +185,96 @@ proptest! {
             } else {
                 prop_assert_eq!(now, home0, "page {} changed home without place_page", pg);
             }
+        }
+    }
+
+    /// The migration daemon's lock-free reference counters, sampled by
+    /// team shards racing on host threads, never lose or invent a fill:
+    /// with no epoch run, the counts sum exactly to the machine's
+    /// memory-fill counters (`local + remote` misses), and no single
+    /// page's count exceeds that total (no underflow wrap, no
+    /// double-count).
+    #[test]
+    fn migration_counters_balance_under_concurrent_sampling(
+        pages in prop::collection::vec(0u64..32, 8..48),
+        nthreads in 2usize..8,
+    ) {
+        let mut cfg = MachineConfig::small_test(8);
+        cfg.migration = MigrationPolicy::threshold(4);
+        cfg.migration_epoch = u64::MAX; // sample only — no resets/decay
+        let mut m = Machine::new(cfg);
+        let page = m.config().page_size as u64;
+        let base = m.alloc_pages(32 * page as usize);
+        let ids: Vec<ProcId> = (0..nthreads).map(ProcId).collect();
+
+        let shards = m.team_shards(&ids);
+        std::thread::scope(|s| {
+            for (t, mut shard) in shards.into_iter().enumerate() {
+                let pages = &pages;
+                s.spawn(move || {
+                    for i in 0..pages.len() {
+                        let pg = pages[(i + t * 5) % pages.len()];
+                        shard.access(base + pg * page + t as u64 * 8, AccessKind::Read);
+                    }
+                });
+            }
+        });
+        m.drain_mail();
+
+        let t = m.total_counters();
+        let fills = t.local_misses + t.remote_misses;
+        let refs = m.ref_counters();
+        prop_assert_eq!(refs.total(), fills, "sampled counts != memory fills");
+        for vp in 0..refs.pages() {
+            let per: u64 = refs.counts(vp).iter().map(|&c| u64::from(c)).sum();
+            prop_assert!(per <= fills, "page {} counts {} exceed fills {}", vp, per, fills);
+        }
+    }
+
+    /// After a migration epoch, every migrated page still maps, holds its
+    /// data bit-exactly, and the directory carries no sharers for its
+    /// frame (the shootdown invalidated every cached copy).
+    #[test]
+    fn migration_clears_sharers_and_preserves_data(
+        values in prop::collection::vec(
+            any::<f64>().prop_filter("finite", |v| v.is_finite()), 64..128),
+        reader in 2usize..8,
+        rounds in 2u32..6,
+    ) {
+        let mut cfg = MachineConfig::small_test(8); // 4 nodes, 2 procs/node
+        cfg.migration = MigrationPolicy::threshold(2);
+        cfg.migration_epoch = u64::MAX; // epochs fired by hand below
+        // Tiny caches so every sweep misses to memory.
+        cfg.l2 = CacheConfig::new(256, 64, 2);
+        cfg.l1 = CacheConfig::new(128, 32, 2);
+        let mut m = Machine::new(cfg);
+        let base = m.alloc_pages(values.len() * 8);
+        for (i, &v) in values.iter().enumerate() {
+            m.write_f64(ProcId(0), base + i as u64 * 8, v); // first-touch node 0
+        }
+        for _ in 0..rounds {
+            for i in 0..values.len() {
+                m.read_f64(ProcId(reader), base + i as u64 * 8);
+            }
+        }
+        m.migration_epoch();
+
+        let migrated = m.migration_pages();
+        prop_assert!(!migrated.is_empty(), "remote sweeps must trigger migration");
+        let page_bits = m.config().page_size.trailing_zeros();
+        let line = m.config().l2.line_size as u64;
+        for &(vp, _) in &migrated {
+            let frame = m.frame_of(vp).expect("migrated page unmapped");
+            let home = m.home_of(vp << page_bits).expect("migrated page homeless");
+            prop_assert_eq!(home, NodeId(reader / 2), "page must follow its accessor");
+            for off in (0..m.config().page_size as u64).step_by(line as usize) {
+                let sharers = m.line_sharers((frame << page_bits) + off);
+                prop_assert!(sharers.is_empty(), "stale sharers {:?} after migration", sharers);
+            }
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let (got, _) = m.read_f64(ProcId(1), base + i as u64 * 8);
+            prop_assert_eq!(got, v, "value {} corrupted by migration", i);
         }
     }
 }

@@ -15,6 +15,7 @@
 
 pub mod argcheck;
 pub mod descriptor;
+pub mod epoch;
 pub mod intrinsics;
 pub mod layout;
 pub mod pool;
@@ -22,6 +23,7 @@ pub mod sched;
 
 pub use argcheck::{ArgCheckError, ArgChecker, ArgInfo};
 pub use descriptor::{DimDesc, DistDescriptor};
+pub use epoch::{join_epoch, EpochClock};
 pub use layout::{ArrayLayout, RtArray};
 pub use pool::PoolSet;
 pub use sched::{partition, Chunk};

@@ -236,20 +236,81 @@ mod tests {
     #[test]
     fn chunk_len_negative_step() {
         // Downward chunks run lb, lb+step, …, ≥ ub.
-        assert_eq!(Chunk { lb: 9, ub: 1, step: -4 }.len(), 3); // 9, 5, 1
-        assert_eq!(Chunk { lb: 0, ub: -10, step: -3 }.len(), 4); // 0, -3, -6, -9
-        // `lb < ub` with negative step is empty (iteration-order bounds).
-        assert!(Chunk { lb: 1, ub: 10, step: -1 }.is_empty());
-        assert_eq!(Chunk { lb: 1, ub: 10, step: -1 }.len(), 0);
+        assert_eq!(
+            Chunk {
+                lb: 9,
+                ub: 1,
+                step: -4
+            }
+            .len(),
+            3
+        ); // 9, 5, 1
+        assert_eq!(
+            Chunk {
+                lb: 0,
+                ub: -10,
+                step: -3
+            }
+            .len(),
+            4
+        ); // 0, -3, -6, -9
+           // `lb < ub` with negative step is empty (iteration-order bounds).
+        assert!(Chunk {
+            lb: 1,
+            ub: 10,
+            step: -1
+        }
+        .is_empty());
+        assert_eq!(
+            Chunk {
+                lb: 1,
+                ub: 10,
+                step: -1
+            }
+            .len(),
+            0
+        );
     }
 
     #[test]
     fn chunk_len_single_iteration() {
-        assert_eq!(Chunk { lb: 7, ub: 7, step: 1 }.len(), 1);
-        assert_eq!(Chunk { lb: 7, ub: 7, step: -3 }.len(), 1);
+        assert_eq!(
+            Chunk {
+                lb: 7,
+                ub: 7,
+                step: 1
+            }
+            .len(),
+            1
+        );
+        assert_eq!(
+            Chunk {
+                lb: 7,
+                ub: 7,
+                step: -3
+            }
+            .len(),
+            1
+        );
         // Step overshoots ub: only lb executes.
-        assert_eq!(Chunk { lb: 1, ub: 4, step: 10 }.len(), 1);
-        assert_eq!(Chunk { lb: 4, ub: 1, step: -10 }.len(), 1);
+        assert_eq!(
+            Chunk {
+                lb: 1,
+                ub: 4,
+                step: 10
+            }
+            .len(),
+            1
+        );
+        assert_eq!(
+            Chunk {
+                lb: 4,
+                ub: 1,
+                step: -10
+            }
+            .len(),
+            1
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ fn run_variant(n: usize, nprocs: usize, two_level: bool) -> Result<(), DsmError>
             .source("conv.f", &conv2d_source(n, 1, policy, two_level))
             .optimize(OptConfig::default())
             .compile()?;
-        let serial = program.run(&policy.machine(1, scale), &ExecOptions::new(1))?.report;
+        let serial = program
+            .run(&policy.machine(1, scale), &ExecOptions::new(1))?
+            .report;
         let base = *serial_cycles.get_or_insert(serial.kernel_cycles());
         let r = program
             .run(&policy.machine(nprocs, scale), &ExecOptions::new(nprocs))?

@@ -1,24 +1,27 @@
 c 1-D heat diffusion with a reshaped block distribution.
+c The mesh is initialized serially (the master reads boundary
+c conditions in), so untuned first-touch lands every page of u on
+c node 0 -- the classic trap that explicit placement (or the OS's
+c reactive page migration, dsmfc --migrate) has to dig out of.
 c Try:  dsmfc -p 8 examples/fortran/heat.f
       program heat
       integer i, step, nsteps
-      real*8 u(4096), unew(4096)
+      real*8 u(49152), unew(49152)
 c$distribute_reshape u(block)
 c$distribute_reshape unew(block)
-c parallel initialization: a hot spot in the middle
-c$doacross local(i) affinity(i) = data(u(i))
-      do i = 1, 4096
+c serial initialization: a hot spot left of the middle
+      do i = 1, 49152
         u(i) = 0.0
-        if (i .ge. 2000 .and. i .le. 2100) u(i) = 100.0
+        if (i .ge. 24000 .and. i .le. 24600) u(i) = 100.0
       enddo
       nsteps = 10
       do step = 1, nsteps
 c$doacross local(i) affinity(i) = data(u(i))
-        do i = 2, 4095
+        do i = 2, 49151
           unew(i) = u(i) + 0.25 * (u(i-1) - 2.0*u(i) + u(i+1))
         enddo
 c$doacross local(i) affinity(i) = data(u(i))
-        do i = 2, 4095
+        do i = 2, 49151
           u(i) = unew(i)
         enddo
       enddo

@@ -1,0 +1,24 @@
+c Fig-5 matrix transpose: a(j,i) = b(i,j), reshaped so each array's
+c pages follow its own access pattern (a by columns, b by rows).
+c The matrices are initialized serially, so untuned first-touch homes
+c everything on node 0 -- compare `dsmfc --strip-placement --migrate`.
+c Try:  dsmfc -p 8 examples/fortran/transpose.f
+      program transpose
+      integer i, j, rep
+      real*8 a(320, 320), b(320, 320)
+c$distribute_reshape a(*, block)
+c$distribute_reshape b(block, *)
+      do j = 1, 320
+        do i = 1, 320
+          b(i, j) = i + 320*j
+        enddo
+      enddo
+      do rep = 1, 2
+c$doacross local(i, j) affinity(i) = data(a(1, i))
+      do i = 1, 320
+        do j = 1, 320
+          a(j, i) = b(i, j)
+        enddo
+      enddo
+      enddo
+      end

@@ -29,7 +29,9 @@ fn main() -> Result<(), DsmError> {
             .source("lu.f", &lu_source(n, n, n / 2, 1, policy))
             .optimize(OptConfig::default())
             .compile()?;
-        let serial = program.run(&policy.machine(1, scale), &ExecOptions::new(1))?.report;
+        let serial = program
+            .run(&policy.machine(1, scale), &ExecOptions::new(1))?
+            .report;
         let base = *serial_cycles.get_or_insert(serial.kernel_cycles());
         let r = program
             .run(&policy.machine(nprocs, scale), &ExecOptions::new(nprocs))?
@@ -56,7 +58,9 @@ fn main() -> Result<(), DsmError> {
             .source("lu.f", &src)
             .optimize(opt)
             .compile()?;
-        let r = program.run(&Policy::Reshaped.machine(1, scale), &ExecOptions::new(1))?.report;
+        let r = program
+            .run(&Policy::Reshaped.machine(1, scale), &ExecOptions::new(1))?
+            .report;
         println!("  {label:<22} {:>14} cycles", r.total_cycles);
     }
     Ok(())

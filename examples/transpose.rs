@@ -31,7 +31,9 @@ fn main() -> Result<(), DsmError> {
             .source("transpose.f", &transpose_source(n, 1, policy))
             .optimize(OptConfig::default())
             .compile()?;
-        let serial = program.run(&policy.machine(1, scale), &ExecOptions::new(1))?.report;
+        let serial = program
+            .run(&policy.machine(1, scale), &ExecOptions::new(1))?
+            .report;
         let base = *serial_cycles.get_or_insert(serial.kernel_cycles());
         let r = program
             .run(&policy.machine(nprocs, scale), &ExecOptions::new(nprocs))?

@@ -92,8 +92,14 @@ fn split_files_equal_single_file() {
         .compile()
         .expect("single compiles");
     let opts = ExecOptions::new(2).capture(&["a"]);
-    let c1 = p_split.run(&MachineConfig::small_test(2), &opts).unwrap().captures;
-    let c2 = p_single.run(&MachineConfig::small_test(2), &opts).unwrap().captures;
+    let c1 = p_split
+        .run(&MachineConfig::small_test(2), &opts)
+        .unwrap()
+        .captures;
+    let c2 = p_single
+        .run(&MachineConfig::small_test(2), &opts)
+        .unwrap()
+        .captures;
     assert_eq!(c1[0], c2[0]);
 }
 
@@ -208,7 +214,9 @@ fn counters_distinguish_placement_quality() {
             .source("t.f", src)
             .compile()
             .expect("compiles");
-        p.run(&pol.machine(8, 64), &ExecOptions::new(8)).expect("runs").report
+        p.run(&pol.machine(8, 64), &ExecOptions::new(8))
+            .expect("runs")
+            .report
     };
     let rh = run(&hostile, Policy::FirstTouch);
     let rf = run(&friendly, Policy::Reshaped);
