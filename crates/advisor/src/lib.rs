@@ -332,8 +332,9 @@ pub fn migration_baselines(
         let opts = dsm_exec::ExecOptions::new(cfg.nprocs)
             .max_steps(cfg.max_steps)
             .migration(policy);
-        let report = dsm_exec::run_program(&mut machine, &compiled.program, &opts)
-            .map_err(|e| AdvisorError::Baseline(format!("migrate={policy}: {e}")))?;
+        let report = dsm_exec::run_outcome(&mut machine, &compiled.program, &opts)
+            .map_err(|e| AdvisorError::Baseline(format!("migrate={policy}: {e}")))?
+            .report;
         rows.push(MigrationRow {
             policy,
             measure: Measure {

@@ -120,10 +120,14 @@ c$doacross local(i) shared(a)
         .expect("compiles");
     let mut cfg2 = Policy::FirstTouch.machine(8, scale);
     let mut plain = Machine::new(cfg2.clone());
-    let r_plain = dsm_exec::run_program(&mut plain, prog.program(), &ExecOptions::new(8)).unwrap();
+    let r_plain = dsm_exec::run_outcome(&mut plain, prog.program(), &ExecOptions::new(8))
+        .unwrap()
+        .report;
     cfg2.migration = dsm_machine::MigrationPolicy::threshold(4);
     let mut mig = Machine::new(cfg2);
-    let r_mig = dsm_exec::run_program(&mut mig, prog.program(), &ExecOptions::new(8)).unwrap();
+    let r_mig = dsm_exec::run_outcome(&mut mig, prog.program(), &ExecOptions::new(8))
+        .unwrap()
+        .report;
     println!("=== ablation: OS page migration (no directives, serial init) ===");
     println!(
         "  first-touch      : {:>12} cycles, {} remote misses",

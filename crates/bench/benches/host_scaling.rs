@@ -18,12 +18,26 @@
 //! parallel run (the profiler's disabled-path cost — one predictable
 //! branch per memory access — is below wall-clock noise and cannot be
 //! measured from inside one build).
+//!
+//! A fourth section measures the **engine speedup**: executed-iteration
+//! throughput of the compiled bytecode engine over the tree-walking
+//! interpreter on two serial-team workloads — the strided fig5
+//! transpose (reported) and the block-distributed
+//! [`dsm_core::workloads::fill_sweep_source`] (asserted), whose
+//! unit-stride invariant-RHS columns are the engine's bulk-access-run
+//! best case. Both engines are cycle-exact by contract, so the
+//! wall-clock ratio is pure executor throughput. CI's bench-smoke job
+//! treats a fill-sweep ratio below `DSM_BENCH_ENGINE_FLOOR` (default 5)
+//! as a regression; set the floor to `0` to report without asserting.
+//! The fill sweep runs at the default machine scale regardless of
+//! `DSM_BENCH_SCALE`, so the guarded number does not move with the
+//! sweep knob.
 
 use std::time::Duration;
 
 use dsm_bench::scale;
-use dsm_core::workloads::{transpose_source, Policy};
-use dsm_core::{ExecOptions, RunReport, Session};
+use dsm_core::workloads::{fill_sweep_source, transpose_source, Policy};
+use dsm_core::{Engine, ExecOptions, RunReport, Session};
 
 const NPROCS: usize = 8;
 const RUNS: usize = 3;
@@ -94,5 +108,78 @@ fn main() {
         println!("HOST_SCALING OK (floor {floor:.1}x)");
     } else {
         println!("HOST_SCALING SKIPPED ASSERT (single-core host; measured {speedup:.2}x)");
+    }
+
+    // Engine throughput: tree-walking interpreter vs compiled bytecode,
+    // serial team (no host-scheduling noise — the ratio is pure
+    // executor speed over identical simulated work). Reported on the
+    // strided transpose, asserted on the bulk-friendly fill sweep.
+    let (ir, interp_wall) = best_of(
+        &prog,
+        &ExecOptions::new(NPROCS)
+            .serial_team(true)
+            .engine(Engine::Interp),
+    );
+    assert_eq!(
+        ir.total_cycles, sr.total_cycles,
+        "engines must be cycle-exact on the same workload"
+    );
+    let transpose_speedup = interp_wall.as_secs_f64() / serial_wall.as_secs_f64().max(1e-9);
+    println!("Engine throughput: bytecode vs interp, serial team");
+    println!(
+        "  transpose (strided):     {serial_wall:?} vs {interp_wall:?} = {transpose_speedup:.2}x"
+    );
+
+    const FILL_N: usize = 256;
+    const FILL_REPS: usize = 20;
+    let fill_iters = (FILL_N * FILL_N * FILL_REPS) as f64;
+    let fill_src = fill_sweep_source(FILL_N, FILL_REPS);
+    let fill_prog = Session::new()
+        .source("fill.f", &fill_src)
+        .compile()
+        .unwrap_or_else(|e| panic!("fill sweep failed to compile: {e:?}"));
+    let fill_cfg = Policy::Regular.machine(NPROCS, 64);
+    let fill_best = |engine: Engine| {
+        let opts = ExecOptions::new(NPROCS).serial_team(true).engine(engine);
+        let mut best: Option<(RunReport, Duration)> = None;
+        for _ in 0..RUNS {
+            let r = fill_prog
+                .run(&fill_cfg, &opts)
+                .unwrap_or_else(|e| panic!("fill sweep failed to run: {e}"))
+                .report;
+            let w = r.host_region_wall;
+            if best.as_ref().is_none_or(|(_, b)| w < *b) {
+                best = Some((r, w));
+            }
+        }
+        best.unwrap()
+    };
+    let (fb, byte_wall) = fill_best(Engine::Bytecode);
+    let (fi, fill_interp_wall) = fill_best(Engine::Interp);
+    assert_eq!(
+        fb.total_cycles, fi.total_cycles,
+        "engines must be cycle-exact on the fill sweep"
+    );
+    let byte_rate = fill_iters / byte_wall.as_secs_f64().max(1e-9);
+    let interp_rate = fill_iters / fill_interp_wall.as_secs_f64().max(1e-9);
+    let engine_speedup = byte_rate / interp_rate.max(1e-9);
+    println!(
+        "  fill sweep ({FILL_N}x{FILL_N}x{FILL_REPS}): bytecode {:.1}M iters/s, interp {:.1}M iters/s",
+        byte_rate / 1e6,
+        interp_rate / 1e6
+    );
+    println!("  engine speedup:          {engine_speedup:.2}x (bytecode over interp)");
+    let engine_floor: f64 = std::env::var("DSM_BENCH_ENGINE_FLOOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    if engine_floor > 0.0 {
+        assert!(
+            engine_speedup >= engine_floor,
+            "bytecode engine only {engine_speedup:.2}x over interp, floor {engine_floor:.1}x"
+        );
+        println!("ENGINE_SPEEDUP OK (floor {engine_floor:.1}x)");
+    } else {
+        println!("ENGINE_SPEEDUP SKIPPED ASSERT (floor disabled)");
     }
 }

@@ -36,8 +36,9 @@ fn run_once(opt: &OptConfig) -> u64 {
         .unwrap();
     let cfg = Policy::Reshaped.machine(4, 64);
     let mut m = Machine::new(cfg);
-    dsm_exec::run_program(&mut m, prog.program(), &ExecOptions::new(4))
+    dsm_exec::run_outcome(&mut m, prog.program(), &ExecOptions::new(4))
         .unwrap()
+        .report
         .total_cycles
 }
 

@@ -200,8 +200,9 @@ pub fn run_built(source: &str, opt: &OptConfig, cfg: &MachineConfig, nprocs: usi
         .compile()
         .unwrap_or_else(|e| panic!("bench workload failed to compile: {e:?}"));
     let mut m = Machine::new(cfg.clone());
-    dsm_exec::run_program(&mut m, prog.program(), &ExecOptions::new(nprocs))
+    dsm_exec::run_outcome(&mut m, prog.program(), &ExecOptions::new(nprocs))
         .unwrap_or_else(|e| panic!("bench workload failed to run: {e}"))
+        .report
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! Exit status: 0 = all programs conform, 1 = divergence found,
 //! 2 = usage error.
 
-use dsm_conformance::{check_sources, generate, shrink, Divergence, Matrix, Spec};
+use dsm_conformance::{check_engine_diff, check_sources, generate, shrink, Divergence, Matrix, Spec};
 use std::path::PathBuf;
 
 struct Args {
@@ -25,11 +25,12 @@ struct Args {
     replay: Option<u64>,
     dump: Option<u64>,
     quick: bool,
+    engine_diff: bool,
     out: Option<PathBuf>,
 }
 
-const USAGE: &str =
-    "usage: dsmfuzz [--seed S] [--count N] [--replay SEED] [--dump SEED] [--quick] [--out DIR]";
+const USAGE: &str = "usage: dsmfuzz [--seed S] [--count N] [--replay SEED] [--dump SEED] \
+     [--quick] [--engine-diff] [--out DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -38,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         dump: None,
         quick: false,
+        engine_diff: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -54,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => args.replay = Some(num("--replay")?),
             "--dump" => args.dump = Some(num("--dump")?),
             "--quick" => args.quick = true,
+            "--engine-diff" => args.engine_diff = true,
             "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -88,11 +91,18 @@ fn main() {
         Some(seed) => (seed, 1),
         None => (args.seed, args.count),
     };
+    // Oracle conformance by default; `--engine-diff` pits the compiled
+    // bytecode engine against the tree-walking interpreter instead.
+    let check: CheckFn = if args.engine_diff {
+        check_engine_diff
+    } else {
+        check_sources
+    };
     let mut total_runs = 0usize;
     for seed in first..first.saturating_add(count) {
         let spec = generate(seed);
         let sources = spec.render();
-        match check_sources(&sources, &spec.capture_names(), &matrix) {
+        match check(&sources, &spec.capture_names(), &matrix) {
             Ok(stats) => {
                 total_runs += stats.runs;
                 let done = seed - first + 1;
@@ -101,14 +111,19 @@ fn main() {
                 }
             }
             Err(d) => {
-                report_failure(seed, &spec, &d, &matrix, args.out.as_deref());
+                report_failure(seed, &spec, &d, &matrix, check, args.out.as_deref());
                 std::process::exit(1);
             }
         }
     }
+    let what = if args.engine_diff {
+        "engine divergences"
+    } else {
+        "divergences"
+    };
     println!(
         "dsmfuzz: {count} programs x matrix ({} primary runs each): \
-         zero divergences, zero invariant violations",
+         zero {what}, zero invariant violations",
         matrix.runs()
     );
 }
@@ -120,11 +135,15 @@ fn render_concat(spec: &Spec) -> String {
         .collect()
 }
 
+type CheckFn =
+    fn(&[(String, String)], &[String], &Matrix) -> Result<dsm_conformance::CheckStats, Box<Divergence>>;
+
 fn report_failure(
     seed: u64,
     spec: &Spec,
     d: &Divergence,
     matrix: &Matrix,
+    check: CheckFn,
     out: Option<&std::path::Path>,
 ) {
     eprintln!("dsmfuzz: seed {seed} DIVERGED");
@@ -137,12 +156,12 @@ fn report_failure(
     eprintln!("--- shrinking (this reruns the matrix per candidate) ---");
     let min = shrink(spec, 400, |cand| {
         matches!(
-            check_sources(&cand.render(), &cand.capture_names(), matrix),
+            check(&cand.render(), &cand.capture_names(), matrix),
             Err(e) if e.kind == kind
         )
     });
     let min_src = render_concat(&min);
-    let min_div = check_sources(&min.render(), &min.capture_names(), matrix)
+    let min_div = check(&min.render(), &min.capture_names(), matrix)
         .err()
         .map(|e| e.to_string())
         .unwrap_or_else(|| "shrunken program no longer fails (flaky?)".into());

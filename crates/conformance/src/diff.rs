@@ -20,7 +20,7 @@
 
 use crate::oracle;
 use dsm_compile::{compile_strings, OptConfig};
-use dsm_exec::{run_outcome, ExecOptions, RunOutcome};
+use dsm_exec::{run_outcome, Engine, ExecOptions, RunOutcome};
 use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy};
 
 /// Which slice of the configuration matrix to run.
@@ -265,6 +265,29 @@ fn execute(
     profile: bool,
     captures: &[&str],
 ) -> Result<RunOutcome, String> {
+    execute_engine(
+        program,
+        p,
+        policy,
+        serial,
+        checks,
+        profile,
+        captures,
+        Engine::default(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_engine(
+    program: &dsm_ir::Program,
+    p: usize,
+    policy: MigrationPolicy,
+    serial: bool,
+    checks: bool,
+    profile: bool,
+    captures: &[&str],
+    engine: Engine,
+) -> Result<RunOutcome, String> {
     let mut cfg = MachineConfig::small_test(p);
     cfg.migration = policy;
     let mut machine = Machine::new(cfg);
@@ -273,8 +296,170 @@ fn execute(
         .with_checks(checks)
         .profile(profile)
         .max_steps(100_000_000)
-        .capture(captures);
+        .capture(captures)
+        .engine(engine);
     run_outcome(&mut machine, program, &opts).map_err(|e| e.to_string())
+}
+
+/// Run `sources` under **both** executors across `matrix` and demand the
+/// tree-walking interpreter and the compiled bytecode engine be
+/// observationally indistinguishable: bit-identical captures, and —
+/// for serial-team runs, where the simulation is fully deterministic —
+/// identical cycles, per-processor counters, page placement, migration
+/// work, and attribution profiles.  Threaded runs are compared on their
+/// deterministic subset (data and access totals), exactly as the
+/// determinism replica check does.
+pub fn check_engine_diff(
+    sources: &[(String, String)],
+    captures: &[String],
+    matrix: &Matrix,
+) -> Result<CheckStats, Box<Divergence>> {
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    let capture_refs: Vec<&str> = captures.iter().map(|s| s.as_str()).collect();
+    let mut runs = 0;
+    let mut clones = 0;
+    for (opt_name, opt) in &matrix.opt_variants {
+        let compiled = compile_strings(&borrowed, opt).map_err(|errs| {
+            Box::new(Divergence {
+                config: format!("opt={opt_name}"),
+                kind: "compile",
+                detail: format!("{errs:?}"),
+            })
+        })?;
+        clones = clones.max(compiled.prelink.clones_created);
+        for &p in &matrix.procs {
+            for &policy in &matrix.policies {
+                for &(serial, checks, profile) in &matrix.modes {
+                    let config = format!(
+                        "engines=bytecode/interp opt={opt_name} P={p} migrate={policy} \
+                         serial_team={} checks={} profile={}",
+                        on(serial),
+                        on(checks),
+                        on(profile)
+                    );
+                    let run = |engine: Engine| {
+                        execute_engine(
+                            &compiled.program,
+                            p,
+                            policy,
+                            serial,
+                            checks,
+                            profile,
+                            &capture_refs,
+                            engine,
+                        )
+                        .map_err(|e| {
+                            Box::new(Divergence {
+                                config: format!("{config} [{engine}]"),
+                                kind: "exec-error",
+                                detail: e,
+                            })
+                        })
+                    };
+                    let byte = run(Engine::Bytecode)?;
+                    let tree = run(Engine::Interp)?;
+                    runs += 2;
+                    compare_engines(&byte, &tree, serial, &config)?;
+                }
+            }
+        }
+    }
+    Ok(CheckStats { runs, clones })
+}
+
+/// Engine-vs-engine observational equality (`byte` = bytecode run,
+/// `tree` = interpreter run of the same configuration).
+fn compare_engines(
+    byte: &RunOutcome,
+    tree: &RunOutcome,
+    cycle_exact: bool,
+    config: &str,
+) -> Result<(), Box<Divergence>> {
+    let fail = |detail: String| {
+        Err(Box::new(Divergence {
+            config: config.into(),
+            kind: "engine-diff",
+            detail,
+        }))
+    };
+    if byte.captures.len() != tree.captures.len() {
+        return fail("capture set sizes differ between engines".into());
+    }
+    for (a, (g, w)) in byte.captures.iter().zip(&tree.captures).enumerate() {
+        if g.len() != w.len() {
+            return fail(format!(
+                "capture {a}: bytecode has {} elements, interp {}",
+                g.len(),
+                w.len()
+            ));
+        }
+        for (i, (x, y)) in g.iter().zip(w).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return fail(format!(
+                    "capture {a} element {i}: bytecode {x:?} ({:#x}), interp {y:?} ({:#x})",
+                    x.to_bits(),
+                    y.to_bits()
+                ));
+            }
+        }
+    }
+    let (rb, rt) = (&byte.report, &tree.report);
+    if cycle_exact {
+        if rb.total_cycles != rt.total_cycles {
+            return fail(format!(
+                "total cycles: bytecode {} vs interp {}",
+                rb.total_cycles, rt.total_cycles
+            ));
+        }
+        if rb.total != rt.total || rb.per_proc != rt.per_proc {
+            return fail(format!(
+                "hardware counters differ\nbytecode: {}\ninterp:   {}",
+                rb.total, rt.total
+            ));
+        }
+        if rb.parallel_regions != rt.parallel_regions || rb.parallel_cycles != rt.parallel_cycles {
+            return fail(format!(
+                "parallel regions/cycles: bytecode {}/{} vs interp {}/{}",
+                rb.parallel_regions, rb.parallel_cycles, rt.parallel_regions, rt.parallel_cycles
+            ));
+        }
+        if rb.pages_per_node != rt.pages_per_node
+            || rb.pages_migrated != rt.pages_migrated
+            || rb.migration_cycles != rt.migration_cycles
+        {
+            return fail("page placement / migration work differs between engines".into());
+        }
+        if rb.argcheck_ops != rt.argcheck_ops {
+            return fail(format!(
+                "argument-checker traffic: bytecode {:?} vs interp {:?}",
+                rb.argcheck_ops, rt.argcheck_ops
+            ));
+        }
+        if rb.profile != rt.profile {
+            return fail("attribution profiles differ between engines".into());
+        }
+    } else {
+        let access = |r: &dsm_exec::RunReport| {
+            (
+                r.total.loads,
+                r.total.stores,
+                r.total.page_faults,
+                r.parallel_regions,
+                r.argcheck_ops,
+            )
+        };
+        if access(rb) != access(rt) {
+            return fail(format!(
+                "access totals differ between engines: bytecode {:?} vs interp {:?}",
+                access(rb),
+                access(rt)
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn compare_captures(

@@ -27,7 +27,7 @@ pub mod oracle;
 pub mod shrink;
 pub mod spec;
 
-pub use diff::{check_sources, CheckStats, Divergence, Matrix};
+pub use diff::{check_engine_diff, check_sources, CheckStats, Divergence, Matrix};
 pub use gen::{generate, generate_with, GenOptions};
 pub use shrink::shrink;
 pub use spec::Spec;

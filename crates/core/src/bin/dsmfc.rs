@@ -14,6 +14,7 @@
 //!       --round-robin   round-robin page placement instead of first-touch
 //!       --counters      print per-processor hardware counters
 //!       --serial-team   simulate team members sequentially (reference mode)
+//!       --engine E      executor: bytecode (default) | interp
 //!       --migrate POLICY      reactive page migration: off |
 //!                             threshold[:N] | competitive[:N]
 //!       --strip-placement     drop placement directives and affinity
@@ -27,8 +28,8 @@
 //! ```
 
 use dsm_core::{
-    advise, AdvisorConfig, ExecOptions, MachineConfig, MigrationPolicy, OptConfig, PagePolicy,
-    Session,
+    advise, AdvisorConfig, Engine, ExecOptions, MachineConfig, MigrationPolicy, OptConfig,
+    PagePolicy, Session,
 };
 
 struct Options {
@@ -41,6 +42,7 @@ struct Options {
     round_robin: bool,
     counters: bool,
     serial_team: bool,
+    engine: Engine,
     migrate: Option<MigrationPolicy>,
     strip_placement: bool,
     profile: bool,
@@ -54,12 +56,25 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: dsmfc [-p N] [--scale N] [-O none|tile|hoist|full] [--dump-ir] \
-         [--check] [--round-robin] [--counters] [--serial-team] \
+         [--check] [--round-robin] [--counters] [--serial-team] [--engine bytecode|interp] \
          [--migrate off|threshold[:N]|competitive[:N]] [--strip-placement] [--profile] \
          [--profile-json FILE] [--auto] [--budget N] [--plan-json FILE] \
          [--emit-fortran FILE] file.f [file2.f ...]"
     );
     std::process::exit(2)
+}
+
+/// Parse the `--engine` argument, exiting with a diagnostic on an
+/// unknown executor name.
+fn engine_arg(spec: Option<&str>) -> Engine {
+    let Some(spec) = spec else {
+        eprintln!("dsmfc: --engine requires an executor (bytecode | interp)");
+        std::process::exit(2);
+    };
+    spec.parse().unwrap_or_else(|e| {
+        eprintln!("dsmfc: --engine: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Parse the `--migrate` policy argument, exiting with a diagnostic on
@@ -99,6 +114,7 @@ fn parse_args() -> Options {
         round_robin: false,
         counters: false,
         serial_team: false,
+        engine: Engine::default(),
         migrate: None,
         strip_placement: false,
         profile: false,
@@ -137,6 +153,10 @@ fn parse_args() -> Options {
             "--round-robin" => o.round_robin = true,
             "--counters" => o.counters = true,
             "--serial-team" => o.serial_team = true,
+            "--engine" => o.engine = engine_arg(args.next().as_deref()),
+            e if e.starts_with("--engine=") => {
+                o.engine = engine_arg(e.strip_prefix("--engine="));
+            }
             "--migrate" => o.migrate = Some(migrate_arg(args.next().as_deref())),
             m if m.starts_with("--migrate=") => {
                 o.migrate = Some(migrate_arg(m.strip_prefix("--migrate=")));
@@ -267,6 +287,7 @@ fn main() {
     let mut exec = ExecOptions::new(o.procs)
         .with_checks(o.checks)
         .serial_team(o.serial_team)
+        .engine(o.engine)
         .profile(want_profile);
     if let Some(policy) = o.migrate {
         exec = exec.migration(policy);

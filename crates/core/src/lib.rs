@@ -45,7 +45,7 @@ pub mod workloads;
 
 pub use dsm_advisor::{advise, Advice, AdvisorConfig, AdvisorError};
 pub use dsm_compile::{OptConfig, PrelinkReport};
-pub use dsm_exec::{ExecError, ExecOptions, Profile, RunOutcome, RunReport};
+pub use dsm_exec::{Engine, ExecError, ExecOptions, Profile, RunOutcome, RunReport};
 pub use dsm_frontend::{CompileError, ErrorKind};
 pub use dsm_ir::Program;
 pub use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy, PagePolicy};
@@ -194,59 +194,6 @@ impl CompiledProgram {
         let mut m = Machine::new(cfg.clone());
         dsm_exec::run_outcome(&mut m, &self.compiled.program, opts).map_err(DsmError::from)
     }
-
-    /// Run with explicit [`ExecOptions`] (runtime checks, step limits).
-    ///
-    /// # Errors
-    ///
-    /// As [`CompiledProgram::run`].
-    #[deprecated(note = "use `run(cfg, opts)` and take `.report` from the outcome")]
-    pub fn run_with(
-        &self,
-        cfg: &MachineConfig,
-        opts: &ExecOptions,
-    ) -> Result<RunReport, ExecError> {
-        let mut m = Machine::new(cfg.clone());
-        dsm_exec::run_program(&mut m, &self.compiled.program, opts)
-    }
-
-    /// Run and capture the final contents of named main-program arrays.
-    ///
-    /// # Errors
-    ///
-    /// As [`CompiledProgram::run`].
-    #[deprecated(note = "use `run(cfg, &ExecOptions::new(n).capture(names))`")]
-    pub fn run_capture(
-        &self,
-        cfg: &MachineConfig,
-        nprocs: usize,
-        captures: &[&str],
-    ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
-        let mut m = Machine::new(cfg.clone());
-        dsm_exec::run_program_capture(
-            &mut m,
-            &self.compiled.program,
-            &ExecOptions::new(nprocs),
-            captures,
-        )
-    }
-
-    /// [`CompiledProgram::run_capture`] with explicit [`ExecOptions`]
-    /// (runtime checks, step limits, serial team simulation).
-    ///
-    /// # Errors
-    ///
-    /// As [`CompiledProgram::run`].
-    #[deprecated(note = "use `run(cfg, opts.capture(names))`")]
-    pub fn run_capture_with(
-        &self,
-        cfg: &MachineConfig,
-        opts: &ExecOptions,
-        captures: &[&str],
-    ) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
-        let mut m = Machine::new(cfg.clone());
-        dsm_exec::run_program_capture(&mut m, &self.compiled.program, opts, captures)
-    }
 }
 
 #[cfg(test)]
@@ -272,52 +219,6 @@ mod tests {
         assert_eq!(out.captures[0][63], 64.0);
         assert!(out.profile().is_some_and(|pr| pr.array("a").is_some()));
         assert!(p.ir_dump().contains("do"));
-    }
-
-    /// Each deprecated `run_*` shim is a thin view of [`CompiledProgram::run`]:
-    /// the report and captures it returns must be *identical* to calling
-    /// `run(&cfg, &opts)` with the equivalent options (the fixture has no
-    /// parallel region, so even cycle counts are exactly reproducible).
-    /// See the "Migrating from the `run_*` helpers" section in README.md.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_run() {
-        let p = Session::new()
-            .source(
-                "t.f",
-                "      program main\n      integer i\n      real*8 a(64)\n      do i = 1, 64\n        a(i) = i\n      enddo\n      end\n",
-            )
-            .compile()
-            .expect("compiles");
-        let cfg = MachineConfig::small_test(2);
-        // The host wall-clock is the one field real time leaks into;
-        // everything simulated must match exactly.
-        let norm = |mut r: dsm_exec::RunReport| {
-            r.host_wall = std::time::Duration::ZERO;
-            r.host_region_wall = std::time::Duration::ZERO;
-            r
-        };
-
-        // run_with(cfg, opts) == run(cfg, opts).report
-        let opts = ExecOptions::new(2);
-        let outcome = p.run(&cfg, &opts).expect("run");
-        let shim = p.run_with(&cfg, &opts).expect("run_with");
-        assert_eq!(norm(shim), norm(outcome.report));
-
-        // run_capture(cfg, n, names) == run(cfg, ExecOptions::new(n).capture(names))
-        let opts_cap = ExecOptions::new(2).capture(&["a"]);
-        let outcome_cap = p.run(&cfg, &opts_cap).expect("run");
-        let (rep, caps) = p.run_capture(&cfg, 2, &["a"]).expect("run_capture");
-        assert_eq!(norm(rep), norm(outcome_cap.report.clone()));
-        assert_eq!(caps, outcome_cap.captures);
-        assert_eq!(caps[0][63], 64.0);
-
-        // run_capture_with(cfg, opts, names) == run(cfg, opts.capture(names))
-        let (rep2, caps2) = p
-            .run_capture_with(&cfg, &ExecOptions::new(2), &["a"])
-            .expect("run_capture_with");
-        assert_eq!(norm(rep2), norm(outcome_cap.report));
-        assert_eq!(caps2, outcome_cap.captures);
     }
 
     #[test]

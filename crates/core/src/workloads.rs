@@ -118,6 +118,37 @@ c$doacross local(i, j){aff}
     )
 }
 
+/// Block-distributed fill sweep: `reps` parallel passes writing a
+/// loop-invariant (per pass) expression into every element of an
+/// `n × n` array distributed `a(*, block)`.
+///
+/// Not a paper workload — a throughput harness for the executors. Each
+/// inner column walk is a unit-stride store stream whose right-hand side
+/// is invariant, the best case for the bytecode engine's bulk access
+/// runs (one evaluation plus one batched machine run per column,
+/// versus the tree-walking interpreter's per-element dispatch). The
+/// `host_scaling` bench uses it to measure executed-iteration
+/// throughput engine-to-engine; the RHS still depends on `rep` so a
+/// conforming engine must charge its operation costs per element.
+pub fn fill_sweep_source(n: usize, reps: usize) -> String {
+    format!(
+        "      program main
+      integer i, j, rep
+      real*8 a({n}, {n})
+c$distribute a(*, block)
+      do rep = 1, {reps}
+c$doacross local(i, j) affinity(j) = data(a(1, j))
+        do j = 1, {n}
+          do i = 1, {n}
+            a(i, j) = dble(rep) * 1.5d0 + 2.0d0
+          enddo
+        enddo
+      enddo
+      end
+"
+    )
+}
+
 /// 2-D convolution (Section 8.3): `n × n`, serial initialization, `reps`
 /// timed 5-point stencil sweeps. `two_level` selects `(block, block)`
 /// with `nest(j, i)` instead of `(*, block)` with one parallel loop.
@@ -249,6 +280,20 @@ mod tests {
         for p in Policy::ALL {
             compiles(&transpose_source(32, 1, p));
         }
+    }
+
+    #[test]
+    fn fill_sweep_compiles_and_fills() {
+        let prog = Session::new()
+            .source("f.f", &fill_sweep_source(16, 3))
+            .compile()
+            .expect("compiles");
+        let cfg = Policy::Regular.machine(4, 2048);
+        let cap = prog
+            .run(&cfg, &ExecOptions::new(4).capture(&["a"]))
+            .expect("runs")
+            .captures;
+        assert!(cap[0].iter().all(|&v| v == 3.0 * 1.5 + 2.0));
     }
 
     #[test]

@@ -1,0 +1,1013 @@
+//! Bytecode format and compiler.
+//!
+//! Each subroutine lowers to one flat [`Op`] stream over a register file
+//! that extends the subroutine's scalar frame: registers `0..n_scalars`
+//! *are* the scalars (so `Var` reads cost nothing), followed by four
+//! persistent registers per serial loop (normalized bounds and the
+//! iteration counter) and a per-statement temporary window.
+//!
+//! Control constructs that need runtime machinery the opcode stream
+//! cannot express — parallel regions, calls, redistribution, bulk loops —
+//! compile to one-word ops indexing side tables that keep references into
+//! the IR; their expression operands (loop bounds, call arguments) compile
+//! to out-of-line blocks terminated by [`Op::Halt`] that the VM runs on
+//! demand, preserving the interpreter's exact evaluation order.
+//!
+//! Statement-level static costs (barriers, hoisted [`Stmt::Overhead`]
+//! bookkeeping) and the statement count of each straight-line segment are
+//! aggregated into a single leading [`Op::Charge`], so the hot path pays
+//! one addition where the interpreter paid a dispatch per statement.
+
+use dsm_ir::{
+    ActualArg, AddrMode, BinOp, DistKind, Distribution, Doacross, Expr, Intrinsic, LoopStmt,
+    Param, Program, RtExpr, ScalarTy, Stmt, Subroutine, UnOp, VarId,
+};
+use dsm_machine::MachineConfig;
+
+use super::plan::MAX_RANK;
+
+/// Register index into the extended frame.
+pub(crate) type Reg = u16;
+
+/// A slice of the per-subroutine register pool (operand lists).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ListRef {
+    pub start: u32,
+    pub len: u16,
+}
+
+/// One opcode.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// End of a block (main body or out-of-line block).
+    Halt,
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// `if`: charge one ALU op, fall through when `cond` is true, else
+    /// jump to `else_target`.
+    Branch { cond: Reg, else_target: u32 },
+    /// Load an integer literal.
+    ConstI { dst: Reg, v: i64 },
+    /// Load a real literal.
+    ConstF { dst: Reg, v: f64 },
+    /// Register copy (untyped, cost-free — materializes loop bounds).
+    Mov { dst: Reg, src: Reg },
+    /// `dst = I(src.as_i())` — scalar-assign coercion to `integer`.
+    CoerceI { dst: Reg, src: Reg },
+    /// `dst = F(src.as_f())` — scalar-assign coercion to `real*8`.
+    CoerceF { dst: Reg, src: Reg },
+    /// Unary operator (one ALU op).
+    Un { op: UnOp, dst: Reg, src: Reg },
+    /// Binary operator (cost from operand types, as the interpreter).
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// Intrinsic call over an operand list.
+    Intr { intr: Intrinsic, dst: Reg, args: ListRef },
+    /// Runtime distribution query (`NProcs` / `BlockSize`).
+    RtDim {
+        dst: Reg,
+        array: u16,
+        dim: u16,
+        block: bool,
+    },
+    /// Segment prologue: add the aggregated static cycle cost of the
+    /// following straight-line statements and count their steps.
+    Charge { cycles: u64, steps: u32 },
+    /// Array element load: bounds-check the index registers, resolve the
+    /// address through the interned plan, charge the [`AddrMode`]
+    /// overhead, perform the access.
+    Load {
+        dst: Reg,
+        array: u16,
+        idx: ListRef,
+        mode: AddrMode,
+        is_f: bool,
+    },
+    /// Array element store (value register evaluated first, as the
+    /// interpreter evaluates the RHS before the address).
+    Store {
+        src: Reg,
+        array: u16,
+        idx: ListRef,
+        mode: AddrMode,
+        is_f: bool,
+    },
+    /// Serial loop entry: validate the step, normalize bounds to
+    /// integers, enter the first iteration (or jump to `exit`).
+    LoopHead {
+        var: Reg,
+        lb: Reg,
+        ub: Reg,
+        step: Reg,
+        cur: Reg,
+        exit: u32,
+    },
+    /// Serial loop back-edge: advance the private iteration counter
+    /// (immune to body writes of the loop variable) and loop or fall out.
+    LoopNext {
+        var: Reg,
+        cur: Reg,
+        ub: Reg,
+        step: Reg,
+        back: u32,
+    },
+    /// Bulk-loop fast path: if the precheck holds, execute the whole
+    /// loop as batched access runs and jump to `exit`; otherwise fall
+    /// through to the generic `LoopHead` at the next op.
+    Bulk { idx: u16, exit: u32 },
+    /// Parallel region (doacross) — side-table index.
+    Fork { idx: u16 },
+    /// Subroutine call — side-table index.
+    CallSub { idx: u16 },
+    /// `c$redistribute` — side-table index.
+    Redist { idx: u16 },
+}
+
+/// Baked per-run operation costs (one clone of the machine config's
+/// tables, instead of the interpreter's clone per expression node).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Costs {
+    pub int_alu: u64,
+    pub int_mul: u64,
+    pub int_div: u64,
+    pub fp_emulated_div: u64,
+    pub fp_alu: u64,
+    pub fp_div: u64,
+    pub loop_overhead: u64,
+    pub parallel_fork: u64,
+    pub barrier: u64,
+    pub l1_hit: u64,
+}
+
+impl Costs {
+    pub fn from_config(cfg: &MachineConfig) -> Costs {
+        Costs {
+            int_alu: cfg.ops.int_alu,
+            int_mul: cfg.ops.int_mul,
+            int_div: cfg.ops.int_div,
+            fp_emulated_div: cfg.ops.fp_emulated_div,
+            fp_alu: cfg.ops.fp_alu,
+            fp_div: cfg.ops.fp_div,
+            loop_overhead: cfg.ops.loop_overhead,
+            parallel_fork: cfg.ops.parallel_fork,
+            barrier: cfg.ops.barrier,
+            l1_hit: cfg.lat.l1_hit,
+        }
+    }
+}
+
+/// An out-of-line expression block: run from `pc` to its `Halt`, result
+/// in `reg`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ExprBlock {
+    pub pc: u32,
+    pub reg: Reg,
+}
+
+/// Side table of one doacross.
+#[derive(Debug)]
+pub(crate) struct ParLoop<'p> {
+    pub l: &'p LoopStmt,
+    pub d: &'p Doacross,
+    pub lb: ExprBlock,
+    pub ub: ExprBlock,
+    pub step: ExprBlock,
+    /// Body block (leading `Charge` carries the body statics and steps;
+    /// per-iteration loop overhead is charged by the chunk runner).
+    pub body_pc: u32,
+}
+
+/// One compiled actual argument.
+#[derive(Debug)]
+pub(crate) enum ArgCode {
+    /// Scalar actual → callee scalar `var` (coerced by its declared
+    /// type).
+    Scalar { block: ExprBlock, var: u16 },
+    /// Whole-array actual → callee formal (same instance).
+    Array {
+        caller: u16,
+        callee: u16,
+        caller_reshaped: bool,
+    },
+    /// Array-element actual → callee formal bound to a view at the
+    /// element's address.
+    Elem {
+        caller: u16,
+        callee: u16,
+        idx_pc: u32,
+        idx_regs: Vec<Reg>,
+        caller_reshaped: bool,
+    },
+}
+
+/// Side table of one call site.
+#[derive(Debug)]
+pub(crate) struct CallCode<'p> {
+    pub name: &'p str,
+    /// Resolved callee index (`None` → `UnknownSubroutine` at
+    /// execution, as the interpreter).
+    pub callee: Option<usize>,
+    /// Arguments up to the first kind mismatch (the interpreter
+    /// processes — and charges — the preceding arguments before
+    /// erroring).
+    pub args: Vec<ArgCode>,
+    /// Arity or kind-mismatch error raised after processing `args`.
+    pub fail: Option<String>,
+}
+
+/// Which value an affine index term reads per iteration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AffVar {
+    /// The bulk loop's own variable (varies per iteration).
+    Loop,
+    /// Another integer scalar (constant across the loop).
+    Reg(Reg),
+    /// Pure constant.
+    None,
+}
+
+/// One affine index: `scale · var + offset`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AffTerm {
+    pub scale: i64,
+    pub offset: i64,
+    pub var: AffVar,
+}
+
+/// One side of a bulk transfer (the store target or the copy source).
+#[derive(Debug)]
+pub(crate) struct BulkRef {
+    pub array: u16,
+    pub mode: AddrMode,
+    pub is_f: bool,
+    pub idx: Vec<AffTerm>,
+}
+
+/// What a bulk loop writes.
+#[derive(Debug)]
+pub(crate) enum BulkKind {
+    /// Loop-invariant RHS: evaluate once, fill the run.
+    Fill { value: ExprBlock },
+    /// Straight element copy (identical element types, raw word moves).
+    Copy { src: BulkRef },
+}
+
+/// Side table of one bulk-eligible serial loop.
+#[derive(Debug)]
+pub(crate) struct BulkCode {
+    pub var: Reg,
+    pub lb: Reg,
+    pub ub: Reg,
+    pub step: Reg,
+    pub dst: BulkRef,
+    pub kind: BulkKind,
+    /// Static per-iteration index-evaluation charge (both sides), as the
+    /// interpreter would charge walking the affine expressions.
+    pub idx_cost: u64,
+}
+
+/// Side table of one redistribute statement.
+#[derive(Debug)]
+pub(crate) struct RedistCode<'p> {
+    pub array: u16,
+    pub dist: &'p Distribution,
+}
+
+/// One compiled subroutine.
+#[derive(Debug)]
+pub(crate) struct SubCode<'p> {
+    pub sub: &'p Subroutine,
+    pub ops: Vec<Op>,
+    pub pool: Vec<Reg>,
+    pub n_regs: usize,
+    pub par_loops: Vec<ParLoop<'p>>,
+    pub calls: Vec<CallCode<'p>>,
+    pub bulks: Vec<BulkCode>,
+    pub redists: Vec<RedistCode<'p>>,
+}
+
+/// The whole program, compiled (indexed like `program.subs`).
+#[derive(Debug)]
+pub(crate) struct ProgramCode<'p> {
+    pub subs: Vec<SubCode<'p>>,
+}
+
+impl<'p> ProgramCode<'p> {
+    /// Lower every subroutine. Compilation is per-run: the cost table and
+    /// processor count are baked into the stream.
+    pub fn compile(program: &'p Program, cfg: &MachineConfig, nprocs: usize) -> ProgramCode<'p> {
+        let costs = Costs::from_config(cfg);
+        let code = ProgramCode {
+            subs: program
+                .subs
+                .iter()
+                .map(|s| SubCompiler::compile(s, program, costs, nprocs))
+                .collect(),
+        };
+        if std::env::var_os("DSM_DUMP_OPS").is_some() {
+            for sc in &code.subs {
+                eprintln!("=== {} (n_regs {}) ===", sc.sub.name, sc.n_regs);
+                for (pc, op) in sc.ops.iter().enumerate() {
+                    eprintln!("{pc:4}: {op:?}");
+                }
+                for (i, pl) in sc.par_loops.iter().enumerate() {
+                    eprintln!(
+                        "par {i}: lb={:?} ub={:?} step={:?} body_pc={}",
+                        pl.lb, pl.ub, pl.step, pl.body_pc
+                    );
+                }
+                for (i, b) in sc.bulks.iter().enumerate() {
+                    eprintln!("bulk {i}: {b:?}");
+                }
+            }
+        }
+        code
+    }
+}
+
+/// Deferred out-of-line block, emitted after the main stream.
+enum Deferred<'p> {
+    Expr { e: &'p Expr, slot: Slot },
+    Body { body: &'p [Stmt], slot: Slot },
+    ExprList { exprs: &'p [Expr], slot: Slot },
+}
+
+/// Where a deferred block's location is recorded once emitted.
+enum Slot {
+    ParLb(usize),
+    ParUb(usize),
+    ParStep(usize),
+    ParBody(usize),
+    CallScalar { call: usize, arg: usize },
+    CallElem { call: usize, arg: usize },
+    BulkValue(usize),
+}
+
+struct SubCompiler<'p> {
+    sub: &'p Subroutine,
+    program: &'p Program,
+    costs: Costs,
+    nprocs: usize,
+    ops: Vec<Op>,
+    pool: Vec<Reg>,
+    par_loops: Vec<ParLoop<'p>>,
+    calls: Vec<CallCode<'p>>,
+    bulks: Vec<BulkCode>,
+    redists: Vec<RedistCode<'p>>,
+    /// First temporary register (scalars + persistent loop registers).
+    tmp_base: u16,
+    /// Next temporary within the current statement.
+    next_tmp: u16,
+    /// High-water mark of the temporary window.
+    max_tmp: u16,
+    /// Persistent-register allocator for serial loops (4 each).
+    next_loop: u16,
+    deferred: Vec<Deferred<'p>>,
+}
+
+impl<'p> SubCompiler<'p> {
+    fn compile(
+        sub: &'p Subroutine,
+        program: &'p Program,
+        costs: Costs,
+        nprocs: usize,
+    ) -> SubCode<'p> {
+        // Pre-pass: every serial loop anywhere in the subroutine gets
+        // four persistent registers (bounds survive across its body).
+        let mut serial_loops = 0u32;
+        for st in &sub.body {
+            st.walk(&mut |s| {
+                if let Stmt::Loop(l) = s {
+                    if l.par.is_none() {
+                        serial_loops += 1;
+                    }
+                }
+            });
+        }
+        let tmp_base = sub.scalars.len() + 4 * serial_loops as usize;
+        assert!(tmp_base < u16::MAX as usize, "register file overflow");
+        let mut c = SubCompiler {
+            sub,
+            program,
+            costs,
+            nprocs,
+            ops: Vec::new(),
+            pool: Vec::new(),
+            par_loops: Vec::new(),
+            calls: Vec::new(),
+            bulks: Vec::new(),
+            redists: Vec::new(),
+            tmp_base: tmp_base as u16,
+            next_tmp: 0,
+            max_tmp: 0,
+            next_loop: 0,
+            deferred: Vec::new(),
+        };
+        c.block(&sub.body);
+        c.ops.push(Op::Halt);
+        while let Some(d) = c.deferred.pop() {
+            c.emit_deferred(d);
+        }
+        let n_regs = tmp_base + c.max_tmp as usize;
+        assert!(n_regs <= u16::MAX as usize + 1, "register file overflow");
+        SubCode {
+            sub,
+            ops: c.ops,
+            pool: c.pool,
+            n_regs,
+            par_loops: c.par_loops,
+            calls: c.calls,
+            bulks: c.bulks,
+            redists: c.redists,
+        }
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jump { target: t } | Op::Branch { else_target: t, .. } => *t = target,
+            Op::LoopHead { exit, .. } | Op::Bulk { exit, .. } => *exit = target,
+            _ => unreachable!("patch target is not a jump"),
+        }
+    }
+
+    fn tmp(&mut self) -> Reg {
+        let r = self.tmp_base + self.next_tmp;
+        self.next_tmp += 1;
+        self.max_tmp = self.max_tmp.max(self.next_tmp);
+        r
+    }
+
+    fn list(&mut self, regs: &[Reg]) -> ListRef {
+        let start = self.pool.len() as u32;
+        self.pool.extend_from_slice(regs);
+        ListRef {
+            start,
+            len: regs.len() as u16,
+        }
+    }
+
+    /// Fixed cycle cost of a statement that compiles to no ops of its
+    /// own (`Barrier`, hoisted `Overhead`); zero for everything else.
+    fn static_cost(&self, st: &Stmt) -> u64 {
+        match st {
+            Stmt::Barrier => self.costs.barrier,
+            Stmt::Overhead {
+                int_divs,
+                indirect_loads,
+                int_alu,
+            } => {
+                u64::from(*int_divs) * self.costs.int_div
+                    + u64::from(*indirect_loads) * (self.costs.l1_hit + self.costs.int_alu)
+                    + u64::from(*int_alu) * self.costs.int_alu
+            }
+            _ => 0,
+        }
+    }
+
+    /// A statement list: one aggregated `Charge` (statics + step count),
+    /// then the statements.
+    ///
+    /// Static costs are folded into the entry charge only up to the
+    /// first compound statement (`Loop`/`If`/`Call`/`Redistribute`).
+    /// A compound statement can contain a parallel region, and its join
+    /// levels every member to the executing proc's clock — so a barrier
+    /// or overhead cost hoisted from *after* the region to block entry
+    /// would be broadcast to the whole team. Past that point each
+    /// static cost is charged at its program position, matching the
+    /// interpreter's placement exactly.
+    fn block(&mut self, body: &'p [Stmt]) {
+        let compound = |st: &Stmt| {
+            matches!(
+                st,
+                Stmt::Loop(_) | Stmt::If { .. } | Stmt::Call { .. } | Stmt::Redistribute { .. }
+            )
+        };
+        let boundary = body.iter().position(compound).unwrap_or(body.len());
+        let steps = body.len() as u32;
+        let cycles: u64 = body[..boundary].iter().map(|st| self.static_cost(st)).sum();
+        if cycles > 0 || steps > 0 {
+            self.emit(Op::Charge { cycles, steps });
+        }
+        for (i, st) in body.iter().enumerate() {
+            if i > boundary {
+                let cycles = self.static_cost(st);
+                if cycles > 0 {
+                    self.emit(Op::Charge { cycles, steps: 0 });
+                }
+            }
+            self.stmt(st);
+        }
+    }
+
+    fn stmt(&mut self, st: &'p Stmt) {
+        self.next_tmp = 0;
+        match st {
+            Stmt::SAssign { var, value } => {
+                let r = self.expr(value);
+                let dst = var.0 as Reg;
+                match self.sub.scalars[var.0].ty {
+                    ScalarTy::Int => self.emit(Op::CoerceI { dst, src: r }),
+                    ScalarTy::Real => self.emit(Op::CoerceF { dst, src: r }),
+                };
+            }
+            Stmt::Assign {
+                array,
+                indices,
+                value,
+                mode,
+            } => {
+                let src = self.expr(value);
+                let idx = self.expr_list(indices);
+                self.emit(Op::Store {
+                    src,
+                    array: array.0 as u16,
+                    idx,
+                    mode: *mode,
+                    is_f: self.sub.arrays[array.0].ty == ScalarTy::Real,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.expr(cond);
+                let br = self.emit(Op::Branch {
+                    cond: c,
+                    else_target: 0,
+                });
+                self.block(then_body);
+                let j = self.emit(Op::Jump { target: 0 });
+                let else_pc = self.here();
+                self.patch(br, else_pc);
+                self.block(else_body);
+                let end = self.here();
+                self.patch(j, end);
+            }
+            Stmt::Loop(l) => match &l.par {
+                None => self.serial_loop(l),
+                Some(d) => {
+                    let idx = self.par_loops.len();
+                    self.par_loops.push(ParLoop {
+                        l,
+                        d,
+                        lb: ExprBlock::default(),
+                        ub: ExprBlock::default(),
+                        step: ExprBlock::default(),
+                        body_pc: 0,
+                    });
+                    self.deferred.push(Deferred::Expr {
+                        e: &l.lb,
+                        slot: Slot::ParLb(idx),
+                    });
+                    self.deferred.push(Deferred::Expr {
+                        e: &l.ub,
+                        slot: Slot::ParUb(idx),
+                    });
+                    self.deferred.push(Deferred::Expr {
+                        e: &l.step,
+                        slot: Slot::ParStep(idx),
+                    });
+                    self.deferred.push(Deferred::Body {
+                        body: &l.body,
+                        slot: Slot::ParBody(idx),
+                    });
+                    self.emit(Op::Fork { idx: idx as u16 });
+                }
+            },
+            Stmt::Call { name, args } => {
+                let idx = self.compile_call(name, args);
+                self.emit(Op::CallSub { idx: idx as u16 });
+            }
+            Stmt::Redistribute { array, dist } => {
+                let idx = self.redists.len();
+                self.redists.push(RedistCode {
+                    array: array.0 as u16,
+                    dist,
+                });
+                self.emit(Op::Redist { idx: idx as u16 });
+            }
+            // Folded into the enclosing segment's `Charge`.
+            Stmt::Barrier | Stmt::Overhead { .. } => {}
+        }
+    }
+
+    fn serial_loop(&mut self, l: &'p LoopStmt) {
+        let base = self.sub.scalars.len() as u16 + 4 * self.next_loop;
+        self.next_loop += 1;
+        let (lb_r, ub_r, step_r, cur_r) = (base, base + 1, base + 2, base + 3);
+        // Bounds evaluate in interpreter order: lb, ub, step.
+        let r = self.expr(&l.lb);
+        self.emit(Op::Mov { dst: lb_r, src: r });
+        let r = self.expr(&l.ub);
+        self.emit(Op::Mov { dst: ub_r, src: r });
+        let r = self.expr(&l.step);
+        self.emit(Op::Mov {
+            dst: step_r,
+            src: r,
+        });
+        let bulk_at = self.try_bulk(l, lb_r, ub_r, step_r).map(|b| {
+            let idx = self.bulks.len();
+            self.bulks.push(b);
+            self.emit(Op::Bulk {
+                idx: idx as u16,
+                exit: 0,
+            })
+        });
+        let head = self.emit(Op::LoopHead {
+            var: l.var.0 as Reg,
+            lb: lb_r,
+            ub: ub_r,
+            step: step_r,
+            cur: cur_r,
+            exit: 0,
+        });
+        let body_start = self.here();
+        self.block(&l.body);
+        self.emit(Op::LoopNext {
+            var: l.var.0 as Reg,
+            cur: cur_r,
+            ub: ub_r,
+            step: step_r,
+            back: body_start,
+        });
+        let exit = self.here();
+        self.patch(head, exit);
+        if let Some(b) = bulk_at {
+            self.patch(b, exit);
+        }
+    }
+
+    fn expr(&mut self, e: &'p Expr) -> Reg {
+        match e {
+            Expr::IConst(v) => {
+                let dst = self.tmp();
+                self.emit(Op::ConstI { dst, v: *v });
+                dst
+            }
+            Expr::FConst(v) => {
+                let dst = self.tmp();
+                self.emit(Op::ConstF { dst, v: *v });
+                dst
+            }
+            Expr::Var(v) => v.0 as Reg,
+            Expr::Rt(rt) => {
+                let dst = self.tmp();
+                match rt {
+                    RtExpr::NumThreads => {
+                        self.emit(Op::ConstI {
+                            dst,
+                            v: self.nprocs as i64,
+                        });
+                    }
+                    RtExpr::NProcs { array, dim } => {
+                        self.emit(Op::RtDim {
+                            dst,
+                            array: array.0 as u16,
+                            dim: *dim as u16,
+                            block: false,
+                        });
+                    }
+                    RtExpr::BlockSize { array, dim } => {
+                        self.emit(Op::RtDim {
+                            dst,
+                            array: array.0 as u16,
+                            dim: *dim as u16,
+                            block: true,
+                        });
+                    }
+                }
+                dst
+            }
+            Expr::Unary(op, x) => {
+                let src = self.expr(x);
+                let dst = self.tmp();
+                self.emit(Op::Un { op: *op, dst, src });
+                dst
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.expr(a);
+                let rb = self.expr(b);
+                let dst = self.tmp();
+                self.emit(Op::Bin {
+                    op: *op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                });
+                dst
+            }
+            Expr::Call(intr, args) => {
+                let regs: Vec<Reg> = args.iter().map(|a| self.expr(a)).collect();
+                let args = self.list(&regs);
+                let dst = self.tmp();
+                self.emit(Op::Intr {
+                    intr: *intr,
+                    dst,
+                    args,
+                });
+                dst
+            }
+            Expr::Load {
+                array,
+                indices,
+                mode,
+            } => {
+                let idx = self.expr_list(indices);
+                let dst = self.tmp();
+                self.emit(Op::Load {
+                    dst,
+                    array: array.0 as u16,
+                    idx,
+                    mode: *mode,
+                    is_f: self.sub.arrays[array.0].ty == ScalarTy::Real,
+                });
+                dst
+            }
+        }
+    }
+
+    fn expr_list(&mut self, exprs: &'p [Expr]) -> ListRef {
+        let regs: Vec<Reg> = exprs.iter().map(|e| self.expr(e)).collect();
+        self.list(&regs)
+    }
+
+    fn compile_call(&mut self, name: &'p str, args: &'p [ActualArg]) -> usize {
+        let ci = self.calls.len();
+        let callee_id = self.program.sub_named(name).map(|s| s.0);
+        self.calls.push(CallCode {
+            name,
+            callee: callee_id,
+            args: Vec::new(),
+            fail: None,
+        });
+        let Some(sid) = callee_id else {
+            return ci; // UnknownSubroutine at execution.
+        };
+        let callee = &self.program.subs[sid];
+        if callee.params.len() != args.len() {
+            self.calls[ci].fail = Some(format!(
+                "`{name}` expects {} arguments, got {}",
+                callee.params.len(),
+                args.len()
+            ));
+            return ci;
+        }
+        for (pos, (param, actual)) in callee.params.iter().zip(args).enumerate() {
+            let ai = self.calls[ci].args.len();
+            match (param, actual) {
+                (Param::Scalar(v), ActualArg::Scalar(e)) => {
+                    self.calls[ci].args.push(ArgCode::Scalar {
+                        block: ExprBlock::default(),
+                        var: v.0 as u16,
+                    });
+                    self.deferred.push(Deferred::Expr {
+                        e,
+                        slot: Slot::CallScalar { call: ci, arg: ai },
+                    });
+                }
+                (Param::Array(a), ActualArg::Array(actual_id)) => {
+                    self.calls[ci].args.push(ArgCode::Array {
+                        caller: actual_id.0 as u16,
+                        callee: a.0 as u16,
+                        caller_reshaped: self.sub.arrays[actual_id.0].dist_kind
+                            == DistKind::Reshaped,
+                    });
+                }
+                (Param::Array(a), ActualArg::ArrayElem(actual_id, idx)) => {
+                    self.calls[ci].args.push(ArgCode::Elem {
+                        caller: actual_id.0 as u16,
+                        callee: a.0 as u16,
+                        idx_pc: 0,
+                        idx_regs: Vec::new(),
+                        caller_reshaped: self.sub.arrays[actual_id.0].dist_kind
+                            == DistKind::Reshaped,
+                    });
+                    self.deferred.push(Deferred::ExprList {
+                        exprs: idx,
+                        slot: Slot::CallElem { call: ci, arg: ai },
+                    });
+                }
+                (Param::Scalar(_), _) => {
+                    self.calls[ci].fail = Some(format!(
+                        "argument {} of `{name}` must be a scalar",
+                        pos + 1
+                    ));
+                    return ci;
+                }
+                (Param::Array(_), ActualArg::Scalar(_)) => {
+                    self.calls[ci].fail = Some(format!(
+                        "argument {} of `{name}` must be an array",
+                        pos + 1
+                    ));
+                    return ci;
+                }
+            }
+        }
+        ci
+    }
+
+    // -----------------------------------------------------------------
+    // Bulk-loop analysis.
+    // -----------------------------------------------------------------
+
+    /// Recognize `s·var + c` with literal constants whose every scalar is
+    /// integer-typed (so the closed form matches the interpreter's value
+    /// arithmetic exactly), returning the term and the interpreter's
+    /// per-evaluation charge.
+    fn affine_term(&self, e: &'p Expr, loopvar: VarId) -> Option<(AffTerm, u64)> {
+        let (var, scale, offset) = e.as_affine()?;
+        let cost = affine_cost(e, &self.costs)?;
+        let var = match var {
+            None => AffVar::None,
+            // The loop variable always holds an integer at runtime.
+            Some(v) if v == loopvar => AffVar::Loop,
+            Some(v) => {
+                if self.sub.scalars[v.0].ty != ScalarTy::Int {
+                    return None;
+                }
+                AffVar::Reg(v.0 as Reg)
+            }
+        };
+        Some((
+            AffTerm {
+                scale,
+                offset,
+                var,
+            },
+            cost,
+        ))
+    }
+
+    /// A serial loop is bulk-eligible when its body is a single array
+    /// store with affine indices and a RHS that is either loop-invariant
+    /// (fill) or a single affine load of the same element type (copy).
+    fn try_bulk(&mut self, l: &'p LoopStmt, lb: Reg, ub: Reg, step: Reg) -> Option<BulkCode> {
+        let [Stmt::Assign {
+            array,
+            indices,
+            value,
+            mode,
+        }] = l.body.as_slice()
+        else {
+            return None;
+        };
+        if indices.len() > MAX_RANK {
+            return None;
+        }
+        let mut idx_cost = 0u64;
+        let mut dst_idx = Vec::with_capacity(indices.len());
+        for e in indices {
+            let (t, c) = self.affine_term(e, l.var)?;
+            idx_cost += c;
+            dst_idx.push(t);
+        }
+        let dst_is_f = self.sub.arrays[array.0].ty == ScalarTy::Real;
+        let dst = BulkRef {
+            array: array.0 as u16,
+            mode: *mode,
+            is_f: dst_is_f,
+            idx: dst_idx,
+        };
+        if let Expr::Load {
+            array: sa,
+            indices: sidx,
+            mode: smode,
+        } = value
+        {
+            // Copy: identical element types so raw words move unchanged.
+            if sidx.len() > MAX_RANK
+                || (self.sub.arrays[sa.0].ty == ScalarTy::Real) != dst_is_f
+            {
+                return None;
+            }
+            let mut src_idx = Vec::with_capacity(sidx.len());
+            for e in sidx {
+                let (t, c) = self.affine_term(e, l.var)?;
+                idx_cost += c;
+                src_idx.push(t);
+            }
+            return Some(BulkCode {
+                var: l.var.0 as Reg,
+                lb,
+                ub,
+                step,
+                dst,
+                idx_cost,
+                kind: BulkKind::Copy {
+                    src: BulkRef {
+                        array: sa.0 as u16,
+                        mode: *smode,
+                        is_f: dst_is_f,
+                        idx: src_idx,
+                    },
+                },
+            });
+        }
+        // Fill: the RHS must be loop-invariant and access-free so one
+        // evaluation stands for every iteration.
+        let mut loads = 0usize;
+        value.for_each_load(&mut |_, _, _| loads += 1);
+        if loads > 0 || value.uses_var(l.var) {
+            return None;
+        }
+        let bi = self.bulks.len();
+        self.deferred.push(Deferred::Expr {
+            e: value,
+            slot: Slot::BulkValue(bi),
+        });
+        Some(BulkCode {
+            var: l.var.0 as Reg,
+            lb,
+            ub,
+            step,
+            dst,
+            idx_cost,
+            kind: BulkKind::Fill {
+                value: ExprBlock::default(),
+            },
+        })
+    }
+
+    fn emit_deferred(&mut self, d: Deferred<'p>) {
+        match d {
+            Deferred::Expr { e, slot } => {
+                let pc = self.here();
+                self.next_tmp = 0;
+                let reg = self.expr(e);
+                self.emit(Op::Halt);
+                let block = ExprBlock { pc, reg };
+                match slot {
+                    Slot::ParLb(i) => self.par_loops[i].lb = block,
+                    Slot::ParUb(i) => self.par_loops[i].ub = block,
+                    Slot::ParStep(i) => self.par_loops[i].step = block,
+                    Slot::CallScalar { call, arg } => {
+                        let ArgCode::Scalar { block: b, .. } = &mut self.calls[call].args[arg]
+                        else {
+                            unreachable!()
+                        };
+                        *b = block;
+                    }
+                    Slot::BulkValue(i) => {
+                        let BulkKind::Fill { value } = &mut self.bulks[i].kind else {
+                            unreachable!()
+                        };
+                        *value = block;
+                    }
+                    _ => unreachable!("expression block with a non-expression slot"),
+                }
+            }
+            Deferred::Body { body, slot } => {
+                let pc = self.here();
+                self.block(body);
+                self.emit(Op::Halt);
+                let Slot::ParBody(i) = slot else {
+                    unreachable!()
+                };
+                self.par_loops[i].body_pc = pc;
+            }
+            Deferred::ExprList { exprs, slot } => {
+                let pc = self.here();
+                self.next_tmp = 0;
+                let regs: Vec<Reg> = exprs.iter().map(|e| self.expr(e)).collect();
+                self.emit(Op::Halt);
+                let Slot::CallElem { call, arg } = slot else {
+                    unreachable!()
+                };
+                let ArgCode::Elem {
+                    idx_pc, idx_regs, ..
+                } = &mut self.calls[call].args[arg]
+                else {
+                    unreachable!()
+                };
+                *idx_pc = pc;
+                *idx_regs = regs;
+            }
+        }
+    }
+}
+
+/// The interpreter's cycle charge for evaluating an affine expression
+/// (all-integer operands), or `None` when the shape falls outside what
+/// [`Expr::as_affine`] accepts.
+fn affine_cost(e: &Expr, costs: &Costs) -> Option<u64> {
+    Some(match e {
+        Expr::IConst(_) | Expr::Var(_) => 0,
+        Expr::Unary(UnOp::Neg, x) => affine_cost(x, costs)? + costs.int_alu,
+        Expr::Binary(BinOp::Add | BinOp::Sub, a, b) => {
+            affine_cost(a, costs)? + affine_cost(b, costs)? + costs.int_alu
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            affine_cost(a, costs)? + affine_cost(b, costs)? + costs.int_mul
+        }
+        _ => return None,
+    })
+}

@@ -28,6 +28,7 @@ use dsm_runtime::epoch::{join_epoch, EpochClock};
 use dsm_runtime::{argcheck::ArgInfo, partition, sched, ArgChecker, RuntimeError};
 
 use crate::bind::Binder;
+use crate::engine::Engine;
 use crate::report::{RunOutcome, RunReport};
 use crate::value::{Frame, Value};
 
@@ -59,6 +60,9 @@ pub struct ExecOptions {
     /// Override the machine's reactive page-migration policy for this run
     /// (`None` keeps whatever the [`MachineConfig`] says).
     pub migration: Option<MigrationPolicy>,
+    /// Which execution engine runs the program (bytecode by default; the
+    /// tree-walking interpreter is kept as the differential reference).
+    pub engine: Engine,
 }
 
 impl Default for ExecOptions {
@@ -79,6 +83,7 @@ impl ExecOptions {
             profile: false,
             captures: Vec::new(),
             migration: None,
+            engine: Engine::default(),
         }
     }
 
@@ -125,11 +130,12 @@ impl ExecOptions {
         self
     }
 
-    /// Force serial team simulation.
-    #[deprecated(note = "use `serial_team(true)`")]
+    /// Select the execution engine ([`Engine::Bytecode`] is the default;
+    /// [`Engine::Interp`] is the differential reference).
     #[must_use]
-    pub fn with_serial_team(self) -> Self {
-        self.serial_team(true)
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -182,62 +188,36 @@ impl From<RuntimeError> for ExecError {
     }
 }
 
-/// Run `program` on `machine` and return the measurements.
+/// Run `program` on `machine` under `opts`, returning the full
+/// [`RunOutcome`]: the report (with an attribution [`crate::Profile`] when
+/// `opts.profile` is set) plus the contents of any captured arrays.
+///
+/// Dispatches on [`ExecOptions::engine`]: the compiled bytecode engine by
+/// default, or the tree-walking interpreter as differential reference.
+/// Both produce bit-identical captures and machine counters.
 ///
 /// # Errors
 ///
 /// Returns an [`ExecError`] for out-of-bounds accesses, failed runtime
 /// argument checks (when enabled), illegal redistributions, or unresolved
-/// calls.
-///
-/// # Panics
-///
-/// Panics if `opts.nprocs` exceeds the machine's processor count.
-pub fn run_program(
-    machine: &mut Machine,
-    program: &Program,
-    opts: &ExecOptions,
-) -> Result<RunReport, ExecError> {
-    run_outcome(machine, program, opts).map(|o| o.report)
-}
-
-/// Like [`run_program`], but additionally returns the final contents of
-/// the named arrays of the main program (row-major over the column-major
-/// linearization, i.e. Fortran element order), for verification. Thin
-/// compatibility layer over [`run_outcome`]; `captures` here override any
-/// in `opts`.
-///
-/// # Errors
-///
-/// As [`run_program`]; unknown capture names are returned as empty
-/// vectors.
-///
-/// # Panics
-///
-/// Panics if `opts.nprocs` exceeds the machine's processor count.
-pub fn run_program_capture(
-    machine: &mut Machine,
-    program: &Program,
-    opts: &ExecOptions,
-    captures: &[&str],
-) -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
-    let opts = opts.clone().capture(captures);
-    run_outcome(machine, program, &opts).map(|o| (o.report, o.captures))
-}
-
-/// Run `program` on `machine` under `opts`, returning the full
-/// [`RunOutcome`]: the report (with an attribution [`crate::Profile`] when
-/// `opts.profile` is set) plus the contents of any captured arrays.
-///
-/// # Errors
-///
-/// As [`run_program`]; unknown capture names are returned as empty
-/// vectors.
+/// calls; unknown capture names are returned as empty vectors.
 ///
 /// # Panics
 ///
 /// Panics if `opts.nprocs` exceeds the machine's processor count.
 pub fn run_outcome(
+    machine: &mut Machine,
+    program: &Program,
+    opts: &ExecOptions,
+) -> Result<RunOutcome, ExecError> {
+    match opts.engine {
+        Engine::Bytecode => crate::engine::run_bytecode(machine, program, opts),
+        Engine::Interp => run_interp(machine, program, opts),
+    }
+}
+
+/// The tree-walking reference engine behind [`Engine::Interp`].
+fn run_interp(
     machine: &mut Machine,
     program: &Program,
     opts: &ExecOptions,
@@ -296,6 +276,44 @@ pub fn run_outcome(
     let Mach::Whole(machine) = mach else {
         unreachable!("top-level interpreter always holds the whole machine")
     };
+    let acct = RunAccounting {
+        regions,
+        region_cycles,
+        region_wall,
+        region_names,
+        argcheck_ops: checker.stats(),
+    };
+    Ok(collect_outcome(
+        machine,
+        main,
+        opts,
+        binder.shared(),
+        &frame,
+        acct,
+        host_t0,
+    ))
+}
+
+/// Run-level bookkeeping both engines hand to [`collect_outcome`].
+pub(crate) struct RunAccounting {
+    pub(crate) regions: usize,
+    pub(crate) region_cycles: u64,
+    pub(crate) region_wall: std::time::Duration,
+    pub(crate) region_names: Vec<String>,
+    pub(crate) argcheck_ops: (u64, u64),
+}
+
+/// Shared postamble: drain in-flight invalidations, gather counters and
+/// the attribution profile, and read back captured arrays.
+pub(crate) fn collect_outcome(
+    machine: &mut Machine,
+    main: &Subroutine,
+    opts: &ExecOptions,
+    binder: &Binder,
+    frame: &Frame,
+    acct: RunAccounting,
+    host_t0: std::time::Instant,
+) -> RunOutcome {
     machine.drain_mail();
     let per_proc: Vec<_> = (0..machine.nprocs())
         .map(|p| *machine.counters(ProcId(p)))
@@ -323,7 +341,7 @@ pub fn run_outcome(
             Box::new(crate::profile::build_profile(
                 &attr,
                 machine,
-                &region_names,
+                &acct.region_names,
                 &shapes,
             ))
         })
@@ -334,14 +352,14 @@ pub fn run_outcome(
         total_cycles,
         per_proc,
         total,
-        parallel_regions: regions,
-        parallel_cycles: region_cycles,
+        parallel_regions: acct.regions,
+        parallel_cycles: acct.region_cycles,
         pages_per_node: machine.pages_per_node(),
-        argcheck_ops: checker.stats(),
+        argcheck_ops: acct.argcheck_ops,
         pages_migrated: machine.pages_migrated(),
         migration_cycles: machine.migration_cycles(),
         host_wall: host_t0.elapsed(),
-        host_region_wall: region_wall,
+        host_region_wall: acct.region_wall,
         profile,
     };
     let mut captured = Vec::with_capacity(opts.captures.len());
@@ -367,32 +385,32 @@ pub fn run_outcome(
         }
         captured.push(data);
     }
-    Ok(RunOutcome {
+    RunOutcome {
         report,
         captures: captured,
-    })
+    }
 }
 
 /// Execution context: which simulated processor runs the current code,
 /// whether we are inside a parallel region, and which one (for access
 /// attribution; [`SERIAL_REGION`] outside any region).
 #[derive(Debug, Clone, Copy)]
-struct Ctx {
-    proc: ProcId,
-    in_region: bool,
-    region: u32,
+pub(crate) struct Ctx {
+    pub(crate) proc: ProcId,
+    pub(crate) in_region: bool,
+    pub(crate) region: u32,
 }
 
 /// The interpreter's handle on the machine: either the whole thing (serial
 /// sections and the team leader) or one member's shard during a parallel
 /// region.
-enum Mach<'m> {
+pub(crate) enum Mach<'m> {
     Whole(&'m mut Machine),
     Shard(MachineShard<'m>),
 }
 
 impl Mach<'_> {
-    fn config(&self) -> &MachineConfig {
+    pub(crate) fn config(&self) -> &MachineConfig {
         match self {
             Mach::Whole(m) => m.config(),
             Mach::Shard(s) => s.config(),
@@ -401,14 +419,14 @@ impl Mach<'_> {
 
     /// The whole machine; only reachable outside parallel members (region
     /// bodies containing whole-machine operations are executed serially).
-    fn whole(&mut self) -> &mut Machine {
+    pub(crate) fn whole(&mut self) -> &mut Machine {
         match self {
             Mach::Whole(m) => m,
             Mach::Shard(_) => unreachable!("whole-machine operation inside a parallel member"),
         }
     }
 
-    fn charge(&mut self, proc: ProcId, cycles: u64) {
+    pub(crate) fn charge(&mut self, proc: ProcId, cycles: u64) {
         match self {
             Mach::Whole(m) => m.charge(proc, cycles),
             Mach::Shard(s) => {
@@ -418,7 +436,7 @@ impl Mach<'_> {
         }
     }
 
-    fn set_tag(&mut self, proc: ProcId, tag: AccessTag) {
+    pub(crate) fn set_tag(&mut self, proc: ProcId, tag: AccessTag) {
         match self {
             Mach::Whole(m) => m.set_tag(proc, tag),
             Mach::Shard(s) => {
@@ -428,7 +446,7 @@ impl Mach<'_> {
         }
     }
 
-    fn cycles(&self, proc: ProcId) -> u64 {
+    pub(crate) fn cycles(&self, proc: ProcId) -> u64 {
         match self {
             Mach::Whole(m) => m.cycles(proc),
             Mach::Shard(s) => {
@@ -438,7 +456,7 @@ impl Mach<'_> {
         }
     }
 
-    fn access(&mut self, proc: ProcId, addr: u64, kind: AccessKind) -> u64 {
+    pub(crate) fn access(&mut self, proc: ProcId, addr: u64, kind: AccessKind) -> u64 {
         match self {
             Mach::Whole(m) => m.access(proc, addr, kind),
             Mach::Shard(s) => {
@@ -448,7 +466,7 @@ impl Mach<'_> {
         }
     }
 
-    fn read_f64(&mut self, proc: ProcId, addr: u64) -> (f64, u64) {
+    pub(crate) fn read_f64(&mut self, proc: ProcId, addr: u64) -> (f64, u64) {
         match self {
             Mach::Whole(m) => m.read_f64(proc, addr),
             Mach::Shard(s) => {
@@ -458,7 +476,7 @@ impl Mach<'_> {
         }
     }
 
-    fn write_f64(&mut self, proc: ProcId, addr: u64, v: f64) -> u64 {
+    pub(crate) fn write_f64(&mut self, proc: ProcId, addr: u64, v: f64) -> u64 {
         match self {
             Mach::Whole(m) => m.write_f64(proc, addr, v),
             Mach::Shard(s) => {
@@ -468,7 +486,7 @@ impl Mach<'_> {
         }
     }
 
-    fn read_i64(&mut self, proc: ProcId, addr: u64) -> (i64, u64) {
+    pub(crate) fn read_i64(&mut self, proc: ProcId, addr: u64) -> (i64, u64) {
         match self {
             Mach::Whole(m) => m.read_i64(proc, addr),
             Mach::Shard(s) => {
@@ -478,7 +496,7 @@ impl Mach<'_> {
         }
     }
 
-    fn write_i64(&mut self, proc: ProcId, addr: u64, v: i64) -> u64 {
+    pub(crate) fn write_i64(&mut self, proc: ProcId, addr: u64, v: i64) -> u64 {
         match self {
             Mach::Whole(m) => m.write_i64(proc, addr, v),
             Mach::Shard(s) => {
@@ -492,13 +510,13 @@ impl Mach<'_> {
 /// The interpreter's handle on the binder: the top-level interpreter owns
 /// it; parallel members share it read-only (their bodies are gated to
 /// never bind, view, or redistribute arrays).
-enum BinderRef<'a> {
+pub(crate) enum BinderRef<'a> {
     Owned(Binder),
     Borrowed(&'a Binder),
 }
 
 impl BinderRef<'_> {
-    fn get(&self, idx: usize) -> &dsm_runtime::RtArray {
+    pub(crate) fn get(&self, idx: usize) -> &dsm_runtime::RtArray {
         match self {
             BinderRef::Owned(b) => b.get(idx),
             BinderRef::Borrowed(b) => b.get(idx),
@@ -506,7 +524,7 @@ impl BinderRef<'_> {
     }
 
     /// Read-only view for sharing with team members.
-    fn shared(&self) -> &Binder {
+    pub(crate) fn shared(&self) -> &Binder {
         match self {
             BinderRef::Owned(b) => b,
             BinderRef::Borrowed(b) => b,
@@ -514,7 +532,7 @@ impl BinderRef<'_> {
     }
 
     /// Mutable access; only reachable outside parallel members.
-    fn owned(&mut self) -> &mut Binder {
+    pub(crate) fn owned(&mut self) -> &mut Binder {
         match self {
             BinderRef::Owned(b) => b,
             BinderRef::Borrowed(_) => {
@@ -528,7 +546,7 @@ impl BinderRef<'_> {
 /// binder state: no subroutine calls (they bind declarations and run
 /// argument checks) and no redistribution. Such bodies are the compiled
 /// doacross kernels; anything else falls back to serial team simulation.
-fn body_parallel_safe(body: &[Stmt]) -> bool {
+pub(crate) fn body_parallel_safe(body: &[Stmt]) -> bool {
     body.iter().all(|st| match st {
         Stmt::Call { .. } | Stmt::Redistribute { .. } => false,
         Stmt::If {

@@ -20,12 +20,14 @@
 //! [`ExecError::Runtime`].
 
 pub mod bind;
+pub mod engine;
 pub mod interp;
 pub mod profile;
 pub mod report;
 pub mod value;
 
-pub use interp::{run_outcome, run_program, run_program_capture, ExecError, ExecOptions};
+pub use engine::Engine;
+pub use interp::{run_outcome, ExecError, ExecOptions};
 pub use profile::{
     ArrayProfile, CellProfile, DimSuggestion, HintEvidence, HotPage, PlacementHint, Profile,
     RegionProfile,
@@ -37,7 +39,7 @@ mod tests {
     use dsm_compile::{compile_strings, OptConfig};
     use dsm_machine::{Machine, MachineConfig};
 
-    use crate::{run_program, ExecOptions};
+    use crate::{run_outcome, ExecOptions};
 
     /// End-to-end smoke test: the crate compiles and runs a program.
     #[test]
@@ -51,7 +53,9 @@ mod tests {
         )
         .expect("compiles");
         let mut m = Machine::new(MachineConfig::small_test(2));
-        let r = run_program(&mut m, &c.program, &ExecOptions::new(2)).expect("runs");
+        let r = run_outcome(&mut m, &c.program, &ExecOptions::new(2))
+            .expect("runs")
+            .report;
         assert!(r.total_cycles > 0);
     }
 }

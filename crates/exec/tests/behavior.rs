@@ -2,8 +2,7 @@
 //! compiler → executor → verified results and machine effects.
 
 use dsm_compile::{compile_strings, OptConfig};
-use dsm_exec::interp::run_program_capture;
-use dsm_exec::{run_program, ExecError, ExecOptions};
+use dsm_exec::{run_outcome, ExecError, ExecOptions};
 use dsm_machine::{Machine, MachineConfig};
 
 fn run_with(
@@ -14,7 +13,13 @@ fn run_with(
 ) -> (dsm_exec::RunReport, Vec<Vec<f64>>) {
     let c = compile_strings(&[("t.f", src)], opt).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(nprocs));
-    run_program_capture(&mut m, &c.program, &ExecOptions::new(nprocs), captures).expect("runs")
+    let o = run_outcome(
+        &mut m,
+        &c.program,
+        &ExecOptions::new(nprocs).capture(captures),
+    )
+    .expect("runs");
+    (o.report, o.captures)
 }
 
 fn run_ok(src: &str, nprocs: usize, captures: &[&str]) -> (dsm_exec::RunReport, Vec<Vec<f64>>) {
@@ -153,7 +158,7 @@ fn runtime_check_catches_oversized_formal() {
     let src = "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      i = 1\n      call mysub(a(i))\n      end\n      subroutine mysub(x)\n      real*8 x(6)\n      x(1) = 0.0\n      end\n";
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(4));
-    let err = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks(true))
+    let err = run_outcome(&mut m, &c.program, &ExecOptions::new(4).with_checks(true))
         .expect_err("formal larger than portion must fail");
     match err {
         ExecError::Runtime(e) => assert!(e.to_string().contains("portion"), "{e}"),
@@ -163,7 +168,7 @@ fn runtime_check_catches_oversized_formal() {
     // point about silent corruption.
     let mut m2 = Machine::new(MachineConfig::small_test(4));
     let c2 = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
-    assert!(run_program(&mut m2, &c2.program, &ExecOptions::new(4)).is_ok());
+    assert!(run_outcome(&mut m2, &c2.program, &ExecOptions::new(4)).is_ok());
 }
 
 #[test]
@@ -171,7 +176,9 @@ fn runtime_check_passes_for_correct_program() {
     let src = "      program main\n      integer i\n      real*8 a(1000)\nc$distribute_reshape a(cyclic(5))\n      do i = 1, 1000, 5\n        call mysub(a(i))\n      enddo\n      end\n      subroutine mysub(x)\n      integer j\n      real*8 x(5)\n      do j = 1, 5\n        x(j) = 1.0\n      enddo\n      end\n";
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(4));
-    let r = run_program(&mut m, &c.program, &ExecOptions::new(4).with_checks(true)).expect("runs");
+    let r = run_outcome(&mut m, &c.program, &ExecOptions::new(4).with_checks(true))
+        .expect("runs")
+        .report;
     let (inserts, lookups) = r.argcheck_ops;
     assert_eq!(inserts, 200, "one hash insert per call");
     assert!(lookups >= 200, "one lookup per array formal");
@@ -182,7 +189,7 @@ fn out_of_bounds_detected() {
     let src = "      program main\n      integer i\n      real*8 a(10)\n      do i = 1, 11\n        a(i) = i\n      enddo\n      end\n";
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(1));
-    let err = run_program(&mut m, &c.program, &ExecOptions::new(1)).unwrap_err();
+    let err = run_outcome(&mut m, &c.program, &ExecOptions::new(1)).unwrap_err();
     assert!(matches!(err, ExecError::OutOfBounds { .. }), "{err}");
 }
 
@@ -212,10 +219,10 @@ fn parallel_run_is_faster_than_serial() {
     let src = "      program main\n      integer i\n      real*8 a(4096)\nc$distribute_reshape a(block)\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, 4096\n        a(i) = a(i) + 1.5\n      enddo\n      end\n";
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m1 = Machine::new(MachineConfig::small_test(1));
-    let r1 = run_program(&mut m1, &c.program, &ExecOptions::new(1)).unwrap();
+    let r1 = run_outcome(&mut m1, &c.program, &ExecOptions::new(1)).unwrap().report;
     let c8 = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
     let mut m8 = Machine::new(MachineConfig::small_test(8));
-    let r8 = run_program(&mut m8, &c8.program, &ExecOptions::new(8)).unwrap();
+    let r8 = run_outcome(&mut m8, &c8.program, &ExecOptions::new(8)).unwrap().report;
     let speedup = r8.speedup_over(&r1);
     assert!(speedup > 2.0, "8-way speedup only {speedup:.2}");
 }
@@ -311,11 +318,11 @@ fn os_page_migration_extension_fixes_first_touch_over_time() {
     cfg.l2 = dsm_machine::CacheConfig::new(2048, 64, 2);
     cfg.l1 = dsm_machine::CacheConfig::new(512, 32, 2);
     let mut plain = Machine::new(cfg.clone());
-    let r_plain = run_program(&mut plain, &c.program, &ExecOptions::new(8)).unwrap();
+    let r_plain = run_outcome(&mut plain, &c.program, &ExecOptions::new(8)).unwrap().report;
     cfg.migration = dsm_machine::MigrationPolicy::threshold(4);
     let c2 = compile_strings(&[("t.f", src)], &OptConfig::default()).unwrap();
     let mut migrating = Machine::new(cfg);
-    let r_mig = run_program(&mut migrating, &c2.program, &ExecOptions::new(8)).unwrap();
+    let r_mig = run_outcome(&mut migrating, &c2.program, &ExecOptions::new(8)).unwrap().report;
     assert!(migrating.migrations() > 0, "daemon must migrate hot pages");
     assert!(
         r_mig.total.remote_misses < r_plain.total.remote_misses,
@@ -334,7 +341,7 @@ fn idle_processors_do_no_work_in_small_grids() {
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(8));
     let (r, cap) =
-        run_program_capture(&mut m, &c.program, &ExecOptions::new(8), &["a"]).expect("runs");
+        run_outcome(&mut m, &c.program, &ExecOptions::new(8).capture(&["a"])).map(|o| (o.report, o.captures)).expect("runs");
     for i in 1..=12usize {
         for j in 1..=12usize {
             assert_eq!(cap[0][(i - 1) + 12 * (j - 1)], (i * j) as f64);
@@ -369,6 +376,6 @@ fn step_limit_catches_runaway_programs() {
     let mut m = Machine::new(MachineConfig::small_test(1));
     let mut opts = ExecOptions::new(1);
     opts.max_steps = 1000;
-    let err = dsm_exec::run_program(&mut m, &c.program, &opts).unwrap_err();
+    let err = dsm_exec::run_outcome(&mut m, &c.program, &opts).unwrap_err();
     assert!(matches!(err, ExecError::StepLimit));
 }

@@ -3,15 +3,14 @@
 //! `onto` grids, integer arrays, nested calls with scalar arguments.
 
 use dsm_compile::{compile_strings, OptConfig};
-use dsm_exec::interp::run_program_capture;
-use dsm_exec::ExecOptions;
+use dsm_exec::{run_outcome, ExecOptions};
 use dsm_machine::{Machine, MachineConfig};
 
 fn run(src: &str, nprocs: usize, captures: &[&str]) -> (dsm_exec::RunReport, Vec<Vec<f64>>) {
     let c = compile_strings(&[("t.f", src)], &OptConfig::default())
         .unwrap_or_else(|e| panic!("compile failed: {e:?}"));
     let mut m = Machine::new(MachineConfig::small_test(nprocs));
-    run_program_capture(&mut m, &c.program, &ExecOptions::new(nprocs), captures).expect("runs")
+    run_outcome(&mut m, &c.program, &ExecOptions::new(nprocs).capture(captures)).map(|o| (o.report, o.captures)).expect("runs")
 }
 
 #[test]
@@ -88,7 +87,7 @@ fn onto_clause_shapes_the_grid() {
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(MachineConfig::small_test(8));
     let (_, cap) =
-        run_program_capture(&mut m, &c.program, &ExecOptions::new(8), &["a"]).expect("runs");
+        run_outcome(&mut m, &c.program, &ExecOptions::new(8).capture(&["a"])).map(|o| (o.report, o.captures)).expect("runs");
     for i in 1..=32usize {
         for j in 1..=32usize {
             assert_eq!(cap[0][(i - 1) + 32 * (j - 1)], (i + j) as f64);
@@ -231,7 +230,7 @@ fn distribution_query_intrinsics() {
     for nprocs in [2usize, 4, 8] {
         let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
         let mut m = Machine::new(MachineConfig::small_test(nprocs));
-        let (_, cap) = run_program_capture(&mut m, &c.program, &ExecOptions::new(nprocs), &["q"])
+        let (_, cap) = run_outcome(&mut m, &c.program, &ExecOptions::new(nprocs).capture(&["q"])).map(|o| (o.report, o.captures))
             .expect("runs");
         assert_eq!(cap[0][0], nprocs as f64, "distnprocs at P={nprocs}");
         assert_eq!(
@@ -271,6 +270,6 @@ fn full_scale_origin_config_works() {
     let c = compile_strings(&[("t.f", src)], &OptConfig::default()).expect("compiles");
     let mut m = Machine::new(dsm_machine::MachineConfig::origin2000(8));
     let (_, cap) =
-        run_program_capture(&mut m, &c.program, &ExecOptions::new(8), &["a"]).expect("runs");
+        run_outcome(&mut m, &c.program, &ExecOptions::new(8).capture(&["a"])).map(|o| (o.report, o.captures)).expect("runs");
     assert_eq!(cap[0][4095], 4096.0);
 }

@@ -4,8 +4,7 @@
 //! optimization level.
 
 use dsm_compile::{compile_strings, OptConfig};
-use dsm_exec::interp::run_program_capture;
-use dsm_exec::ExecOptions;
+use dsm_exec::{run_outcome, ExecOptions};
 use dsm_machine::{Machine, MachineConfig};
 use proptest::prelude::*;
 
@@ -42,7 +41,7 @@ proptest! {
         let c = compile_strings(&[("p.f", &src)], &opt).expect("compiles");
         let mut m = Machine::new(MachineConfig::small_test(nprocs));
         let (_, cap) =
-            run_program_capture(&mut m, &c.program, &ExecOptions::new(nprocs), &["a"])
+            run_outcome(&mut m, &c.program, &ExecOptions::new(nprocs).capture(&["a"])).map(|o| (o.report, o.captures))
                 .expect("runs");
         let expect: Vec<f64> = (1..=n).map(|i| (3 * i + 1) as f64).collect();
         prop_assert_eq!(&cap[0], &expect);
@@ -65,7 +64,7 @@ proptest! {
         let run = |opt: &OptConfig| {
             let c = compile_strings(&[("p.f", &src)], opt).expect("compiles");
             let mut m = Machine::new(MachineConfig::small_test(nprocs));
-            run_program_capture(&mut m, &c.program, &ExecOptions::new(nprocs), &["a"])
+            run_outcome(&mut m, &c.program, &ExecOptions::new(nprocs).capture(&["a"])).map(|o| (o.report, o.captures))
                 .expect("runs")
                 .1
                 .remove(0)
@@ -88,7 +87,7 @@ proptest! {
         let run = |nprocs: usize| {
             let c = compile_strings(&[("p.f", &src)], &OptConfig::default()).expect("compiles");
             let mut m = Machine::new(MachineConfig::small_test(nprocs));
-            run_program_capture(&mut m, &c.program, &ExecOptions::new(nprocs), &["a"])
+            run_outcome(&mut m, &c.program, &ExecOptions::new(nprocs).capture(&["a"])).map(|o| (o.report, o.captures))
                 .expect("runs")
                 .1
                 .remove(0)

@@ -61,7 +61,7 @@ pub use config::{LatencyConfig, MachineConfig, OpCosts};
 pub use cost::CostModel;
 pub use counters::CounterSet;
 pub use directory::Directory;
-pub use machine::{AccessKind, Machine, MachineShard, VAddr};
+pub use machine::{AccessKind, AccessRun, Machine, MachineShard, VAddr};
 pub use migrate::{MigrationPolicy, MigrationStats, RefCounters};
 pub use pagetable::{PagePolicy, PageTable};
 pub use profile::{

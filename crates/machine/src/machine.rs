@@ -33,7 +33,7 @@ use crate::cache::{Cache, Probe};
 use crate::config::MachineConfig;
 use crate::counters::CounterSet;
 use crate::migrate::MigrationStats;
-use crate::pagetable::{PageTable, Translate};
+use crate::pagetable::{Mapping, PageTable, Translate};
 use crate::profile::{AccessTag, AttributionTable, FillLevel, UNTAGGED_SYM};
 use crate::shared::SharedState;
 use crate::tlb::Tlb;
@@ -50,6 +50,31 @@ pub enum AccessKind {
     Read,
     /// A store.
     Write,
+}
+
+/// A run of uniformly-strided element accesses, handed to the machine in
+/// one call so the per-access dispatch and lookup overhead amortizes.
+/// Element `i` touches `base + i*stride`; every access keeps full
+/// per-access semantics (coherence, mail delivery, migration counting),
+/// so a run is observationally identical to the equivalent access loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRun {
+    /// Address of the first element.
+    pub base: VAddr,
+    /// Byte distance between consecutive elements (may be negative).
+    pub stride: i64,
+    /// Number of elements in the run.
+    pub count: u64,
+    /// Whether the run loads or stores.
+    pub kind: AccessKind,
+}
+
+impl AccessRun {
+    /// Address of the `i`-th element of the run.
+    #[inline]
+    pub fn addr(&self, i: u64) -> VAddr {
+        (self.base as i64).wrapping_add(self.stride.wrapping_mul(i as i64)) as u64
+    }
 }
 
 /// One simulated processor: private caches, TLB and counters.
@@ -132,32 +157,72 @@ fn access_core(
     addr: VAddr,
     kind: AccessKind,
 ) -> u64 {
-    let write = kind == AccessKind::Write;
     let vpage = addr >> page_bits;
     let offset = addr & ((1 << page_bits) - 1);
-    let lat = &cfg.lat;
-    let mut cost = 0;
+    let (mapping, tlb_miss, cost) = translate_core(cfg, shared, p, vpage, kind);
+    let paddr = (mapping.frame << page_bits) | offset;
+    cache_core(
+        cfg,
+        shared,
+        proc,
+        p,
+        paddr,
+        vpage,
+        mapping.node,
+        kind,
+        tlb_miss,
+        cost,
+    )
+}
 
-    // 1. TLB.
+/// Steps 1–2 of the pipeline: count the access, probe the TLB and
+/// translate the page (faulting it in under the placement policy).
+/// Returns the mapping, whether the TLB missed, and the cycles accrued so
+/// far (not yet charged to `p`).
+fn translate_core(
+    cfg: &MachineConfig,
+    shared: &SharedState,
+    p: &mut Processor,
+    vpage: u64,
+    kind: AccessKind,
+) -> (Mapping, bool, u64) {
     match kind {
         AccessKind::Read => p.counters.loads += 1,
         AccessKind::Write => p.counters.stores += 1,
     }
+    let mut cost = 0;
     let tlb_miss = !p.tlb.access(vpage);
     if tlb_miss {
         p.counters.tlb_misses += 1;
-        cost += lat.tlb_miss;
+        cost += cfg.lat.tlb_miss;
     }
-    let local = p.node;
-
-    // 2. Translation / fault.
-    let tr = shared.translate(vpage, local, cfg.policy);
+    let tr = shared.translate(vpage, p.node, cfg.policy);
     if let Translate::Faulted(_) = tr {
         p.counters.page_faults += 1;
-        cost += lat.page_fault;
+        cost += cfg.lat.page_fault;
     }
-    let mapping = tr.mapping();
-    let paddr = (mapping.frame << page_bits) | offset;
+    (tr.mapping(), tlb_miss, cost)
+}
+
+/// Steps 3–5 of the pipeline (L1 → L2 → memory + coherence) for an
+/// already-translated access, starting from `cost` cycles accrued by
+/// translation. Charges the final total to `p` and returns it.
+#[allow(clippy::too_many_arguments)]
+fn cache_core(
+    cfg: &MachineConfig,
+    shared: &SharedState,
+    proc: ProcId,
+    p: &mut Processor,
+    paddr: u64,
+    vpage: u64,
+    home: NodeId,
+    kind: AccessKind,
+    tlb_miss: bool,
+    mut cost: u64,
+) -> u64 {
+    let write = kind == AccessKind::Write;
+    let lat = &cfg.lat;
+    let local = p.node;
 
     // 3. L1.
     cost += lat.l1_hit;
@@ -236,7 +301,7 @@ fn access_core(
     if coh.intervention {
         p.counters.interventions += 1;
     }
-    let distance = hops(local, mapping.node);
+    let distance = hops(local, home);
     if distance == 0 {
         p.counters.local_misses += 1;
         cost += lat.local_mem;
@@ -263,7 +328,7 @@ fn access_core(
             attr.note_invalidations(tag, n_inval);
         }
     }
-    shared.node_served[mapping.node.0].fetch_add(1, Ordering::Relaxed);
+    shared.node_served[home.0].fetch_add(1, Ordering::Relaxed);
     if !cfg.migration.is_off() {
         // Per-page reference counter for the migration daemon; lock-free,
         // so shards on host threads sample concurrently.
@@ -271,6 +336,102 @@ fn access_core(
     }
     p.counters.cycles += cost;
     cost
+}
+
+/// One page segment of a bulk [`AccessRun`], starting at element `start`.
+///
+/// The first element takes the full five-step pipeline. After it, while
+/// the run stays on the same page and no invalidation mail is pending
+/// anywhere, two exact shortcuts apply:
+///
+/// * **same L1 line as the previous element** — the previous access left
+///   the line resident and MRU (and, for writes, dirty), so the probe is
+///   a guaranteed hit with no coherence action: charge `l1_hit`, count
+///   the access, skip the probes;
+/// * **new line on the same page** — the page is still the MRU TLB entry
+///   and its mapping cannot have changed (remap and migration only run
+///   from `&mut Machine`, never concurrently with a run), so the TLB
+///   probe is a guaranteed hit and the cached translation is reused;
+///   only the cache/memory steps ([`cache_core`]) execute.
+///
+/// Re-probing would merely re-touch already-MRU recency state, so every
+/// observable outcome — counters, cycles, cache/directory/TLB contents —
+/// is element-for-element identical to the plain access loop. (The only
+/// divergence is `Tlb::stats`, which counts probes and is not part of any
+/// report.) The segment ends at a page boundary or as soon as mail is
+/// pending; the caller drains and re-enters, so bailing at any element
+/// boundary reproduces the per-element drain points. `data` runs after
+/// each element's accounting with `(shared, addr, index)` — the data
+/// movement of the run.
+///
+/// Returns `(next_element, cycles)`.
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    cfg: &MachineConfig,
+    shared: &SharedState,
+    page_bits: u32,
+    proc: ProcId,
+    p: &mut Processor,
+    run: &AccessRun,
+    start: u64,
+    mut data: impl FnMut(&SharedState, VAddr, u64),
+) -> (u64, u64) {
+    let line_bits = cfg.l1.line_size.trailing_zeros();
+    let l1_hit = cfg.lat.l1_hit;
+    let mask = (1u64 << page_bits) - 1;
+    let kind = run.kind;
+    let mut i = start;
+    let addr = run.addr(i);
+    let vpage = addr >> page_bits;
+    let (mapping, tlb_miss, cost) = translate_core(cfg, shared, p, vpage, kind);
+    let frame_base = mapping.frame << page_bits;
+    let mut total = cache_core(
+        cfg,
+        shared,
+        proc,
+        p,
+        frame_base | (addr & mask),
+        vpage,
+        mapping.node,
+        kind,
+        tlb_miss,
+        cost,
+    );
+    data(shared, addr, i);
+    let mut line = addr >> line_bits;
+    i += 1;
+    while i < run.count && shared.mail_pending() == 0 {
+        let a = run.addr(i);
+        if a >> page_bits != vpage {
+            break;
+        }
+        match kind {
+            AccessKind::Read => p.counters.loads += 1,
+            AccessKind::Write => p.counters.stores += 1,
+        }
+        if a >> line_bits == line {
+            p.counters.cycles += l1_hit;
+            p.note(kind, false, FillLevel::L1);
+            total += l1_hit;
+        } else {
+            line = a >> line_bits;
+            total += cache_core(
+                cfg,
+                shared,
+                proc,
+                p,
+                frame_base | (a & mask),
+                vpage,
+                mapping.node,
+                kind,
+                false,
+                0,
+            );
+        }
+        data(shared, a, i);
+        i += 1;
+    }
+    (i, total)
 }
 
 /// The simulated CC-NUMA multiprocessor.
@@ -740,6 +901,142 @@ impl Machine {
         c
     }
 
+    /// Perform a bulk [`AccessRun`]: `count` timed accesses of uniform
+    /// byte stride, observationally identical to the equivalent loop of
+    /// [`Machine::access`] calls. With migration off the run goes through
+    /// the page-segmented batch walker ([`run_segment`]): the TLB probe
+    /// and page-table lookup are hoisted to once per page and same-line
+    /// repeats skip the cache probes, which is where the bytecode
+    /// engine's bulk throughput comes from. Returns the summed cycle
+    /// cost.
+    pub fn access_run(&mut self, proc: ProcId, run: &AccessRun) -> u64 {
+        if !self.cfg.migration.is_off() {
+            // Migration epochs fire on individual access counts; batching
+            // would move the epoch boundaries. Keep the per-element loop.
+            let mut total = 0;
+            for i in 0..run.count {
+                total += self.access(proc, run.addr(i), run.kind);
+            }
+            return total;
+        }
+        self.run_batched(proc, run, |_, _, _| ())
+    }
+
+    /// Page-segmented bulk walk (migration off): alternate
+    /// [`run_segment`] with full mail drains, reproducing the
+    /// drain-after-every-access schedule of the serial access path.
+    fn run_batched(
+        &mut self,
+        proc: ProcId,
+        run: &AccessRun,
+        mut data: impl FnMut(&SharedState, VAddr, u64),
+    ) -> u64 {
+        let mut total = 0;
+        let mut i = 0;
+        while i < run.count {
+            self.drain_mail();
+            let (next, cost) = run_segment(
+                &self.cfg,
+                &self.shared,
+                self.page_bits,
+                proc,
+                &mut self.procs[proc.0],
+                run,
+                i,
+                &mut data,
+            );
+            total += cost;
+            i = next;
+        }
+        self.drain_mail();
+        total
+    }
+
+    /// Bulk timed store of `f64` values along an [`AccessRun`]; element
+    /// `i` of `vals` goes to the run's `i`-th address, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` is shorter than the run or any address is outside
+    /// an allocated region.
+    pub fn write_run_f64(&mut self, proc: ProcId, run: &AccessRun, vals: &[f64]) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Write);
+        if !self.cfg.migration.is_off() {
+            let mut total = 0;
+            for i in 0..run.count {
+                let addr = run.addr(i);
+                total += self.access(proc, addr, AccessKind::Write);
+                self.shared.mem.store_u64(addr, vals[i as usize].to_bits());
+            }
+            return total;
+        }
+        self.run_batched(proc, run, |s, a, i| {
+            s.mem.store_u64(a, vals[i as usize].to_bits());
+        })
+    }
+
+    /// Bulk timed store of `i64` values along an [`AccessRun`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::write_run_f64`].
+    pub fn write_run_i64(&mut self, proc: ProcId, run: &AccessRun, vals: &[i64]) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Write);
+        if !self.cfg.migration.is_off() {
+            let mut total = 0;
+            for i in 0..run.count {
+                let addr = run.addr(i);
+                total += self.access(proc, addr, AccessKind::Write);
+                self.shared.mem.store_u64(addr, vals[i as usize] as u64);
+            }
+            return total;
+        }
+        self.run_batched(proc, run, |s, a, i| {
+            s.mem.store_u64(a, vals[i as usize] as u64);
+        })
+    }
+
+    /// Bulk timed store of one raw 8-byte word to every element of an
+    /// [`AccessRun`] (a loop-invariant fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is outside an allocated region.
+    pub fn fill_run_u64(&mut self, proc: ProcId, run: &AccessRun, word: u64) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Write);
+        if !self.cfg.migration.is_off() {
+            let mut total = 0;
+            for i in 0..run.count {
+                let addr = run.addr(i);
+                total += self.access(proc, addr, AccessKind::Write);
+                self.shared.mem.store_u64(addr, word);
+            }
+            return total;
+        }
+        self.run_batched(proc, run, |s, a, _| s.mem.store_u64(a, word))
+    }
+
+    /// Bulk timed load along an [`AccessRun`], appending the raw 8-byte
+    /// words to `out` in run order. Returns the summed cycle cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is outside an allocated region.
+    pub fn read_run_u64(&mut self, proc: ProcId, run: &AccessRun, out: &mut Vec<u64>) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Read);
+        out.reserve(run.count as usize);
+        if !self.cfg.migration.is_off() {
+            let mut total = 0;
+            for i in 0..run.count {
+                let addr = run.addr(i);
+                total += self.access(proc, addr, AccessKind::Read);
+                out.push(self.shared.mem.load_u64(addr));
+            }
+            return total;
+        }
+        self.run_batched(proc, run, |s, a, _| out.push(s.mem.load_u64(a)))
+    }
+
     /// Untimed read of the backing store (verification / debugging).
     ///
     /// # Panics
@@ -965,6 +1262,78 @@ impl MachineShard<'_> {
         c
     }
 
+    /// Bulk [`AccessRun`] for a team member; see [`Machine::access_run`].
+    /// The run goes through the page-segmented batch walker
+    /// ([`run_segment`]), which bails to a fresh segment the moment any
+    /// invalidation mail is pending, so a concurrent writer's
+    /// invalidation is honoured at the next element boundary exactly as
+    /// the per-element path honours it.
+    pub fn access_run(&mut self, run: &AccessRun) -> u64 {
+        self.run_batched(run, |_, _, _| ())
+    }
+
+    /// Page-segmented bulk walk for a team member: drain this shard's
+    /// mailbox, run one [`run_segment`], repeat. Migration epochs never
+    /// fire in shard context (the executor pauses them for the team and
+    /// fires the daemon at the join), so no per-element epoch gate is
+    /// needed here.
+    fn run_batched(
+        &mut self,
+        run: &AccessRun,
+        mut data: impl FnMut(&SharedState, VAddr, u64),
+    ) -> u64 {
+        let mut total = 0;
+        let mut i = 0;
+        while i < run.count {
+            for line in self.shared.take_mail(self.proc) {
+                apply_line_invalidation(self.cfg, self.p, line);
+            }
+            let (next, cost) = run_segment(
+                self.cfg,
+                self.shared,
+                self.page_bits,
+                self.proc,
+                self.p,
+                run,
+                i,
+                &mut data,
+            );
+            total += cost;
+            i = next;
+        }
+        total
+    }
+
+    /// Bulk timed store of `f64` values; see [`Machine::write_run_f64`].
+    pub fn write_run_f64(&mut self, run: &AccessRun, vals: &[f64]) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Write);
+        self.run_batched(run, |s, a, i| {
+            s.mem.store_u64(a, vals[i as usize].to_bits());
+        })
+    }
+
+    /// Bulk timed store of `i64` values; see [`Machine::write_run_i64`].
+    pub fn write_run_i64(&mut self, run: &AccessRun, vals: &[i64]) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Write);
+        self.run_batched(run, |s, a, i| {
+            s.mem.store_u64(a, vals[i as usize] as u64);
+        })
+    }
+
+    /// Bulk timed fill of one raw word; see [`Machine::fill_run_u64`].
+    pub fn fill_run_u64(&mut self, run: &AccessRun, word: u64) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Write);
+        self.run_batched(run, |s, a, _| s.mem.store_u64(a, word))
+    }
+
+    /// Bulk timed load appending raw words to `out`; see
+    /// [`Machine::read_run_u64`].
+    pub fn read_run_u64(&mut self, run: &AccessRun, out: &mut Vec<u64>) -> u64 {
+        debug_assert_eq!(run.kind, AccessKind::Read);
+        out.reserve(run.count as usize);
+        self.run_batched(run, |s, a, _| out.push(s.mem.load_u64(a)))
+    }
+
     /// Untimed read of the backing store.
     pub fn peek_f64(&self, addr: VAddr) -> f64 {
         f64::from_bits(self.shared.mem.load_u64(addr))
@@ -1026,6 +1395,104 @@ mod tests {
         m.write_i64(ProcId(1), a + 8, -7);
         assert_eq!(m.read_f64(ProcId(0), a).0, 1.25);
         assert_eq!(m.read_i64(ProcId(0), a + 8).0, -7);
+    }
+
+    #[test]
+    fn access_run_matches_access_loop() {
+        // The bulk entry must be observationally identical to the loop of
+        // single accesses it replaces: same summed cost, same counters.
+        let mut a = machine(2);
+        let mut b = machine(2);
+        let base_a = a.alloc_pages(8192);
+        let base_b = b.alloc_pages(8192);
+        assert_eq!(base_a, base_b);
+        let run = AccessRun {
+            base: base_a,
+            stride: 16,
+            count: 300,
+            kind: AccessKind::Write,
+        };
+        let bulk = a.access_run(ProcId(0), &run);
+        let mut looped = 0;
+        for i in 0..run.count {
+            looped += b.access(ProcId(0), run.addr(i), AccessKind::Write);
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(a.counters(ProcId(0)), b.counters(ProcId(0)));
+    }
+
+    #[test]
+    fn batched_runs_match_access_loops_across_strides() {
+        // The page-segmented walker must be observationally identical to
+        // the per-element loop for every stride shape: within-line
+        // repeats, line-crossing, page-crossing, and backwards runs.
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            for stride in [0i64, 8, 16, 40, 1024, 1032, -8] {
+                let mut a = machine(2);
+                let mut b = machine(2);
+                let size = 512 * 1024;
+                let base_a = a.alloc_pages(size);
+                let base_b = b.alloc_pages(size);
+                assert_eq!(base_a, base_b);
+                let count = 300;
+                let base = if stride < 0 {
+                    base_a + (count - 1) * stride.unsigned_abs()
+                } else {
+                    base_a
+                };
+                let run = AccessRun {
+                    base,
+                    stride,
+                    count,
+                    kind,
+                };
+                let bulk = match kind {
+                    AccessKind::Read => {
+                        let mut out = Vec::new();
+                        a.read_run_u64(ProcId(0), &run, &mut out)
+                    }
+                    AccessKind::Write => a.fill_run_u64(ProcId(0), &run, 42),
+                };
+                let mut looped = 0;
+                for i in 0..run.count {
+                    looped += b.access(ProcId(0), run.addr(i), kind);
+                    if kind == AccessKind::Write {
+                        b.poke_i64(run.addr(i), 42);
+                    }
+                }
+                assert_eq!(bulk, looped, "cost diverged: {kind:?} stride {stride}");
+                assert_eq!(
+                    a.counters(ProcId(0)),
+                    b.counters(ProcId(0)),
+                    "counters diverged: {kind:?} stride {stride}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_run_stores_values_in_order() {
+        let mut m = machine(1);
+        let base = m.alloc_pages(4096);
+        let vals: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+        let run = AccessRun {
+            base,
+            stride: 8,
+            count: 64,
+            kind: AccessKind::Write,
+        };
+        m.write_run_f64(ProcId(0), &run, &vals);
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(m.peek_f64(base + 8 * i as u64), *v);
+        }
+        let mut out = Vec::new();
+        let rd = AccessRun {
+            kind: AccessKind::Read,
+            ..run
+        };
+        m.read_run_u64(ProcId(0), &rd, &mut out);
+        assert_eq!(out.len(), 64);
+        assert_eq!(f64::from_bits(out[63]), 31.5);
     }
 
     #[test]
