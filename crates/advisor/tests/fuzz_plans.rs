@@ -27,6 +27,9 @@ fn oracle_matrix() -> Matrix {
         opt_variants: vec![("default", OptConfig::default())],
         modes: vec![(true, false, false), (false, false, false)],
         policies: vec![dsm_machine::MigrationPolicy::Off],
+        // Plan checking targets placement semantics; the sampling axis
+        // is exercised by dsmfuzz and sampling_bounds.
+        sampling: vec![],
     }
 }
 

@@ -17,11 +17,16 @@
 //!    runs repeat with identical data and access totals (cycles may
 //!    legitimately wobble only when members falsely share lines, see
 //!    `crates/core/tests/parallel_diff.rs`).
+//! 4. **Sampling transparency** — every cell is additionally re-run
+//!    with statistical set sampling at each rate in the matrix; the
+//!    sampled replica must match the oracle bit-for-bit with the same
+//!    access total and balanced raw counters (only cost estimates may
+//!    differ from the exact run).
 
 use crate::oracle;
 use dsm_compile::{compile_strings, OptConfig};
 use dsm_exec::{run_outcome, Engine, ExecOptions, RunOutcome};
-use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy};
+use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy, SamplingConfig};
 
 /// Which slice of the configuration matrix to run.
 #[derive(Debug, Clone)]
@@ -34,6 +39,12 @@ pub struct Matrix {
     pub modes: Vec<(bool, bool, bool)>,
     /// Reactive page-migration policies each mode runs under.
     pub policies: Vec<MigrationPolicy>,
+    /// Statistical sampling rates (1/N) each cell additionally runs
+    /// under. A sampled replica must produce captures bit-identical to
+    /// the exact run (sampling is a cost model, never a semantics
+    /// change), an unchanged access total, and internally balanced raw
+    /// counters; only its cost estimates may differ.
+    pub sampling: Vec<u32>,
 }
 
 impl Matrix {
@@ -61,6 +72,7 @@ impl Matrix {
                 MigrationPolicy::threshold(4),
                 MigrationPolicy::competitive(4),
             ],
+            sampling: vec![2, 4],
         }
     }
 
@@ -77,12 +89,18 @@ impl Matrix {
                 (true, true, true),
             ],
             policies: vec![MigrationPolicy::Off, MigrationPolicy::threshold(4)],
+            sampling: vec![4],
         }
     }
 
-    /// Number of primary runs (determinism replicas excluded).
+    /// Number of primary runs (determinism replicas excluded; each
+    /// sampling rate adds one replica per cell).
     pub fn runs(&self) -> usize {
-        self.procs.len() * self.opt_variants.len() * self.modes.len() * self.policies.len()
+        self.procs.len()
+            * self.opt_variants.len()
+            * self.modes.len()
+            * self.policies.len()
+            * (1 + self.sampling.len())
     }
 }
 
@@ -179,6 +197,55 @@ pub fn check_sources(
                     compare_captures(&out, &expected, captures, &config)?;
                     check_balance(&out, profile, &config)?;
 
+                    // Sampling axis: re-run the cell with statistical
+                    // set sampling at each configured rate. The sampled
+                    // run must match the oracle bit-for-bit (and hence
+                    // the exact run), keep the same access total, and
+                    // its raw counters must stay internally balanced —
+                    // only the cost estimates may move.
+                    for &rate in &matrix.sampling {
+                        let sconfig = format!("{config} sample=1/{rate}");
+                        let sampled = execute_engine(
+                            &compiled.program,
+                            p,
+                            policy,
+                            serial,
+                            checks,
+                            profile,
+                            &capture_refs,
+                            Engine::default(),
+                            Some(SamplingConfig::new(rate)),
+                        )
+                        .map_err(|e| {
+                            Box::new(Divergence {
+                                config: sconfig.clone(),
+                                kind: "exec-error",
+                                detail: e,
+                            })
+                        })?;
+                        runs += 1;
+                        compare_captures(&sampled, &expected, captures, &sconfig)?;
+                        check_balance(&sampled, profile, &sconfig)?;
+                        if sampled.report.total.accesses() != out.report.total.accesses() {
+                            return Err(Box::new(Divergence {
+                                config: sconfig,
+                                kind: "counter-balance",
+                                detail: format!(
+                                    "sampling changed the access total: {} vs exact {}",
+                                    sampled.report.total.accesses(),
+                                    out.report.total.accesses()
+                                ),
+                            }));
+                        }
+                        if sampled.report.sampling.is_none() {
+                            return Err(Box::new(Divergence {
+                                config: sconfig,
+                                kind: "counter-balance",
+                                detail: "sampled run reported no sampling summary".into(),
+                            }));
+                        }
+                    }
+
                     if serial && !checks && !profile {
                         // Serial-team simulation has no host concurrency at
                         // all: a second run must be cycle-exact.
@@ -274,6 +341,7 @@ fn execute(
         profile,
         captures,
         Engine::default(),
+        None,
     )
 }
 
@@ -287,17 +355,21 @@ fn execute_engine(
     profile: bool,
     captures: &[&str],
     engine: Engine,
+    sampling: Option<SamplingConfig>,
 ) -> Result<RunOutcome, String> {
     let mut cfg = MachineConfig::small_test(p);
     cfg.migration = policy;
     let mut machine = Machine::new(cfg);
-    let opts = ExecOptions::new(p)
+    let mut opts = ExecOptions::new(p)
         .serial_team(serial)
         .with_checks(checks)
         .profile(profile)
         .max_steps(100_000_000)
         .capture(captures)
         .engine(engine);
+    if let Some(s) = sampling {
+        opts = opts.sampling(s);
+    }
     run_outcome(&mut machine, program, &opts).map_err(|e| e.to_string())
 }
 
@@ -350,6 +422,7 @@ pub fn check_engine_diff(
                             profile,
                             &capture_refs,
                             engine,
+                            None,
                         )
                         .map_err(|e| {
                             Box::new(Divergence {
@@ -682,7 +755,9 @@ mod tests {
         assert!(q.policies.iter().any(|p| !p.is_off()));
         let f = Matrix::full();
         assert_eq!(f.policies.len(), 3);
-        assert_eq!(f.runs(), 4 * 2 * 8 * 3);
+        // Base cells times (exact + one replica per sampling rate).
+        assert_eq!(f.runs(), 4 * 2 * 8 * 3 * (1 + 2));
+        assert!(!q.sampling.is_empty(), "quick slice exercises sampling");
     }
 
     #[test]

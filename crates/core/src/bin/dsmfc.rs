@@ -17,6 +17,10 @@
 //!       --engine E      executor: bytecode (default) | interp
 //!       --migrate POLICY      reactive page migration: off |
 //!                             threshold[:N] | competitive[:N]
+//!       --sample 1/N    systematic cache-set sampling: simulate 1/N of
+//!                       the L2 sets exactly and extrapolate the rest
+//!                       (data results stay bit-identical; 1/1 = exact)
+//!       --sample-seed N choose which residue class of sets is sampled
 //!       --strip-placement     drop placement directives and affinity
 //!                             clauses (keep doacross) before compiling
 //!       --profile       print the per-array/per-region attribution profile
@@ -29,7 +33,7 @@
 
 use dsm_core::{
     advise, AdvisorConfig, Engine, ExecOptions, MachineConfig, MigrationPolicy, OptConfig,
-    PagePolicy, Session,
+    PagePolicy, SamplingConfig, Session,
 };
 
 struct Options {
@@ -44,6 +48,8 @@ struct Options {
     serial_team: bool,
     engine: Engine,
     migrate: Option<MigrationPolicy>,
+    sample: Option<SamplingConfig>,
+    sample_seed: u64,
     strip_placement: bool,
     profile: bool,
     profile_json: Option<String>,
@@ -57,7 +63,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: dsmfc [-p N] [--scale N] [-O none|tile|hoist|full] [--dump-ir] \
          [--check] [--round-robin] [--counters] [--serial-team] [--engine bytecode|interp] \
-         [--migrate off|threshold[:N]|competitive[:N]] [--strip-placement] [--profile] \
+         [--migrate off|threshold[:N]|competitive[:N]] [--sample 1/N] [--sample-seed N] \
+         [--strip-placement] [--profile] \
          [--profile-json FILE] [--auto] [--budget N] [--plan-json FILE] \
          [--emit-fortran FILE] file.f [file2.f ...]"
     );
@@ -73,6 +80,19 @@ fn engine_arg(spec: Option<&str>) -> Engine {
     };
     spec.parse().unwrap_or_else(|e| {
         eprintln!("dsmfc: --engine: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Parse the `--sample` rate argument, exiting with a diagnostic on a
+/// malformed spec.
+fn sample_arg(spec: Option<&str>) -> SamplingConfig {
+    let Some(spec) = spec else {
+        eprintln!("dsmfc: --sample requires a rate (1/N or N, power-of-two N)");
+        std::process::exit(2);
+    };
+    SamplingConfig::parse(spec).unwrap_or_else(|e| {
+        eprintln!("dsmfc: --sample: {e}");
         std::process::exit(2);
     })
 }
@@ -116,6 +136,8 @@ fn parse_args() -> Options {
         serial_team: false,
         engine: Engine::default(),
         migrate: None,
+        sample: None,
+        sample_seed: 0,
         strip_placement: false,
         profile: false,
         profile_json: None,
@@ -160,6 +182,16 @@ fn parse_args() -> Options {
             "--migrate" => o.migrate = Some(migrate_arg(args.next().as_deref())),
             m if m.starts_with("--migrate=") => {
                 o.migrate = Some(migrate_arg(m.strip_prefix("--migrate=")));
+            }
+            "--sample" => o.sample = Some(sample_arg(args.next().as_deref())),
+            m if m.starts_with("--sample=") => {
+                o.sample = Some(sample_arg(m.strip_prefix("--sample=")));
+            }
+            "--sample-seed" => {
+                o.sample_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--strip-placement" => o.strip_placement = true,
             "--profile" => o.profile = true,
@@ -292,6 +324,14 @@ fn main() {
     if let Some(policy) = o.migrate {
         exec = exec.migration(policy);
     }
+    if let Some(sample) = o.sample {
+        let sample = sample.with_seed(o.sample_seed);
+        if let Err(e) = sample.validate_geometry(&cfg.l1, &cfg.l2) {
+            eprintln!("dsmfc: --sample: {e}");
+            std::process::exit(2);
+        }
+        exec = exec.sampling(sample);
+    }
     match program.run(&cfg, &exec) {
         Ok(out) => {
             let report = &out.report;
@@ -311,6 +351,9 @@ fn main() {
                     "migration: {} page(s), {} cycles",
                     report.pages_migrated, report.migration_cycles
                 );
+            }
+            if let Some(s) = &report.sampling {
+                println!("{s}");
             }
             if o.counters {
                 for (p, c) in report.per_proc.iter().enumerate() {

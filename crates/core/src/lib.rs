@@ -48,7 +48,10 @@ pub use dsm_compile::{OptConfig, PrelinkReport};
 pub use dsm_exec::{Engine, ExecError, ExecOptions, Profile, RunOutcome, RunReport};
 pub use dsm_frontend::{CompileError, ErrorKind};
 pub use dsm_ir::Program;
-pub use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy, PagePolicy};
+pub use dsm_machine::{
+    CounterSet, Machine, MachineConfig, MigrationPolicy, PagePolicy, SamplingConfig,
+    SamplingSummary,
+};
 
 /// Any failure the end-to-end API can produce: compile-time diagnostics or
 /// a runtime execution error. Both [`Session::compile`] (via `?`) and

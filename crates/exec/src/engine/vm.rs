@@ -59,6 +59,9 @@ pub(crate) fn run_bytecode(
     if let Some(policy) = opts.migration {
         machine.set_migration(policy);
     }
+    if let Some(sampling) = opts.sampling {
+        machine.set_sampling(sampling).map_err(ExecError::Options)?;
+    }
     let costs = Costs::from_config(machine.config());
     let code = ProgramCode::compile(program, machine.config(), opts.nprocs);
     let binder = Binder::new(machine, program, opts.nprocs);

@@ -22,7 +22,7 @@ use dsm_ir::{
 };
 use dsm_machine::{
     AccessKind, AccessTag, Machine, MachineConfig, MachineShard, MigrationPolicy, ProcId,
-    SERIAL_REGION,
+    SamplingConfig, SERIAL_REGION,
 };
 use dsm_runtime::epoch::{join_epoch, EpochClock};
 use dsm_runtime::{argcheck::ArgInfo, partition, sched, ArgChecker, RuntimeError};
@@ -63,6 +63,10 @@ pub struct ExecOptions {
     /// Which execution engine runs the program (bytecode by default; the
     /// tree-walking interpreter is kept as the differential reference).
     pub engine: Engine,
+    /// Override the machine's systematic cache-set sampling for this run
+    /// (`None` keeps whatever the [`MachineConfig`] says). Data results
+    /// are bit-identical at any rate; only cost estimates differ.
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl Default for ExecOptions {
@@ -84,6 +88,7 @@ impl ExecOptions {
             captures: Vec::new(),
             migration: None,
             engine: Engine::default(),
+            sampling: None,
         }
     }
 
@@ -137,6 +142,15 @@ impl ExecOptions {
         self.engine = engine;
         self
     }
+
+    /// Run under systematic cache-set sampling (overrides the machine
+    /// configuration's). Rejected at run time if the rate does not fit
+    /// the machine's cache geometry.
+    #[must_use]
+    pub fn sampling(mut self, s: SamplingConfig) -> Self {
+        self.sampling = Some(s);
+        self
+    }
 }
 
 /// Execution failure.
@@ -159,6 +173,9 @@ pub enum ExecError {
     Runtime(RuntimeError),
     /// Step budget exhausted (runaway loop).
     StepLimit,
+    /// Execution options incompatible with the machine (e.g. a sampling
+    /// rate the cache geometry cannot support).
+    Options(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -176,6 +193,7 @@ impl std::fmt::Display for ExecError {
             ExecError::BadCall(m) => write!(f, "bad call: {m}"),
             ExecError::Runtime(e) => write!(f, "{e}"),
             ExecError::StepLimit => write!(f, "execution step limit exceeded"),
+            ExecError::Options(m) => write!(f, "invalid execution options: {m}"),
         }
     }
 }
@@ -234,6 +252,9 @@ fn run_interp(
     }
     if let Some(policy) = opts.migration {
         machine.set_migration(policy);
+    }
+    if let Some(sampling) = opts.sampling {
+        machine.set_sampling(sampling).map_err(ExecError::Options)?;
     }
     let binder = Binder::new(machine, program, opts.nprocs);
     let steps = AtomicU64::new(0);
@@ -361,6 +382,8 @@ pub(crate) fn collect_outcome(
         host_wall: host_t0.elapsed(),
         host_region_wall: acct.region_wall,
         profile,
+        sampling: (opts.sampling.is_some() || !machine.config().sampling.is_exact())
+            .then(|| machine.sampling_summary()),
     };
     let mut captured = Vec::with_capacity(opts.captures.len());
     for name in &opts.captures {

@@ -1,6 +1,6 @@
 //! Run reports.
 
-use dsm_machine::CounterSet;
+use dsm_machine::{CounterSet, SamplingSummary};
 
 use crate::profile::Profile;
 
@@ -38,6 +38,11 @@ pub struct RunReport {
     /// Memory-behavior attribution; `Some` iff the run was executed with
     /// [`crate::ExecOptions::profile`] on.
     pub profile: Option<Box<Profile>>,
+    /// Sampled-simulation summary (coverage, extrapolated misses,
+    /// confidence intervals); `Some` iff the run was executed with
+    /// [`crate::ExecOptions::sampling`] set or the machine was configured
+    /// with a sampling rate. At rate 1 it restates the exact counters.
+    pub sampling: Option<SamplingSummary>,
 }
 
 impl RunReport {
@@ -100,6 +105,9 @@ impl std::fmt::Display for RunReport {
                 self.pages_migrated, self.migration_cycles
             )?;
         }
+        if let Some(s) = &self.sampling {
+            writeln!(f, "{s}")?;
+        }
         write!(
             f,
             "host wall: {:?} total, {:?} in parallel regions",
@@ -126,6 +134,7 @@ mod tests {
             host_wall: std::time::Duration::ZERO,
             host_region_wall: std::time::Duration::ZERO,
             profile: None,
+            sampling: None,
         }
     }
 

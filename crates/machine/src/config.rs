@@ -9,6 +9,7 @@
 use crate::cache::CacheConfig;
 use crate::migrate::MigrationPolicy;
 use crate::pagetable::PagePolicy;
+use crate::sample::SamplingConfig;
 
 /// Latency parameters, in processor cycles.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,6 +138,11 @@ pub struct MachineConfig {
     /// Serial accesses between migration-daemon epochs. Parallel-team
     /// joins are additional epoch boundaries regardless of this count.
     pub migration_epoch: u64,
+    /// Systematic cache-set sampling ([`SamplingConfig::EXACT`] by
+    /// default). At rates > 1 only `1/rate` of the L2 sets are simulated
+    /// and the rest are extrapolated; data results stay bit-identical
+    /// (see the [`crate::sample`] module docs).
+    pub sampling: SamplingConfig,
     /// Latency parameters.
     pub lat: LatencyConfig,
     /// Operation costs.
@@ -164,6 +170,7 @@ impl MachineConfig {
             page_coloring: true,
             migration: MigrationPolicy::Off,
             migration_epoch: 4096,
+            sampling: SamplingConfig::EXACT,
             lat: LatencyConfig::default(),
             ops: OpCosts::default(),
         }
@@ -233,6 +240,7 @@ impl MachineConfig {
             page_coloring: true,
             migration: MigrationPolicy::Off,
             migration_epoch: 1024,
+            sampling: SamplingConfig::EXACT,
             lat: LatencyConfig::default(),
             ops: OpCosts::default(),
         }
@@ -280,6 +288,9 @@ impl MachineConfig {
         if self.tlb_entries == 0 {
             return Err("tlb_entries must be positive".into());
         }
+        self.sampling
+            .validate_geometry(&self.l1, &self.l2)
+            .map_err(|e| format!("sampling: {e}"))?;
         Ok(())
     }
 }

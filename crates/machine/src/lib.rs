@@ -52,6 +52,7 @@ pub mod machine;
 pub mod migrate;
 pub mod pagetable;
 pub mod profile;
+pub mod sample;
 pub mod shared;
 pub mod tlb;
 pub mod topology;
@@ -64,6 +65,7 @@ pub use directory::Directory;
 pub use machine::{AccessKind, AccessRun, Machine, MachineShard, VAddr};
 pub use migrate::{MigrationPolicy, MigrationStats, RefCounters};
 pub use pagetable::{PagePolicy, PageTable};
+pub use sample::{SamplingConfig, SamplingSummary};
 pub use profile::{
     AccessTag, AttributionTable, FillLevel, PageAttr, TagStats, SERIAL_REGION, UNTAGGED_SYM,
 };

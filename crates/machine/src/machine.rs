@@ -35,6 +35,7 @@ use crate::counters::CounterSet;
 use crate::migrate::MigrationStats;
 use crate::pagetable::{Mapping, PageTable, Translate};
 use crate::profile::{AccessTag, AttributionTable, FillLevel, UNTAGGED_SYM};
+use crate::sample::{SampleStats, SamplingConfig, SamplingSummary};
 use crate::shared::SharedState;
 use crate::tlb::Tlb;
 use crate::topology::{hops, NodeId};
@@ -91,6 +92,9 @@ struct Processor {
     /// the disabled case costs one pointer of state and one branch per
     /// pipeline exit.
     attr: Option<Box<AttributionTable>>,
+    /// Sampling state; `Some` iff set sampling is active (rate > 1). Boxed
+    /// for the same reason as `attr`: the exact path pays one branch.
+    sample: Option<Box<SampleStats>>,
 }
 
 impl Processor {
@@ -161,6 +165,20 @@ fn access_core(
     let offset = addr & ((1 << page_bits) - 1);
     let (mapping, tlb_miss, cost) = translate_core(cfg, shared, p, vpage, kind);
     let paddr = (mapping.frame << page_bits) | offset;
+    if p.sample.is_some() {
+        return sampled_cache_stage(
+            cfg,
+            shared,
+            proc,
+            p,
+            paddr,
+            vpage,
+            mapping.node,
+            kind,
+            tlb_miss,
+            cost,
+        );
+    }
     cache_core(
         cfg,
         shared,
@@ -173,6 +191,63 @@ fn access_core(
         tlb_miss,
         cost,
     )
+}
+
+/// Cache-stage dispatch when set sampling is active. Selected lines take
+/// the exact pipeline ([`cache_core`]) with transition bookkeeping for the
+/// estimator; unselected lines skip the cache/directory/memory stages and
+/// are charged translation + the guaranteed L1-hit latency, plus — on line
+/// transitions — the running extra-cycles-per-transition estimate derived
+/// from the sampled stream (see the [`crate::sample`] module docs). Data
+/// is never touched here, so captures stay bit-identical to exact mode.
+#[allow(clippy::too_many_arguments)]
+fn sampled_cache_stage(
+    cfg: &MachineConfig,
+    shared: &SharedState,
+    proc: ProcId,
+    p: &mut Processor,
+    paddr: u64,
+    vpage: u64,
+    home: NodeId,
+    kind: AccessKind,
+    tlb_miss: bool,
+    cost: u64,
+) -> u64 {
+    let line = paddr >> cfg.l1.line_size.trailing_zeros();
+    let (selected, same_line) = {
+        let sam = p.sample.as_deref_mut().expect("sampling state");
+        let selected = sam.sel.sampled(paddr);
+        let same = sam.last_line == Some(line);
+        sam.last_line = Some(line);
+        (selected, same)
+    };
+    if selected {
+        let total = cache_core(cfg, shared, proc, p, paddr, vpage, home, kind, tlb_miss, cost);
+        // Everything beyond translation and the L1-hit latency feeds the
+        // estimator's numerator; a same-line repeat normally contributes 0
+        // but a coherence upgrade or invalidation-induced miss folds its
+        // extra cost in too, so no sampled coherence cycles are lost.
+        let extra = (total - cost).saturating_sub(cfg.lat.l1_hit);
+        let sam = p.sample.as_deref_mut().expect("sampling state");
+        sam.sampled_extra_cycles += extra;
+        if !same_line {
+            sam.sampled_transitions += 1;
+        }
+        return total;
+    }
+    let sam = p.sample.as_deref_mut().expect("sampling state");
+    let mut total = cost + cfg.lat.l1_hit;
+    if same_line {
+        sam.skipped_hits += 1;
+    } else {
+        sam.skipped_transitions += 1;
+        let est = sam.due();
+        sam.est_cycles += est;
+        total += est;
+    }
+    p.note(kind, tlb_miss, FillLevel::L1);
+    p.counters.cycles += total;
+    total
 }
 
 /// Steps 1–2 of the pipeline: count the access, probe the TLB and
@@ -301,6 +376,12 @@ fn cache_core(
     if coh.intervention {
         p.counters.interventions += 1;
     }
+    if let Some(sam) = p.sample.as_deref_mut() {
+        // Sampling routes only selected lines here, so this counts fills
+        // per *sampled* set — the between-set variance behind the
+        // confidence interval.
+        sam.count_fill(dir_line);
+    }
     let distance = hops(local, home);
     if distance == 0 {
         p.counters.local_misses += 1;
@@ -380,23 +461,45 @@ fn run_segment(
     let l1_hit = cfg.lat.l1_hit;
     let mask = (1u64 << page_bits) - 1;
     let kind = run.kind;
+    // Sampling: transitions dispatch through `sampled_cache_stage` (whose
+    // per-element bookkeeping matches the scalar path exactly); same-line
+    // repeats on an unselected line count as coalesced estimator hits.
+    let sel = p.sample.as_deref().map(|s| s.sel);
+    let mut cur_selected = true;
     let mut i = start;
     let addr = run.addr(i);
     let vpage = addr >> page_bits;
     let (mapping, tlb_miss, cost) = translate_core(cfg, shared, p, vpage, kind);
     let frame_base = mapping.frame << page_bits;
-    let mut total = cache_core(
-        cfg,
-        shared,
-        proc,
-        p,
-        frame_base | (addr & mask),
-        vpage,
-        mapping.node,
-        kind,
-        tlb_miss,
-        cost,
-    );
+    let paddr = frame_base | (addr & mask);
+    let mut total = if let Some(sel) = sel {
+        cur_selected = sel.sampled(paddr);
+        sampled_cache_stage(
+            cfg,
+            shared,
+            proc,
+            p,
+            paddr,
+            vpage,
+            mapping.node,
+            kind,
+            tlb_miss,
+            cost,
+        )
+    } else {
+        cache_core(
+            cfg,
+            shared,
+            proc,
+            p,
+            paddr,
+            vpage,
+            mapping.node,
+            kind,
+            tlb_miss,
+            cost,
+        )
+    };
     data(shared, addr, i);
     let mut line = addr >> line_bits;
     i += 1;
@@ -413,20 +516,40 @@ fn run_segment(
             p.counters.cycles += l1_hit;
             p.note(kind, false, FillLevel::L1);
             total += l1_hit;
+            if sel.is_some() && !cur_selected {
+                p.sample.as_deref_mut().expect("sampling state").skipped_hits += 1;
+            }
         } else {
             line = a >> line_bits;
-            total += cache_core(
-                cfg,
-                shared,
-                proc,
-                p,
-                frame_base | (a & mask),
-                vpage,
-                mapping.node,
-                kind,
-                false,
-                0,
-            );
+            let paddr = frame_base | (a & mask);
+            total += if let Some(sel) = sel {
+                cur_selected = sel.sampled(paddr);
+                sampled_cache_stage(
+                    cfg,
+                    shared,
+                    proc,
+                    p,
+                    paddr,
+                    vpage,
+                    mapping.node,
+                    kind,
+                    false,
+                    0,
+                )
+            } else {
+                cache_core(
+                    cfg,
+                    shared,
+                    proc,
+                    p,
+                    paddr,
+                    vpage,
+                    mapping.node,
+                    kind,
+                    false,
+                    0,
+                )
+            };
         }
         data(shared, a, i);
         i += 1;
@@ -466,6 +589,8 @@ impl Machine {
         cfg.validate().expect("invalid machine configuration");
         let page_bits = cfg.page_size.trailing_zeros();
         let n_colors = (cfg.l2.size / cfg.l2.assoc / cfg.page_size).max(1);
+        let sample = (!cfg.sampling.is_exact())
+            .then(|| Box::new(SampleStats::new(&cfg.sampling, &cfg.l2)));
         let procs: Vec<Processor> = (0..cfg.nprocs())
             .map(|p| Processor {
                 node: NodeId(p / cfg.procs_per_node),
@@ -475,6 +600,7 @@ impl Machine {
                 counters: CounterSet::new(),
                 cur_tag: AccessTag::default(),
                 attr: None,
+                sample: sample.clone(),
             })
             .collect();
         let pt = PageTable::new(
@@ -729,6 +855,44 @@ impl Machine {
     /// `ExecOptions::migration`). Takes effect from the next access.
     pub fn set_migration(&mut self, policy: crate::MigrationPolicy) {
         self.cfg.migration = policy;
+    }
+
+    /// Switch systematic cache-set sampling (e.g. from
+    /// `ExecOptions::sampling`). Call before the run: it resets the
+    /// per-processor sampling state, so counters accrued earlier would
+    /// skew the extrapolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the geometry condition the rate violates
+    /// (see [`SamplingConfig::validate_geometry`]).
+    pub fn set_sampling(&mut self, s: SamplingConfig) -> Result<(), String> {
+        s.validate_geometry(&self.cfg.l1, &self.cfg.l2)?;
+        self.cfg.sampling = s;
+        let sample = (!s.is_exact()).then(|| Box::new(SampleStats::new(&s, &self.cfg.l2)));
+        for p in &mut self.procs {
+            p.sample = sample.clone();
+        }
+        Ok(())
+    }
+
+    /// Summarise the run's sampling: coverage, extrapolated miss counts
+    /// and approximate 95% confidence intervals. Meaningful after the run
+    /// finishes; for an exact machine it restates the measured counters
+    /// with zero-width intervals.
+    pub fn sampling_summary(&self) -> SamplingSummary {
+        let totals = self.total_counters();
+        let merged = self.procs.iter().filter_map(|p| p.sample.as_deref()).fold(
+            None::<SampleStats>,
+            |acc, s| match acc {
+                None => Some(s.clone()),
+                Some(mut m) => {
+                    m.merge(s);
+                    Some(m)
+                }
+            },
+        );
+        SamplingSummary::build(&self.cfg, &totals, merged.as_ref())
     }
 
     /// Run one migration epoch *now*: scan the per-page reference
@@ -1908,5 +2072,103 @@ mod tests {
     fn duplicate_shard_ids_rejected() {
         let mut m = machine(2);
         let _ = m.team_shards(&[ProcId(1), ProcId(1)]);
+    }
+
+    #[test]
+    fn sampling_rate_one_is_the_exact_machine() {
+        // Explicitly requesting 1/1 sampling must leave every observable
+        // identical to a machine that never heard of sampling.
+        let mut a = machine(2);
+        let mut b = machine(2);
+        b.set_sampling(SamplingConfig::EXACT).unwrap();
+        let base = a.alloc_pages(16 * 1024);
+        assert_eq!(base, b.alloc_pages(16 * 1024));
+        for m in [&mut a, &mut b] {
+            for i in 0..600u64 {
+                m.access(ProcId(0), base + (i * 40) % 8192, AccessKind::Write);
+                m.access(ProcId(1), base + (i * 24) % 8192, AccessKind::Read);
+            }
+        }
+        assert_eq!(a.counters(ProcId(0)), b.counters(ProcId(0)));
+        assert_eq!(a.counters(ProcId(1)), b.counters(ProcId(1)));
+        let s = b.sampling_summary();
+        assert!(s.exact);
+        assert_eq!(s.est_l2_misses, b.total_counters().l2_misses);
+        assert_eq!(s.ci95_miss_pct, 0.0);
+    }
+
+    #[test]
+    fn sampled_bulk_walker_matches_sampled_access_loop() {
+        // The sampled mode itself must be deterministic across entry
+        // points: the page-segmented walker and the per-element loop see
+        // the same selector, the same estimator state, the same counters.
+        for rate in [2u32, 4, 8] {
+            let mut cfg = MachineConfig::small_test(2);
+            cfg.sampling = SamplingConfig::new(rate).with_seed(3);
+            let mut a = Machine::new(cfg.clone());
+            let mut b = Machine::new(cfg);
+            let base_a = a.alloc_pages(64 * 1024);
+            let base_b = b.alloc_pages(64 * 1024);
+            assert_eq!(base_a, base_b);
+            for (stride, count) in [(8i64, 500), (40, 400), (1032, 60)] {
+                let run = AccessRun {
+                    base: base_a,
+                    stride,
+                    count,
+                    kind: AccessKind::Write,
+                };
+                let bulk = a.access_run(ProcId(0), &run);
+                let mut looped = 0;
+                for i in 0..run.count {
+                    looped += b.access(ProcId(0), run.addr(i), AccessKind::Write);
+                }
+                assert_eq!(bulk, looped, "rate 1/{rate} stride {stride}");
+                assert_eq!(a.counters(ProcId(0)), b.counters(ProcId(0)));
+            }
+            let (sa, sb) = (a.sampling_summary(), b.sampling_summary());
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn sampled_counters_stay_balanced_and_extrapolate() {
+        let mut cfg = MachineConfig::small_test(4);
+        cfg.sampling = SamplingConfig::new(4);
+        let mut m = Machine::new(cfg);
+        let base = m.alloc_pages(256 * 1024);
+        // A working set far beyond the 8 KB L2 so real capacity misses
+        // land in the sampled sets.
+        for i in 0..20_000u64 {
+            let p = ProcId((i % 4) as usize);
+            m.access(p, base + (i * 72) % (256 * 1024 - 8), AccessKind::Write);
+        }
+        let t = m.total_counters();
+        // Raw counters hold the sampled subset's misses and must satisfy
+        // the same internal balance as an exact run.
+        assert_eq!(t.local_misses + t.remote_misses, t.l2_misses);
+        assert!(t.l2_misses <= t.l1_misses);
+        assert!(t.l1_misses <= t.accesses());
+        let s = m.sampling_summary();
+        assert!(!s.exact);
+        assert_eq!(s.accesses, t.accesses());
+        assert_eq!(s.exact_accesses + s.estimated_accesses, s.accesses);
+        // Extrapolation scales the sampled misses up, never down, and
+        // keeps the estimated counters balanced too.
+        assert!(s.est_l2_misses >= t.l2_misses);
+        assert_eq!(s.est_local_misses + s.est_remote_misses, s.est_l2_misses);
+        assert!(s.est_l1_misses >= s.est_l2_misses);
+        assert!(s.est_l1_misses <= s.accesses);
+        assert!(s.ci95_miss_pct >= 0.0);
+    }
+
+    #[test]
+    fn sampling_rejects_incompatible_geometry() {
+        // small_test caches support at most 1/8 (see sample.rs docs).
+        let mut m = machine(2);
+        assert!(m.set_sampling(SamplingConfig::new(8)).is_ok());
+        assert!(m.set_sampling(SamplingConfig::new(16)).is_err());
+        let mut cfg = MachineConfig::small_test(2);
+        cfg.sampling = SamplingConfig::new(16);
+        assert!(cfg.validate().is_err());
     }
 }
