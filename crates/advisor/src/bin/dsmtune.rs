@@ -74,12 +74,7 @@ fn run() -> Result<(), String> {
     if files.is_empty() {
         return Err(format!("dsmtune: no input files\n{USAGE}"));
     }
-    let mut sources = Vec::new();
-    for f in &files {
-        let text =
-            std::fs::read_to_string(f).map_err(|e| format!("dsmtune: cannot read {f}: {e}"))?;
-        sources.push((f.clone(), text));
-    }
+    let sources = dsm_compile::load_sources(&files).map_err(|e| format!("dsmtune: {e}"))?;
 
     let advice = advise(&sources, &cfg).map_err(|e| format!("dsmtune: {e}"))?;
 

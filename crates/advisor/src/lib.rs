@@ -316,11 +316,7 @@ pub fn migration_baselines(
             .collect(),
     };
     let annotated = loops_only.annotate(&advice.analysis);
-    let borrowed: Vec<(&str, &str)> = annotated
-        .iter()
-        .map(|(n, t)| (n.as_str(), t.as_str()))
-        .collect();
-    let compiled = dsm_compile::compile_strings(&borrowed, &cfg.opt)
+    let compiled = dsm_compile::compile_sources(&annotated, &cfg.opt)
         .map_err(|e| AdvisorError::Baseline(format!("loops-only program: {e:?}")))?;
     let mut rows = Vec::with_capacity(policies.len());
     for &policy in policies {
@@ -352,11 +348,7 @@ pub fn migration_baselines(
 fn profile_plan(plan: &Plan, an: &Analysis, cfg: &AdvisorConfig) -> Option<Box<Profile>> {
     use dsm_machine::{Machine, MachineConfig};
     let annotated = plan.annotate(an);
-    let borrowed: Vec<(&str, &str)> = annotated
-        .iter()
-        .map(|(n, t)| (n.as_str(), t.as_str()))
-        .collect();
-    let compiled = dsm_compile::compile_strings(&borrowed, &cfg.opt).ok()?;
+    let compiled = dsm_compile::compile_sources(&annotated, &cfg.opt).ok()?;
     let mut machine = Machine::new(MachineConfig::scaled_origin2000(cfg.nprocs, cfg.scale));
     let opts = dsm_exec::ExecOptions::new(cfg.nprocs)
         .serial_team(true)

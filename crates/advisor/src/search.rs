@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use dsm_compile::compile_strings;
+use dsm_compile::compile_sources;
 use dsm_exec::{run_outcome, ExecOptions, Profile};
 use dsm_machine::{Machine, MachineConfig};
 
@@ -91,11 +91,7 @@ impl Ctx<'_> {
     fn run(&self, plan: &Plan, profile: bool) -> Result<(Eval, Option<Box<Profile>>), EvalFail> {
         let start = Instant::now();
         let annotated = plan.annotate(self.an);
-        let borrowed: Vec<(&str, &str)> = annotated
-            .iter()
-            .map(|(n, t)| (n.as_str(), t.as_str()))
-            .collect();
-        let compiled = compile_strings(&borrowed, &self.cfg.opt).map_err(|_| EvalFail)?;
+        let compiled = compile_sources(&annotated, &self.cfg.opt).map_err(|_| EvalFail)?;
         let mut machine = Machine::new(self.machine());
         let names: Vec<&str> = self.captures.iter().map(String::as_str).collect();
         let opts = ExecOptions::new(self.cfg.nprocs)
@@ -140,11 +136,7 @@ pub fn search(an: &Analysis, cfg: &AdvisorConfig) -> Result<SearchOutcome, Strin
     // Baseline: the stripped program as-is, profiled for feedback.
     let baseline_plan = Plan::default();
     let annotated = baseline_plan.annotate(an);
-    let borrowed: Vec<(&str, &str)> = annotated
-        .iter()
-        .map(|(n, t)| (n.as_str(), t.as_str()))
-        .collect();
-    let compiled = compile_strings(&borrowed, &cfg.opt).map_err(|es| {
+    let compiled = compile_sources(&annotated, &cfg.opt).map_err(|es| {
         format!(
             "baseline does not compile: {}",
             es.first().map(|e| e.msg.clone()).unwrap_or_default()

@@ -1,0 +1,263 @@
+//! Throughput and latency of the `dsmd` daemon: what the program cache
+//! and pooled (snapshot-restored) machines buy over a cold
+//! compile-per-request pipeline, single-client and under concurrent
+//! load.
+//!
+//! Three sections:
+//!
+//! 1. single client, cold (`"cold":true` — per-request compile and
+//!    machine construction) vs warm (cache hit + pooled machine), with
+//!    the acceptance assert: warm throughput must be at least
+//!    `DSM_BENCH_DAEMON_FLOOR`× cold (default 5×);
+//! 2. multi-client: 8 concurrent connections hammering the warm path,
+//!    aggregate requests/s and p50/p99 latency;
+//! 3. where the speedup comes from: host microtimings of compile,
+//!    machine construction, snapshot and restore.
+//!
+//! Recorded output: `bench_output_daemon.txt` at the workspace root.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dsm_core::{compile_source, ExecOptions, Machine, OptConfig};
+use dsm_daemon::{serve, DaemonConfig};
+use dsm_proto::{parse, run_request_json, MachineSpec, Value};
+
+/// A compile-heavy, run-light program: the executed main loop is tiny
+/// (16x16), but 256 never-called subroutines each carry a reshaped
+/// distribution and an affinity-scheduled loop nest, so a cold request
+/// pays the full front-end, pre-linker and lowering cost on every
+/// compile while warm requests skip it via the program cache.
+fn gen_program(nsubs: usize) -> String {
+    let mut s = String::from(
+        "      program main
+      integer i, j
+      real*8 a(16,16)
+c$distribute_reshape a(*,block)
+c$doacross local(i,j) affinity(j) = data(a(1,j))
+      do j = 1, 16
+        do i = 1, 16
+          a(i,j) = i + 2*j
+        enddo
+      enddo
+      end
+",
+    );
+    for k in 0..nsubs {
+        s.push_str(&format!(
+            "      subroutine work{k}()
+      integer i, j
+      real*8 x(64,64)
+c$distribute_reshape x(*,block)
+c$doacross local(i,j) affinity(j) = data(x(1,j))
+      do j = 1, 64
+        do i = 1, 64
+          x(i,j) = x(i,j) * 2.0d0 + i + j
+        enddo
+      enddo
+      end
+"
+        ));
+    }
+    s
+}
+
+fn sources() -> Vec<(String, String)> {
+    vec![("bench.f".to_string(), gen_program(256))]
+}
+
+/// The default `dsmfc` machine: a 1/64-scale Origin-2000, 8 processors.
+fn spec() -> MachineSpec {
+    MachineSpec::origin2000(8, 64, false)
+}
+
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn connect(socket: &PathBuf) -> Client {
+        let stream = UnixStream::connect(socket).expect("daemon is listening");
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn run(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        let v = parse(reply.trim_end()).expect("valid reply");
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "bench request failed: {reply}"
+        );
+    }
+}
+
+struct Measured {
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 * p).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn measure_client(socket: &PathBuf, n: usize, cold: bool) -> Measured {
+    let line = run_request_json(
+        &sources(),
+        &OptConfig::default(),
+        &spec(),
+        &ExecOptions::new(8).to_json(),
+        0,
+        None,
+        cold,
+    );
+    let mut c = Client::connect(socket);
+    let mut lat_ms = Vec::with_capacity(n);
+    let start = Instant::now();
+    for _ in 0..n {
+        let t = Instant::now();
+        c.run(&line);
+        lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let dt = start.elapsed().as_secs_f64();
+    lat_ms.sort_by(f64::total_cmp);
+    Measured {
+        rps: n as f64 / dt,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+    }
+}
+
+fn report(label: &str, n: usize, m: &Measured) {
+    println!(
+        "{label:<28} {n:>4} reqs   {:>7.1} req/s   p50 {:>7.2} ms   p99 {:>7.2} ms",
+        m.rps, m.p50_ms, m.p99_ms
+    );
+}
+
+fn main() {
+    let socket = std::env::temp_dir().join(format!("dsmd-bench-{}.sock", std::process::id()));
+    let handle = serve(&DaemonConfig {
+        socket: socket.clone(),
+        workers: 8,
+        queue: 256,
+    })
+    .expect("daemon starts");
+
+    println!(
+        "=== dsmd daemon throughput (256-routine compile-heavy program, 8-proc 1/64 Origin-2000) ==="
+    );
+
+    // Warm the cache and pool once so "warm" measures steady state.
+    measure_client(&socket, 2, false);
+
+    let cold = measure_client(&socket, 40, true);
+    report("single client, cold", 40, &cold);
+    let warm = measure_client(&socket, 400, false);
+    report("single client, warm", 400, &warm);
+    let speedup = warm.rps / cold.rps;
+    println!("warm/cold speedup: {speedup:.1}x");
+
+    // 8 concurrent clients on the warm path: aggregate throughput and
+    // tail latency under contention for workers, cache and pool.
+    let clients = 8;
+    let per_client = 100;
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let line = run_request_json(
+                    &sources(),
+                    &OptConfig::default(),
+                    &spec(),
+                    &ExecOptions::new(8).to_json(),
+                    0,
+                    None,
+                    false,
+                );
+                let mut c = Client::connect(&socket);
+                let mut lat_ms = Vec::with_capacity(per_client);
+                for _ in 0..per_client {
+                    let t = Instant::now();
+                    c.run(&line);
+                    lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                lat_ms
+            })
+        })
+        .collect();
+    let mut lat_ms: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect();
+    let dt = start.elapsed().as_secs_f64();
+    lat_ms.sort_by(f64::total_cmp);
+    let multi = Measured {
+        rps: (clients * per_client) as f64 / dt,
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+    };
+    report(
+        &format!("{clients} clients, warm"),
+        clients * per_client,
+        &multi,
+    );
+
+    let stats = handle.state().cache.stats();
+    let pool = handle.state().pool.stats();
+    println!(
+        "cache: {} hits / {} misses; pool: {} created, {} reused",
+        stats.hits, stats.misses, pool.created, pool.reused
+    );
+    handle.shutdown();
+    handle.join();
+
+    // Where the warm-path speedup comes from, on this host.
+    let t = Instant::now();
+    let program = compile_source(&sources(), &OptConfig::default()).unwrap();
+    let compile_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cfg = spec().to_config();
+    let t = Instant::now();
+    let m = Machine::new(cfg.clone());
+    let construct_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let snap = m.snapshot();
+    let snapshot_ms = t.elapsed().as_secs_f64() * 1e3;
+    let mut m = m;
+    m.restore(&snap);
+    let t = Instant::now();
+    m.restore(&snap);
+    let restore_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let _ = program.run_on(&mut m, &ExecOptions::new(8)).unwrap();
+    let run_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "per-request costs: compile {compile_ms:.2} ms, machine construction \
+         {construct_ms:.2} ms, snapshot {snapshot_ms:.2} ms, restore {restore_ms:.2} ms, \
+         simulation {run_ms:.2} ms"
+    );
+
+    let floor: f64 = std::env::var("DSM_BENCH_DAEMON_FLOOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    if speedup < floor {
+        eprintln!(
+            "daemon_throughput: warm path only {speedup:.1}x over cold (floor {floor:.1}x)"
+        );
+        std::process::exit(1);
+    }
+    println!("DAEMON THROUGHPUT OK (warm >= {floor:.1}x cold)");
+}

@@ -32,5 +32,5 @@ pub mod stmtcse;
 pub mod tile;
 
 pub use lower::lower_program;
-pub use pipeline::{compile_analysis, compile_strings, OptConfig};
+pub use pipeline::{compile_analysis, compile_sources, compile_strings, load_sources, OptConfig};
 pub use prelink::{prelink, PrelinkReport};

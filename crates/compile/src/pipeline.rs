@@ -145,6 +145,41 @@ pub fn compile_strings(
     compile_analysis(&analysis, opt)
 }
 
+/// [`compile_strings`] over owned `(name, text)` pairs — the form every
+/// driver (`dsmfc`, `dsmtune`, `dsmfuzz`, the advisor's candidate waves,
+/// the daemon) holds its sources in, so none of them needs its own
+/// borrow dance.
+///
+/// # Errors
+///
+/// Returns every frontend, lowering and link diagnostic.
+pub fn compile_sources(
+    sources: &[(String, String)],
+    opt: &OptConfig,
+) -> Result<Compiled, Vec<CompileError>> {
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
+    compile_strings(&borrowed, opt)
+}
+
+/// Read source files into the `(name, text)` pairs [`compile_sources`]
+/// takes — the one loading loop every CLI shares.
+///
+/// # Errors
+///
+/// Returns a ready-to-print message naming the first unreadable file
+/// (``cannot read `path`: reason``); callers prefix their tool name.
+pub fn load_sources(paths: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read `{p}`: {e}"))?;
+        sources.push((p.clone(), text));
+    }
+    Ok(sources)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

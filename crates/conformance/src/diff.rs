@@ -24,7 +24,7 @@
 //!    differ from the exact run).
 
 use crate::oracle;
-use dsm_compile::{compile_strings, OptConfig};
+use dsm_compile::{compile_sources, OptConfig};
 use dsm_exec::{run_outcome, Engine, ExecOptions, RunOutcome};
 use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy, SamplingConfig};
 
@@ -146,16 +146,12 @@ pub fn check_sources(
             detail: e.to_string(),
         })
     })?;
-    let borrowed: Vec<(&str, &str)> = sources
-        .iter()
-        .map(|(n, t)| (n.as_str(), t.as_str()))
-        .collect();
     let capture_refs: Vec<&str> = captures.iter().map(|s| s.as_str()).collect();
     let mut runs = 0;
     let mut clones = 0;
 
     for (opt_name, opt) in &matrix.opt_variants {
-        let compiled = compile_strings(&borrowed, opt).map_err(|errs| {
+        let compiled = compile_sources(sources, opt).map_err(|errs| {
             Box::new(Divergence {
                 config: format!("opt={opt_name}"),
                 kind: "compile",
@@ -386,15 +382,11 @@ pub fn check_engine_diff(
     captures: &[String],
     matrix: &Matrix,
 ) -> Result<CheckStats, Box<Divergence>> {
-    let borrowed: Vec<(&str, &str)> = sources
-        .iter()
-        .map(|(n, t)| (n.as_str(), t.as_str()))
-        .collect();
     let capture_refs: Vec<&str> = captures.iter().map(|s| s.as_str()).collect();
     let mut runs = 0;
     let mut clones = 0;
     for (opt_name, opt) in &matrix.opt_variants {
-        let compiled = compile_strings(&borrowed, opt).map_err(|errs| {
+        let compiled = compile_sources(sources, opt).map_err(|errs| {
             Box::new(Divergence {
                 config: format!("opt={opt_name}"),
                 kind: "compile",

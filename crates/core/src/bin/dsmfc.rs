@@ -29,11 +29,17 @@
 //!       --budget N      candidate simulations for --auto (default 48)
 //!       --plan-json FILE      write the --auto plan as JSON to FILE
 //!       --emit-fortran FILE   write the --auto annotated source to FILE
+//!       --remote SOCK   compile and run on the dsmd daemon listening on
+//!                       the Unix socket SOCK instead of in-process; the
+//!                       printed report is bit-identical to a local run
+//!       --priority N    admission priority for --remote (default 0)
+//!       --wall-ms N     wall budget for --remote: if still queued after
+//!                       N ms the daemon answers daemon.deadline
 //! ```
 
 use dsm_core::{
-    advise, AdvisorConfig, Engine, ExecOptions, MachineConfig, MigrationPolicy, OptConfig,
-    PagePolicy, SamplingConfig, Session,
+    advise, AdvisorConfig, DsmError, Engine, ExecOptions, MachineConfig, MachineSpec,
+    MigrationPolicy, OptConfig, PagePolicy, RunReport, SamplingConfig,
 };
 
 struct Options {
@@ -57,6 +63,9 @@ struct Options {
     budget: usize,
     plan_json: Option<String>,
     emit_fortran: Option<String>,
+    remote: Option<String>,
+    priority: i64,
+    wall_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -66,7 +75,8 @@ fn usage() -> ! {
          [--migrate off|threshold[:N]|competitive[:N]] [--sample 1/N] [--sample-seed N] \
          [--strip-placement] [--profile] \
          [--profile-json FILE] [--auto] [--budget N] [--plan-json FILE] \
-         [--emit-fortran FILE] file.f [file2.f ...]"
+         [--emit-fortran FILE] [--remote SOCK] [--priority N] [--wall-ms N] \
+         file.f [file2.f ...]"
     );
     std::process::exit(2)
 }
@@ -145,6 +155,9 @@ fn parse_args() -> Options {
         budget: 48,
         plan_json: None,
         emit_fortran: None,
+        remote: None,
+        priority: 0,
+        wall_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -205,6 +218,22 @@ fn parse_args() -> Options {
             }
             "--plan-json" => o.plan_json = Some(path_arg(&mut args, &a)),
             "--emit-fortran" => o.emit_fortran = Some(path_arg(&mut args, &a)),
+            "--remote" => o.remote = Some(path_arg(&mut args, &a)),
+            r if r.starts_with("--remote=") => {
+                o.remote = r.strip_prefix("--remote=").map(str::to_string);
+            }
+            "--priority" => {
+                o.priority = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--wall-ms" => {
+                o.wall_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| usage())
+            }
             "-h" | "--help" => usage(),
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             _ => usage(),
@@ -265,38 +294,161 @@ fn run_auto(o: &Options, sources: &[(String, String)]) -> Vec<(String, String)> 
     advice.annotated
 }
 
-fn main() {
-    let o = parse_args();
-    let mut sources: Vec<(String, String)> = Vec::new();
-    for f in &o.files {
-        match std::fs::read_to_string(f) {
-            Ok(text) => sources.push((f.clone(), text)),
-            Err(e) => {
-                eprintln!("dsmfc: cannot read `{f}`: {e}");
+/// Assemble [`ExecOptions`] from the flags, validating the sampling
+/// spec against the machine's cache geometry (exit 2 when the hardware
+/// cannot sample at that rate). Shared by the local and `--remote`
+/// paths so both run under exactly the same options.
+fn build_exec(o: &Options, cfg: &MachineConfig) -> ExecOptions {
+    let want_profile = o.profile || o.profile_json.is_some();
+    let mut exec = ExecOptions::new(o.procs)
+        .with_checks(o.checks)
+        .serial_team(o.serial_team)
+        .engine(o.engine)
+        .profile(want_profile);
+    if let Some(policy) = o.migrate {
+        exec = exec.migration(policy);
+    }
+    if let Some(sample) = o.sample {
+        let sample = sample.with_seed(o.sample_seed);
+        if let Err(e) = sample.validate_geometry(&cfg.l1, &cfg.l2) {
+            eprintln!("dsmfc: --sample: {e}");
+            std::process::exit(2);
+        }
+        exec = exec.sampling(sample);
+    }
+    exec
+}
+
+/// The measurement lines every run prints — local and remote paths
+/// feed the same [`RunReport`] type through here, so `dsmfc --remote`
+/// output is byte-identical to a local run (host wall-clock aside).
+fn print_report(o: &Options, report: &RunReport) {
+    println!(
+        "cycles: {} total ({} in parallel regions, {} regions)",
+        report.total_cycles, report.parallel_cycles, report.parallel_regions
+    );
+    println!("simulated seconds at 195 MHz: {:.6}", report.seconds(195e6));
+    println!(
+        "host wall-clock: {:?} total, {:?} in parallel regions",
+        report.host_wall, report.host_region_wall
+    );
+    println!("aggregate: {}", report.total);
+    println!("pages/node: {:?}", report.pages_per_node);
+    if o.migrate.is_some_and(|p| !p.is_off()) {
+        println!(
+            "migration: {} page(s), {} cycles",
+            report.pages_migrated, report.migration_cycles
+        );
+    }
+    if let Some(s) = &report.sampling {
+        println!("{s}");
+    }
+    if o.counters {
+        for (p, c) in report.per_proc.iter().enumerate() {
+            println!("P{p:<3} {c}");
+        }
+    }
+}
+
+/// Print/write the attribution profile. Both renderings arrive
+/// pre-formatted (locally from the `Profile`, remotely relayed by the
+/// daemon) so the bytes cannot depend on where the run happened.
+fn print_profile(o: &Options, text: Option<&str>, json: Option<&str>) {
+    if o.profile {
+        if let Some(t) = text {
+            println!("{t}");
+        }
+    }
+    if let Some(path) = &o.profile_json {
+        if let Some(j) = json {
+            if let Err(e) = std::fs::write(path, j) {
+                eprintln!("dsmfc: cannot write `{path}`: {e}");
                 std::process::exit(1);
             }
         }
     }
+}
+
+/// The `--remote` path: ship sources and options to the daemon, decode
+/// the reply, and print exactly what the local path would.
+fn run_on_daemon(o: &Options, socket: &str, sources: &[(String, String)]) {
+    let mut cfg = MachineConfig::scaled_origin2000(o.procs, o.scale);
+    if o.round_robin {
+        cfg.policy = PagePolicy::RoundRobin;
+    }
+    let exec = build_exec(o, &cfg);
+    let spec = MachineSpec::origin2000(o.procs, o.scale, o.round_robin);
+    match dsm_core::run_remote(socket, sources, &o.opt, &spec, &exec, o.priority, o.wall_ms) {
+        Ok(run) => {
+            eprintln!(
+                "dsmfc: compiled {} file(s) on {socket}; pre-linker: {} clone(s), \
+                 {} recompilation(s){}",
+                o.files.len(),
+                run.prelink_clones,
+                run.prelink_recompilations,
+                if run.cached { " [cached]" } else { "" }
+            );
+            print_report(o, &run.outcome.report);
+            print_profile(
+                o,
+                run.profile_text.as_deref(),
+                run.outcome.profile_json.as_deref(),
+            );
+        }
+        Err(e) => {
+            // Match the local error shape: runtime errors print bare
+            // (the message already starts "runtime error:"), anything
+            // else gets the driver prefix.
+            if e.code.starts_with("exec.") {
+                eprintln!("{}", e.message);
+            } else {
+                eprintln!("dsmfc: {}", e.message);
+            }
+            eprintln!("dsmfc: error code {}", e.code);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let mut sources = match dsm_core::load_sources(&o.files).map_err(DsmError::Io) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dsmfc: {e}");
+            eprintln!("dsmfc: error code {}", e.code());
+            std::process::exit(1);
+        }
+    };
     if o.strip_placement {
         for (_, text) in &mut sources {
             *text = dsm_frontend::strip_placement(text);
         }
     }
+    if let Some(socket) = &o.remote {
+        if o.auto || o.dump_ir {
+            eprintln!("dsmfc: --auto and --dump-ir are not supported with --remote");
+            std::process::exit(2);
+        }
+        run_on_daemon(&o, socket, &sources);
+        return;
+    }
     if o.auto {
         sources = run_auto(&o, &sources);
     }
-    let mut session = Session::new().optimize(o.opt);
-    for (name, text) in &sources {
-        session = session.source(name, text);
-    }
-    let program = match session.compile() {
+    let program = match dsm_core::compile_source(&sources, &o.opt) {
         Ok(p) => p,
-        Err(errs) => {
-            let refs: Vec<(&str, &str)> = sources
-                .iter()
-                .map(|(n, t)| (n.as_str(), t.as_str()))
-                .collect();
-            eprint!("{}", dsm_frontend::render_diagnostics(&refs, &errs));
+        Err(e) => {
+            if let Some(errs) = e.compile_errors() {
+                let refs: Vec<(&str, &str)> = sources
+                    .iter()
+                    .map(|(n, t)| (n.as_str(), t.as_str()))
+                    .collect();
+                eprint!("{}", dsm_frontend::render_diagnostics(&refs, errs));
+            } else {
+                eprintln!("dsmfc: {e}");
+            }
+            eprintln!("dsmfc: error code {}", e.code());
             std::process::exit(1);
         }
     };
@@ -315,65 +467,17 @@ fn main() {
     if o.round_robin {
         cfg.policy = PagePolicy::RoundRobin;
     }
-    let want_profile = o.profile || o.profile_json.is_some();
-    let mut exec = ExecOptions::new(o.procs)
-        .with_checks(o.checks)
-        .serial_team(o.serial_team)
-        .engine(o.engine)
-        .profile(want_profile);
-    if let Some(policy) = o.migrate {
-        exec = exec.migration(policy);
-    }
-    if let Some(sample) = o.sample {
-        let sample = sample.with_seed(o.sample_seed);
-        if let Err(e) = sample.validate_geometry(&cfg.l1, &cfg.l2) {
-            eprintln!("dsmfc: --sample: {e}");
-            std::process::exit(2);
-        }
-        exec = exec.sampling(sample);
-    }
+    let exec = build_exec(&o, &cfg);
     match program.run(&cfg, &exec) {
         Ok(out) => {
-            let report = &out.report;
-            println!(
-                "cycles: {} total ({} in parallel regions, {} regions)",
-                report.total_cycles, report.parallel_cycles, report.parallel_regions
-            );
-            println!("simulated seconds at 195 MHz: {:.6}", report.seconds(195e6));
-            println!(
-                "host wall-clock: {:?} total, {:?} in parallel regions",
-                report.host_wall, report.host_region_wall
-            );
-            println!("aggregate: {}", report.total);
-            println!("pages/node: {:?}", report.pages_per_node);
-            if o.migrate.is_some_and(|p| !p.is_off()) {
-                println!(
-                    "migration: {} page(s), {} cycles",
-                    report.pages_migrated, report.migration_cycles
-                );
-            }
-            if let Some(s) = &report.sampling {
-                println!("{s}");
-            }
-            if o.counters {
-                for (p, c) in report.per_proc.iter().enumerate() {
-                    println!("P{p:<3} {c}");
-                }
-            }
-            if let Some(profile) = out.profile() {
-                if o.profile {
-                    println!("{profile}");
-                }
-                if let Some(path) = &o.profile_json {
-                    if let Err(e) = std::fs::write(path, profile.to_json()) {
-                        eprintln!("dsmfc: cannot write `{path}`: {e}");
-                        std::process::exit(1);
-                    }
-                }
-            }
+            print_report(&o, &out.report);
+            let text = out.profile().map(|p| p.to_string());
+            let json = out.profile().map(|p| p.to_json());
+            print_profile(&o, text.as_deref(), json.as_deref());
         }
         Err(e) => {
             eprintln!("{e}");
+            eprintln!("dsmfc: error code {}", e.code());
             std::process::exit(1);
         }
     }

@@ -1,0 +1,169 @@
+//! Client side of the `dsmd` daemon protocol.
+//!
+//! A [`Remote`] wraps one Unix-socket connection: one request line out,
+//! one reply line back, in order. [`run_remote`] is the high-level
+//! entry `dsmfc --remote=SOCK` uses; everything it returns decodes
+//! through `dsm-proto`, the same crate the daemon encodes with, which
+//! is how a remote report stays bit-identical to a local run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+use dsm_exec::ExecOptions;
+use dsm_proto::{parse, run_request_json, DecodedOutcome, MachineSpec, Value};
+
+use crate::OptConfig;
+
+/// A failed remote interaction: transport trouble, a malformed reply,
+/// or an error reply from the daemon — always with a stable
+/// machine-readable code (`"io"`, `"proto"`, `"compile"`, `"exec.*"`,
+/// `"daemon.*"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// Stable code, printable as `dsmfc: error code {code}`.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl RemoteError {
+    fn io(message: String) -> Self {
+        RemoteError {
+            code: "io".to_string(),
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.message, self.code)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// One connection to a `dsmd` daemon.
+pub struct Remote {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Remote {
+    /// Connect to the daemon's Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures surface with code `"io"`.
+    pub fn connect(socket: &str) -> Result<Remote, RemoteError> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| RemoteError::io(format!("cannot connect to `{socket}`: {e}")))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| RemoteError::io(format!("cannot clone socket: {e}")))?;
+        Ok(Remote {
+            reader: BufReader::new(read_half),
+            writer: stream,
+        })
+    }
+
+    /// Send one request line, read one reply line. An `ok:false` reply
+    /// becomes a [`RemoteError`] carrying the daemon's code.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (`"io"`), undecodable replies (`"proto"`),
+    /// and daemon error replies (their own code).
+    pub fn roundtrip(&mut self, line: &str) -> Result<Value, RemoteError> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| RemoteError::io(format!("cannot send request: {e}")))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| RemoteError::io(format!("cannot read reply: {e}")))?;
+        if n == 0 {
+            return Err(RemoteError::io("daemon closed the connection".to_string()));
+        }
+        let v = parse(reply.trim_end()).map_err(|e| RemoteError {
+            code: "proto".to_string(),
+            message: format!("malformed reply: {e}"),
+        })?;
+        if v.get("ok").and_then(Value::as_bool) == Some(true) {
+            return Ok(v);
+        }
+        Err(RemoteError {
+            code: v
+                .get("code")
+                .and_then(Value::as_str)
+                .unwrap_or("proto")
+                .to_string(),
+            message: v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("daemon reported an error without a message")
+                .to_string(),
+        })
+    }
+}
+
+/// Everything a remote run returns.
+#[derive(Debug, Clone)]
+pub struct RemoteRun {
+    /// Report and captures, decoded bit-exactly.
+    pub outcome: DecodedOutcome,
+    /// The attribution profile rendered by the daemon (`--profile`
+    /// output), relayed verbatim.
+    pub profile_text: Option<String>,
+    /// Whether the daemon served the program from its cache.
+    pub cached: bool,
+    /// Pre-linker clones created (for the `dsmfc` banner line).
+    pub prelink_clones: u64,
+    /// Pre-linker recompilations (same banner).
+    pub prelink_recompilations: u64,
+}
+
+/// Compile-and-run `sources` on the daemon at `socket`.
+///
+/// # Errors
+///
+/// Transport, protocol and daemon-side failures as [`RemoteError`].
+pub fn run_remote(
+    socket: &str,
+    sources: &[(String, String)],
+    opt: &OptConfig,
+    spec: &MachineSpec,
+    exec: &ExecOptions,
+    priority: i64,
+    wall_ms: Option<u64>,
+) -> Result<RemoteRun, RemoteError> {
+    let mut remote = Remote::connect(socket)?;
+    let line = run_request_json(sources, opt, spec, &exec.to_json(), priority, wall_ms, false);
+    let reply = remote.roundtrip(&line)?;
+    let proto_err = |message: String| RemoteError {
+        code: "proto".to_string(),
+        message,
+    };
+    let outcome_v = reply
+        .get("outcome")
+        .ok_or_else(|| proto_err("run reply lacks `outcome`".to_string()))?;
+    let outcome = dsm_proto::outcome_from_value(outcome_v).map_err(proto_err)?;
+    let prelink = |key: &str| {
+        reply
+            .get("prelink")
+            .and_then(|p| p.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    Ok(RemoteRun {
+        outcome,
+        profile_text: reply
+            .get("profile_text")
+            .and_then(Value::as_str)
+            .map(str::to_string),
+        cached: reply.get("cached").and_then(Value::as_bool).unwrap_or(false),
+        prelink_clones: prelink("clones"),
+        prelink_recompilations: prelink("recompilations"),
+    })
+}

@@ -41,22 +41,25 @@
 //! parameterized by size and placement policy; the `dsm-bench` crate uses
 //! them to regenerate every table and figure.
 
+pub mod client;
 pub mod workloads;
 
+pub use client::{run_remote, Remote, RemoteError, RemoteRun};
 pub use dsm_advisor::{advise, Advice, AdvisorConfig, AdvisorError};
-pub use dsm_compile::{OptConfig, PrelinkReport};
+pub use dsm_proto::MachineSpec;
+pub use dsm_compile::{load_sources, OptConfig, PrelinkReport};
 pub use dsm_exec::{Engine, ExecError, ExecOptions, Profile, RunOutcome, RunReport};
 pub use dsm_frontend::{CompileError, ErrorKind};
 pub use dsm_ir::Program;
 pub use dsm_machine::{
-    CounterSet, Machine, MachineConfig, MigrationPolicy, PagePolicy, SamplingConfig,
-    SamplingSummary,
+    CounterSet, Machine, MachineConfig, MachineSnapshot, MigrationPolicy, PagePolicy,
+    SamplingConfig, SamplingSummary,
 };
 
-/// Any failure the end-to-end API can produce: compile-time diagnostics or
-/// a runtime execution error. Both [`Session::compile`] (via `?`) and
-/// [`CompiledProgram::run`] convert into it, so a driver needs exactly one
-/// error type.
+/// Any failure the end-to-end API can produce: compile-time diagnostics,
+/// a runtime execution error, or a source-loading failure. Both
+/// [`Session::compile`] (via `?`) and [`CompiledProgram::run`] convert
+/// into it, so a driver needs exactly one error type.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DsmError {
     /// Every compile-time and link-time diagnostic.
@@ -64,6 +67,8 @@ pub enum DsmError {
     /// A runtime failure (out-of-bounds, failed argument check, illegal
     /// redistribution, step limit).
     Exec(ExecError),
+    /// A source file could not be read (the message already names it).
+    Io(String),
 }
 
 impl DsmError {
@@ -71,7 +76,20 @@ impl DsmError {
     pub fn compile_errors(&self) -> Option<&[CompileError]> {
         match self {
             DsmError::Compile(e) => Some(e),
-            DsmError::Exec(_) => None,
+            DsmError::Exec(_) | DsmError::Io(_) => None,
+        }
+    }
+
+    /// Stable machine-readable error code: `"compile"`, `"io"`, or the
+    /// failing [`ExecError::code`] (`"exec.runtime"`, `"exec.step-limit"`,
+    /// …). CLI drivers print it alongside the message and the daemon wire
+    /// protocol carries it in every error reply — codes are part of the
+    /// protocol: add new ones, never repurpose existing ones.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DsmError::Compile(_) => "compile",
+            DsmError::Exec(e) => e.code(),
+            DsmError::Io(_) => "io",
         }
     }
 }
@@ -87,6 +105,7 @@ impl std::fmt::Display for DsmError {
                 Ok(())
             }
             DsmError::Exec(e) => write!(f, "runtime error: {e}"),
+            DsmError::Io(m) => write!(f, "{m}"),
         }
     }
 }
@@ -94,7 +113,7 @@ impl std::fmt::Display for DsmError {
 impl std::error::Error for DsmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            DsmError::Compile(_) => None,
+            DsmError::Compile(_) | DsmError::Io(_) => None,
             DsmError::Exec(e) => Some(e),
         }
     }
@@ -148,14 +167,38 @@ impl Session {
     ///
     /// Returns every compile-time and link-time diagnostic.
     pub fn compile(self) -> Result<CompiledProgram, Vec<CompileError>> {
-        let refs: Vec<(&str, &str)> = self
-            .sources
-            .iter()
-            .map(|(n, t)| (n.as_str(), t.as_str()))
-            .collect();
-        let compiled = dsm_compile::compile_strings(&refs, &self.opt)?;
+        let compiled = dsm_compile::compile_sources(&self.sources, &self.opt)?;
         Ok(CompiledProgram { compiled })
     }
+}
+
+/// Compile already-loaded `(name, text)` sources into a runnable
+/// [`CompiledProgram`] — the one compile sequence `dsmfc`, `dsmtune`,
+/// `dsmfuzz` and the `dsmd` daemon all share (each used to carry its own
+/// slightly-divergent copy).
+///
+/// # Errors
+///
+/// Returns every compile-time and link-time diagnostic as
+/// [`DsmError::Compile`].
+pub fn compile_source(
+    sources: &[(String, String)],
+    opt: &OptConfig,
+) -> Result<CompiledProgram, DsmError> {
+    let compiled = dsm_compile::compile_sources(sources, opt)?;
+    Ok(CompiledProgram { compiled })
+}
+
+/// [`compile_source`] over paths: load the files with
+/// [`dsm_compile::load_sources`], then compile.
+///
+/// # Errors
+///
+/// An unreadable file surfaces as [`DsmError::Io`]; diagnostics as
+/// [`DsmError::Compile`].
+pub fn compile_files(paths: &[String], opt: &OptConfig) -> Result<CompiledProgram, DsmError> {
+    let sources = dsm_compile::load_sources(paths).map_err(DsmError::Io)?;
+    compile_source(&sources, opt)
 }
 
 /// A compiled, linked, optimized program ready to run.
@@ -195,7 +238,25 @@ impl CompiledProgram {
     /// Panics if `opts.nprocs` exceeds the machine's processor count.
     pub fn run(&self, cfg: &MachineConfig, opts: &ExecOptions) -> Result<RunOutcome, DsmError> {
         let mut m = Machine::new(cfg.clone());
-        dsm_exec::run_outcome(&mut m, &self.compiled.program, opts).map_err(DsmError::from)
+        self.run_on(&mut m, opts)
+    }
+
+    /// Run on an existing machine — the daemon's pooled-machine path.
+    /// The machine must be in its post-construction (or
+    /// [`Machine::restore`]d-to-pristine) state; the run mutates it, so
+    /// a pooling caller restores on success and discards on error (an
+    /// errored run may leave mailbox messages in flight, which a
+    /// snapshot-restore cycle refuses to touch).
+    ///
+    /// # Errors
+    ///
+    /// Returns runtime failures as [`DsmError::Exec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.nprocs` exceeds the machine's processor count.
+    pub fn run_on(&self, machine: &mut Machine, opts: &ExecOptions) -> Result<RunOutcome, DsmError> {
+        dsm_exec::run_outcome(machine, &self.compiled.program, opts).map_err(DsmError::from)
     }
 }
 

@@ -1,0 +1,72 @@
+//! `dsmd` — the simulation daemon.
+//!
+//! ```text
+//! dsmd --socket PATH [--workers N] [--queue N]
+//!   --socket PATH   Unix socket to listen on (required)
+//!   --workers N     executor threads (default 4)
+//!   --queue N       admission bound; beyond it requests are answered
+//!                   `daemon.overloaded` (default 64)
+//! ```
+//!
+//! The daemon runs until it receives a `shutdown` request (e.g.
+//! `{"op":"shutdown"}` over the socket). Protocol reference:
+//! `docs/DAEMON.md`.
+
+use dsm_daemon::{serve, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: dsmd --socket PATH [--workers N] [--queue N]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut socket: Option<String> = None;
+    let mut workers = 4usize;
+    let mut queue = 64usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
+            s if s.starts_with("--socket=") => {
+                socket = s.strip_prefix("--socket=").map(str::to_string);
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--queue" => {
+                queue = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    if workers == 0 || queue == 0 {
+        eprintln!("dsmd: --workers and --queue must be at least 1");
+        std::process::exit(2);
+    }
+    let cfg = DaemonConfig {
+        socket: socket.into(),
+        workers,
+        queue,
+    };
+    let handle = match serve(&cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dsmd: cannot listen on `{}`: {e}", cfg.socket.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "dsmd: listening on {} (workers={workers}, queue={queue})",
+        cfg.socket.display()
+    );
+    handle.join();
+    println!("dsmd: shut down");
+}

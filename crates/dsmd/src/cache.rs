@@ -1,0 +1,196 @@
+//! Content-addressed compiled-program cache.
+//!
+//! Programs are keyed on the FNV-1a hash of their sources (names and
+//! text, length-prefixed so concatenation cannot collide) plus the
+//! optimization flags. Two tenants submitting the same program with the
+//! same flags share one [`CompiledProgram`] — compilation is the
+//! dominant per-request cost for short simulations, so this is where
+//! the daemon's warm-path throughput comes from.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dsm_core::{compile_source, CompiledProgram, DsmError, OptConfig};
+
+/// Cache key: source-content hash plus the optimization flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    hash: u64,
+    opt_bits: u8,
+}
+
+impl CacheKey {
+    /// Compute the key for a compile/run request.
+    pub fn new(sources: &[(String, String)], opt: &OptConfig) -> Self {
+        let mut h = Fnv1a::new();
+        for (name, text) in sources {
+            h.write_u64(name.len() as u64);
+            h.write(name.as_bytes());
+            h.write_u64(text.len() as u64);
+            h.write(text.as_bytes());
+        }
+        CacheKey {
+            hash: h.finish(),
+            opt_bits: (opt.skew as u8)
+                | (opt.tile_peel as u8) << 1
+                | (opt.hoist_cse as u8) << 2
+                | (opt.fp_divmod as u8) << 3
+                | (opt.interchange as u8) << 4,
+        }
+    }
+
+    /// Printable form carried in `compile` replies.
+    pub fn render(&self) -> String {
+        format!("{:016x}-{:02x}", self.hash, self.opt_bits)
+    }
+}
+
+/// 64-bit FNV-1a, the offset-basis/prime constants from the reference
+/// description. Not cryptographic — collisions only cost a wrong cache
+/// hit in an offline tool, and the length-prefixing above removes the
+/// easy structural ones.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Point-in-time cache statistics for the `stats` op.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheStats {
+    /// Programs currently cached.
+    pub entries: usize,
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+}
+
+/// The cache itself. Compilation runs *outside* the map lock, so a slow
+/// compile does not stall cache hits on other connections; the cost is
+/// that two tenants racing on the same cold key may both compile, with
+/// the second insert winning (both results are identical by
+/// construction).
+pub struct ProgramCache {
+    map: Mutex<HashMap<CacheKey, Arc<CompiledProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        ProgramCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the program for `(sources, opt)`, compiling on a miss.
+    /// Returns the program and whether it was already cached.
+    ///
+    /// # Errors
+    ///
+    /// Compile diagnostics surface as [`DsmError::Compile`]; failures
+    /// are not cached (a tenant fixing their program should not hit a
+    /// stale error).
+    pub fn get_or_compile(
+        &self,
+        sources: &[(String, String)],
+        opt: &OptConfig,
+    ) -> Result<(Arc<CompiledProgram>, bool), DsmError> {
+        let key = CacheKey::new(sources, opt);
+        if let Some(p) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(p), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let program = Arc::new(compile_source(sources, opt)?);
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&program));
+        Ok((program, false))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.lock().unwrap().len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(text: &str) -> Vec<(String, String)> {
+        vec![("t.f".to_string(), text.to_string())]
+    }
+
+    #[test]
+    fn keys_separate_content_and_flags() {
+        let a = src("      program main\n      end\n");
+        let b = src("      program main\n      continue\n      end\n");
+        let full = OptConfig::default();
+        let none = OptConfig::none();
+        assert_eq!(CacheKey::new(&a, &full), CacheKey::new(&a, &full));
+        assert_ne!(CacheKey::new(&a, &full), CacheKey::new(&b, &full));
+        assert_ne!(CacheKey::new(&a, &full), CacheKey::new(&a, &none));
+        // Length prefixing: moving a byte across the name/text boundary
+        // changes the key.
+        let c = vec![("t.fx".to_string(), "y".to_string())];
+        let d = vec![("t.f".to_string(), "xy".to_string())];
+        assert_ne!(CacheKey::new(&c, &full), CacheKey::new(&d, &full));
+    }
+
+    #[test]
+    fn second_fetch_hits() {
+        let cache = ProgramCache::new();
+        let sources = src("      program main\n      real*8 a(8)\n      a(1) = 1\n      end\n");
+        let opt = OptConfig::default();
+        let (p1, cached1) = cache.get_or_compile(&sources, &opt).unwrap();
+        let (p2, cached2) = cache.get_or_compile(&sources, &opt).unwrap();
+        assert!(!cached1);
+        assert!(cached2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn compile_failures_are_not_cached() {
+        let cache = ProgramCache::new();
+        let bad = src("      program main\n      x = 1\n      end\n");
+        assert!(cache.get_or_compile(&bad, &OptConfig::default()).is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

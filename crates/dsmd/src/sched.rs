@@ -1,0 +1,231 @@
+//! Request scheduler: bounded priority queue plus a worker pool.
+//!
+//! Admission is FIFO within a priority and higher-priority-first across
+//! priorities. The queue is bounded: a submit against a full queue is
+//! rejected immediately so the connection can answer
+//! `daemon.overloaded` instead of stalling every tenant behind an
+//! unbounded backlog. A request may also carry a wall-clock budget; if
+//! it is still queued when the budget expires, the dequeuing worker
+//! answers `daemon.deadline` without running it.
+//!
+//! Plain `Mutex` + `Condvar`, matching the std-only threading style of
+//! the rest of the workspace (cf. `advisor::search`'s scoped workers).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use dsm_proto::Request;
+
+/// A queued request plus the channel its reply line goes back on.
+pub struct Job {
+    /// Admission priority (higher first).
+    pub priority: i64,
+    /// Admission sequence number (FIFO tiebreak within a priority).
+    pub seq: u64,
+    /// Wall-clock budget: answer `daemon.deadline` if still queued past
+    /// this instant.
+    pub deadline: Option<Instant>,
+    /// When the job was admitted (for queue-latency accounting).
+    pub enqueued: Instant,
+    /// The decoded request.
+    pub req: Request,
+    /// Where the single reply line goes. The receiver is the
+    /// connection thread; a dropped receiver (client hung up) makes the
+    /// send fail harmlessly.
+    pub reply: Sender<String>,
+}
+
+impl PartialEq for Job {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for Job {}
+
+impl PartialOrd for Job {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Job {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the maximum: higher priority wins, then the
+        // *older* (smaller) sequence number.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Queue {
+    heap: BinaryHeap<Job>,
+    closed: bool,
+    peak: usize,
+}
+
+/// Point-in-time queue statistics for the `stats` op.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueStats {
+    /// Jobs currently queued.
+    pub depth: usize,
+    /// Admission bound.
+    pub capacity: usize,
+    /// Deepest the queue has been.
+    pub peak: usize,
+}
+
+/// The scheduler shared by connection threads (producers) and workers
+/// (consumers).
+pub struct Scheduler {
+    q: Mutex<Queue>,
+    cv: Condvar,
+    capacity: usize,
+    seq: AtomicU64,
+}
+
+/// Admission failure: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded;
+
+impl Scheduler {
+    /// Scheduler admitting at most `capacity` queued requests.
+    pub fn new(capacity: usize) -> Self {
+        Scheduler {
+            q: Mutex::new(Queue {
+                heap: BinaryHeap::new(),
+                closed: false,
+                peak: 0,
+            }),
+            cv: Condvar::new(),
+            capacity,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit a request.
+    ///
+    /// # Errors
+    ///
+    /// [`Overloaded`] when the queue is full or the scheduler is
+    /// closed — either way the caller replies immediately instead of
+    /// waiting.
+    pub fn submit(
+        &self,
+        priority: i64,
+        deadline: Option<Instant>,
+        req: Request,
+        reply: Sender<String>,
+    ) -> Result<(), Overloaded> {
+        let mut q = self.q.lock().unwrap();
+        if q.closed || q.heap.len() >= self.capacity {
+            return Err(Overloaded);
+        }
+        q.heap.push(Job {
+            priority,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            deadline,
+            enqueued: Instant::now(),
+            req,
+            reply,
+        });
+        q.peak = q.peak.max(q.heap.len());
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Block for the next job. `None` means the scheduler is closed
+    /// *and* drained — the worker should exit. Already-admitted jobs
+    /// are still handed out after close (an orderly shutdown answers
+    /// everything it accepted).
+    pub fn next(&self) -> Option<Job> {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(job) = q.heap.pop() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Stop admitting; wake every worker so it can drain and exit.
+    pub fn close(&self) {
+        self.q.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> QueueStats {
+        let q = self.q.lock().unwrap();
+        QueueStats {
+            depth: q.heap.len(),
+            capacity: self.capacity,
+            peak: q.peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn submit(s: &Scheduler, priority: i64) -> Result<(), Overloaded> {
+        let (tx, _rx) = channel();
+        // The receiver is dropped; these tests only exercise ordering
+        // and admission, never reply delivery.
+        s.submit(priority, None, Request::Ping, tx)
+    }
+
+    #[test]
+    fn higher_priority_pops_first_fifo_within() {
+        let s = Scheduler::new(8);
+        submit(&s, 0).unwrap();
+        submit(&s, 5).unwrap();
+        submit(&s, 5).unwrap();
+        submit(&s, 1).unwrap();
+        let order: Vec<(i64, u64)> = (0..4)
+            .map(|_| s.next().map(|j| (j.priority, j.seq)).unwrap())
+            .collect();
+        assert_eq!(order, vec![(5, 1), (5, 2), (1, 3), (0, 0)]);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let s = Scheduler::new(2);
+        submit(&s, 0).unwrap();
+        submit(&s, 0).unwrap();
+        assert_eq!(submit(&s, 9), Err(Overloaded));
+        // Draining one slot re-opens admission.
+        s.next().unwrap();
+        submit(&s, 0).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let s = Scheduler::new(4);
+        submit(&s, 0).unwrap();
+        s.close();
+        assert_eq!(submit(&s, 0), Err(Overloaded));
+        assert!(s.next().is_some());
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let s = std::sync::Arc::new(Scheduler::new(4));
+        let s2 = std::sync::Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.next().is_none());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.close();
+        assert!(t.join().unwrap());
+    }
+}

@@ -178,6 +178,23 @@ pub enum ExecError {
     Options(String),
 }
 
+impl ExecError {
+    /// Stable machine-readable code for this failure kind, used verbatim
+    /// in the daemon wire protocol's error replies and exposed through
+    /// `DsmError::code` for CLI exit paths. Codes are part of the
+    /// protocol: add new ones, never repurpose existing ones.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ExecError::OutOfBounds { .. } => "exec.out-of-bounds",
+            ExecError::UnknownSubroutine(_) => "exec.unknown-subroutine",
+            ExecError::BadCall(_) => "exec.bad-call",
+            ExecError::Runtime(_) => "exec.runtime",
+            ExecError::StepLimit => "exec.step-limit",
+            ExecError::Options(_) => "exec.options",
+        }
+    }
+}
+
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -25,6 +25,7 @@ pub mod interp;
 pub mod profile;
 pub mod report;
 pub mod value;
+pub mod wire;
 
 pub use engine::Engine;
 pub use interp::{run_outcome, ExecError, ExecOptions};

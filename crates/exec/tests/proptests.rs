@@ -95,3 +95,49 @@ proptest! {
         prop_assert_eq!(run(p1), run(p2));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A machine restored to its pristine snapshot re-runs a program
+    /// bit-identically to the first run — captures, counters and total
+    /// cycles — across engines, migration and sampling. This is the
+    /// exec-level contract behind the daemon's machine pool: a pooled
+    /// run must be indistinguishable from a fresh-machine run.
+    #[test]
+    fn restored_machine_reruns_bit_identically(
+        n in 16usize..96,
+        d in 0usize..3,
+        nprocs in 1usize..5,
+        engine_interp in proptest::arbitrary::any::<bool>(),
+        migrate in proptest::arbitrary::any::<bool>(),
+        sample in proptest::arbitrary::any::<bool>(),
+    ) {
+        let src = format!(
+            "      program main\n      integer i\n      real*8 a({n})\nc$distribute_reshape a({})\nc$doacross local(i) affinity(i) = data(a(i))\n      do i = 1, {n}\n        a(i) = 3*i + 1\n      enddo\n      end\n",
+            dist_str(d)
+        );
+        let c = compile_strings(&[("t.f", src.as_str())], &OptConfig::default())
+            .expect("compiles");
+        let mut opts = ExecOptions::new(nprocs).serial_team(true).capture(&["a"]);
+        if engine_interp {
+            opts = opts.engine(dsm_exec::Engine::Interp);
+        }
+        if migrate {
+            opts = opts.migration(dsm_machine::MigrationPolicy::threshold(2));
+        }
+        if sample {
+            opts = opts.sampling(dsm_machine::SamplingConfig { rate: 4, seed: 2 });
+        }
+        let mut m = Machine::new(MachineConfig::small_test(nprocs));
+        let pristine = m.snapshot();
+        let first = run_outcome(&mut m, &c.program, &opts).expect("first run");
+        m.restore(&pristine);
+        let second = run_outcome(&mut m, &c.program, &opts).expect("re-run");
+        prop_assert_eq!(second.report.digest_json(), first.report.digest_json());
+        prop_assert_eq!(
+            second.captures.iter().flatten().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            first.captures.iter().flatten().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -62,14 +62,14 @@ pub use config::{LatencyConfig, MachineConfig, OpCosts};
 pub use cost::CostModel;
 pub use counters::CounterSet;
 pub use directory::Directory;
-pub use machine::{AccessKind, AccessRun, Machine, MachineShard, VAddr};
+pub use machine::{AccessKind, AccessRun, Machine, MachineShard, MachineSnapshot, VAddr};
 pub use migrate::{MigrationPolicy, MigrationStats, RefCounters};
 pub use pagetable::{PagePolicy, PageTable};
 pub use sample::{SamplingConfig, SamplingSummary};
 pub use profile::{
     AccessTag, AttributionTable, FillLevel, PageAttr, TagStats, SERIAL_REGION, UNTAGGED_SYM,
 };
-pub use shared::{ShardedDirectory, SharedState, WordMem, DIR_SHARDS};
+pub use shared::{ShardedDirectory, SharedSnapshot, SharedState, WordMem, DIR_SHARDS};
 pub use tlb::Tlb;
 pub use topology::{hops, NodeId};
 

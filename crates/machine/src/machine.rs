@@ -36,7 +36,7 @@ use crate::migrate::MigrationStats;
 use crate::pagetable::{Mapping, PageTable, Translate};
 use crate::profile::{AccessTag, AttributionTable, FillLevel, UNTAGGED_SYM};
 use crate::sample::{SampleStats, SamplingConfig, SamplingSummary};
-use crate::shared::SharedState;
+use crate::shared::{SharedSnapshot, SharedState};
 use crate::tlb::Tlb;
 use crate::topology::{hops, NodeId};
 use crate::ProcId;
@@ -579,6 +579,32 @@ pub struct Machine {
     symbols: Vec<String>,
 }
 
+/// A deep copy of a [`Machine`]'s complete state, captured by
+/// [`Machine::snapshot`] and written back by [`Machine::restore`].
+///
+/// Snapshots are plain owned data (no atomics, no locks), so they are
+/// `Send`/`Sync`/`Clone` and can sit in a pool shared across daemon
+/// worker threads. They are only valid between runs: both `snapshot`
+/// and `restore` insist that every invalidation mailbox is empty.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    cfg: MachineConfig,
+    procs: Vec<Processor>,
+    shared: SharedSnapshot,
+    brk: u64,
+    mig: MigrationStats,
+    epoch_accesses: u64,
+    epochs_paused: bool,
+    symbols: Vec<String>,
+}
+
+impl MachineSnapshot {
+    /// The configuration of the machine this snapshot was taken from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+}
+
 impl Machine {
     /// Build a machine from a validated configuration.
     ///
@@ -893,6 +919,67 @@ impl Machine {
             },
         );
         SamplingSummary::build(&self.cfg, &totals, merged.as_ref())
+    }
+
+    /// Deep-copy the entire machine state — configuration, every
+    /// processor's caches/TLB/counters, page table, directory, word
+    /// store, reference counters, allocator brk and migration totals —
+    /// into a [`MachineSnapshot`].
+    ///
+    /// A later [`Machine::restore`] returns the machine to exactly this
+    /// state: a run replayed from the restored machine is bit-identical
+    /// (counters, cycles, captures) to one replayed from a fresh clone.
+    /// The daemon's machine pool snapshots each pristine machine once
+    /// and restores it after every run instead of re-allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mailbox still holds undelivered invalidations —
+    /// snapshots are only meaningful at quiescent points (between runs,
+    /// never mid-team).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            cfg: self.cfg.clone(),
+            procs: self.procs.clone(),
+            shared: self.shared.snapshot(),
+            brk: self.brk,
+            mig: self.mig.clone(),
+            epoch_accesses: self.epoch_accesses,
+            epochs_paused: self.epochs_paused,
+            symbols: self.symbols.clone(),
+        }
+    }
+
+    /// Overwrite this machine's state from a snapshot taken on a machine
+    /// with the same geometry (node count, processor count, directory
+    /// sharding). Reuses existing allocations where shapes match, so
+    /// restoring a pooled machine is much cheaper than `Machine::new`.
+    ///
+    /// The configuration is restored too: `run` applies per-request
+    /// migration/sampling options by mutating the config, and a pooled
+    /// machine must not leak one request's options into the next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mailbox still holds undelivered invalidations or
+    /// the snapshot's geometry differs from this machine's.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        assert_eq!(
+            snap.procs.len(),
+            self.procs.len(),
+            "processor count mismatch between snapshot and machine"
+        );
+        self.cfg.clone_from(&snap.cfg);
+        self.page_bits = self.cfg.page_size.trailing_zeros();
+        for (p, s) in self.procs.iter_mut().zip(&snap.procs) {
+            p.clone_from(s);
+        }
+        self.shared.restore(&snap.shared);
+        self.brk = snap.brk;
+        self.mig.clone_from(&snap.mig);
+        self.epoch_accesses = snap.epoch_accesses;
+        self.epochs_paused = snap.epochs_paused;
+        self.symbols.clone_from(&snap.symbols);
     }
 
     /// Run one migration epoch *now*: scan the per-page reference
@@ -2170,5 +2257,71 @@ mod tests {
         let mut cfg = MachineConfig::small_test(2);
         cfg.sampling = SamplingConfig::new(16);
         assert!(cfg.validate().is_err());
+    }
+
+    /// Drive a little workload that touches every snapshotted table:
+    /// allocation (brk, word store), placement (page table pins),
+    /// cross-processor sharing (directory, mailboxes, invalidation
+    /// counters), and per-page reference counters.
+    fn scribble(m: &mut Machine) -> u64 {
+        let a = m.alloc_pages(4 * 4096);
+        m.place_range(a, 4096, NodeId(1));
+        let mut cycles = 0;
+        for i in 0..256u64 {
+            m.write_f64(ProcId(0), a + 8 * i, i as f64 * 0.5);
+            cycles += m.access(ProcId(2), a + 8 * i, AccessKind::Read);
+            cycles += m.access(ProcId(0), a + 8 * i, AccessKind::Write);
+        }
+        cycles + m.cycles(ProcId(0)) + m.cycles(ProcId(2))
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let mut m = machine(4);
+        let pristine = m.snapshot();
+        let first = scribble(&mut m);
+        let dirty = m.snapshot();
+
+        // Restore-to-pristine replays exactly like a fresh machine.
+        m.restore(&pristine);
+        assert_eq!(m.cycles(ProcId(0)), 0);
+        assert_eq!(scribble(&mut m), first);
+        let (c0, c2) = machine_after_scribble();
+        assert_eq!(*m.counters(ProcId(0)), c0);
+        assert_eq!(*m.counters(ProcId(2)), c2);
+
+        // Restore-to-dirty reproduces mid-history state: continuing from
+        // it matches continuing from the point the snapshot was taken.
+        let mut twin = machine(4);
+        twin.restore(&dirty);
+        let cont_restored = scribble(&mut twin);
+        let cont_original = scribble(&mut m);
+        assert_eq!(cont_restored, cont_original);
+        assert_eq!(twin.counters(ProcId(0)), m.counters(ProcId(0)));
+        assert_eq!(twin.counters(ProcId(2)), m.counters(ProcId(2)));
+    }
+
+    fn machine_after_scribble() -> (CounterSet, CounterSet) {
+        let mut m = machine(4);
+        scribble(&mut m);
+        (*m.counters(ProcId(0)), *m.counters(ProcId(2)))
+    }
+
+    #[test]
+    fn restore_resets_per_run_config_options() {
+        // `run` applies migration/sampling by mutating the machine's
+        // config; a pooled machine restored between requests must come
+        // back with the snapshot's options, not the last request's.
+        let mut m = machine(4);
+        let pristine = m.snapshot();
+        m.set_migration(crate::MigrationPolicy::threshold(2));
+        m.set_sampling(SamplingConfig::new(8)).unwrap();
+        scribble(&mut m);
+        m.restore(&pristine);
+        assert!(m.config().migration.is_off());
+        assert!(m.config().sampling.is_exact());
+        assert_eq!(m.pages_migrated(), 0);
+        let mut fresh = machine(4);
+        assert_eq!(scribble(&mut m), scribble(&mut fresh));
     }
 }

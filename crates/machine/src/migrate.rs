@@ -209,6 +209,28 @@ impl RefCounters {
         }
     }
 
+    /// Copy every counter out as plain values (snapshot support).
+    pub(crate) fn snapshot(&self) -> Vec<u32> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Overwrite the table from a snapshot, shrinking or growing it to
+    /// match (the node count never changes for a given machine).
+    pub(crate) fn restore(&mut self, counts: &[u32]) {
+        while self.counts.len() > counts.len() {
+            self.counts.pop();
+        }
+        while self.counts.len() < counts.len() {
+            self.counts.push(AtomicU32::new(0));
+        }
+        for (c, v) in self.counts.iter_mut().zip(counts) {
+            *c.get_mut() = *v;
+        }
+    }
+
     /// Halve one page's counters (end-of-epoch decay).
     pub(crate) fn decay_page(&self, vpage: u64) {
         let base = vpage as usize * self.n_nodes;

@@ -60,6 +60,23 @@ impl WordMem {
         }
     }
 
+    /// Copy the whole store out as plain words (snapshot support).
+    pub(crate) fn snapshot_words(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Overwrite the store with `words`, shrinking or growing the extent
+    /// to match. Reuses the existing allocation where possible.
+    pub(crate) fn restore_words(&mut self, words: &[u64]) {
+        self.words.resize_with(words.len(), AtomicU64::default);
+        for (w, v) in self.words.iter_mut().zip(words) {
+            *w.get_mut() = *v;
+        }
+    }
+
     #[inline]
     fn word(&self, idx: usize, addr: u64) -> &AtomicU64 {
         self.words
@@ -182,6 +199,23 @@ impl ShardedDirectory {
             .map(|s| s.lock().expect("directory shard poisoned").tracked_lines())
             .sum()
     }
+
+    /// Copy every shard's directory out (snapshot support).
+    pub(crate) fn snapshot(&self) -> Vec<Directory> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("directory shard poisoned").clone())
+            .collect()
+    }
+
+    /// Overwrite every shard from a snapshot taken on an identically
+    /// sharded directory.
+    pub(crate) fn restore(&mut self, shards: &[Directory]) {
+        assert_eq!(shards.len(), self.shards.len(), "directory shard count");
+        for (s, d) in self.shards.iter_mut().zip(shards) {
+            s.get_mut().expect("directory shard poisoned").clone_from(d);
+        }
+    }
 }
 
 /// Machine state reachable from every processor shard.
@@ -247,6 +281,58 @@ impl SharedState {
         self.mail_count.load(Ordering::Relaxed)
     }
 
+    /// Deep-copy every piece of shared machine state into a
+    /// [`SharedSnapshot`].
+    ///
+    /// Snapshots are only meaningful at quiescent points (no parallel team
+    /// live, all invalidation mail delivered) — exactly the points where
+    /// the serial [`crate::Machine`] API can be called at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mailbox still holds undelivered invalidations.
+    pub(crate) fn snapshot(&self) -> SharedSnapshot {
+        assert_eq!(self.mail_pending(), 0, "snapshot with undelivered mail");
+        SharedSnapshot {
+            pt: self.pt.read().expect("page table poisoned").clone(),
+            dir: self.dir.snapshot(),
+            mem: self.mem.snapshot_words(),
+            node_served: self
+                .node_served
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            refs: self.refs.snapshot(),
+        }
+    }
+
+    /// Overwrite all shared state from a snapshot taken on a machine of
+    /// identical geometry, bit-for-bit. The inverse of
+    /// [`SharedState::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mailbox still holds undelivered invalidations or the
+    /// snapshot's geometry (node count, directory sharding) differs.
+    pub(crate) fn restore(&mut self, snap: &SharedSnapshot) {
+        assert_eq!(self.mail_pending(), 0, "restore with undelivered mail");
+        assert_eq!(
+            snap.node_served.len(),
+            self.node_served.len(),
+            "node count mismatch between snapshot and machine"
+        );
+        self.pt
+            .get_mut()
+            .expect("page table poisoned")
+            .clone_from(&snap.pt);
+        self.dir.restore(&snap.dir);
+        self.mem.restore_words(&snap.mem);
+        for (c, v) in self.node_served.iter_mut().zip(&snap.node_served) {
+            *c.get_mut() = *v;
+        }
+        self.refs.restore(&snap.refs);
+    }
+
     /// Take all pending invalidations for `proc` (empty when none).
     pub(crate) fn take_mail(&self, proc: ProcId) -> Vec<u64> {
         if self.mail_count.load(Ordering::Relaxed) == 0 {
@@ -259,6 +345,23 @@ impl SharedState {
         }
         taken
     }
+}
+
+/// A bit-exact deep copy of every piece of [`SharedState`]: page table
+/// (including frame free lists and pin bits), coherence directory, word
+/// store, per-node service counts and migration reference counters.
+///
+/// Produced by [`crate::Machine::snapshot`] and consumed by
+/// [`crate::Machine::restore`]; the daemon's machine pool uses it to return
+/// a warm machine to its pristine state between runs without re-allocating
+/// any of the large tables.
+#[derive(Debug, Clone)]
+pub struct SharedSnapshot {
+    pub(crate) pt: PageTable,
+    pub(crate) dir: Vec<Directory>,
+    pub(crate) mem: Vec<u64>,
+    pub(crate) node_served: Vec<u64>,
+    pub(crate) refs: Vec<u32>,
 }
 
 #[cfg(test)]

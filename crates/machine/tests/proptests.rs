@@ -278,3 +278,75 @@ proptest! {
         }
     }
 }
+
+use dsm_machine::SamplingConfig;
+
+proptest! {
+    /// Snapshot → mutate → restore → re-run is bit-identical to a fresh
+    /// machine driven through the same history — cycles, per-processor
+    /// counters, page placement, migration work and stored data —
+    /// including under reactive migration and statistical sampling.
+    /// This is the property the daemon's machine pool stands on.
+    #[test]
+    fn snapshot_mutate_restore_replays_like_fresh(
+        ops in prop::collection::vec((0u64..512, any::<bool>(), 0usize..4), 20..120),
+        cut_pct in 0usize..101,
+        migrate in any::<bool>(),
+        sample in any::<bool>(),
+    ) {
+        fn prepare(migrate: bool, sample: bool) -> (Machine, u64) {
+            let mut m = Machine::new(MachineConfig::small_test(4));
+            if migrate {
+                m.set_migration(MigrationPolicy::threshold(2));
+            }
+            if sample {
+                m.set_sampling(SamplingConfig { rate: 4, seed: 1 })
+                    .expect("small_test geometry supports 1/4 sampling");
+            }
+            let base = m.alloc_pages(4 * 1024);
+            m.place_range(base, 1024, NodeId(1));
+            (m, base)
+        }
+        fn apply(m: &mut Machine, base: u64, ops: &[(u64, bool, usize)]) -> u64 {
+            let mut cycles = 0;
+            for &(slot, is_write, proc) in ops {
+                let addr = base + 8 * (slot % 512);
+                let p = ProcId(proc);
+                cycles += if is_write {
+                    m.write_f64(p, addr, slot as f64 * 0.25 + proc as f64)
+                } else {
+                    m.access(p, addr, AccessKind::Read)
+                };
+            }
+            cycles
+        }
+
+        let cut = ops.len() * cut_pct / 100;
+        let (mut m, base) = prepare(migrate, sample);
+        let head = apply(&mut m, base, &ops[..cut]);
+        let snap = m.snapshot();
+        // Divergent history the restore must fully erase.
+        apply(&mut m, base, &ops[cut..]);
+        m.restore(&snap);
+        let tail_restored = apply(&mut m, base, &ops[cut..]);
+
+        let (mut fresh, fbase) = prepare(migrate, sample);
+        prop_assert_eq!(fbase, base);
+        let head_fresh = apply(&mut fresh, fbase, &ops[..cut]);
+        prop_assert_eq!(head_fresh, head, "histories diverged before the snapshot");
+        let tail_fresh = apply(&mut fresh, fbase, &ops[cut..]);
+
+        prop_assert_eq!(tail_restored, tail_fresh, "replayed cycles diverged");
+        for p in 0..4 {
+            let (a, b) = (*m.counters(ProcId(p)), *fresh.counters(ProcId(p)));
+            prop_assert_eq!(a, b, "P{} counters diverged", p);
+        }
+        prop_assert_eq!(m.pages_per_node(), fresh.pages_per_node());
+        prop_assert_eq!(m.pages_migrated(), fresh.pages_migrated());
+        for slot in 0..512u64 {
+            let (a, _) = m.read_f64(ProcId(0), base + 8 * slot);
+            let (b, _) = fresh.read_f64(ProcId(0), fbase + 8 * slot);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "word {} diverged", slot);
+        }
+    }
+}

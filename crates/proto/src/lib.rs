@@ -1,0 +1,29 @@
+//! Wire protocol for the `dsmd` simulation daemon.
+//!
+//! The daemon speaks newline-delimited JSON over a Unix socket: one
+//! request object per line, one reply object per line. This crate
+//! holds the protocol's *only* implementation — the [`json`] value
+//! model and parser, and the [`wire`] request/reply schema — so the
+//! daemon, `dsmfc --remote`, tests, and benches all encode and decode
+//! through the same code paths. Bit-identical local/remote reports
+//! fall out of that sharing: floats travel as IEEE-754 bit patterns,
+//! `u64` counters as exact decimal literals, and the attribution
+//! profile as a pre-rendered document.
+
+pub mod json;
+pub mod wire;
+
+pub use json::{parse, write_json_str, Value};
+pub use wire::{
+    advise_request_json, compile_request_json, digest_from_report_value, error_reply,
+    exec_options_from_value, opt_from_value, opt_to_json, outcome_from_value, parse_request,
+    report_from_value, run_request_json, sources_from_value, sources_to_json, DecodedOutcome,
+    MachineSpec, Request,
+};
+
+/// Stable error code: queue full, request refused at admission.
+pub const CODE_OVERLOADED: &str = "daemon.overloaded";
+/// Stable error code: request line failed to parse or validate.
+pub const CODE_BAD_REQUEST: &str = "daemon.bad-request";
+/// Stable error code: wall-clock budget expired while queued.
+pub const CODE_DEADLINE: &str = "daemon.deadline";
