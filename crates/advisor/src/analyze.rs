@@ -167,6 +167,7 @@ fn stmt_span(s: &AStmt) -> Span {
         | AStmt::If { span, .. }
         | AStmt::Call { span, .. }
         | AStmt::Redistribute { span, .. }
+        | AStmt::ResizeTeam { span, .. }
         | AStmt::Barrier { span } => *span,
     }
 }
@@ -387,7 +388,10 @@ fn scan_body(stmts: &[AStmt], var: &str, facts: &mut BodyFacts) -> Option<()> {
                 scan_body(then_body, var, facts)?;
                 scan_body(else_body, var, facts)?;
             }
-            AStmt::Call { .. } | AStmt::Redistribute { .. } | AStmt::Barrier { .. } => return None,
+            AStmt::Call { .. }
+            | AStmt::Redistribute { .. }
+            | AStmt::ResizeTeam { .. }
+            | AStmt::Barrier { .. } => return None,
         }
     }
     Some(())

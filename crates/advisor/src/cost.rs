@@ -17,6 +17,14 @@ pub fn estimate(plan: &Plan, an: &Analysis, cm: &CostModel, nprocs: usize) -> u6
     let mut total = 0u64;
     for (i, site) in an.sites.iter().enumerate() {
         let parallel = plan.loops.iter().any(|l| l.site == i);
+        // The team width in effect at this site: the latest resize point
+        // at or before its line, else the full machine.
+        let width = plan
+            .resizes
+            .iter()
+            .filter(|r| r.before_line <= site.line)
+            .max_by_key(|r| r.before_line)
+            .map_or(nprocs, |r| r.team.min(nprocs));
         let mut site_cost = 0u64;
         let accessed = site
             .writes
@@ -45,7 +53,7 @@ pub fn estimate(plan: &Plan, an: &Analysis, cm: &CostModel, nprocs: usize) -> u6
             site_cost += fills * per_fill;
         }
         if parallel {
-            site_cost /= nprocs.max(1) as u64;
+            site_cost /= width.max(1) as u64;
         }
         total += site_cost;
     }
@@ -53,6 +61,16 @@ pub fn estimate(plan: &Plan, an: &Analysis, cm: &CostModel, nprocs: usize) -> u6
         if let Some(info) = an.array(&r.array) {
             let fills = (info.elems().max(1) as u64).div_ceil(line_elems);
             total += fills * cm.mean_remote_fill();
+        }
+    }
+    // A resize re-homes only the delta pages of each distributed array
+    // (the scheduled mover), so charge a fraction of a full move.
+    for _ in &plan.resizes {
+        for d in &plan.dists {
+            if let Some(info) = an.array(&d.array) {
+                let fills = (info.elems().max(1) as u64).div_ceil(line_elems);
+                total += fills * cm.mean_remote_fill() / 2;
+            }
         }
     }
     total

@@ -37,7 +37,7 @@ use dsm_exec::Profile;
 use dsm_machine::MigrationPolicy;
 
 pub use analyze::{analyze, Analysis, ArrayInfo, LoopSite};
-pub use plan::{Di, Plan, PlanDist, PlanLoop, PlanRedist};
+pub use plan::{Di, Plan, PlanDist, PlanLoop, PlanRedist, PlanResize};
 pub use search::{Eval, SearchOutcome};
 
 /// Search knobs.
@@ -305,6 +305,7 @@ pub fn migration_baselines(
     let loops_only = Plan {
         dists: Vec::new(),
         redists: Vec::new(),
+        resizes: Vec::new(),
         loops: advice
             .plan
             .loops

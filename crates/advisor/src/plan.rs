@@ -3,7 +3,8 @@
 
 use dsm_frontend::ast::{AExpr, AffinityDir, DistItem, DistributeDir, DoacrossDir, SchedSpec};
 use dsm_frontend::splice::{
-    render_distribute, render_doacross, render_redistribute, splice_directives, Splice,
+    render_distribute, render_doacross, render_redistribute, render_resize_team,
+    splice_directives, Splice,
 };
 use dsm_frontend::Span;
 
@@ -82,8 +83,17 @@ pub struct PlanRedist {
     pub items: Vec<Di>,
 }
 
-/// A complete candidate: distributions + parallel loops + redistributes.
-/// The empty plan is the unannotated baseline.
+/// A `c$resize_team` point inserted before a top-level statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanResize {
+    /// 1-based line of the stripped main file to insert before.
+    pub before_line: usize,
+    /// New team width.
+    pub team: usize,
+}
+
+/// A complete candidate: distributions + parallel loops + redistributes
+/// + resize points. The empty plan is the unannotated baseline.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Plan {
     /// Distribution directives (at most one per array).
@@ -92,6 +102,8 @@ pub struct Plan {
     pub loops: Vec<PlanLoop>,
     /// Mid-program redistributions.
     pub redists: Vec<PlanRedist>,
+    /// Mid-program team resizes.
+    pub resizes: Vec<PlanResize>,
 }
 
 impl Plan {
@@ -133,6 +145,16 @@ impl Plan {
         p.redists
             .retain(|x| x.array != r.array || x.before_line != r.before_line);
         p.redists.push(r);
+        p
+    }
+
+    /// Copy with a resize point appended (replacing any resize at the
+    /// same line — two teams cannot coexist at one point).
+    #[must_use]
+    pub fn with_resize(&self, r: PlanResize) -> Plan {
+        let mut p = self.clone();
+        p.resizes.retain(|x| x.before_line != r.before_line);
+        p.resizes.push(r);
         p
     }
 
@@ -205,6 +227,12 @@ impl Plan {
                     &r.array,
                     &r.items.iter().map(|i| i.to_item()).collect::<Vec<_>>(),
                 ),
+            });
+        }
+        for r in &self.resizes {
+            per_file[an.main_file].1.push(Splice {
+                before_line: r.before_line,
+                text: render_resize_team(r.team),
             });
         }
         per_file
@@ -281,6 +309,16 @@ impl Plan {
                     .join(", ")
             ));
         }
+        s.push_str("\n    ],\n    \"resizes\": [");
+        for (i, r) in self.resizes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n      {{\"before_line\": {}, \"team\": {}}}",
+                r.before_line, r.team
+            ));
+        }
         s.push_str("\n    ]\n  }");
         s
     }
@@ -336,11 +374,16 @@ mod tests {
                 before_line: an.sites[1].line,
                 items: vec![Di::Block, Di::Star],
             }],
+            resizes: vec![PlanResize {
+                before_line: an.sites[1].line,
+                team: 4,
+            }],
         };
         let annotated = plan.annotate(&an);
         let text = &annotated[0].1;
         assert!(text.contains("c$distribute a(*, block)"), "{text}");
         assert!(text.contains("c$redistribute a(block, *)"), "{text}");
+        assert!(text.contains("c$resize_team(4)"), "{text}");
         assert!(
             text.contains("c$doacross local(j, i) affinity(j) = data(a(1, j))"),
             "{text}"
@@ -352,6 +395,7 @@ mod tests {
         assert!(compiled.is_ok(), "{compiled:?}\n{text}");
         let j = plan.to_json(&an);
         assert!(j.contains("\"redistributes\""), "{j}");
+        assert!(j.contains("\"resizes\""), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

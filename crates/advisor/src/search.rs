@@ -24,7 +24,7 @@ use dsm_machine::{Machine, MachineConfig};
 
 use crate::analyze::Analysis;
 use crate::cost::estimate;
-use crate::plan::{block_at, Di, Plan, PlanDist, PlanLoop, PlanRedist};
+use crate::plan::{block_at, Di, Plan, PlanDist, PlanLoop, PlanRedist, PlanResize};
 use crate::AdvisorConfig;
 
 /// Candidates whose static estimate exceeds this multiple of the
@@ -192,6 +192,10 @@ pub fn search(an: &Analysis, cfg: &AdvisorConfig) -> Result<SearchOutcome, Strin
 
     // Wave 4: redistribute between phases that want conflicting homes.
     let cands = redistribute_candidates(an, &state.incumbent.plan);
+    run_wave(&ctx, &cm, &mut state, cands);
+
+    // Wave 5: dynamic team resizing around the chosen phases.
+    let cands = resize_candidates(an, &state.incumbent.plan, cfg.nprocs);
     run_wave(&ctx, &cm, &mut state, cands);
 
     state
@@ -456,7 +460,10 @@ pub fn refine_candidates(an: &Analysis, incumbent: &Plan, site: usize) -> Vec<Pl
 /// Wave 4: when two parallel phases write the same array along different
 /// slots and the later phase is a top-level loop, try starting with the
 /// early phase's regular distribution and redistributing to the late
-/// phase's just before it (the paper's Section-5 phases pattern).
+/// phase's just before it (the paper's Section-5 phases pattern). Each
+/// move is tried in two schedule variants — a plain `block` target and a
+/// `cyclic(4)` target, which the scheduled mover converts chunk-run by
+/// chunk-run without an intermediate copy.
 pub fn redistribute_candidates(an: &Analysis, incumbent: &Plan) -> Vec<Plan> {
     let mut cands = Vec::new();
     let active: Vec<usize> = incumbent.loops.iter().map(|l| l.site).collect();
@@ -487,8 +494,53 @@ pub fn redistribute_candidates(an: &Analysis, incumbent: &Plan) -> Vec<Plan> {
                     before_line: sj.line,
                     items: block_at(*slot_j, rank),
                 }));
+                let mut cyclic = block_at(*slot_j, rank);
+                cyclic[*slot_j] = Di::Cyclic(4);
+                cands.push(base.with_redist(PlanRedist {
+                    array: w.clone(),
+                    before_line: sj.line,
+                    items: cyclic,
+                }));
             }
         }
+    }
+    cands
+}
+
+/// Wave 5: team-resize points. For every adjacent pair of top-level
+/// parallel phases the incumbent runs, try shrinking the team to half
+/// width for the earlier phase and restoring it just before the later
+/// one, plus a variant that stays shrunk to the end. The scheduled
+/// mover re-homes only the delta pages at each point, so a resize is
+/// cheap where a phase scales poorly.
+pub fn resize_candidates(an: &Analysis, incumbent: &Plan, nprocs: usize) -> Vec<Plan> {
+    if nprocs < 2 {
+        return Vec::new();
+    }
+    let half = (nprocs / 2).max(1);
+    let mut sites: Vec<&crate::analyze::LoopSite> = incumbent
+        .loops
+        .iter()
+        .map(|l| &an.sites[l.site])
+        .filter(|s| s.top_level)
+        .collect();
+    sites.sort_by_key(|s| s.order);
+    sites.dedup_by_key(|s| s.line);
+    let mut cands = Vec::new();
+    for (k, site) in sites.iter().enumerate() {
+        // Shrink before this phase, and stay shrunk.
+        let shrunk = incumbent.with_resize(PlanResize {
+            before_line: site.line,
+            team: half,
+        });
+        // Shrink for this phase only, restoring before the next one.
+        if let Some(next) = sites.get(k + 1) {
+            cands.push(shrunk.with_resize(PlanResize {
+                before_line: next.line,
+                team: nprocs,
+            }));
+        }
+        cands.push(shrunk);
     }
     cands
 }
@@ -528,11 +580,60 @@ mod tests {
             .is_some_and(|d| d.reshape && d.items == vec![Di::Block, Di::Star])));
 
         let redists = redistribute_candidates(&an, &incumbent);
-        assert_eq!(redists.len(), 1, "{redists:#?}");
+        assert_eq!(redists.len(), 2, "{redists:#?}");
         let p = &redists[0];
         assert_eq!(p.dist_of("a").unwrap().items, vec![Di::Star, Di::Block]);
         assert_eq!(p.redists[0].items, vec![Di::Block, Di::Star]);
         assert_eq!(p.redists[0].before_line, an.sites[1].line);
+        // The schedule variant converts to a cyclic target instead.
+        assert_eq!(redists[1].redists[0].items, vec![Di::Cyclic(4), Di::Star]);
+    }
+
+    #[test]
+    fn resize_wave_offers_shrink_and_restore_points() {
+        let src = "\
+      program phases
+      integer i, j
+      real*8 a(64, 64)
+      do j = 1, 64
+        do i = 1, 64
+          a(i, j) = i + j
+        enddo
+      enddo
+      do i = 1, 64
+        do j = 1, 64
+          a(i, j) = a(i, j) * 0.5
+        enddo
+      enddo
+      end
+";
+        let an = analyze(&[("p.f".to_string(), src.to_string())]).unwrap();
+        let incumbent = parallelize_candidates(&an).remove(0);
+        let cands = resize_candidates(&an, &incumbent, 8);
+        // Two phases: shrink+restore and stay-shrunk around the first,
+        // stay-shrunk before the second.
+        assert_eq!(cands.len(), 3, "{cands:#?}");
+        let restore = &cands[0];
+        assert_eq!(restore.resizes.len(), 2);
+        assert_eq!(restore.resizes[0].team, 4);
+        assert_eq!(restore.resizes[0].before_line, an.sites[0].line);
+        assert_eq!(restore.resizes[1].team, 8);
+        assert_eq!(restore.resizes[1].before_line, an.sites[1].line);
+        // Every candidate still compiles once annotated.
+        for p in &cands {
+            let annotated = p.annotate(&an);
+            let text = &annotated[0].1;
+            assert!(text.contains("c$resize_team(4)"), "{text}");
+            let sources: Vec<(&str, &str)> = annotated
+                .iter()
+                .map(|(n, t)| (n.as_str(), t.as_str()))
+                .collect();
+            let compiled =
+                dsm_compile::compile_strings(&sources, &dsm_compile::OptConfig::default());
+            assert!(compiled.is_ok(), "{compiled:?}\n{text}");
+        }
+        // A one-proc machine has nothing to resize.
+        assert!(resize_candidates(&an, &incumbent, 1).is_empty());
     }
 
     #[test]

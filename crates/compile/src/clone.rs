@@ -129,7 +129,7 @@ fn set_reshaped_modes(st: &mut Stmt, arrays: &HashSet<ArrayId>) {
                 }
             }
         }
-        Stmt::Redistribute { .. } | Stmt::Barrier | Stmt::Overhead { .. } => {}
+        Stmt::Redistribute { .. } | Stmt::ResizeTeam { .. } | Stmt::Barrier | Stmt::Overhead { .. } => {}
     }
 }
 

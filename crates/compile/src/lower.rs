@@ -343,6 +343,9 @@ impl LowerCtx<'_> {
                     dist: Distribution::new(dims),
                 })
             }
+            AStmt::ResizeTeam { nprocs, .. } => Some(Stmt::ResizeTeam {
+                nprocs: *nprocs as u64,
+            }),
         }
     }
 

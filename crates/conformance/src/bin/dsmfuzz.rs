@@ -16,7 +16,10 @@
 //! Exit status: 0 = all programs conform, 1 = divergence found,
 //! 2 = usage error.
 
-use dsm_conformance::{check_engine_diff, check_sources, generate, shrink, Divergence, Matrix, Spec};
+use dsm_conformance::{
+    check_engine_diff, check_redist_diff, check_sources, generate, generate_redist, shrink,
+    Divergence, Matrix, Spec,
+};
 use std::path::PathBuf;
 
 struct Args {
@@ -26,11 +29,12 @@ struct Args {
     dump: Option<u64>,
     quick: bool,
     engine_diff: bool,
+    redist: bool,
     out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: dsmfuzz [--seed S] [--count N] [--replay SEED] [--dump SEED] \
-     [--quick] [--engine-diff] [--out DIR]";
+     [--quick] [--engine-diff] [--redist] [--out DIR]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         dump: None,
         quick: false,
         engine_diff: false,
+        redist: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             "--dump" => args.dump = Some(num("--dump")?),
             "--quick" => args.quick = true,
             "--engine-diff" => args.engine_diff = true,
+            "--redist" => args.redist = true,
             "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?)),
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -82,8 +88,13 @@ fn main() {
         Matrix::full()
     };
 
+    // `--redist` switches to redistribution-heavy programs (every seed
+    // carries mid-phase `c$redistribute` / `c$resize_team` directives)
+    // and pits the scheduled mover against the naive per-page walker.
+    let gen_spec: fn(u64) -> Spec = if args.redist { generate_redist } else { generate };
+
     if let Some(seed) = args.dump {
-        print!("{}", render_concat(&generate(seed)));
+        print!("{}", render_concat(&gen_spec(seed)));
         return;
     }
 
@@ -93,14 +104,16 @@ fn main() {
     };
     // Oracle conformance by default; `--engine-diff` pits the compiled
     // bytecode engine against the tree-walking interpreter instead.
-    let check: CheckFn = if args.engine_diff {
+    let check: CheckFn = if args.redist {
+        check_redist_diff
+    } else if args.engine_diff {
         check_engine_diff
     } else {
         check_sources
     };
     let mut total_runs = 0usize;
     for seed in first..first.saturating_add(count) {
-        let spec = generate(seed);
+        let spec = gen_spec(seed);
         let sources = spec.render();
         match check(&sources, &spec.capture_names(), &matrix) {
             Ok(stats) => {
@@ -116,7 +129,9 @@ fn main() {
             }
         }
     }
-    let what = if args.engine_diff {
+    let what = if args.redist {
+        "mover divergences"
+    } else if args.engine_diff {
         "engine divergences"
     } else {
         "divergences"

@@ -25,7 +25,7 @@
 
 use crate::oracle;
 use dsm_compile::{compile_sources, OptConfig};
-use dsm_exec::{run_outcome, Engine, ExecOptions, RunOutcome};
+use dsm_exec::{run_outcome, Engine, ExecOptions, RedistMode, RunOutcome};
 use dsm_machine::{CounterSet, Machine, MachineConfig, MigrationPolicy, SamplingConfig};
 
 /// Which slice of the configuration matrix to run.
@@ -435,6 +435,124 @@ pub fn check_engine_diff(
     Ok(CheckStats { runs, clones })
 }
 
+/// Run `sources` under **both** redistribution movers (the scheduled
+/// round-packed engine and the naive per-page walker) and demand they be
+/// data-identical: bit-identical captures against the oracle, identical
+/// final page placement, and identical hardware counters except the
+/// cycle clocks (the movers price the same moves differently, and the
+/// scheduler moves only the delta pages — `redist_pages` must never
+/// exceed the naive count). Cells run serial-team so every comparison is
+/// deterministic.
+pub fn check_redist_diff(
+    sources: &[(String, String)],
+    captures: &[String],
+    matrix: &Matrix,
+) -> Result<CheckStats, Box<Divergence>> {
+    let expected = oracle::evaluate(sources, captures).map_err(|e| {
+        Box::new(Divergence {
+            config: "oracle".into(),
+            kind: "oracle",
+            detail: e.to_string(),
+        })
+    })?;
+    let capture_refs: Vec<&str> = captures.iter().map(|s| s.as_str()).collect();
+    let mut runs = 0;
+    let mut clones = 0;
+    for (opt_name, opt) in &matrix.opt_variants {
+        let compiled = compile_sources(sources, opt).map_err(|errs| {
+            Box::new(Divergence {
+                config: format!("opt={opt_name}"),
+                kind: "compile",
+                detail: format!("{errs:?}"),
+            })
+        })?;
+        clones = clones.max(compiled.prelink.clones_created);
+        for &p in &matrix.procs {
+            for engine in [Engine::Bytecode, Engine::Interp] {
+                let config = format!("movers=scheduled/naive opt={opt_name} P={p} [{engine}]");
+                let run = |mode: RedistMode| {
+                    let mut cfg = MachineConfig::small_test(p);
+                    cfg.migration = MigrationPolicy::Off;
+                    let mut machine = Machine::new(cfg);
+                    let opts = ExecOptions::new(p)
+                        .serial_team(true)
+                        .max_steps(100_000_000)
+                        .capture(&capture_refs)
+                        .engine(engine)
+                        .redist(mode);
+                    run_outcome(&mut machine, &compiled.program, &opts).map_err(|e| {
+                        Box::new(Divergence {
+                            config: format!("{config} {mode}"),
+                            kind: "exec-error",
+                            detail: e.to_string(),
+                        })
+                    })
+                };
+                let sched = run(RedistMode::Scheduled)?;
+                let naive = run(RedistMode::Naive)?;
+                runs += 2;
+                compare_captures(&sched, &expected, captures, &config)?;
+                compare_captures(&naive, &expected, captures, &config)?;
+                check_balance(&sched, false, &config)?;
+                check_balance(&naive, false, &config)?;
+                compare_movers(&sched, &naive, &config)?;
+            }
+        }
+    }
+    Ok(CheckStats { runs, clones })
+}
+
+/// Mover-vs-mover equality: identical placement and memory behavior,
+/// cycle accounting aside.
+fn compare_movers(
+    sched: &RunOutcome,
+    naive: &RunOutcome,
+    config: &str,
+) -> Result<(), Box<Divergence>> {
+    let fail = |detail: String| {
+        Err(Box::new(Divergence {
+            config: config.into(),
+            kind: "redist-diff",
+            detail,
+        }))
+    };
+    let (rs, rn) = (&sched.report, &naive.report);
+    if rs.pages_per_node != rn.pages_per_node {
+        return fail(format!(
+            "final page placement differs: scheduled {:?} vs naive {:?}",
+            rs.pages_per_node, rn.pages_per_node
+        ));
+    }
+    // The movers only remap pages and charge cycles, so every hardware
+    // counter except the clocks must agree exactly.
+    let sans_cycles = |c: &CounterSet| {
+        let mut c = *c;
+        c.cycles = 0;
+        c
+    };
+    if sans_cycles(&rs.total) != sans_cycles(&rn.total) {
+        return fail(format!(
+            "memory counters differ\nscheduled: {}\nnaive:     {}",
+            rs.total, rn.total
+        ));
+    }
+    for (i, (a, b)) in rs.per_proc.iter().zip(&rn.per_proc).enumerate() {
+        if sans_cycles(a) != sans_cycles(b) {
+            return fail(format!("P{i} memory counters differ between movers"));
+        }
+    }
+    if rs.redist_pages > rn.redist_pages {
+        return fail(format!(
+            "scheduler moved more pages than the naive walker: {} vs {}",
+            rs.redist_pages, rn.redist_pages
+        ));
+    }
+    if rs.parallel_regions != rn.parallel_regions || rs.argcheck_ops != rn.argcheck_ops {
+        return fail("region/argcheck behavior differs between movers".into());
+    }
+    Ok(())
+}
+
 /// Engine-vs-engine observational equality (`byte` = bytecode run,
 /// `tree` = interpreter run of the same configuration).
 fn compare_engines(
@@ -496,6 +614,12 @@ fn compare_engines(
             || rb.migration_cycles != rt.migration_cycles
         {
             return fail("page placement / migration work differs between engines".into());
+        }
+        if rb.redist_pages != rt.redist_pages || rb.redist_cycles != rt.redist_cycles {
+            return fail(format!(
+                "redistribution work differs: bytecode {}p/{}c vs interp {}p/{}c",
+                rb.redist_pages, rb.redist_cycles, rt.redist_pages, rt.redist_cycles
+            ));
         }
         if rb.argcheck_ops != rt.argcheck_ops {
             return fail(format!(

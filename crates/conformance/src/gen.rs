@@ -55,7 +55,7 @@ fn strip_spec(spec: &mut Spec) {
         s.doacross = false;
     }
     spec.phases
-        .retain(|p| !matches!(p, Phase::Redistribute { .. }));
+        .retain(|p| !matches!(p, Phase::Redistribute { .. } | Phase::ResizeTeam { .. }));
     for p in &mut spec.phases {
         if let Phase::Loop(l) = p {
             l.doacross = false;
@@ -115,6 +115,11 @@ pub fn generate(seed: u64) -> Spec {
                     spec.phases.push(p);
                 }
             }
+            95..=97 => {
+                if let Some(p) = gen_resize(r, &spec) {
+                    spec.phases.push(p);
+                }
+            }
             80..=89 => {
                 let rhs = gen_expr(r, &spec, 0, false, true, None);
                 spec.phases.push(Phase::ScalarAssign { rhs });
@@ -130,6 +135,47 @@ pub fn generate(seed: u64) -> Spec {
         let mut l = gen_loop(r, &spec, true);
         l.doacross = true;
         spec.phases.push(Phase::Loop(l));
+    }
+    spec
+}
+
+/// Generate the program for one seed with the redistribution axis
+/// forced on: every reshaped array is regularized (so `c$redistribute`
+/// and `c$resize_team` are always legal), at least one array carries a
+/// regular distribution, and the phase list is guaranteed to contain at
+/// least one `Redistribute` (fresh per-dimension items — block ↔
+/// cyclic(k) ↔ cyclic(k′) conversions included) and one `ResizeTeam`
+/// point, inserted between existing phases. Used by the scheduled-vs-
+/// naive differential matrix.
+pub fn generate_redist(seed: u64) -> Spec {
+    let mut spec = generate(seed);
+    // Dedicated axis: reshaped arrays would statically reject
+    // resize_team and redistribute, so regularize them.
+    for a in &mut spec.arrays {
+        if let DistSpec::Reshaped(items) = &a.dist {
+            a.dist = DistSpec::Regular(items.clone());
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca1_ab1e);
+    let r = &mut rng;
+    if !spec
+        .arrays
+        .iter()
+        .any(|a| matches!(a.dist, DistSpec::Regular(_)))
+    {
+        let rank = spec.arrays[0].dims.len();
+        spec.arrays[0].dist = DistSpec::Regular(gen_dist_items(r, rank));
+    }
+    let n_redist = 1 + r.gen_range(0..2) as usize;
+    for _ in 0..n_redist {
+        if let Some(p) = gen_redistribute(r, &spec) {
+            let at = r.gen_range(0..(spec.phases.len() + 1) as u64) as usize;
+            spec.phases.insert(at, p);
+        }
+    }
+    if let Some(p) = gen_resize(r, &spec) {
+        let at = r.gen_range(0..(spec.phases.len() + 1) as u64) as usize;
+        spec.phases.insert(at, p);
     }
     spec
 }
@@ -281,6 +327,22 @@ fn gen_call(r: &mut SmallRng, spec: &mut Spec) -> Option<Phase> {
         }
     };
     Some(Phase::Call { sub, arr })
+}
+
+/// A `c$resize_team` point. Only legal when no reshaped array is
+/// declared (sema rejects the directive otherwise); the team size may
+/// exceed the machine's — the runtime clamps it.
+fn gen_resize(r: &mut SmallRng, spec: &Spec) -> Option<Phase> {
+    if spec
+        .arrays
+        .iter()
+        .any(|a| matches!(a.dist, DistSpec::Reshaped(_)))
+    {
+        return None;
+    }
+    Some(Phase::ResizeTeam {
+        nprocs: *pick(r, &[1, 2, 3, 4, 6, 8]),
+    })
 }
 
 fn gen_redistribute(r: &mut SmallRng, spec: &Spec) -> Option<Phase> {

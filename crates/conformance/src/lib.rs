@@ -27,8 +27,8 @@ pub mod oracle;
 pub mod shrink;
 pub mod spec;
 
-pub use diff::{check_engine_diff, check_sources, CheckStats, Divergence, Matrix};
-pub use gen::{generate, generate_with, GenOptions};
+pub use diff::{check_engine_diff, check_redist_diff, check_sources, CheckStats, Divergence, Matrix};
+pub use gen::{generate, generate_redist, generate_with, GenOptions};
 pub use shrink::shrink;
 pub use spec::Spec;
 
@@ -37,6 +37,16 @@ pub fn check_seed(seed: u64, matrix: &Matrix) -> Result<CheckStats, Box<Divergen
     let spec = generate(seed);
     let sources = spec.render();
     check_sources(&sources, &spec.capture_names(), matrix)
+}
+
+/// Run one redistribution-heavy seed through the scheduled-vs-naive
+/// mover differential: generate a program with mid-phase
+/// `c$redistribute` / `c$resize_team` directives, render it, and demand
+/// both movers produce bit-identical data and placement on every cell.
+pub fn check_redist_seed(seed: u64, matrix: &Matrix) -> Result<CheckStats, Box<Divergence>> {
+    let spec = generate_redist(seed);
+    let sources = spec.render();
+    check_redist_diff(&sources, &spec.capture_names(), matrix)
 }
 
 #[cfg(test)]

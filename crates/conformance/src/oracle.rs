@@ -362,7 +362,7 @@ impl Oracle {
             }
             AStmt::Call { name, args, .. } => self.exec_call(name, args, act, depth),
             // Placement directives: semantically transparent.
-            AStmt::Redistribute { .. } | AStmt::Barrier { .. } => Ok(()),
+            AStmt::Redistribute { .. } | AStmt::ResizeTeam { .. } | AStmt::Barrier { .. } => Ok(()),
         }
     }
 

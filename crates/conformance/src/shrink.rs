@@ -183,7 +183,7 @@ fn array_referenced(spec: &Spec, i: usize) -> bool {
                 collect_reads(&l.rhs, &mut note);
             }
             Phase::Redistribute { arr, .. } | Phase::Call { arr, .. } => note(*arr),
-            Phase::Barrier => {}
+            Phase::Barrier | Phase::ResizeTeam { .. } => {}
         }
         hit
     })
@@ -214,7 +214,7 @@ fn remove_array(spec: &Spec, i: usize) -> Spec {
                 fix_expr(&mut l.rhs);
             }
             Phase::Redistribute { arr, .. } | Phase::Call { arr, .. } => fix(arr),
-            Phase::Barrier => {}
+            Phase::Barrier | Phase::ResizeTeam { .. } => {}
         }
     }
     s

@@ -202,6 +202,12 @@ pub enum Phase {
         /// New per-dimension items.
         dists: Vec<DistItemSpec>,
     },
+    /// `c$resize_team(P)` — re-chunk every regular array for a team of
+    /// `P` processors (only legal when no reshaped array is declared).
+    ResizeTeam {
+        /// New team size (clamped to the machine at run time).
+        nprocs: i64,
+    },
     /// Cross-file call passing a whole array.
     Call {
         /// Index into [`Spec::subs`].
@@ -341,6 +347,9 @@ impl Spec {
                     "c$redistribute {}({items})\n",
                     self.arrays[*arr].name
                 ));
+            }
+            Phase::ResizeTeam { nprocs } => {
+                out.push_str(&format!("c$resize_team({nprocs})\n"));
             }
             Phase::Call { sub, arr } => {
                 out.push_str(&format!(

@@ -1,0 +1,118 @@
+//! The redistribution axis of the conformance matrix: ≥200 generated
+//! programs with mid-phase `c$redistribute` (including cyclic(k) ↔
+//! cyclic(k′) conversions) and `c$resize_team` points, every cell run
+//! under BOTH page movers. The scheduled mover must be data-identical
+//! to the naive walker — bit-identical captures against the oracle,
+//! identical final page placement, identical memory counters (cycle
+//! clocks aside) — and must never move more pages than the naive
+//! full-remap does.
+
+use dsm_conformance::{check_redist_seed, generate_redist, spec::Phase, Matrix};
+
+/// Every one of 200 redistribution-heavy programs conforms on the full
+/// matrix under both movers (scheduled vs naive differential per cell).
+#[test]
+fn two_hundred_redist_programs_conform_under_both_movers() {
+    let matrix = Matrix::full();
+    let mut runs = 0;
+    for seed in 1..=200u64 {
+        match check_redist_seed(seed, &matrix) {
+            Ok(stats) => runs += stats.runs,
+            Err(d) => {
+                let spec = generate_redist(seed);
+                let src = spec
+                    .render()
+                    .into_iter()
+                    .map(|(n, t)| format!("! {n}\n{t}"))
+                    .collect::<String>();
+                panic!("redist seed {seed} diverged: {d}\n{src}");
+            }
+        }
+    }
+    // 200 programs × (opt variants × procs × engines × 2 movers).
+    assert!(runs >= 200 * 2, "suspiciously few runs: {runs}");
+}
+
+/// The redistribution generator holds its contract: every program has at
+/// least one `c$redistribute` phase, a `c$resize_team` point, and no
+/// reshaped arrays (which would make both directives illegal).
+#[test]
+fn redist_generator_always_emits_redistribution_phases() {
+    for seed in 0..100u64 {
+        let spec = generate_redist(seed);
+        let n_redist = spec
+            .phases
+            .iter()
+            .filter(|p| matches!(p, Phase::Redistribute { .. }))
+            .count();
+        let n_resize = spec
+            .phases
+            .iter()
+            .filter(|p| matches!(p, Phase::ResizeTeam { .. }))
+            .count();
+        assert!(n_redist >= 1, "seed {seed}: no redistribute phase");
+        assert!(n_resize >= 1, "seed {seed}: no resize point");
+        assert!(
+            spec.arrays
+                .iter()
+                .all(|a| !matches!(a.dist, dsm_conformance::spec::DistSpec::Reshaped(_))),
+            "seed {seed}: reshaped array in a redistribution program"
+        );
+    }
+}
+
+/// Regression: a proc-tiled affinity loop compiled against the declared
+/// distribution must re-resolve its grid axis at run time. Redistributing
+/// `a(*, block)` to `a(cyclic, block)` moves the tiled dimension from
+/// grid axis 0 to axis 1; before the fix both team members read their
+/// coordinate off axis 0, duplicated the first tile and dropped the last
+/// (b = [1, 1, 0, 0] at P = 2).
+#[test]
+fn proctile_grid_axis_follows_redistribution() {
+    let src = "      program main
+      integer i
+      real*8 a(4, 4)
+      real*8 b(4)
+c$distribute a(*, block)
+c$redistribute a(cyclic, block)
+c$doacross local(i) affinity(i) = data(a(1, i))
+      do i = 1, 4
+        b(i) = 1.0
+      enddo
+      end
+";
+    let sources = vec![("main.f".to_string(), src.to_string())];
+    let captures = vec!["b".to_string()];
+    let mut matrix = Matrix::quick();
+    matrix.procs = vec![1, 2, 4, 8];
+    dsm_conformance::check_sources(&sources, &captures, &matrix)
+        .unwrap_or_else(|d| panic!("proc-tile axis regression: {d}"));
+    dsm_conformance::check_redist_diff(&sources, &captures, &matrix)
+        .unwrap_or_else(|d| panic!("proc-tile axis regression (movers): {d}"));
+}
+
+/// Same regression with a `c$resize_team` in front: the resize re-chunks
+/// for the new team and the subsequent redistribute must still tile on
+/// the right axis.
+#[test]
+fn proctile_grid_axis_survives_resize_then_redistribute() {
+    let src = "      program main
+      integer i
+      real*8 a(4, 4)
+      real*8 b(4)
+c$distribute a(*, block)
+c$resize_team(6)
+c$redistribute a(cyclic, block)
+c$doacross local(i) affinity(i) = data(a(1, i))
+      do i = 1, 4
+        b(i) = 1.0
+      enddo
+      end
+";
+    let sources = vec![("main.f".to_string(), src.to_string())];
+    let captures = vec!["b".to_string()];
+    let mut matrix = Matrix::quick();
+    matrix.procs = vec![1, 2, 4];
+    dsm_conformance::check_redist_diff(&sources, &captures, &matrix)
+        .unwrap_or_else(|d| panic!("resize + redistribute regression: {d}"));
+}

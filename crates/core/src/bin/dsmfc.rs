@@ -35,11 +35,15 @@
 //!       --priority N    admission priority for --remote (default 0)
 //!       --wall-ms N     wall budget for --remote: if still queued after
 //!                       N ms the daemon answers daemon.deadline
+//!       --redist M      redistribution mover: scheduled (default, round-
+//!                       packed bulk moves) | naive (per-page faults)
+//!       --resize-to N   resize the team to N processors before the first
+//!                       statement (moves only the delta pages)
 //! ```
 
 use dsm_core::{
     advise, AdvisorConfig, DsmError, Engine, ExecOptions, MachineConfig, MachineSpec,
-    MigrationPolicy, OptConfig, PagePolicy, RunReport, SamplingConfig,
+    MigrationPolicy, OptConfig, PagePolicy, RedistMode, RunReport, SamplingConfig,
 };
 
 struct Options {
@@ -66,6 +70,8 @@ struct Options {
     remote: Option<String>,
     priority: i64,
     wall_ms: Option<u64>,
+    redist: RedistMode,
+    resize_to: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -76,6 +82,7 @@ fn usage() -> ! {
          [--strip-placement] [--profile] \
          [--profile-json FILE] [--auto] [--budget N] [--plan-json FILE] \
          [--emit-fortran FILE] [--remote SOCK] [--priority N] [--wall-ms N] \
+         [--redist scheduled|naive] [--resize-to N] \
          file.f [file2.f ...]"
     );
     std::process::exit(2)
@@ -90,6 +97,19 @@ fn engine_arg(spec: Option<&str>) -> Engine {
     };
     spec.parse().unwrap_or_else(|e| {
         eprintln!("dsmfc: --engine: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Parse the `--redist` mover argument, exiting with a diagnostic on an
+/// unknown mode.
+fn redist_arg(spec: Option<&str>) -> RedistMode {
+    let Some(spec) = spec else {
+        eprintln!("dsmfc: --redist requires a mover (scheduled | naive)");
+        std::process::exit(2);
+    };
+    spec.parse().unwrap_or_else(|e| {
+        eprintln!("dsmfc: --redist: {e}");
         std::process::exit(2);
     })
 }
@@ -158,6 +178,8 @@ fn parse_args() -> Options {
         remote: None,
         priority: 0,
         wall_ms: None,
+        redist: RedistMode::default(),
+        resize_to: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -233,6 +255,13 @@ fn parse_args() -> Options {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .or_else(|| usage())
+            }
+            "--redist" => o.redist = redist_arg(args.next().as_deref()),
+            r if r.starts_with("--redist=") => {
+                o.redist = redist_arg(r.strip_prefix("--redist="));
+            }
+            "--resize-to" => {
+                o.resize_to = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
             }
             "-h" | "--help" => usage(),
             f if !f.starts_with('-') => o.files.push(f.to_string()),
@@ -316,6 +345,10 @@ fn build_exec(o: &Options, cfg: &MachineConfig) -> ExecOptions {
         }
         exec = exec.sampling(sample);
     }
+    exec = exec.redist(o.redist);
+    if let Some(p) = o.resize_to {
+        exec = exec.resize_to(p);
+    }
     exec
 }
 
@@ -338,6 +371,12 @@ fn print_report(o: &Options, report: &RunReport) {
         println!(
             "migration: {} page(s), {} cycles",
             report.pages_migrated, report.migration_cycles
+        );
+    }
+    if report.redist_pages > 0 {
+        println!(
+            "redistribution ({}): {} page(s), {} cycles",
+            o.redist, report.redist_pages, report.redist_cycles
         );
     }
     if let Some(s) = &report.sampling {

@@ -48,7 +48,7 @@ pub use client::{run_remote, Remote, RemoteError, RemoteRun};
 pub use dsm_advisor::{advise, Advice, AdvisorConfig, AdvisorError};
 pub use dsm_proto::MachineSpec;
 pub use dsm_compile::{load_sources, OptConfig, PrelinkReport};
-pub use dsm_exec::{Engine, ExecError, ExecOptions, Profile, RunOutcome, RunReport};
+pub use dsm_exec::{Engine, ExecError, ExecOptions, Profile, RedistMode, RunOutcome, RunReport};
 pub use dsm_frontend::{CompileError, ErrorKind};
 pub use dsm_ir::Program;
 pub use dsm_machine::{

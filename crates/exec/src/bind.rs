@@ -220,6 +220,30 @@ impl Binder {
     pub fn live(&self) -> usize {
         self.arena.len()
     }
+
+    /// Re-chunk every live regular instance for a team of `new_nprocs`
+    /// processors and remember the new team size for later
+    /// instantiations. Returns the total number of pages moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dsm_runtime::RuntimeError::ResizeWithReshaped`] if a
+    /// reshaped instance is live (sema rejects the directive statically,
+    /// but commons instantiated before `main` runs are checked here).
+    pub fn resize_team(
+        &mut self,
+        m: &mut Machine,
+        caller: dsm_machine::ProcId,
+        new_nprocs: usize,
+        scheduled: bool,
+    ) -> Result<usize, dsm_runtime::RuntimeError> {
+        self.nprocs = new_nprocs;
+        let mut moved = 0;
+        for arr in &mut self.arena {
+            moved += arr.resize_team(m, caller, new_nprocs, scheduled)?;
+        }
+        Ok(moved)
+    }
 }
 
 #[cfg(test)]

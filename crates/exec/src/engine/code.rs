@@ -120,6 +120,13 @@ pub(crate) enum Op {
     CallSub { idx: u16 },
     /// `c$redistribute` — side-table index.
     Redist { idx: u16 },
+    /// `c$resize_team` — side-table index (the new team size lives in
+    /// the table so the op stays one word).
+    Resize { idx: u16 },
+    /// `$numthreads` — reads the VM's *current* team size (dynamic:
+    /// `resize_team` changes it mid-run, so it cannot be baked as a
+    /// constant at compile time).
+    NumThreads { dst: Reg },
 }
 
 /// Baked per-run operation costs (one clone of the machine config's
@@ -283,6 +290,8 @@ pub(crate) struct SubCode<'p> {
     pub calls: Vec<CallCode<'p>>,
     pub bulks: Vec<BulkCode>,
     pub redists: Vec<RedistCode<'p>>,
+    /// New team size of each `resize_team` statement, in program order.
+    pub resizes: Vec<u64>,
 }
 
 /// The whole program, compiled (indexed like `program.subs`).
@@ -292,15 +301,16 @@ pub(crate) struct ProgramCode<'p> {
 }
 
 impl<'p> ProgramCode<'p> {
-    /// Lower every subroutine. Compilation is per-run: the cost table and
-    /// processor count are baked into the stream.
-    pub fn compile(program: &'p Program, cfg: &MachineConfig, nprocs: usize) -> ProgramCode<'p> {
+    /// Lower every subroutine. Compilation is per-run: the cost table is
+    /// baked into the stream (the team size is *not* — `resize_team`
+    /// changes it mid-run, so team-dependent values stay dynamic).
+    pub fn compile(program: &'p Program, cfg: &MachineConfig) -> ProgramCode<'p> {
         let costs = Costs::from_config(cfg);
         let code = ProgramCode {
             subs: program
                 .subs
                 .iter()
-                .map(|s| SubCompiler::compile(s, program, costs, nprocs))
+                .map(|s| SubCompiler::compile(s, program, costs))
                 .collect(),
         };
         if std::env::var_os("DSM_DUMP_OPS").is_some() {
@@ -346,13 +356,13 @@ struct SubCompiler<'p> {
     sub: &'p Subroutine,
     program: &'p Program,
     costs: Costs,
-    nprocs: usize,
     ops: Vec<Op>,
     pool: Vec<Reg>,
     par_loops: Vec<ParLoop<'p>>,
     calls: Vec<CallCode<'p>>,
     bulks: Vec<BulkCode>,
     redists: Vec<RedistCode<'p>>,
+    resizes: Vec<u64>,
     /// First temporary register (scalars + persistent loop registers).
     tmp_base: u16,
     /// Next temporary within the current statement.
@@ -365,12 +375,7 @@ struct SubCompiler<'p> {
 }
 
 impl<'p> SubCompiler<'p> {
-    fn compile(
-        sub: &'p Subroutine,
-        program: &'p Program,
-        costs: Costs,
-        nprocs: usize,
-    ) -> SubCode<'p> {
+    fn compile(sub: &'p Subroutine, program: &'p Program, costs: Costs) -> SubCode<'p> {
         // Pre-pass: every serial loop anywhere in the subroutine gets
         // four persistent registers (bounds survive across its body).
         let mut serial_loops = 0u32;
@@ -389,13 +394,13 @@ impl<'p> SubCompiler<'p> {
             sub,
             program,
             costs,
-            nprocs,
             ops: Vec::new(),
             pool: Vec::new(),
             par_loops: Vec::new(),
             calls: Vec::new(),
             bulks: Vec::new(),
             redists: Vec::new(),
+            resizes: Vec::new(),
             tmp_base: tmp_base as u16,
             next_tmp: 0,
             max_tmp: 0,
@@ -418,6 +423,7 @@ impl<'p> SubCompiler<'p> {
             calls: c.calls,
             bulks: c.bulks,
             redists: c.redists,
+            resizes: c.resizes,
         }
     }
 
@@ -487,7 +493,11 @@ impl<'p> SubCompiler<'p> {
         let compound = |st: &Stmt| {
             matches!(
                 st,
-                Stmt::Loop(_) | Stmt::If { .. } | Stmt::Call { .. } | Stmt::Redistribute { .. }
+                Stmt::Loop(_)
+                    | Stmt::If { .. }
+                    | Stmt::Call { .. }
+                    | Stmt::Redistribute { .. }
+                    | Stmt::ResizeTeam { .. }
             )
         };
         let boundary = body.iter().position(compound).unwrap_or(body.len());
@@ -595,6 +605,11 @@ impl<'p> SubCompiler<'p> {
                 });
                 self.emit(Op::Redist { idx: idx as u16 });
             }
+            Stmt::ResizeTeam { nprocs } => {
+                let idx = self.resizes.len();
+                self.resizes.push(*nprocs);
+                self.emit(Op::Resize { idx: idx as u16 });
+            }
             // Folded into the enclosing segment's `Charge`.
             Stmt::Barrier | Stmt::Overhead { .. } => {}
         }
@@ -663,10 +678,7 @@ impl<'p> SubCompiler<'p> {
                 let dst = self.tmp();
                 match rt {
                     RtExpr::NumThreads => {
-                        self.emit(Op::ConstI {
-                            dst,
-                            v: self.nprocs as i64,
-                        });
+                        self.emit(Op::NumThreads { dst });
                     }
                     RtExpr::NProcs { array, dim } => {
                         self.emit(Op::RtDim {

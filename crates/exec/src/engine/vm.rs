@@ -28,7 +28,7 @@ use dsm_runtime::{argcheck::ArgInfo, partition, sched, ArgChecker, ArrayLayout, 
 
 use crate::bind::Binder;
 use crate::interp::{
-    body_parallel_safe, collect_outcome, BinderRef, Ctx, Mach, RunAccounting,
+    body_parallel_safe, collect_outcome, BinderRef, Ctx, Mach, RedistMode, RunAccounting,
 };
 use crate::report::RunOutcome;
 use crate::value::{Frame, Value};
@@ -63,7 +63,7 @@ pub(crate) fn run_bytecode(
         machine.set_sampling(sampling).map_err(ExecError::Options)?;
     }
     let costs = Costs::from_config(machine.config());
-    let code = ProgramCode::compile(program, machine.config(), opts.nprocs);
+    let code = ProgramCode::compile(program, machine.config());
     let binder = Binder::new(machine, program, opts.nprocs);
     let steps = AtomicU64::new(0);
     let mut vm = Vm {
@@ -81,6 +81,7 @@ pub(crate) fn run_bytecode(
         epoch: EpochClock::default(),
         pending: 0,
         costs,
+        team: opts.nprocs,
     };
     let main = program.main_sub();
     let main_sc = &code.subs[program.main];
@@ -95,6 +96,9 @@ pub(crate) fn run_bytecode(
         in_region: false,
         region: SERIAL_REGION,
     };
+    if let Some(p) = opts.resize_to {
+        vm.exec_resize(p, &ctx)?;
+    }
     let res = vm.run_block(main_sc, 0, &mut frame, &mut ctx);
     vm.flush(ctx.proc);
     res?;
@@ -192,6 +196,9 @@ struct Vm<'a, 'p> {
     /// final counters equal the interpreter's immediate-charge totals).
     pending: u64,
     costs: Costs,
+    /// Current team size: starts at `opts.nprocs`, changed by
+    /// `resize_team`; members inherit the parent's team at fork.
+    team: usize,
 }
 
 impl<'a, 'p> Vm<'a, 'p> {
@@ -393,19 +400,50 @@ impl<'a, 'p> Vm<'a, 'p> {
                 Op::Redist { idx } => {
                     let rc = &sc.redists[idx as usize];
                     let inst = frame.arrays[rc.array as usize];
-                    let nprocs = self.opts.nprocs;
+                    let nprocs = self.team;
+                    let scheduled = self.opts.redist == RedistMode::Scheduled;
                     // Redistribution moves data through the machine; bring
                     // this processor's clock current first.
                     self.flush(ctx.proc);
                     // Split borrow: take the array out, operate, put it back.
                     let mut arr = self.binder.get(inst).clone();
-                    let res = arr.redistribute(self.mach.whole(), ctx.proc, rc.dist, nprocs);
+                    let res = if scheduled {
+                        arr.redistribute_scheduled(self.mach.whole(), ctx.proc, rc.dist, nprocs)
+                    } else {
+                        arr.redistribute(self.mach.whole(), ctx.proc, rc.dist, nprocs)
+                    };
                     *self.binder.owned().get_mut(inst) = arr;
                     res.map_err(ExecError::from)?;
                     self.plans.owned().rebuild(inst, self.binder.shared());
                 }
+                Op::Resize { idx } => {
+                    let new = sc.resizes[idx as usize] as usize;
+                    self.flush(ctx.proc);
+                    self.exec_resize(new, ctx)?;
+                }
+                Op::NumThreads { dst } => {
+                    frame.scalars[dst as usize] = Value::I(self.team as i64);
+                }
             }
         }
+    }
+
+    /// Re-chunk every regular array for a team of `new` processors (the
+    /// `c$resize_team` directive and [`ExecOptions::resize_to`]). All
+    /// descriptors change, so every cached address plan is rebuilt.
+    fn exec_resize(&mut self, new: usize, ctx: &Ctx) -> Result<(), ExecError> {
+        let scheduled = self.opts.redist == RedistMode::Scheduled;
+        let m = self.mach.whole();
+        let new = new.clamp(1, m.nprocs());
+        self.binder.owned().resize_team(m, ctx.proc, new, scheduled)?;
+        self.team = new;
+        let Vm { plans, binder, .. } = self;
+        let binder = binder.shared();
+        let plans = plans.owned();
+        for i in 0..binder.live() {
+            plans.rebuild(i, binder);
+        }
+        Ok(())
     }
 
     // -----------------------------------------------------------------
@@ -902,7 +940,12 @@ impl<'a, 'p> Vm<'a, 'p> {
             if ctx.proc.0 >= desc.grid_size() {
                 return Ok(()); // idle member
             }
-            desc.delinearize_proc(ctx.proc.0)[grid_dim] as i64
+            // Re-resolve the grid axis against the live descriptor: a
+            // redistribute/resize before this loop can re-map the tiled
+            // dimension to a different axis than the one compiled in.
+            let decl = sc.sub.arrays[aff.array.0].dist.as_ref();
+            let axis = sched::proctile_axis(desc, decl, grid_dim);
+            desc.delinearize_proc(ctx.proc.0)[axis] as i64
         };
         frame.scalars[pl.l.var.0] = Value::I(coord);
         self.run_block(sc, pl.body_pc, frame, ctx)
@@ -955,7 +998,7 @@ impl<'a, 'p> Vm<'a, 'p> {
         self.regions += 1;
         self.region_names
             .push(format!("{}:do {}", sc.sub.name, sc.sub.scalars[l.var.0].name));
-        let nprocs = self.opts.nprocs;
+        let nprocs = self.team;
         self.flush(ctx.proc);
         let start = self.mach.cycles(ctx.proc) + self.costs.parallel_fork;
         // Per-node memory-service demand before the region: deltas bound
@@ -1067,6 +1110,7 @@ impl<'a, 'p> Vm<'a, 'p> {
             let opts = self.opts;
             let steps = self.steps;
             let costs = self.costs;
+            let team_size = self.team;
             let binder: &Binder = self.binder.shared();
             let plans: &PlanCache = self.plans.shared();
             let machine = self.mach.whole();
@@ -1098,6 +1142,7 @@ impl<'a, 'p> Vm<'a, 'p> {
                             epoch: EpochClock::default(),
                             pending: 0,
                             costs,
+                            team: team_size,
                         };
                         let mut member_ctx = Ctx {
                             proc,

@@ -32,6 +32,47 @@ use crate::engine::Engine;
 use crate::report::{RunOutcome, RunReport};
 use crate::value::{Frame, Value};
 
+/// Which page mover implements `c$redistribute` and `c$resize_team`.
+///
+/// Both movers produce bit-identical data and final page homes; they
+/// differ only in what the simulated move *costs*. The scheduler is the
+/// production path; the naive mover is retained as the differential
+/// oracle the conformance matrix compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedistMode {
+    /// Round-based schedule: only the delta pages move, each round packs
+    /// moves so no node sources or sinks more than one transfer, and the
+    /// team pays one coalesced TLB shootdown per round.
+    #[default]
+    Scheduled,
+    /// Page-at-a-time mover: every page of the array is re-placed and the
+    /// caller pays a fault plus two TLB misses per page.
+    Naive,
+}
+
+impl std::fmt::Display for RedistMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RedistMode::Scheduled => "scheduled",
+            RedistMode::Naive => "naive",
+        })
+    }
+}
+
+impl std::str::FromStr for RedistMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scheduled" => Ok(RedistMode::Scheduled),
+            "naive" => Ok(RedistMode::Naive),
+            other => Err(format!(
+                "unknown redistribution mode `{other}` (expected `scheduled` or `naive`)"
+            )),
+        }
+    }
+}
+
 /// Execution options: a fluent builder consumed by [`run_outcome`].
 ///
 /// ```
@@ -67,6 +108,16 @@ pub struct ExecOptions {
     /// (`None` keeps whatever the [`MachineConfig`] says). Data results
     /// are bit-identical at any rate; only cost estimates differ.
     pub sampling: Option<SamplingConfig>,
+    /// Which page mover implements redistribution and team resizing
+    /// ([`RedistMode::Scheduled`] by default; [`RedistMode::Naive`] is
+    /// the differential oracle).
+    pub redist: RedistMode,
+    /// Resize the team to this many processors after binding the main
+    /// program's declarations and before the first statement executes
+    /// (the dynamic-resize entry point for drivers that cannot edit the
+    /// source to insert a `c$resize_team` directive). Clamped to the
+    /// machine's processor count.
+    pub resize_to: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -89,6 +140,8 @@ impl ExecOptions {
             migration: None,
             engine: Engine::default(),
             sampling: None,
+            redist: RedistMode::default(),
+            resize_to: None,
         }
     }
 
@@ -149,6 +202,20 @@ impl ExecOptions {
     #[must_use]
     pub fn sampling(mut self, s: SamplingConfig) -> Self {
         self.sampling = Some(s);
+        self
+    }
+
+    /// Select the page mover for redistribution and team resizing.
+    #[must_use]
+    pub fn redist(mut self, mode: RedistMode) -> Self {
+        self.redist = mode;
+        self
+    }
+
+    /// Resize the team to `nprocs` processors before the first statement.
+    #[must_use]
+    pub fn resize_to(mut self, nprocs: usize) -> Self {
+        self.resize_to = Some(nprocs);
         self
     }
 }
@@ -279,6 +346,7 @@ fn run_interp(
         mach: Mach::Whole(machine),
         program,
         opts: opts.clone(),
+        team: opts.nprocs,
         binder: BinderRef::Owned(binder),
         checker: ArgChecker::new(),
         regions: 0,
@@ -299,6 +367,9 @@ fn run_interp(
         in_region: false,
         region: SERIAL_REGION,
     };
+    if let Some(p) = opts.resize_to {
+        interp.resize_now(p, &ctx)?;
+    }
     interp.exec_block(&main.body, main, &mut frame, &mut ctx)?;
 
     let Interp {
@@ -396,6 +467,8 @@ pub(crate) fn collect_outcome(
         argcheck_ops: acct.argcheck_ops,
         pages_migrated: machine.pages_migrated(),
         migration_cycles: machine.migration_cycles(),
+        redist_pages: machine.redist_pages(),
+        redist_cycles: machine.redist_cycles(),
         host_wall: host_t0.elapsed(),
         host_region_wall: acct.region_wall,
         profile,
@@ -588,7 +661,7 @@ impl BinderRef<'_> {
 /// doacross kernels; anything else falls back to serial team simulation.
 pub(crate) fn body_parallel_safe(body: &[Stmt]) -> bool {
     body.iter().all(|st| match st {
-        Stmt::Call { .. } | Stmt::Redistribute { .. } => false,
+        Stmt::Call { .. } | Stmt::Redistribute { .. } | Stmt::ResizeTeam { .. } => false,
         Stmt::If {
             then_body,
             else_body,
@@ -603,6 +676,10 @@ struct Interp<'a> {
     mach: Mach<'a>,
     program: &'a Program,
     opts: ExecOptions,
+    /// Current team size: starts at `opts.nprocs`, changed by
+    /// `resize_team` (directive or [`ExecOptions::resize_to`]). Members
+    /// inherit the value at fork; only the top-level interpreter resizes.
+    team: usize,
     binder: BinderRef<'a>,
     checker: ArgChecker,
     regions: usize,
@@ -694,13 +771,19 @@ impl Interp<'_> {
             Stmt::Call { name, args } => self.exec_call(name, args, sub, frame, ctx),
             Stmt::Redistribute { array, dist } => {
                 let inst = frame.arrays[array.0];
-                let nprocs = self.opts.nprocs;
+                let nprocs = self.team;
+                let scheduled = self.opts.redist == RedistMode::Scheduled;
                 // Split borrow: take the array out, operate, put it back.
                 let mut arr = self.binder.get(inst).clone();
-                let res = arr.redistribute(self.mach.whole(), ctx.proc, dist, nprocs);
+                let res = if scheduled {
+                    arr.redistribute_scheduled(self.mach.whole(), ctx.proc, dist, nprocs)
+                } else {
+                    arr.redistribute(self.mach.whole(), ctx.proc, dist, nprocs)
+                };
                 *self.binder.owned().get_mut(inst) = arr;
                 res.map(|_| ()).map_err(ExecError::from)
             }
+            Stmt::ResizeTeam { nprocs } => self.resize_now(*nprocs as usize, ctx),
             Stmt::Barrier => {
                 // Explicit barriers only make sense between regions; in
                 // this serialized interpreter they only cost time.
@@ -721,6 +804,18 @@ impl Interp<'_> {
                 Ok(())
             }
         }
+    }
+
+    /// Re-chunk every live regular array for a team of `new` processors
+    /// (clamped to the machine) and make `new` the team size for
+    /// subsequent regions, `$numthreads` and redistributions.
+    fn resize_now(&mut self, new: usize, ctx: &Ctx) -> Result<(), ExecError> {
+        let scheduled = self.opts.redist == RedistMode::Scheduled;
+        let m = self.mach.whole();
+        let new = new.clamp(1, m.nprocs());
+        self.binder.owned().resize_team(m, ctx.proc, new, scheduled)?;
+        self.team = new;
+        Ok(())
     }
 
     // -----------------------------------------------------------------
@@ -748,7 +843,12 @@ impl Interp<'_> {
                 if ctx.proc.0 >= gs {
                     return Ok(()); // idle member
                 }
-                let coord = desc.delinearize_proc(ctx.proc.0)[grid_dim] as i64;
+                // Re-resolve the grid axis against the live descriptor: a
+                // redistribute/resize before this loop can re-map the
+                // tiled dimension to a different axis than compiled in.
+                let decl = sub.arrays[aff.array.0].dist.as_ref();
+                let axis = dsm_runtime::proctile_axis(desc, decl, grid_dim);
+                let coord = desc.delinearize_proc(ctx.proc.0)[axis] as i64;
                 frame.scalars[l.var.0] = Value::I(coord);
                 self.exec_block(&l.body, sub, frame, ctx)
             }
@@ -809,7 +909,7 @@ impl Interp<'_> {
         self.region_names
             .push(format!("{}:do {}", sub.name, sub.scalars[l.var.0].name));
         let ops = self.ops();
-        let nprocs = self.opts.nprocs;
+        let nprocs = self.team;
         let start = self.mach.cycles(ctx.proc) + ops.parallel_fork;
         // Per-node memory-service demand before the region: deltas bound
         // region time by the bottleneck node's throughput (the hot-node
@@ -923,6 +1023,7 @@ impl Interp<'_> {
             }
             let program = self.program;
             let opts = self.opts.clone();
+            let team = self.team;
             let steps = self.steps;
             let int_alu = ops.int_alu;
             let binder: &Binder = self.binder.shared();
@@ -945,6 +1046,7 @@ impl Interp<'_> {
                             mach: Mach::Shard(shard),
                             program,
                             opts,
+                            team,
                             binder: BinderRef::Borrowed(binder),
                             checker: ArgChecker::new(),
                             regions: 0,
@@ -1071,7 +1173,7 @@ impl Interp<'_> {
             .unwrap_or(start)
             .max(start + node_demand)
             + ops.barrier;
-        for p in 0..self.opts.nprocs.max(1) {
+        for p in 0..self.team.max(1) {
             machine.set_cycles(ProcId(p), t_end);
         }
         if machine.cycles(ctx.proc) < t_end {
@@ -1335,7 +1437,7 @@ impl Interp<'_> {
 
     fn eval_rt(&mut self, rt: RtExpr, frame: &Frame) -> Result<Value, ExecError> {
         Ok(match rt {
-            RtExpr::NumThreads => Value::I(self.opts.nprocs as i64),
+            RtExpr::NumThreads => Value::I(self.team as i64),
             RtExpr::NProcs { array, dim } => {
                 let desc = &self.binder.get(frame.arrays[array.0]).desc;
                 Value::I(desc.dims[dim].nprocs as i64)

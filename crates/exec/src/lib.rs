@@ -28,7 +28,7 @@ pub mod value;
 pub mod wire;
 
 pub use engine::Engine;
-pub use interp::{run_outcome, ExecError, ExecOptions};
+pub use interp::{run_outcome, ExecError, ExecOptions, RedistMode};
 pub use profile::{
     ArrayProfile, CellProfile, DimSuggestion, HintEvidence, HotPage, PlacementHint, Profile,
     RegionProfile,

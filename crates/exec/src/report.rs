@@ -28,6 +28,12 @@ pub struct RunReport {
     pub pages_migrated: u64,
     /// Cycles the daemon charged for page copies and TLB shootdowns.
     pub migration_cycles: u64,
+    /// Pages moved by explicit redistribution (`c$redistribute` /
+    /// `c$resize_team`), in either mover mode.
+    pub redist_pages: u64,
+    /// Cycles charged for those moves (bulk round costs under the
+    /// scheduler, per-page fault costs under the naive mover).
+    pub redist_cycles: u64,
     /// Host-side wall-clock time of the whole run (simulator performance,
     /// not simulated time).
     pub host_wall: std::time::Duration,
@@ -105,6 +111,13 @@ impl std::fmt::Display for RunReport {
                 self.pages_migrated, self.migration_cycles
             )?;
         }
+        if self.redist_pages > 0 {
+            writeln!(
+                f,
+                "redistribution: {} page(s), {} cycles",
+                self.redist_pages, self.redist_cycles
+            )?;
+        }
         if let Some(s) = &self.sampling {
             writeln!(f, "{s}")?;
         }
@@ -131,6 +144,8 @@ mod tests {
             argcheck_ops: (0, 0),
             pages_migrated: 0,
             migration_cycles: 0,
+            redist_pages: 0,
+            redist_cycles: 0,
             host_wall: std::time::Duration::ZERO,
             host_region_wall: std::time::Duration::ZERO,
             profile: None,

@@ -138,8 +138,14 @@ impl RunReport {
         }
         s.push_str(&format!(
             "],\"argcheck_inserts\":{},\"argcheck_lookups\":{},\
-             \"pages_migrated\":{},\"migration_cycles\":{}",
-            self.argcheck_ops.0, self.argcheck_ops.1, self.pages_migrated, self.migration_cycles
+             \"pages_migrated\":{},\"migration_cycles\":{},\
+             \"redist_pages\":{},\"redist_cycles\":{}",
+            self.argcheck_ops.0,
+            self.argcheck_ops.1,
+            self.pages_migrated,
+            self.migration_cycles,
+            self.redist_pages,
+            self.redist_cycles
         ));
         if host_wall {
             s.push_str(&format!(
@@ -219,6 +225,13 @@ impl ExecOptions {
             Some(sc) => s.push_str(&format!("{{\"rate\":{},\"seed\":{}}}", sc.rate, sc.seed)),
             None => s.push_str("null"),
         }
+        s.push_str(",\"redist\":");
+        push_json_str(&mut s, &self.redist.to_string());
+        s.push_str(",\"resize_to\":");
+        match self.resize_to {
+            Some(p) => s.push_str(&p.to_string()),
+            None => s.push_str("null"),
+        }
         s.push('}');
         s
     }
@@ -250,7 +263,8 @@ mod tests {
         assert!(j.contains("\"captures\":[\"u\",\"v\"]"));
         assert!(j.contains("\"migration\":\"threshold:4\""));
         assert!(j.contains("\"engine\":\"interp\""));
-        assert!(j.ends_with("\"sampling\":null}"));
+        assert!(j.contains("\"sampling\":null"));
+        assert!(j.ends_with("\"redist\":\"scheduled\",\"resize_to\":null}"));
     }
 
     #[test]
@@ -265,6 +279,8 @@ mod tests {
             argcheck_ops: (3, 4),
             pages_migrated: 0,
             migration_cycles: 0,
+            redist_pages: 9,
+            redist_cycles: 10,
             host_wall: std::time::Duration::from_nanos(123),
             host_region_wall: std::time::Duration::from_nanos(45),
             profile: None,
@@ -293,6 +309,8 @@ mod tests {
             argcheck_ops: (0, 0),
             pages_migrated: 0,
             migration_cycles: 0,
+            redist_pages: 0,
+            redist_cycles: 0,
             host_wall: std::time::Duration::ZERO,
             host_region_wall: std::time::Duration::ZERO,
             profile: None,

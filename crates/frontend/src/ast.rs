@@ -206,6 +206,14 @@ pub enum AStmt {
         /// Location.
         span: Span,
     },
+    /// `c$resize_team(P)` — re-chunk every regular distribution for a
+    /// team of `P` processors.
+    ResizeTeam {
+        /// Location.
+        span: Span,
+        /// New team size.
+        nprocs: i64,
+    },
 }
 
 /// A typed declaration (scalar when `dims` is empty).

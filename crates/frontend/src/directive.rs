@@ -35,6 +35,13 @@ pub enum Directive {
         /// New per-dimension formats.
         dists: Vec<DistItem>,
     },
+    /// `c$resize_team(P)` — an executable statement: re-chunk every
+    /// regular distribution for a team of `P` processors, moving only
+    /// the delta pages.
+    ResizeTeam {
+        /// New team size (positive literal).
+        nprocs: i64,
+    },
 }
 
 /// Parse one directive line.
@@ -102,6 +109,29 @@ pub fn parse_directive(line: &Line, file_name: &str) -> Result<Directive, Vec<Co
             }
             Err(m) => fail(m),
         },
+        Some("resize_team") => {
+            if !cur.eat(&Tok::LParen) {
+                return fail("expected `(` after resize_team".into());
+            }
+            let nprocs = match cur.peek() {
+                Some(Tok::Int(v)) => {
+                    let v = *v;
+                    cur.eat(&Tok::Int(v));
+                    v
+                }
+                _ => return fail("resize_team size must be an integer literal".into()),
+            };
+            if !cur.eat(&Tok::RParen) {
+                return fail("missing `)` closing resize_team".into());
+            }
+            if !cur.at_end() {
+                return fail("trailing tokens after resize_team".into());
+            }
+            if nprocs <= 0 {
+                return fail(format!("resize_team size must be positive, got {nprocs}"));
+            }
+            Ok(Directive::ResizeTeam { nprocs })
+        }
         other => fail(format!("unknown directive `c${}`", other.unwrap_or(""))),
     }
 }
@@ -371,6 +401,16 @@ mod tests {
     #[test]
     fn barrier_directive_parses() {
         assert_eq!(dir("c$barrier\n"), Directive::Barrier);
+    }
+
+    #[test]
+    fn resize_team_parses_positive_literal() {
+        assert_eq!(dir("c$resize_team(4)\n"), Directive::ResizeTeam { nprocs: 4 });
+        let lines = lex(0, "t.f", "c$resize_team(0)\n").unwrap();
+        let e = parse_directive(&lines[0], "t.f").unwrap_err();
+        assert!(e[0].msg.contains("positive"), "{}", e[0].msg);
+        let lines = lex(0, "t.f", "c$resize_team(n)\n").unwrap();
+        assert!(parse_directive(&lines[0], "t.f").is_err());
     }
 
     #[test]

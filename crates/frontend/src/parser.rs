@@ -185,6 +185,9 @@ impl Parser {
                         out.push(AStmt::Redistribute { span, array, dists });
                     }
                     Ok(Directive::Barrier) => out.push(AStmt::Barrier { span }),
+                    Ok(Directive::ResizeTeam { nprocs }) => {
+                        out.push(AStmt::ResizeTeam { span, nprocs });
+                    }
                     Err(mut e) => self.errors.append(&mut e),
                 }
                 continue;

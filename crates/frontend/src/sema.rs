@@ -644,6 +644,21 @@ fn check_stmt(info: &UnitInfo, st: &AStmt, file: &str, errors: &mut Vec<CompileE
                 }
             }
         },
+        AStmt::ResizeTeam { span, .. } => {
+            // Reshaped portions are bound to the old processor grid; the
+            // paper's static reshaping contract forbids re-chunking them.
+            for a in &info.arrays {
+                if a.dist_kind == DistKind::Reshaped {
+                    errors.push(CompileError::new(
+                        *span,
+                        ErrorKind::DistLegality,
+                        file,
+                        format!("resize_team with reshaped array `{}` declared", a.name),
+                    ));
+                    break;
+                }
+            }
+        }
     }
 }
 

@@ -253,6 +253,11 @@ pub fn render_redistribute(array: &str, dists: &[DistItem]) -> String {
     )
 }
 
+/// Render a `c$resize_team` line.
+pub fn render_resize_team(nprocs: usize) -> String {
+    format!("c$resize_team({nprocs})")
+}
+
 /// Render a `c$doacross` line (placed directly before its `do`).
 pub fn render_doacross(d: &DoacrossDir) -> String {
     let mut s = String::from("c$doacross");

@@ -167,6 +167,10 @@ pub fn print_stmt(out: &mut String, s: &Subroutine, st: &Stmt, depth: usize) {
             ind(out, depth);
             out.push_str("barrier\n");
         }
+        Stmt::ResizeTeam { nprocs } => {
+            ind(out, depth);
+            out.push_str(&format!("resize_team({nprocs})\n"));
+        }
         Stmt::Overhead {
             int_divs,
             indirect_loads,

@@ -199,6 +199,12 @@ pub enum Stmt {
     },
     /// Explicit barrier across the executing team.
     Barrier,
+    /// `c$resize_team(P)` — re-chunk every regular distribution for a
+    /// team of `P` processors, moving only the delta pages.
+    ResizeTeam {
+        /// New team size (positive).
+        nprocs: u64,
+    },
     /// Compiler-emitted bookkeeping cost: operations hoisted out of a loop
     /// by the Section-7.2 optimizations are charged here, once, instead of
     /// per iteration.  Keeps the cost model visible in IR dumps.

@@ -224,6 +224,20 @@ fn validate_stmt(s: &Subroutine, st: &Stmt) -> Result<(), ValidateError> {
             }
             Ok(())
         }
+        Stmt::ResizeTeam { nprocs } => {
+            if *nprocs == 0 {
+                return Err(err(s, "resize_team to a team of zero processors".into()));
+            }
+            for a in &s.arrays {
+                if a.dist_kind == DistKind::Reshaped {
+                    return Err(err(
+                        s,
+                        format!("resize_team with reshaped array `{}` declared", a.name),
+                    ));
+                }
+            }
+            Ok(())
+        }
         Stmt::Barrier | Stmt::Overhead { .. } => Ok(()),
     }
 }

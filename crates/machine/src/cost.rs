@@ -32,6 +32,8 @@ pub struct CostModel {
     pub per_hop: u64,
     /// TLB refill penalty.
     pub tlb_miss: u64,
+    /// Page-fault service cost (frame allocation + table update).
+    pub page_fault: u64,
     /// Cost charged per remote sharer invalidated on a write.
     pub invalidation: u64,
     /// Home-memory occupancy per serviced fill (the hot-node
@@ -95,6 +97,18 @@ impl CostModel {
         let lines = (self.page_size / self.line_size).max(1) as u64;
         lines * self.fill_between(from, to) + nprocs as u64 * self.tlb_miss
     }
+
+    /// Cycles for one *bulk* page transfer from `from` to `to`, as the
+    /// redistribution scheduler prices a planned move: one fault service
+    /// (frame allocation + table update) plus a pipelined DMA burst whose
+    /// latency grows with the route length, not with per-line demand
+    /// fills. Contrast [`CostModel::page_migration`], which models the
+    /// reactive daemon dragging a page line-by-line through the fill
+    /// path. TLB shootdown is *not* included here — the scheduler
+    /// coalesces one shootdown per round, not per page.
+    pub fn page_move(&self, from: NodeId, to: NodeId) -> u64 {
+        self.page_fault + u64::from(hops(from, to)) * self.per_hop
+    }
 }
 
 impl MachineConfig {
@@ -110,6 +124,7 @@ impl MachineConfig {
             remote_base: self.lat.remote_base,
             per_hop: self.lat.remote_per_hop,
             tlb_miss: self.lat.tlb_miss,
+            page_fault: self.lat.page_fault,
             invalidation: self.lat.invalidation,
             mem_occupancy: self.lat.mem_occupancy,
         }

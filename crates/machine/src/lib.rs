@@ -62,7 +62,7 @@ pub use config::{LatencyConfig, MachineConfig, OpCosts};
 pub use cost::CostModel;
 pub use counters::CounterSet;
 pub use directory::Directory;
-pub use machine::{AccessKind, AccessRun, Machine, MachineShard, MachineSnapshot, VAddr};
+pub use machine::{AccessKind, AccessRun, Machine, MachineShard, MachineSnapshot, RedistStats, VAddr};
 pub use migrate::{MigrationPolicy, MigrationStats, RefCounters};
 pub use pagetable::{PagePolicy, PageTable};
 pub use sample::{SamplingConfig, SamplingSummary};

@@ -557,6 +557,21 @@ fn run_segment(
     (i, total)
 }
 
+/// Running totals of explicit redistribution work (`c$redistribute`,
+/// `c$resize_team`): pages remapped and the cycles charged for them,
+/// regardless of whether the naive mover or the round scheduler did the
+/// moving. Distinct from [`MigrationStats`], which counts only what the
+/// reactive OS daemon moves on its own.
+#[derive(Debug, Clone, Default)]
+pub struct RedistStats {
+    /// Pages remapped by redistribution operations.
+    pub pages: u64,
+    /// Cycles charged for redistribution copies and TLB shootdowns.
+    pub cycles: u64,
+    /// Scheduled rounds executed (0 under the naive mover).
+    pub rounds: u64,
+}
+
 /// The simulated CC-NUMA multiprocessor.
 #[derive(Debug)]
 pub struct Machine {
@@ -567,6 +582,8 @@ pub struct Machine {
     page_bits: u32,
     /// Migration-engine totals (empty unless migration is on).
     mig: MigrationStats,
+    /// Redistribution totals (naive and scheduled movers both record).
+    redist: RedistStats,
     /// Serial accesses since the last migration epoch.
     epoch_accesses: u64,
     /// Suspend access-count epochs (the executor pauses them while it
@@ -593,6 +610,7 @@ pub struct MachineSnapshot {
     shared: SharedSnapshot,
     brk: u64,
     mig: MigrationStats,
+    redist: RedistStats,
     epoch_accesses: u64,
     epochs_paused: bool,
     symbols: Vec<String>,
@@ -644,6 +662,7 @@ impl Machine {
             brk: 64, // keep address 0 unmapped
             page_bits,
             mig: MigrationStats::default(),
+            redist: RedistStats::default(),
             epoch_accesses: 0,
             epochs_paused: false,
             symbols: Vec::new(),
@@ -778,7 +797,50 @@ impl Machine {
         // Remap cost: a TLB shootdown + copy per page.
         let cost = n as u64 * (self.cfg.lat.page_fault + 2 * self.cfg.lat.tlb_miss);
         self.charge(proc, cost);
+        self.redist.pages += n as u64;
+        self.redist.cycles += cost;
         n
+    }
+
+    /// Apply one round of a redistribution schedule: remap (and pin) each
+    /// page of `moves` (`(vpage, from, to)`), then charge the round's
+    /// cost to **every** processor — redistribution is a global pause
+    /// point, like a migration epoch, so the team's clocks stay level.
+    ///
+    /// The round is priced for node-disjoint concurrency: the planner
+    /// guarantees no node sources or sinks more than its fan bound per
+    /// round, so the bulk copies overlap and the round costs its
+    /// *longest* hop-aware page transfer ([`CostModel::page_move`]) plus
+    /// a single coalesced TLB shootdown across the team, instead of the
+    /// naive mover's per-page fault + shootdown. Returns the cycles
+    /// charged.
+    pub fn apply_redist_round(&mut self, moves: &[(u64, NodeId, NodeId)]) -> u64 {
+        if moves.is_empty() {
+            return 0;
+        }
+        let cm = self.cfg.cost_model();
+        let mut longest = 0u64;
+        for &(vpage, from, to) in moves {
+            self.shared
+                .pt
+                .write()
+                .expect("page table poisoned")
+                .pin(vpage);
+            self.remap_page(vpage, to);
+            longest = longest.max(cm.page_move(from, to));
+        }
+        // Coalesced shootdown: every processor flushes its stale
+        // translations in parallel during the pause, so the round's
+        // duration grows by one broadcast + acknowledge, not by a
+        // per-processor sum.
+        let cost = longest + 2 * self.cfg.lat.tlb_miss;
+        for p in &mut self.procs {
+            p.counters.cycles += cost;
+        }
+        self.redist.pages += moves.len() as u64;
+        self.redist.cycles += cost;
+        self.redist.rounds += 1;
+        cost
     }
 
     /// Home node of the page containing `addr`, if mapped.
@@ -944,6 +1006,7 @@ impl Machine {
             shared: self.shared.snapshot(),
             brk: self.brk,
             mig: self.mig.clone(),
+            redist: self.redist.clone(),
             epoch_accesses: self.epoch_accesses,
             epochs_paused: self.epochs_paused,
             symbols: self.symbols.clone(),
@@ -977,6 +1040,7 @@ impl Machine {
         self.shared.restore(&snap.shared);
         self.brk = snap.brk;
         self.mig.clone_from(&snap.mig);
+        self.redist.clone_from(&snap.redist);
         self.epoch_accesses = snap.epoch_accesses;
         self.epochs_paused = snap.epochs_paused;
         self.symbols.clone_from(&snap.symbols);
@@ -1060,6 +1124,31 @@ impl Machine {
     /// Cycles charged for page copies and TLB shootdowns so far.
     pub fn migration_cycles(&self) -> u64 {
         self.mig.migration_cycles
+    }
+
+    /// Pages remapped by redistribution operations (naive or scheduled).
+    pub fn redist_pages(&self) -> u64 {
+        self.redist.pages
+    }
+
+    /// Cycles charged for redistribution copies and shootdowns so far.
+    pub fn redist_cycles(&self) -> u64 {
+        self.redist.cycles
+    }
+
+    /// Scheduled redistribution rounds executed so far.
+    pub fn redist_rounds(&self) -> u64 {
+        self.redist.rounds
+    }
+
+    /// Whether `vpage` is pinned against reactive migration (explicit
+    /// placement and redistribution both pin).
+    pub fn page_pinned(&self, vpage: u64) -> bool {
+        self.shared
+            .pt
+            .read()
+            .expect("page table poisoned")
+            .is_pinned(vpage)
     }
 
     /// Migration count per virtual page, ascending by page (feeds the

@@ -213,6 +213,16 @@ pub fn exec_options_from_value(v: &Value) -> Result<ExecOptions, String> {
             return Err("options.sampling must be an object or null".into());
         }
     }
+    if let Some(r) = v.get("redist").and_then(Value::as_str) {
+        opts = opts.redist(r.parse()?);
+    }
+    if let Some(r) = v.get("resize_to") {
+        if let Some(p) = r.as_usize() {
+            opts = opts.resize_to(p);
+        } else if !r.is_null() {
+            return Err("options.resize_to must be a positive integer or null".into());
+        }
+    }
     Ok(opts)
 }
 
@@ -322,6 +332,8 @@ pub fn report_from_value(v: &Value) -> Result<RunReport, String> {
         argcheck_ops: (n("argcheck_inserts")?, n("argcheck_lookups")?),
         pages_migrated: n("pages_migrated")?,
         migration_cycles: n("migration_cycles")?,
+        redist_pages: n("redist_pages").unwrap_or(0),
+        redist_cycles: n("redist_cycles").unwrap_or(0),
         host_wall: std::time::Duration::from_nanos(n("host_wall_ns").unwrap_or(0)),
         host_region_wall: std::time::Duration::from_nanos(n("host_region_wall_ns").unwrap_or(0)),
         profile: None,
@@ -646,6 +658,8 @@ mod tests {
             argcheck_ops: (1, 2),
             pages_migrated: 5,
             migration_cycles: 6,
+            redist_pages: 7,
+            redist_cycles: 8,
             host_wall: std::time::Duration::from_millis(3),
             host_region_wall: std::time::Duration::from_millis(2),
             profile: None,

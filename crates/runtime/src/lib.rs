@@ -19,6 +19,7 @@ pub mod epoch;
 pub mod intrinsics;
 pub mod layout;
 pub mod pool;
+pub mod redist;
 pub mod sched;
 
 pub use argcheck::{ArgCheckError, ArgChecker, ArgInfo};
@@ -26,7 +27,8 @@ pub use descriptor::{DimDesc, DistDescriptor};
 pub use epoch::{join_epoch, EpochClock};
 pub use layout::{ArrayLayout, RtArray};
 pub use pool::PoolSet;
-pub use sched::{partition, Chunk};
+pub use redist::{plan_schedule, RedistSchedule, PageMove, DEFAULT_FAN};
+pub use sched::{partition, proctile_axis, Chunk};
 
 /// Errors surfaced by the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +40,13 @@ pub enum RuntimeError {
         /// Offending array name.
         array: String,
     },
+    /// A `resize_team` was attempted while a reshaped array is live —
+    /// reshaped portions are bound to the old processor grid and cannot
+    /// be re-chunked without dynamic reshaping, which the paper forbids.
+    ResizeWithReshaped {
+        /// Offending array name.
+        array: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -46,6 +55,12 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::ArgCheck(e) => write!(f, "{e}"),
             RuntimeError::RedistributeReshaped { array } => {
                 write!(f, "runtime error: redistribute of reshaped array `{array}`")
+            }
+            RuntimeError::ResizeWithReshaped { array } => {
+                write!(
+                    f,
+                    "runtime error: resize_team while reshaped array `{array}` is live"
+                )
             }
         }
     }

@@ -4,9 +4,9 @@
 //! runtime affinity scheduling — the fallback used when the compiler has
 //! not lowered an `affinity` clause into Figure-2 processor-tile loops.
 
-use dsm_ir::SchedType;
+use dsm_ir::{Distribution, SchedType};
 
-use crate::descriptor::DimDesc;
+use crate::descriptor::{DimDesc, DistDescriptor};
 
 /// A contiguous run of iterations `lb, lb+step, …, ≤ ub` (Fortran
 /// inclusive bounds). Empty when `ub < lb` for positive step, and when
@@ -42,6 +42,32 @@ impl Chunk {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Grid axis a proc-tile member reads its coordinate from.
+///
+/// The compiler bakes `grid_dim` — the rank of the tiled dimension among
+/// the affinity array's distributed dimensions — into
+/// [`SchedType::ProcTile`] under the array's *declared* distribution. A
+/// `c$redistribute` or `c$resize_team` executed before the loop can move
+/// that dimension to a different grid axis (or collapse/grow the grid),
+/// so the axis must be re-resolved before use: recover the array
+/// dimension `grid_dim` named under `decl`, then find that dimension's
+/// rank among the dimensions the *live* descriptor actually distributes.
+/// When the dimension is no longer distributed (its Figure-2 tile bounds
+/// then cover the full extent for coordinate 0 and are empty elsewhere),
+/// fall back to the compile-time axis clamped to the live grid.
+pub fn proctile_axis(desc: &DistDescriptor, decl: Option<&Distribution>, grid_dim: usize) -> usize {
+    let dim = decl.and_then(|d| {
+        d.dims
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| x.is_distributed())
+            .nth(grid_dim)
+            .map(|(i, _)| i)
+    });
+    dim.and_then(|d| desc.distributed.iter().position(|&dd| dd == d))
+        .unwrap_or_else(|| grid_dim.min(desc.grid.len().saturating_sub(1)))
 }
 
 /// Partition `lb..=ub:step` across `n` workers under `sched`.

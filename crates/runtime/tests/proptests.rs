@@ -1,8 +1,9 @@
 //! Property-based tests of the distribution runtime's core invariants.
 
-use dsm_ir::{Dist, Distribution};
+use dsm_ir::{Dist, DistKind, Distribution};
+use dsm_machine::{Machine, MachineConfig, ProcId};
 use dsm_runtime::sched::{partition_affinity, partition_interleave, partition_simple};
-use dsm_runtime::DistDescriptor;
+use dsm_runtime::{plan_schedule, ArrayLayout, DistDescriptor, PoolSet, RtArray};
 use proptest::prelude::*;
 
 fn arb_dist() -> impl Strategy<Value = Dist> {
@@ -161,5 +162,128 @@ proptest! {
             }
         }
         prop_assert_eq!(count as i64, ub - lb + 1);
+    }
+}
+
+/// Build a distributed array on a fresh machine, ready to redistribute.
+fn redist_fixture(extent: u64, dist: Dist, nprocs: usize) -> (Machine, PoolSet, RtArray) {
+    let mut m = Machine::new(MachineConfig::small_test(nprocs));
+    let mut pools = PoolSet::new(nprocs, 4096);
+    let a = RtArray::instantiate(
+        &mut m,
+        &mut pools,
+        "a",
+        &[extent],
+        Some(&Distribution::new(vec![dist])),
+        DistKind::Regular,
+        nprocs,
+    );
+    (m, pools, a)
+}
+
+proptest! {
+    /// A redistribution schedule moves each page at most once, and within
+    /// every round no node sources or sinks more pages than the fan
+    /// bound allows.
+    #[test]
+    fn schedule_moves_each_page_once_within_fan_bounds(
+        extent in 64u64..4096,
+        d0 in prop_oneof![Just(Dist::Block), (1u64..65).prop_map(Dist::Cyclic)],
+        d1 in prop_oneof![Just(Dist::Block), (1u64..65).prop_map(Dist::Cyclic)],
+        nprocs in 1usize..9,
+        fan in 1usize..4,
+    ) {
+        let (m, _pools, mut a) = redist_fixture(extent, d0, nprocs);
+        a.desc = DistDescriptor::new(&[extent], &Distribution::new(vec![d1]), nprocs);
+        let ArrayLayout::Contiguous { base } = a.layout else { unreachable!() };
+        let sched = plan_schedule(
+            &m,
+            base,
+            extent * a.elem_bytes,
+            &a.desc,
+            a.elem_bytes,
+            fan,
+        );
+        prop_assert_eq!(sched.fan, fan);
+        let mut seen = std::collections::HashSet::new();
+        let n_nodes = m.config().n_nodes;
+        for round in &sched.rounds {
+            let mut fan_out = vec![0usize; n_nodes];
+            let mut fan_in = vec![0usize; n_nodes];
+            for mv in round {
+                prop_assert!(seen.insert(mv.vpage), "page {} moved twice", mv.vpage);
+                fan_out[mv.from.0] += 1;
+                fan_in[mv.to.0] += 1;
+            }
+            prop_assert!(fan_out.iter().all(|&c| c <= fan), "fan-out bound exceeded");
+            prop_assert!(fan_in.iter().all(|&c| c <= fan), "fan-in bound exceeded");
+        }
+        prop_assert!(seen.len() as u64 <= sched.pages_scanned);
+    }
+
+    /// The scheduled mover leaves every page on exactly the node the
+    /// naive per-page walker would choose, for any block/cyclic(k) →
+    /// block/cyclic(k′) conversion, and the node page census matches.
+    #[test]
+    fn scheduled_and_naive_movers_agree_on_final_homes(
+        extent in 64u64..4096,
+        d0 in prop_oneof![Just(Dist::Block), (1u64..65).prop_map(Dist::Cyclic)],
+        d1 in prop_oneof![Just(Dist::Block), (1u64..65).prop_map(Dist::Cyclic)],
+        nprocs in 1usize..9,
+    ) {
+        let (mut m_s, _p_s, mut a_s) = redist_fixture(extent, d0, nprocs);
+        let (mut m_n, _p_n, mut a_n) = redist_fixture(extent, d0, nprocs);
+        let dist = Distribution::new(vec![d1]);
+        a_s.redistribute_scheduled(&mut m_s, ProcId(0), &dist, nprocs).unwrap();
+        a_n.redistribute(&mut m_n, ProcId(0), &dist, nprocs).unwrap();
+        for i in 0..extent {
+            prop_assert_eq!(
+                m_s.home_of(a_s.addr_of(&[i])),
+                m_n.home_of(a_n.addr_of(&[i])),
+                "element {} home diverges between movers", i
+            );
+        }
+        prop_assert_eq!(m_s.pages_per_node(), m_n.pages_per_node());
+    }
+
+    /// Team resizing moves only delta pages and both movers land the
+    /// same homes; an immediate resize back restores every page to a
+    /// home of the original chunking.
+    #[test]
+    fn resize_team_delta_only_and_mover_agreement(
+        extent in 64u64..4096,
+        d0 in prop_oneof![Just(Dist::Block), (1u64..65).prop_map(Dist::Cyclic)],
+        nprocs in 1usize..9,
+        new_team in 1usize..9,
+    ) {
+        let (mut m_s, _p_s, mut a_s) = redist_fixture(extent, d0, nprocs);
+        let (mut m_n, _p_n, mut a_n) = redist_fixture(extent, d0, nprocs);
+        let sched_moved = a_s.resize_team(&mut m_s, ProcId(0), new_team, true).unwrap();
+        let naive_moved = a_n.resize_team(&mut m_n, ProcId(0), new_team, false).unwrap();
+        // The naive mover remaps the full page span; the scheduler only
+        // the delta.
+        prop_assert!(sched_moved <= naive_moved);
+        for i in 0..extent {
+            prop_assert_eq!(
+                m_s.home_of(a_s.addr_of(&[i])),
+                m_n.home_of(a_n.addr_of(&[i])),
+                "element {} home diverges after resize", i
+            );
+        }
+        prop_assert_eq!(m_s.pages_per_node(), m_n.pages_per_node());
+        // Round trip: resizing back to the original team is delta-only
+        // as well and restores the original chunk owners.
+        let reference = {
+            let (mut m_r, _p_r, mut a_r) = redist_fixture(extent, d0, nprocs);
+            a_r.resize_team(&mut m_r, ProcId(0), nprocs, true).unwrap();
+            (0..extent).map(|i| m_r.home_of(a_r.addr_of(&[i]))).collect::<Vec<_>>()
+        };
+        a_s.resize_team(&mut m_s, ProcId(0), nprocs, true).unwrap();
+        for (i, want) in reference.iter().enumerate() {
+            prop_assert_eq!(
+                &m_s.home_of(a_s.addr_of(&[i as u64])), want,
+                "element {} not restored by the round trip", i
+            );
+        }
     }
 }
